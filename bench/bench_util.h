@@ -1,0 +1,97 @@
+// Shared helpers for the experiment benches: cluster construction, bulk
+// loading, and aligned table printing so each binary regenerates its paper
+// table/figure as text.
+#ifndef COUCHKV_BENCH_BENCH_UTIL_H_
+#define COUCHKV_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "client/smart_client.h"
+#include "cluster/cluster.h"
+#include "n1ql/query_service.h"
+#include "ycsb/ycsb.h"
+
+namespace couchkv::bench {
+
+// Scale factor: benches default to laptop-sized datasets; set
+// COUCHKV_SCALE to grow/shrink (1.0 = defaults).
+inline double ScaleFactor() {
+  const char* s = std::getenv("COUCHKV_SCALE");
+  return s != nullptr ? std::atof(s) : 1.0;
+}
+
+inline uint64_t Scaled(uint64_t base) {
+  double v = static_cast<double>(base) * ScaleFactor();
+  return v < 1 ? 1 : static_cast<uint64_t>(v);
+}
+
+// A ready-to-use cluster with all services attached, mirroring the paper's
+// §10.1 setup ("data, index and query services running on all nodes").
+struct TestBed {
+  std::unique_ptr<cluster::Cluster> cluster;
+  std::shared_ptr<gsi::IndexService> gsi;
+  std::shared_ptr<views::ViewEngine> views;
+  std::unique_ptr<n1ql::QueryService> queries;
+
+  explicit TestBed(int nodes = 4, const std::string& bucket = "bucket",
+                   uint32_t replicas = 1, uint64_t simulated_fsync_us = 0) {
+    cluster::ClusterOptions copts;
+    copts.simulated_fsync_us = simulated_fsync_us;
+    cluster = std::make_unique<cluster::Cluster>(copts);
+    for (int i = 0; i < nodes; ++i) {
+      cluster->AddNode(cluster::kAllServices);
+    }
+    cluster::BucketConfig config;
+    config.name = bucket;
+    config.num_replicas = replicas;
+    config.memory_quota_bytes = 8ull << 30;  // avoid eviction noise
+    Status st = cluster->CreateBucket(config);
+    if (!st.ok()) {
+      std::fprintf(stderr, "bucket creation failed: %s\n",
+                   st.ToString().c_str());
+      std::abort();
+    }
+    gsi = std::make_shared<gsi::IndexService>(cluster.get());
+    gsi->Attach();
+    views = std::make_shared<views::ViewEngine>(cluster.get());
+    views->Attach();
+    queries =
+        std::make_unique<n1ql::QueryService>(cluster.get(), gsi, views);
+  }
+};
+
+// Loads `count` YCSB-style records through the smart client, in parallel.
+inline void LoadRecords(cluster::Cluster* cluster, const std::string& bucket,
+                        uint64_t count, size_t field_count = 10,
+                        size_t field_length = 100, size_t threads = 8) {
+  std::vector<std::thread> workers;
+  std::atomic<uint64_t> next{0};
+  for (size_t t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      client::SmartClient client(cluster, bucket);
+      ycsb::WorkloadConfig cfg;
+      cfg.field_count = field_count;
+      cfg.field_length = field_length;
+      std::atomic<uint64_t> dummy{0};
+      ycsb::Workload workload(cfg, 1000 + t, &dummy);
+      for (;;) {
+        uint64_t i = next.fetch_add(1);
+        if (i >= count) break;
+        client.Upsert(ycsb::Workload::KeyFor(i), workload.GenerateValue());
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+}
+
+inline void PrintHeader(const char* title, const char* columns) {
+  std::printf("\n=== %s ===\n%s\n", title, columns);
+}
+
+}  // namespace couchkv::bench
+
+#endif  // COUCHKV_BENCH_BENCH_UTIL_H_

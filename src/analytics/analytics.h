@@ -1,0 +1,112 @@
+// The analytics service (paper §6.2 "Medium-term plans"): operational
+// analytics over shadow copies of operational data, fed by DCP, "scaled
+// either out or up independently with respect to other services, especially
+// the data service (to provide performance isolation for the all-important
+// front-end OLTP workloads)".
+//
+// Modeled on the planned AsterixDB-based service: each connected bucket
+// gets a shadow dataset maintained from the in-memory change stream. The
+// query engine runs the full N1QL dialect WITHOUT the OLTP restrictions —
+// full scans need no primary index, and general join conditions
+// (`JOIN b ON a.x = b.y`, forbidden in N1QL per §3.2.4) execute as hash
+// joins. Analytics queries never touch the data service: reads are served
+// entirely from the shadow dataset.
+#ifndef COUCHKV_ANALYTICS_ANALYTICS_H_
+#define COUCHKV_ANALYTICS_ANALYTICS_H_
+
+#include <array>
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "json/value.h"
+#include "n1ql/expr_eval.h"
+
+namespace couchkv::analytics {
+
+struct AnalyticsResult {
+  std::vector<json::Value> rows;
+  uint64_t elapsed_ns = 0;
+  size_t scanned_docs = 0;
+};
+
+// A shadow copy of one bucket, kept up to date through DCP.
+class ShadowDataset {
+ public:
+  explicit ShadowDataset(std::string bucket) : bucket_(std::move(bucket)) {}
+
+  const std::string& bucket() const { return bucket_; }
+
+  void ApplyMutation(const kv::Mutation& m);
+
+  // Runs `fn` over every document (id, parsed value). The shard layout
+  // bounds lock hold times so ingestion continues during large scans.
+  void ForEach(const std::function<void(const std::string&,
+                                        const json::Value&)>& fn) const;
+
+  uint64_t processed_seqno(uint16_t vb) const {
+    return processed_[vb].load(std::memory_order_acquire);
+  }
+  size_t num_docs() const;
+
+ private:
+  static constexpr size_t kShards = 16;
+  struct Shard {
+    mutable std::shared_mutex mu;
+    std::map<std::string, json::Value> docs;
+  };
+  Shard& ShardFor(const std::string& key) {
+    return shards_[std::hash<std::string>{}(key) % kShards];
+  }
+
+  std::string bucket_;
+  std::array<Shard, kShards> shards_;
+  std::array<std::atomic<uint64_t>, cluster::kNumVBuckets> processed_{};
+};
+
+class AnalyticsService : public cluster::ClusterService,
+                         public std::enable_shared_from_this<AnalyticsService> {
+ public:
+  explicit AnalyticsService(cluster::Cluster* cluster) : cluster_(cluster) {}
+
+  void Attach() { cluster_->RegisterService("analytics", shared_from_this()); }
+
+  // Connects a bucket: creates the shadow dataset and starts ingesting its
+  // change stream (initial load backfills via DCP from storage).
+  Status ConnectBucket(const std::string& bucket);
+  Status DisconnectBucket(const std::string& bucket);
+
+  // Executes a SELECT over shadow datasets. The FROM keyspace names a
+  // connected bucket. General joins, full scans, grouping and aggregation
+  // are all allowed; DML and DDL are not (analytics is read-only).
+  StatusOr<AnalyticsResult> Query(const std::string& text,
+                                  const std::vector<json::Value>& params = {});
+
+  // Blocks until the dataset covers every mutation present at call time
+  // (test determinism; production analytics is eventually consistent).
+  Status WaitCaughtUp(const std::string& bucket, uint64_t timeout_ms = 30000);
+
+  void OnTopologyChange(const std::string& bucket) override;
+
+  const ShadowDataset* dataset(const std::string& bucket) const;
+
+ private:
+  void WireDataset(const std::string& bucket,
+                   std::shared_ptr<ShadowDataset> ds);
+  std::string StreamName(const std::string& bucket) const {
+    return "analytics:" + bucket;
+  }
+
+  cluster::Cluster* cluster_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<ShadowDataset>> datasets_;
+};
+
+}  // namespace couchkv::analytics
+
+#endif  // COUCHKV_ANALYTICS_ANALYTICS_H_

@@ -1,0 +1,249 @@
+#include "client/smart_client.h"
+
+#include <thread>
+
+namespace couchkv::client {
+
+namespace {
+constexpr int kMaxAttempts = 64;
+}  // namespace
+
+SmartClient::SmartClient(cluster::Cluster* cluster, std::string bucket)
+    : cluster_(cluster), bucket_(std::move(bucket)) {
+  RefreshMap();
+}
+
+void SmartClient::RefreshMap() { map_ = cluster_->map(bucket_); }
+
+template <typename Fn>
+auto SmartClient::WithRouting(std::string_view key, Fn&& op)
+    -> decltype(op(nullptr, uint16_t{0})) {
+  uint16_t vb = cluster::KeyToVBucket(key);
+  Status last = Status::TempFail("no attempts made");
+  for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+    if (!map_) RefreshMap();
+    if (!map_) return Status::NotFound("bucket has no cluster map");
+    cluster::NodeId target = map_->ActiveFor(vb);
+    cluster::Node* n = cluster_->node(target);
+    if (n == nullptr) {
+      RefreshMap();
+      std::this_thread::yield();
+      continue;
+    }
+    auto result = op(n, vb);
+    if (result.ok()) return result;
+    last = result.status();
+    if (last.IsNotMyVBucket() || last.IsTempFail()) {
+      // Topology moved under us (rebalance/failover) or node is overloaded:
+      // refresh the cached map and retry, as SDKs do.
+      RefreshMap();
+      std::this_thread::yield();
+      continue;
+    }
+    return result;  // semantic error (NotFound, CAS mismatch, ...): surface
+  }
+  return last;
+}
+
+StatusOr<GetReply> SmartClient::Get(std::string_view key) {
+  return WithRouting(key,
+                     [&](cluster::Node* n, uint16_t vb) -> StatusOr<GetReply> {
+                       auto r = n->Get(bucket_, vb, key);
+                       if (!r.ok()) return r.status();
+                       GetReply reply;
+                       reply.key = std::string(key);
+                       reply.value = std::move(r->doc.value);
+                       reply.cas = r->doc.meta.cas;
+                       reply.flags = r->doc.meta.flags;
+                       return reply;
+                     });
+}
+
+StatusOr<json::Value> SmartClient::GetJson(std::string_view key) {
+  auto r = Get(key);
+  if (!r.ok()) return r.status();
+  return json::Parse(r->value);
+}
+
+namespace {
+StatusOr<MutateReply> FinishMutation(cluster::Cluster* cluster,
+                                     const std::string& bucket, uint16_t vb,
+                                     const StatusOr<kv::DocMeta>& meta,
+                                     const cluster::Durability& dur) {
+  if (!meta.ok()) return meta.status();
+  Status st = cluster->WaitForDurability(bucket, vb, meta->seqno, dur);
+  if (!st.ok()) return st;
+  MutateReply reply;
+  reply.cas = meta->cas;
+  reply.seqno = meta->seqno;
+  reply.vbucket = vb;
+  return reply;
+}
+}  // namespace
+
+StatusOr<MutateReply> SmartClient::Upsert(std::string_view key,
+                                          std::string_view value,
+                                          const WriteOptions& opts) {
+  return WithRouting(
+      key, [&](cluster::Node* n, uint16_t vb) -> StatusOr<MutateReply> {
+        auto meta =
+            n->Set(bucket_, vb, key, value, opts.flags, opts.expiry, opts.cas);
+        return FinishMutation(cluster_, bucket_, vb, meta, opts.durability);
+      });
+}
+
+StatusOr<MutateReply> SmartClient::Insert(std::string_view key,
+                                          std::string_view value,
+                                          const WriteOptions& opts) {
+  return WithRouting(
+      key, [&](cluster::Node* n, uint16_t vb) -> StatusOr<MutateReply> {
+        auto meta = n->Add(bucket_, vb, key, value, opts.flags, opts.expiry);
+        return FinishMutation(cluster_, bucket_, vb, meta, opts.durability);
+      });
+}
+
+StatusOr<MutateReply> SmartClient::Replace(std::string_view key,
+                                           std::string_view value,
+                                           const WriteOptions& opts) {
+  return WithRouting(
+      key, [&](cluster::Node* n, uint16_t vb) -> StatusOr<MutateReply> {
+        auto meta = n->Replace(bucket_, vb, key, value, opts.flags,
+                               opts.expiry, opts.cas);
+        return FinishMutation(cluster_, bucket_, vb, meta, opts.durability);
+      });
+}
+
+StatusOr<MutateReply> SmartClient::Remove(std::string_view key, uint64_t cas,
+                                          const cluster::Durability& dur) {
+  return WithRouting(
+      key, [&](cluster::Node* n, uint16_t vb) -> StatusOr<MutateReply> {
+        auto meta = n->Remove(bucket_, vb, key, cas);
+        return FinishMutation(cluster_, bucket_, vb, meta, dur);
+      });
+}
+
+StatusOr<MutateReply> SmartClient::UpsertJson(std::string_view key,
+                                              const json::Value& value,
+                                              const WriteOptions& opts) {
+  return Upsert(key, value.ToJson(), opts);
+}
+
+StatusOr<GetReply> SmartClient::GetAndLock(std::string_view key,
+                                           uint64_t lock_ms) {
+  return WithRouting(key,
+                     [&](cluster::Node* n, uint16_t vb) -> StatusOr<GetReply> {
+                       auto r = n->GetAndLock(bucket_, vb, key, lock_ms);
+                       if (!r.ok()) return r.status();
+                       GetReply reply;
+                       reply.key = std::string(key);
+                       reply.value = std::move(r->doc.value);
+                       reply.cas = r->doc.meta.cas;
+                       reply.flags = r->doc.meta.flags;
+                       return reply;
+                     });
+}
+
+Status SmartClient::Unlock(std::string_view key, uint64_t cas) {
+  auto r = WithRouting(
+      key, [&](cluster::Node* n, uint16_t vb) -> StatusOr<bool> {
+        Status st = n->Unlock(bucket_, vb, key, cas);
+        if (!st.ok()) return st;
+        return true;
+      });
+  return r.ok() ? Status::OK() : r.status();
+}
+
+StatusOr<json::Value> SmartClient::LookupIn(std::string_view key,
+                                            std::string_view path) {
+  auto doc = GetJson(key);
+  if (!doc.ok()) return doc.status();
+  return doc->GetPath(path);
+}
+
+namespace {
+constexpr int kSubdocRetries = 32;
+}
+
+StatusOr<MutateReply> SmartClient::MutateIn(std::string_view key,
+                                            std::string_view path,
+                                            const json::Value& value) {
+  for (int attempt = 0; attempt < kSubdocRetries; ++attempt) {
+    auto reply = Get(key);
+    if (!reply.ok()) return reply.status();
+    auto doc = json::Parse(reply->value);
+    if (!doc.ok()) return doc.status();
+    if (!doc->SetPath(path, value)) {
+      return Status::InvalidArgument("cannot set path " + std::string(path));
+    }
+    WriteOptions opts;
+    opts.cas = reply->cas;
+    auto result = Replace(key, doc->ToJson(), opts);
+    if (result.ok()) return result;
+    if (!result.status().IsKeyExists() && !result.status().IsLocked()) {
+      return result.status();
+    }
+    // CAS conflict: re-read and retry.
+  }
+  return Status::TempFail("sub-document CAS retries exhausted");
+}
+
+StatusOr<MutateReply> SmartClient::RemoveIn(std::string_view key,
+                                            std::string_view path) {
+  for (int attempt = 0; attempt < kSubdocRetries; ++attempt) {
+    auto reply = Get(key);
+    if (!reply.ok()) return reply.status();
+    auto doc = json::Parse(reply->value);
+    if (!doc.ok()) return doc.status();
+    if (!doc->RemovePath(path)) {
+      return Status::NotFound("path missing: " + std::string(path));
+    }
+    WriteOptions opts;
+    opts.cas = reply->cas;
+    auto result = Replace(key, doc->ToJson(), opts);
+    if (result.ok()) return result;
+    if (!result.status().IsKeyExists() && !result.status().IsLocked()) {
+      return result.status();
+    }
+  }
+  return Status::TempFail("sub-document CAS retries exhausted");
+}
+
+StatusOr<int64_t> SmartClient::Increment(std::string_view key, int64_t delta,
+                                         int64_t initial) {
+  for (int attempt = 0; attempt < kSubdocRetries * 4; ++attempt) {
+    auto reply = Get(key);
+    if (reply.status().IsNotFound()) {
+      auto created =
+          Insert(key, json::Value::Int(initial + delta).ToJson());
+      if (created.ok()) return initial + delta;
+      if (!created.status().IsKeyExists()) return created.status();
+      continue;  // someone else created it: retry the read
+    }
+    if (!reply.ok()) return reply.status();
+    auto doc = json::Parse(reply->value);
+    if (!doc.ok() || !doc->is_number()) {
+      return Status::InvalidArgument("counter document is not a number");
+    }
+    int64_t next = doc->AsInt() + delta;
+    WriteOptions opts;
+    opts.cas = reply->cas;
+    auto result = Replace(key, json::Value::Int(next).ToJson(), opts);
+    if (result.ok()) return next;
+    if (!result.status().IsKeyExists() && !result.status().IsLocked()) {
+      return result.status();
+    }
+  }
+  return Status::TempFail("counter CAS retries exhausted");
+}
+
+Status SmartClient::Touch(std::string_view key, uint32_t expiry) {
+  auto r = WithRouting(
+      key, [&](cluster::Node* n, uint16_t vb) -> StatusOr<bool> {
+        auto meta = n->Touch(bucket_, vb, key, expiry);
+        if (!meta.ok()) return meta.status();
+        return true;
+      });
+  return r.ok() ? Status::OK() : r.status();
+}
+
+}  // namespace couchkv::client

@@ -1,0 +1,106 @@
+// The "smart client" (paper §4.1): caches the cluster map, hashes each key
+// with CRC32 to its vBucket, and talks directly to the node hosting the
+// active copy. On NotMyVBucket (topology changed under it) it refreshes the
+// map and retries — exactly the protocol Couchbase SDKs implement.
+#ifndef COUCHKV_CLIENT_SMART_CLIENT_H_
+#define COUCHKV_CLIENT_SMART_CLIENT_H_
+
+#include <memory>
+#include <string>
+
+#include "cluster/cluster.h"
+#include "json/value.h"
+
+namespace couchkv::client {
+
+// Options for a single write.
+struct WriteOptions {
+  uint32_t flags = 0;
+  uint32_t expiry = 0;  // absolute seconds, 0 = never
+  uint64_t cas = 0;     // 0 = unconditional
+  cluster::Durability durability;  // default: memory-ack only
+};
+
+// A fetched document plus its metadata.
+struct GetReply {
+  std::string key;
+  std::string value;  // raw JSON text
+  uint64_t cas = 0;
+  uint32_t flags = 0;
+};
+
+// Result of a successful mutation.
+struct MutateReply {
+  uint64_t cas = 0;
+  uint64_t seqno = 0;
+  uint16_t vbucket = 0;
+};
+
+class SmartClient {
+ public:
+  SmartClient(cluster::Cluster* cluster, std::string bucket);
+
+  // --- KV API (access path 1 in §3.1) ---
+  StatusOr<GetReply> Get(std::string_view key);
+  StatusOr<MutateReply> Upsert(std::string_view key, std::string_view value,
+                               const WriteOptions& opts = {});
+  StatusOr<MutateReply> Insert(std::string_view key, std::string_view value,
+                               const WriteOptions& opts = {});
+  StatusOr<MutateReply> Replace(std::string_view key, std::string_view value,
+                                const WriteOptions& opts = {});
+  StatusOr<MutateReply> Remove(std::string_view key, uint64_t cas = 0,
+                               const cluster::Durability& dur = {});
+  // Convenience: store a JSON value.
+  StatusOr<MutateReply> UpsertJson(std::string_view key,
+                                   const json::Value& value,
+                                   const WriteOptions& opts = {});
+  // Convenience: fetch and parse.
+  StatusOr<json::Value> GetJson(std::string_view key);
+
+  // Pessimistic locking (paper §3.1.1 "stricter locking mechanism").
+  StatusOr<GetReply> GetAndLock(std::string_view key, uint64_t lock_ms);
+  Status Unlock(std::string_view key, uint64_t cas);
+  Status Touch(std::string_view key, uint32_t expiry);
+
+  // --- Sub-document operations (paper §3.2.2: "sub-document level lookups
+  // and updates") ---
+  // Reads a single path out of a document without shipping the whole value
+  // to the application.
+  StatusOr<json::Value> LookupIn(std::string_view key, std::string_view path);
+  // Sets one path inside a document, retrying on concurrent modification
+  // (CAS loop). Creates intermediate objects. NotFound if the doc is absent.
+  StatusOr<MutateReply> MutateIn(std::string_view key, std::string_view path,
+                                 const json::Value& value);
+  // Removes one path inside a document (CAS loop).
+  StatusOr<MutateReply> RemoveIn(std::string_view key, std::string_view path);
+
+  // Atomic counter (memcached heritage): adds `delta` to a numeric
+  // document, creating it at `initial` when absent. Returns the new value.
+  StatusOr<int64_t> Increment(std::string_view key, int64_t delta,
+                              int64_t initial = 0);
+
+  const std::string& bucket() const { return bucket_; }
+  cluster::Cluster* cluster() { return cluster_; }
+
+  // The vBucket a key routes to (exposed for tests / diagnostics).
+  uint16_t VBucketFor(std::string_view key) const {
+    return cluster::KeyToVBucket(key);
+  }
+
+ private:
+  // Runs `op` against the active node for `key`'s vBucket, refreshing the
+  // cached map and retrying on NotMyVBucket / transient failures.
+  template <typename Fn>
+  auto WithRouting(std::string_view key, Fn&& op)
+      -> decltype(op(nullptr, uint16_t{0}));
+
+  void RefreshMap();
+
+  cluster::Cluster* cluster_;
+  std::string bucket_;
+  std::shared_ptr<const cluster::ClusterMap> map_;
+};
+
+}  // namespace couchkv::client
+
+#endif  // COUCHKV_CLIENT_SMART_CLIENT_H_

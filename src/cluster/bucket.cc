@@ -1,0 +1,234 @@
+#include "cluster/bucket.h"
+
+#include "common/logging.h"
+
+namespace couchkv::cluster {
+
+Bucket::Bucket(BucketConfig config, NodeId node_id, storage::Env* env,
+               Clock* clock, dcp::Dispatcher* dispatcher)
+    : config_(std::move(config)),
+      node_id_(node_id),
+      env_(env),
+      clock_(clock),
+      dispatcher_(dispatcher) {
+  vbuckets_.reserve(kNumVBuckets);
+  for (uint16_t vb = 0; vb < kNumVBuckets; ++vb) {
+    auto v = std::make_unique<VBucket>(vb, VBucketState::kDead, clock_,
+                                       config_.eviction);
+    VBucket* raw = v.get();
+    v->set_sink([this, raw, vb](const kv::Document& doc) {
+      producer_->OnMutation(vb, doc);
+      EnqueueForPersistence(vb, doc);
+      dispatcher_->Notify();
+      (void)raw;
+    });
+    vbuckets_.push_back(std::move(v));
+  }
+  // DCP backfill reads from the vBucket's storage file.
+  producer_ = std::make_shared<dcp::Producer>(
+      kNumVBuckets,
+      [this](uint16_t vb, uint64_t since, const dcp::MutationFn& fn) {
+        storage::CouchFile* file = vbuckets_[vb]->file();
+        if (file == nullptr) return Status::OK();
+        return file->ChangesSince(since, [&](const kv::Document& doc) {
+          kv::Mutation m;
+          m.vbucket = vb;
+          m.doc = doc;
+          fn(m);
+        });
+      });
+  dispatcher_->AddProducer(producer_);
+  flusher_ = std::thread([this] { FlusherLoop(); });
+}
+
+Bucket::~Bucket() {
+  stop_.store(true);
+  queue_cv_.notify_all();
+  if (flusher_.joinable()) flusher_.join();
+  dispatcher_->RemoveProducer(producer_);
+}
+
+std::string Bucket::VBucketFilePath(uint16_t vb) const {
+  return config_.name + ".n" + std::to_string(node_id_) + ".vb" +
+         std::to_string(vb) + ".couch";
+}
+
+Status Bucket::EnsureStorage(uint16_t vb) {
+  std::lock_guard<std::mutex> lock(storage_mu_);
+  VBucket* v = vbuckets_[vb].get();
+  if (v->file() != nullptr) return Status::OK();
+  auto file_or = storage::CouchFile::Open(env_, VBucketFilePath(vb));
+  if (!file_or.ok()) return file_or.status();
+  std::shared_ptr<storage::CouchFile> file = std::move(file_or).value();
+  v->set_file(std::move(file));
+  return Status::OK();
+}
+
+Status Bucket::SetVBucketState(uint16_t vb, VBucketState state) {
+  if (vb >= kNumVBuckets) return Status::InvalidArgument("bad vbucket");
+  VBucket* v = vbuckets_[vb].get();
+  if (state != VBucketState::kDead) {
+    COUCHKV_RETURN_IF_ERROR(EnsureStorage(vb));
+  }
+  v->set_state(state);
+  return Status::OK();
+}
+
+void Bucket::EnqueueForPersistence(uint16_t vb, const kv::Document& doc) {
+  QueueShard& shard = shards_[vb % kQueueShards];
+  bool inserted;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    // Later write supersedes earlier (dedup aggregation).
+    inserted = shard.items.insert_or_assign({vb, doc.key}, doc).second;
+  }
+  if (inserted && queued_.fetch_add(1) == 0) {
+    queue_cv_.notify_one();
+  }
+}
+
+void Bucket::FlusherLoop() {
+  for (;;) {
+    std::map<std::pair<uint16_t, std::string>, kv::Document> batch;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      // wait_for bounds the flush latency even if a notify is lost (the
+      // enqueue fast path deliberately avoids taking queue_mu_).
+      queue_cv_.wait_for(lock, std::chrono::milliseconds(1), [this] {
+        return stop_.load() || queued_.load() > 0;
+      });
+    }
+    if (queued_.load() == 0) {
+      if (stop_.load()) return;
+      continue;
+    }
+    flushing_.store(true);
+    for (QueueShard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      batch.merge(shard.items);
+      shard.items.clear();
+    }
+    queued_.fetch_sub(batch.size());
+    // Group the batch by vBucket: one SaveDocs + Commit per file, so a
+    // flush cycle is a small number of sequential writes + fsyncs.
+    std::map<uint16_t, std::vector<kv::Document>> by_vb;
+    for (auto& [key, doc] : batch) {
+      by_vb[key.first].push_back(std::move(doc));
+    }
+    for (auto& [vb, docs] : by_vb) {
+      VBucket* v = vbuckets_[vb].get();
+      if (v->file() == nullptr) {
+        if (!EnsureStorage(vb).ok()) continue;
+      }
+      Status st = v->file()->SaveDocs(docs);
+      if (st.ok()) st = v->file()->Commit();
+      if (!st.ok()) {
+        LOG_ERROR << "flush failed for vb " << vb << ": " << st.ToString();
+        continue;
+      }
+      for (const kv::Document& doc : docs) {
+        v->hash_table().MarkClean(doc.key, doc.meta.seqno);
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      ++flush_epoch_;
+      flushing_.store(false);
+    }
+    flush_cv_.notify_all();
+  }
+}
+
+StatusOr<uint64_t> Bucket::Warmup() {
+  uint64_t loaded = 0;
+  for (auto& v : vbuckets_) {
+    if (v->state() == VBucketState::kDead) continue;
+    COUCHKV_RETURN_IF_ERROR(EnsureStorage(v->id()));
+    // ChangesSince streams in seqno order, which both Restore and the DCP
+    // change log require.
+    Status st = v->file()->ChangesSince(0, [&](const kv::Document& doc) {
+      if (!doc.meta.deleted) {
+        v->hash_table().Restore(doc);
+        ++loaded;
+      }
+      // Re-seed the DCP change log so consumers attaching later can stream
+      // history without a storage backfill.
+      producer_->OnMutation(v->id(), doc);
+    });
+    if (!st.ok()) return st;
+  }
+  dispatcher_->Notify();
+  return loaded;
+}
+
+void Bucket::FlushAll() {
+  std::unique_lock<std::mutex> lock(queue_mu_);
+  queue_cv_.notify_all();
+  flush_cv_.wait(lock, [this] {
+    return queued_.load() == 0 && !flushing_.load();
+  });
+}
+
+Status Bucket::WaitForPersistence(uint16_t vb, uint64_t seqno,
+                                  uint64_t timeout_ms) {
+  VBucket* v = vbuckets_[vb].get();
+  std::unique_lock<std::mutex> lock(queue_mu_);
+  queue_cv_.notify_all();
+  bool ok = flush_cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+                               [&] { return v->persisted_seqno() >= seqno; });
+  return ok ? Status::OK() : Status::Timeout("persistence wait");
+}
+
+size_t Bucket::MaybeCompact() {
+  size_t compacted = 0;
+  for (auto& v : vbuckets_) {
+    storage::CouchFile* file = v->file();
+    if (file == nullptr || v->state() == VBucketState::kDead) continue;
+    if (file->Fragmentation() > config_.compaction_threshold) {
+      Status st = file->Compact();
+      if (st.ok()) {
+        ++compacted;
+      } else {
+        LOG_WARN << "compaction failed: " << st.ToString();
+      }
+    }
+  }
+  return compacted;
+}
+
+uint64_t Bucket::EnforceQuota() {
+  uint64_t used = mem_used();
+  if (used <= config_.memory_quota_bytes) return 0;
+  // Evict proportionally from every hosted vBucket.
+  uint64_t reclaimed = 0;
+  uint64_t target_per_vb = config_.memory_quota_bytes / kNumVBuckets;
+  for (auto& v : vbuckets_) {
+    if (v->state() == VBucketState::kDead) continue;
+    reclaimed += v->hash_table().EvictTo(target_per_vb);
+  }
+  return reclaimed;
+}
+
+uint64_t Bucket::mem_used() const {
+  uint64_t total = 0;
+  for (const auto& v : vbuckets_) total += v->hash_table().mem_used();
+  return total;
+}
+
+size_t Bucket::disk_queue_depth() const { return queued_.load(); }
+
+BucketStats Bucket::stats() const {
+  BucketStats s;
+  s.disk_queue_depth = disk_queue_depth();
+  s.mem_used = mem_used();
+  for (const auto& v : vbuckets_) {
+    if (v->file() != nullptr) {
+      auto fs = v->file()->stats();
+      s.total_commits += fs.num_commits;
+      s.total_compactions += fs.num_compactions;
+    }
+  }
+  return s;
+}
+
+}  // namespace couchkv::cluster

@@ -1,0 +1,440 @@
+#include "cluster/cluster.h"
+
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <thread>
+
+#include "common/logging.h"
+
+namespace couchkv::cluster {
+
+namespace {
+// Stream name prefix for intra-cluster replication consumers.
+std::string ReplStreamName(NodeId dst) {
+  return "intra-repl:" + std::to_string(dst);
+}
+constexpr const char* kMoverStream = "rebalance-mover";
+}  // namespace
+
+Cluster::Cluster(ClusterOptions opts) : opts_(std::move(opts)) {
+  if (opts_.use_posix) {
+    ::mkdir(opts_.data_dir.c_str(), 0755);
+  }
+}
+
+Cluster::~Cluster() {
+  std::lock_guard<std::mutex> lock(mu_);
+  nodes_.clear();
+}
+
+std::unique_ptr<storage::Env> Cluster::MakeNodeEnv(NodeId id) {
+  if (!opts_.use_posix) {
+    return storage::Env::NewMemEnv(opts_.simulated_fsync_us);
+  }
+  // Give each node a directory, simulating its private disk.
+  std::string dir = opts_.data_dir + "/node" + std::to_string(id);
+  ::mkdir(dir.c_str(), 0755);
+  // A thin wrapper that prefixes paths would be cleaner; we reuse PosixEnv
+  // directly by prefixing inside an adapter.
+  class PrefixEnv : public storage::Env {
+   public:
+    explicit PrefixEnv(std::string prefix) : prefix_(std::move(prefix)) {}
+    StatusOr<std::unique_ptr<storage::File>> Open(
+        const std::string& path) override {
+      return storage::Env::Posix()->Open(prefix_ + "/" + path);
+    }
+    bool Exists(const std::string& path) const override {
+      return storage::Env::Posix()->Exists(prefix_ + "/" + path);
+    }
+    Status Remove(const std::string& path) override {
+      return storage::Env::Posix()->Remove(prefix_ + "/" + path);
+    }
+    Status Rename(const std::string& from, const std::string& to) override {
+      return storage::Env::Posix()->Rename(prefix_ + "/" + from,
+                                           prefix_ + "/" + to);
+    }
+
+   private:
+    std::string prefix_;
+  };
+  return std::make_unique<PrefixEnv>(dir);
+}
+
+NodeId Cluster::AddNode(uint32_t services) {
+  std::lock_guard<std::mutex> lock(mu_);
+  NodeId id = next_node_id_++;
+  nodes_[id] =
+      std::make_unique<Node>(id, services, opts_.clock, MakeNodeEnv(id));
+  return id;
+}
+
+Node* Cluster::node(NodeId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = nodes_.find(id);
+  return it == nodes_.end() ? nullptr : it->second.get();
+}
+
+std::vector<NodeId> Cluster::node_ids() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<NodeId> ids;
+  ids.reserve(nodes_.size());
+  for (const auto& [id, n] : nodes_) ids.push_back(id);
+  return ids;
+}
+
+std::vector<NodeId> Cluster::healthy_data_nodes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<NodeId> ids;
+  for (const auto& [id, n] : nodes_) {
+    if (n->healthy() && n->HasService(kDataService)) ids.push_back(id);
+  }
+  return ids;
+}
+
+NodeId Cluster::orchestrator() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [id, n] : nodes_) {
+    if (n->healthy()) return id;
+  }
+  return kNoNode;
+}
+
+Status Cluster::CreateBucket(const BucketConfig& config) {
+  std::vector<NodeId> data_nodes = healthy_data_nodes();
+  if (data_nodes.empty()) return Status::Unsupported("no data nodes");
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (bucket_configs_.count(config.name)) {
+      return Status::KeyExists("bucket exists");
+    }
+    bucket_configs_[config.name] = config;
+    for (NodeId id : data_nodes) {
+      COUCHKV_RETURN_IF_ERROR(nodes_[id]->CreateBucket(config));
+    }
+  }
+  auto map = std::make_shared<ClusterMap>(
+      BuildBalancedMap(data_nodes, config.num_replicas, /*version=*/1));
+  ApplyMap(config.name, map);
+  PublishMap(config.name, map);
+  return Status::OK();
+}
+
+std::shared_ptr<const ClusterMap> Cluster::map(
+    const std::string& bucket) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = maps_.find(bucket);
+  return it == maps_.end() ? nullptr : it->second;
+}
+
+std::vector<std::string> Cluster::bucket_names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  for (const auto& [name, cfg] : bucket_configs_) names.push_back(name);
+  return names;
+}
+
+void Cluster::PublishMap(const std::string& bucket,
+                         std::shared_ptr<const ClusterMap> map) {
+  std::lock_guard<std::mutex> lock(mu_);
+  maps_[bucket] = std::move(map);
+}
+
+void Cluster::ApplyMap(const std::string& bucket,
+                       std::shared_ptr<const ClusterMap> map) {
+  // 1. vBucket states on every node.
+  for (NodeId id : node_ids()) {
+    Node* n = node(id);
+    if (n == nullptr || !n->HasService(kDataService)) continue;
+    Bucket* b = n->bucket(bucket);
+    if (b == nullptr) continue;
+    for (uint16_t vb = 0; vb < kNumVBuckets; ++vb) {
+      const VBucketEntry& e = map->entries[vb];
+      VBucketState want;
+      if (e.active == id) {
+        want = VBucketState::kActive;
+      } else if (std::find(e.replicas.begin(), e.replicas.end(), id) !=
+                 e.replicas.end()) {
+        want = VBucketState::kReplica;
+      } else {
+        want = VBucketState::kDead;
+      }
+      if (b->vbucket(vb)->state() != want) {
+        Status st = b->SetVBucketState(vb, want);
+        if (!st.ok()) {
+          LOG_ERROR << "SetVBucketState failed: " << st.ToString();
+        }
+      }
+    }
+  }
+  // 2. Replication streams.
+  SetupReplication(bucket, *map);
+}
+
+void Cluster::SetupReplication(const std::string& bucket,
+                               const ClusterMap& map) {
+  // Tear down all existing replication streams for this bucket, then
+  // re-create them according to the map. Streams resume from the replica's
+  // current high seqno, so no data is re-sent unnecessarily (and fresh
+  // replicas backfill from storage through DCP).
+  std::vector<NodeId> ids = node_ids();
+  for (NodeId src : ids) {
+    Node* n = node(src);
+    Bucket* b = n ? n->bucket(bucket) : nullptr;
+    if (b == nullptr) continue;
+    for (NodeId dst : ids) {
+      b->producer()->RemoveStreamsNamed(ReplStreamName(dst));
+    }
+  }
+  for (uint16_t vb = 0; vb < kNumVBuckets; ++vb) {
+    const VBucketEntry& e = map.entries[vb];
+    Node* src_node = node(e.active);
+    if (src_node == nullptr || !src_node->healthy()) continue;
+    Bucket* src_bucket = src_node->bucket(bucket);
+    if (src_bucket == nullptr) continue;
+    for (NodeId r : e.replicas) {
+      Node* dst_node = node(r);
+      if (dst_node == nullptr || !dst_node->healthy()) continue;
+      Bucket* dst_bucket = dst_node->bucket(bucket);
+      if (dst_bucket == nullptr) continue;
+      VBucket* dst_vb = dst_bucket->vbucket(vb);
+      uint64_t from = dst_vb->high_seqno();
+      auto stream_or = src_bucket->producer()->AddStream(
+          ReplStreamName(r), vb, from, [dst_vb](const kv::Mutation& m) {
+            dst_vb->ApplyReplicated(m.doc);
+          });
+      if (!stream_or.ok()) {
+        LOG_ERROR << "replication stream failed: "
+                  << stream_or.status().ToString();
+      }
+    }
+    src_node->dispatcher()->Notify();
+  }
+}
+
+void Cluster::NotifyServices(const std::string& bucket) {
+  std::vector<std::shared_ptr<ClusterService>> services;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [name, s] : services_) services.push_back(s);
+  }
+  for (auto& s : services) s->OnTopologyChange(bucket);
+}
+
+Status Cluster::MoveVBucket(const std::string& bucket, uint16_t vb,
+                            NodeId from, NodeId to) {
+  Node* src_node = node(from);
+  Node* dst_node = node(to);
+  if (src_node == nullptr || dst_node == nullptr) {
+    return Status::InvalidArgument("bad nodes for move");
+  }
+  Bucket* src = src_node->bucket(bucket);
+  Bucket* dst = dst_node->bucket(bucket);
+  if (src == nullptr || dst == nullptr) {
+    return Status::InvalidArgument("bucket missing on nodes");
+  }
+  COUCHKV_RETURN_IF_ERROR(dst->SetVBucketState(vb, VBucketState::kPending));
+  VBucket* dst_vb = dst->vbucket(vb);
+  VBucket* src_vb = src->vbucket(vb);
+
+  // Stream the partition's data through DCP: backfill from storage plus the
+  // in-memory tail (paper §4.3.1: "the cluster moves the data directly
+  // between two server nodes").
+  auto stream_or = src->producer()->AddStream(
+      kMoverStream, vb, dst_vb->high_seqno(),
+      [dst_vb](const kv::Mutation& m) { dst_vb->ApplyReplicated(m.doc); });
+  if (!stream_or.ok()) return stream_or.status();
+  uint64_t stream_id = stream_or.value();
+
+  // Catch-up phase: pump until the destination has seen everything.
+  while (dst_vb->high_seqno() < src_vb->high_seqno()) {
+    src->producer()->PumpOnce();
+  }
+
+  // Atomic switchover: block writers on the source, drain the last deltas,
+  // then flip states. After this the source answers NotMyVBucket and smart
+  // clients refresh their map.
+  src_vb->WithOpLock([&] {
+    while (dst_vb->high_seqno() < src_vb->high_seqno()) {
+      src->producer()->PumpOnce();
+    }
+    src_vb->set_state(VBucketState::kDead);
+    dst_vb->set_state(VBucketState::kActive);
+  });
+  src->producer()->RemoveStream(stream_id);
+  ++total_moves_;
+  return Status::OK();
+}
+
+Status Cluster::Rebalance() {
+  std::vector<NodeId> data_nodes = healthy_data_nodes();
+  if (data_nodes.empty()) return Status::Unsupported("no data nodes");
+
+  for (const std::string& bucket : bucket_names()) {
+    BucketConfig config;
+    std::shared_ptr<const ClusterMap> old_map;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      config = bucket_configs_[bucket];
+      old_map = maps_[bucket];
+    }
+    // Ensure the bucket exists on any newly added node.
+    for (NodeId id : data_nodes) {
+      Node* n = node(id);
+      if (n->bucket(bucket) == nullptr) {
+        COUCHKV_RETURN_IF_ERROR(n->CreateBucket(config));
+      }
+    }
+    // Minimal-move target: only the excess of over-quota nodes (and the
+    // partitions of departed nodes) change owner.
+    ClusterMap target = BuildMinimalMoveMap(*old_map, data_nodes,
+                                            config.num_replicas,
+                                            old_map->version + 1);
+
+    // Move actives that change owner, publishing an updated map after each
+    // partition so clients can re-route immediately.
+    ClusterMap working = *old_map;
+    for (uint16_t vb = 0; vb < kNumVBuckets; ++vb) {
+      NodeId cur = working.entries[vb].active;
+      NodeId want = target.entries[vb].active;
+      if (cur == want) continue;
+      COUCHKV_RETURN_IF_ERROR(MoveVBucket(bucket, vb, cur, want));
+      working.entries[vb].active = want;
+      working.version += 1;
+      PublishMap(bucket, std::make_shared<ClusterMap>(working));
+    }
+
+    // Apply the final map (replica placement + streams) and publish it.
+    target.version = working.version + 1;
+    auto final_map = std::make_shared<ClusterMap>(target);
+    ApplyMap(bucket, final_map);
+    PublishMap(bucket, final_map);
+    NotifyServices(bucket);
+  }
+  return Status::OK();
+}
+
+Status Cluster::Failover(NodeId id) {
+  Node* failed = node(id);
+  if (failed == nullptr) return Status::NotFound("no such node");
+  failed->set_healthy(false);
+
+  for (const std::string& bucket : bucket_names()) {
+    std::shared_ptr<const ClusterMap> old_map = map(bucket);
+    if (!old_map) continue;
+    ClusterMap next = *old_map;
+    next.version += 1;
+    for (uint16_t vb = 0; vb < kNumVBuckets; ++vb) {
+      VBucketEntry& e = next.entries[vb];
+      // Remove the failed node from replica chains.
+      std::erase(e.replicas, id);
+      if (e.active != id) continue;
+      // Promote the first healthy replica (paper §4.3.1: "It promotes to
+      // active status replica partitions associated with the server that
+      // went down").
+      NodeId promoted = kNoNode;
+      for (NodeId r : e.replicas) {
+        Node* rn = node(r);
+        if (rn != nullptr && rn->healthy()) {
+          promoted = r;
+          break;
+        }
+      }
+      if (promoted == kNoNode) {
+        LOG_ERROR << "vb " << vb << " lost: no replica to promote";
+        e.active = kNoNode;
+        continue;
+      }
+      std::erase(e.replicas, promoted);
+      e.active = promoted;
+    }
+    auto next_ptr = std::make_shared<ClusterMap>(next);
+    ApplyMap(bucket, next_ptr);
+    PublishMap(bucket, next_ptr);
+    NotifyServices(bucket);
+  }
+  return Status::OK();
+}
+
+Status Cluster::WaitForDurability(const std::string& bucket, uint16_t vb,
+                                  uint64_t seqno, const Durability& dur) {
+  if (dur.replicate_to == 0 && dur.persist_to == 0) return Status::OK();
+  std::shared_ptr<const ClusterMap> m = map(bucket);
+  if (!m) return Status::NotFound("no such bucket");
+  const VBucketEntry& e = m->entries[vb];
+
+  uint64_t deadline =
+      opts_.clock->NowMillis() + dur.timeout_ms;
+  // The active node's flusher is woken once to shorten the persistence wait.
+  if (dur.persist_to > 0) {
+    Node* an = node(e.active);
+    if (an != nullptr) {
+      Bucket* b = an->bucket(bucket);
+      if (b != nullptr) {
+        (void)b->WaitForPersistence(vb, seqno, dur.timeout_ms);
+      }
+    }
+  }
+  for (;;) {
+    uint32_t replicated = 0;
+    uint32_t persisted = 0;
+    Node* an = node(e.active);
+    if (an != nullptr) {
+      Bucket* b = an->bucket(bucket);
+      if (b != nullptr && b->vbucket(vb)->persisted_seqno() >= seqno) {
+        ++persisted;  // active's persistence counts toward persist_to
+      }
+      an->dispatcher()->Notify();
+    }
+    for (NodeId r : e.replicas) {
+      Node* rn = node(r);
+      if (rn == nullptr || !rn->healthy()) continue;
+      Bucket* rb = rn->bucket(bucket);
+      if (rb == nullptr) continue;
+      VBucket* rvb = rb->vbucket(vb);
+      if (rvb->high_seqno() >= seqno) ++replicated;
+      if (rvb->persisted_seqno() >= seqno) ++persisted;
+    }
+    if (replicated >= dur.replicate_to && persisted >= dur.persist_to) {
+      return Status::OK();
+    }
+    if (opts_.clock->NowMillis() > deadline) {
+      return Status::Timeout("durability requirement not met");
+    }
+    std::this_thread::yield();
+  }
+}
+
+void Cluster::RegisterService(const std::string& name,
+                              std::shared_ptr<ClusterService> service) {
+  std::lock_guard<std::mutex> lock(mu_);
+  services_[name] = std::move(service);
+}
+
+ClusterService* Cluster::FindService(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = services_.find(name);
+  return it == services_.end() ? nullptr : it->second.get();
+}
+
+void Cluster::Quiesce() {
+  // Alternate DCP drains and flushes until stable. Two rounds suffice:
+  // draining DCP can enqueue disk writes (replica applies), but flushing
+  // never creates new DCP traffic.
+  for (int round = 0; round < 3; ++round) {
+    for (NodeId id : node_ids()) {
+      Node* n = node(id);
+      if (n != nullptr) n->dispatcher()->Quiesce();
+    }
+    for (NodeId id : node_ids()) {
+      Node* n = node(id);
+      if (n == nullptr) continue;
+      for (const std::string& bucket : bucket_names()) {
+        Bucket* b = n->bucket(bucket);
+        if (b != nullptr) b->FlushAll();
+      }
+    }
+  }
+}
+
+}  // namespace couchkv::cluster

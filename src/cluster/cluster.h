@@ -1,0 +1,118 @@
+// The Couchbase cluster: node membership, per-bucket cluster maps,
+// orchestrator election, intra-cluster replication wiring, rebalance with
+// per-vBucket atomic switchover, and failover (paper §4.1, §4.3.1).
+//
+// Everything here is the logic of ns_server (the Erlang cluster manager)
+// re-implemented in C++ over in-process nodes.
+#ifndef COUCHKV_CLUSTER_CLUSTER_H_
+#define COUCHKV_CLUSTER_CLUSTER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/node.h"
+#include "cluster/types.h"
+#include "cluster/vbucket_map.h"
+#include "common/clock.h"
+#include "common/status.h"
+
+namespace couchkv::cluster {
+
+// Higher-level services (views, GSI, XDCR) register with the cluster so
+// they can re-attach their DCP streams when the topology changes.
+class ClusterService {
+ public:
+  virtual ~ClusterService() = default;
+  virtual void OnTopologyChange(const std::string& bucket) = 0;
+};
+
+struct ClusterOptions {
+  Clock* clock = Clock::Real();
+  // When true, nodes write through PosixEnv into `data_dir`; otherwise each
+  // node gets a private in-memory filesystem.
+  bool use_posix = false;
+  std::string data_dir = "/tmp/couchkv";
+  // Simulated fsync latency for in-memory node disks (0 = free). Stands in
+  // for real disk sync cost when benchmarking durability/persistence.
+  uint64_t simulated_fsync_us = 0;
+};
+
+class Cluster {
+ public:
+  explicit Cluster(ClusterOptions opts = {});
+  ~Cluster();
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  // --- Membership ---
+  NodeId AddNode(uint32_t services = kAllServices);
+  Node* node(NodeId id);
+  std::vector<NodeId> node_ids() const;
+  std::vector<NodeId> healthy_data_nodes() const;
+
+  // The elected orchestrator: lowest-id healthy node (paper §4.3.1 — on
+  // orchestrator crash "they will elect a new orchestrator immediately").
+  NodeId orchestrator() const;
+
+  // --- Buckets ---
+  // Creates the bucket on every data-service node and wires replication.
+  Status CreateBucket(const BucketConfig& config);
+  std::shared_ptr<const ClusterMap> map(const std::string& bucket) const;
+  std::vector<std::string> bucket_names() const;
+
+  // --- Topology operations (run by the orchestrator) ---
+  // Recomputes a balanced map over the current healthy data nodes and moves
+  // vBuckets, with an atomic per-partition switchover.
+  Status Rebalance();
+
+  // Takes `id` out of service, promoting replica partitions to active.
+  Status Failover(NodeId id);
+
+  // --- Durability (paper §2.3.2) ---
+  // Blocks until `seqno` in (bucket, vb) satisfies `dur`, observing replica
+  // high-seqnos and persisted-seqnos across the cluster.
+  Status WaitForDurability(const std::string& bucket, uint16_t vb,
+                           uint64_t seqno, const Durability& dur);
+
+  // --- Service registry ---
+  void RegisterService(const std::string& name,
+                       std::shared_ptr<ClusterService> service);
+  ClusterService* FindService(const std::string& name) const;
+
+  // Drains all async machinery (DCP + flushers) — deterministic tests.
+  void Quiesce();
+
+  Clock* clock() const { return opts_.clock; }
+
+  // Total number of vBucket moves performed by Rebalance() calls.
+  uint64_t total_vbucket_moves() const { return total_moves_; }
+
+ private:
+  std::unique_ptr<storage::Env> MakeNodeEnv(NodeId id);
+  // Applies vBucket states + replication streams for `bucket` per `map`.
+  void ApplyMap(const std::string& bucket,
+                std::shared_ptr<const ClusterMap> map);
+  void SetupReplication(const std::string& bucket, const ClusterMap& map);
+  void PublishMap(const std::string& bucket,
+                  std::shared_ptr<const ClusterMap> map);
+  void NotifyServices(const std::string& bucket);
+  Status MoveVBucket(const std::string& bucket, uint16_t vb, NodeId from,
+                     NodeId to);
+
+  ClusterOptions opts_;
+
+  mutable std::mutex mu_;
+  std::map<NodeId, std::unique_ptr<Node>> nodes_;
+  NodeId next_node_id_ = 0;
+  std::map<std::string, BucketConfig> bucket_configs_;
+  std::map<std::string, std::shared_ptr<const ClusterMap>> maps_;
+  std::map<std::string, std::shared_ptr<ClusterService>> services_;
+  uint64_t total_moves_ = 0;
+};
+
+}  // namespace couchkv::cluster
+
+#endif  // COUCHKV_CLUSTER_CLUSTER_H_

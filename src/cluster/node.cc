@@ -1,0 +1,115 @@
+#include "cluster/node.h"
+
+namespace couchkv::cluster {
+
+Node::Node(NodeId id, uint32_t services, Clock* clock,
+           std::unique_ptr<storage::Env> env)
+    : id_(id),
+      services_(services),
+      clock_(clock),
+      env_(env ? std::move(env) : storage::Env::NewMemEnv()),
+      dispatcher_(std::make_unique<dcp::Dispatcher>()) {}
+
+Node::~Node() {
+  // Buckets must go before the dispatcher: their destructors unregister
+  // producers.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    buckets_.clear();
+  }
+  dispatcher_->Stop();
+}
+
+Status Node::CreateBucket(const BucketConfig& config) {
+  if (!HasService(kDataService)) {
+    return Status::Unsupported("node runs no data service");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (buckets_.count(config.name)) {
+    return Status::KeyExists("bucket exists: " + config.name);
+  }
+  buckets_[config.name] = std::make_unique<Bucket>(config, id_, env_.get(),
+                                                   clock_, dispatcher_.get());
+  return Status::OK();
+}
+
+Bucket* Node::bucket(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = buckets_.find(name);
+  return it == buckets_.end() ? nullptr : it->second.get();
+}
+
+StatusOr<VBucket*> Node::Route(const std::string& bucket, uint16_t vb) {
+  if (!healthy()) return Status::TempFail("node is down");
+  if (!HasService(kDataService)) {
+    return Status::Unsupported("no data service on node");
+  }
+  Bucket* b = this->bucket(bucket);
+  if (b == nullptr) return Status::NotFound("no such bucket: " + bucket);
+  if (vb >= kNumVBuckets) return Status::InvalidArgument("bad vbucket");
+  return b->vbucket(vb);
+}
+
+StatusOr<kv::GetResult> Node::Get(const std::string& bucket, uint16_t vb,
+                                  std::string_view key) {
+  auto v = Route(bucket, vb);
+  if (!v.ok()) return v.status();
+  return (*v)->Get(key);
+}
+
+StatusOr<kv::DocMeta> Node::Set(const std::string& bucket, uint16_t vb,
+                                std::string_view key, std::string_view value,
+                                uint32_t flags, uint32_t expiry,
+                                uint64_t cas) {
+  auto v = Route(bucket, vb);
+  if (!v.ok()) return v.status();
+  return (*v)->Set(key, value, flags, expiry, cas);
+}
+
+StatusOr<kv::DocMeta> Node::Add(const std::string& bucket, uint16_t vb,
+                                std::string_view key, std::string_view value,
+                                uint32_t flags, uint32_t expiry) {
+  auto v = Route(bucket, vb);
+  if (!v.ok()) return v.status();
+  return (*v)->Add(key, value, flags, expiry);
+}
+
+StatusOr<kv::DocMeta> Node::Replace(const std::string& bucket, uint16_t vb,
+                                    std::string_view key,
+                                    std::string_view value, uint32_t flags,
+                                    uint32_t expiry, uint64_t cas) {
+  auto v = Route(bucket, vb);
+  if (!v.ok()) return v.status();
+  return (*v)->Replace(key, value, flags, expiry, cas);
+}
+
+StatusOr<kv::DocMeta> Node::Remove(const std::string& bucket, uint16_t vb,
+                                   std::string_view key, uint64_t cas) {
+  auto v = Route(bucket, vb);
+  if (!v.ok()) return v.status();
+  return (*v)->Remove(key, cas);
+}
+
+StatusOr<kv::GetResult> Node::GetAndLock(const std::string& bucket,
+                                         uint16_t vb, std::string_view key,
+                                         uint64_t lock_ms) {
+  auto v = Route(bucket, vb);
+  if (!v.ok()) return v.status();
+  return (*v)->GetAndLock(key, lock_ms);
+}
+
+Status Node::Unlock(const std::string& bucket, uint16_t vb,
+                    std::string_view key, uint64_t cas) {
+  auto v = Route(bucket, vb);
+  if (!v.ok()) return v.status();
+  return (*v)->Unlock(key, cas);
+}
+
+StatusOr<kv::DocMeta> Node::Touch(const std::string& bucket, uint16_t vb,
+                                  std::string_view key, uint32_t expiry) {
+  auto v = Route(bucket, vb);
+  if (!v.ok()) return v.status();
+  return (*v)->Touch(key, expiry);
+}
+
+}  // namespace couchkv::cluster

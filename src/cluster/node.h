@@ -1,0 +1,87 @@
+// A Couchbase Server node: runs a configurable set of services
+// (multi-dimensional scaling, paper §4.4). Every node carries the cluster-
+// manager machinery; the data service adds buckets, a flusher, and a DCP
+// dispatcher. The index and query services are attached by the gsi / n1ql
+// modules through the service registry.
+#ifndef COUCHKV_CLUSTER_NODE_H_
+#define COUCHKV_CLUSTER_NODE_H_
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "cluster/bucket.h"
+#include "cluster/types.h"
+#include "common/clock.h"
+#include "common/status.h"
+#include "dcp/dcp.h"
+#include "storage/env.h"
+
+namespace couchkv::cluster {
+
+class Node {
+ public:
+  // `env` is this node's private "disk"; pass nullptr to give the node its
+  // own in-memory filesystem.
+  Node(NodeId id, uint32_t services, Clock* clock,
+       std::unique_ptr<storage::Env> env = nullptr);
+  ~Node();
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  NodeId id() const { return id_; }
+  uint32_t services() const { return services_; }
+  bool HasService(Service s) const { return (services_ & s) != 0; }
+
+  // Health: an unhealthy node simulates a crashed process — every request
+  // fails and its background machinery is ignored by the orchestrator.
+  bool healthy() const { return healthy_.load(std::memory_order_acquire); }
+  void set_healthy(bool h) { healthy_.store(h, std::memory_order_release); }
+
+  Status CreateBucket(const BucketConfig& config);
+  Bucket* bucket(const std::string& name);
+  dcp::Dispatcher* dispatcher() { return dispatcher_.get(); }
+  storage::Env* env() { return env_.get(); }
+  Clock* clock() { return clock_; }
+
+  // --- Data service (KV API) entry points; the smart client calls these ---
+  StatusOr<kv::GetResult> Get(const std::string& bucket, uint16_t vb,
+                              std::string_view key);
+  StatusOr<kv::DocMeta> Set(const std::string& bucket, uint16_t vb,
+                            std::string_view key, std::string_view value,
+                            uint32_t flags, uint32_t expiry, uint64_t cas);
+  StatusOr<kv::DocMeta> Add(const std::string& bucket, uint16_t vb,
+                            std::string_view key, std::string_view value,
+                            uint32_t flags, uint32_t expiry);
+  StatusOr<kv::DocMeta> Replace(const std::string& bucket, uint16_t vb,
+                                std::string_view key, std::string_view value,
+                                uint32_t flags, uint32_t expiry, uint64_t cas);
+  StatusOr<kv::DocMeta> Remove(const std::string& bucket, uint16_t vb,
+                               std::string_view key, uint64_t cas);
+  StatusOr<kv::GetResult> GetAndLock(const std::string& bucket, uint16_t vb,
+                                     std::string_view key, uint64_t lock_ms);
+  Status Unlock(const std::string& bucket, uint16_t vb, std::string_view key,
+                uint64_t cas);
+  StatusOr<kv::DocMeta> Touch(const std::string& bucket, uint16_t vb,
+                              std::string_view key, uint32_t expiry);
+
+ private:
+  // Common pre-checks; returns the VBucket or an error.
+  StatusOr<VBucket*> Route(const std::string& bucket, uint16_t vb);
+
+  const NodeId id_;
+  const uint32_t services_;
+  Clock* clock_;
+  std::unique_ptr<storage::Env> env_;
+  std::unique_ptr<dcp::Dispatcher> dispatcher_;
+  std::atomic<bool> healthy_{true};
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Bucket>> buckets_;
+};
+
+}  // namespace couchkv::cluster
+
+#endif  // COUCHKV_CLUSTER_NODE_H_

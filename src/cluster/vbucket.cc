@@ -1,0 +1,129 @@
+#include "cluster/vbucket.h"
+
+namespace couchkv::cluster {
+
+Status VBucket::CheckActive() const {
+  if (state_ != VBucketState::kActive) {
+    return Status::NotMyVBucket("vbucket " + std::to_string(id_) + " is " +
+                                VBucketStateName(state_));
+  }
+  return Status::OK();
+}
+
+kv::Document VBucket::MakeDoc(std::string_view key, std::string_view value,
+                              const kv::DocMeta& meta) const {
+  kv::Document doc;
+  doc.key = std::string(key);
+  doc.meta = meta;
+  if (!meta.deleted) doc.value = std::string(value);
+  return doc;
+}
+
+StatusOr<kv::GetResult> VBucket::Get(std::string_view key) {
+  std::lock_guard<std::mutex> lock(op_mu_);
+  COUCHKV_RETURN_IF_ERROR(CheckActive());
+  auto r = ht_.Get(key);
+  if (!r.ok()) return r;
+  if (!r->resident) {
+    // Read-through: the value was evicted; fetch it from the append-only
+    // store and restore it into the cache (paper §4.3.3).
+    if (file_ == nullptr) return Status::Internal("non-resident, no storage");
+    auto doc_or = file_->Get(key);
+    if (!doc_or.ok()) return doc_or.status();
+    ht_.Restore(doc_or.value());
+    return ht_.Get(key);
+  }
+  return r;
+}
+
+StatusOr<kv::DocMeta> VBucket::Set(std::string_view key,
+                                   std::string_view value, uint32_t flags,
+                                   uint32_t expiry, uint64_t cas) {
+  std::lock_guard<std::mutex> lock(op_mu_);
+  COUCHKV_RETURN_IF_ERROR(CheckActive());
+  auto meta = ht_.Set(key, value, flags, expiry, cas);
+  if (meta.ok()) Emit(MakeDoc(key, value, meta.value()));
+  return meta;
+}
+
+StatusOr<kv::DocMeta> VBucket::Add(std::string_view key,
+                                   std::string_view value, uint32_t flags,
+                                   uint32_t expiry) {
+  std::lock_guard<std::mutex> lock(op_mu_);
+  COUCHKV_RETURN_IF_ERROR(CheckActive());
+  auto meta = ht_.Add(key, value, flags, expiry);
+  if (meta.ok()) Emit(MakeDoc(key, value, meta.value()));
+  return meta;
+}
+
+StatusOr<kv::DocMeta> VBucket::Replace(std::string_view key,
+                                       std::string_view value, uint32_t flags,
+                                       uint32_t expiry, uint64_t cas) {
+  std::lock_guard<std::mutex> lock(op_mu_);
+  COUCHKV_RETURN_IF_ERROR(CheckActive());
+  auto meta = ht_.Replace(key, value, flags, expiry, cas);
+  if (meta.ok()) Emit(MakeDoc(key, value, meta.value()));
+  return meta;
+}
+
+StatusOr<kv::DocMeta> VBucket::Remove(std::string_view key, uint64_t cas) {
+  std::lock_guard<std::mutex> lock(op_mu_);
+  COUCHKV_RETURN_IF_ERROR(CheckActive());
+  auto meta = ht_.Remove(key, cas);
+  if (meta.ok()) Emit(MakeDoc(key, {}, meta.value()));
+  return meta;
+}
+
+StatusOr<kv::GetResult> VBucket::GetAndLock(std::string_view key,
+                                            uint64_t lock_ms) {
+  std::lock_guard<std::mutex> lock(op_mu_);
+  COUCHKV_RETURN_IF_ERROR(CheckActive());
+  auto r = ht_.GetAndLock(key, lock_ms);
+  if (!r.ok()) return r;
+  if (!r->resident && file_ != nullptr) {
+    auto doc_or = file_->Get(key);
+    if (doc_or.ok()) {
+      ht_.Restore(doc_or.value());
+      r->doc.value = doc_or.value().value;
+      r->resident = true;
+    }
+  }
+  return r;
+}
+
+Status VBucket::Unlock(std::string_view key, uint64_t cas) {
+  std::lock_guard<std::mutex> lock(op_mu_);
+  COUCHKV_RETURN_IF_ERROR(CheckActive());
+  return ht_.Unlock(key, cas);
+}
+
+StatusOr<kv::DocMeta> VBucket::Touch(std::string_view key, uint32_t expiry) {
+  std::lock_guard<std::mutex> lock(op_mu_);
+  COUCHKV_RETURN_IF_ERROR(CheckActive());
+  auto meta = ht_.Touch(key, expiry);
+  if (meta.ok()) {
+    // Touch changes metadata only; emit so indexes/replicas see new expiry.
+    auto cur = ht_.Get(key);
+    if (cur.ok()) Emit(cur->doc);
+  }
+  return meta;
+}
+
+Status VBucket::ApplyXdcr(const kv::Document& doc) {
+  std::lock_guard<std::mutex> lock(op_mu_);
+  COUCHKV_RETURN_IF_ERROR(CheckActive());
+  auto meta = ht_.SetWithMeta(doc);
+  if (!meta.ok()) return meta.status();
+  kv::Document applied = doc;
+  applied.meta = meta.value();
+  Emit(applied);
+  return Status::OK();
+}
+
+void VBucket::ApplyReplicated(const kv::Document& doc) {
+  std::lock_guard<std::mutex> lock(op_mu_);
+  ht_.ApplyRemote(doc);
+  Emit(doc);
+}
+
+}  // namespace couchkv::cluster

@@ -1,0 +1,106 @@
+// A vBucket: one of the 1024 logical partitions of a bucket, as hosted on a
+// particular node. Combines the object-managed cache (HashTable) with the
+// append-only store (CouchFile) and funnels every mutation into the bucket's
+// DCP producer and disk-write queue via the mutation sink.
+//
+// Front-end operations are serialized per vBucket (op mutex); this is what
+// guarantees DCP sees seqnos in order.
+#ifndef COUCHKV_CLUSTER_VBUCKET_H_
+#define COUCHKV_CLUSTER_VBUCKET_H_
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <mutex>
+
+#include "cluster/types.h"
+#include "common/clock.h"
+#include "common/status.h"
+#include "kv/hash_table.h"
+#include "storage/couch_file.h"
+
+namespace couchkv::cluster {
+
+class VBucket {
+ public:
+  // Invoked (under the op lock) for every locally-originated or replicated
+  // mutation; the Bucket wires this to DCP + the disk write queue.
+  using MutationSink = std::function<void(const kv::Document&)>;
+
+  VBucket(uint16_t id, VBucketState state, Clock* clock,
+          kv::EvictionPolicy eviction)
+      : id_(id), state_(state), ht_(clock, eviction) {}
+
+  uint16_t id() const { return id_; }
+
+  VBucketState state() const { return state_.load(std::memory_order_acquire); }
+  // May be called inside WithOpLock (the rebalance switchover does this).
+  void set_state(VBucketState s) {
+    state_.store(s, std::memory_order_release);
+  }
+
+  void set_sink(MutationSink sink) { sink_ = std::move(sink); }
+  void set_file(std::shared_ptr<storage::CouchFile> file) {
+    file_ = std::move(file);
+  }
+  storage::CouchFile* file() const { return file_.get(); }
+  kv::HashTable& hash_table() { return ht_; }
+  const kv::HashTable& hash_table() const { return ht_; }
+
+  // --- Front-end (active-state) operations ---
+  // All return NotMyVBucket unless the vBucket is active.
+
+  StatusOr<kv::GetResult> Get(std::string_view key);
+  StatusOr<kv::DocMeta> Set(std::string_view key, std::string_view value,
+                            uint32_t flags, uint32_t expiry, uint64_t cas);
+  StatusOr<kv::DocMeta> Add(std::string_view key, std::string_view value,
+                            uint32_t flags, uint32_t expiry);
+  StatusOr<kv::DocMeta> Replace(std::string_view key, std::string_view value,
+                                uint32_t flags, uint32_t expiry, uint64_t cas);
+  StatusOr<kv::DocMeta> Remove(std::string_view key, uint64_t cas);
+  StatusOr<kv::GetResult> GetAndLock(std::string_view key, uint64_t lock_ms);
+  Status Unlock(std::string_view key, uint64_t cas);
+  StatusOr<kv::DocMeta> Touch(std::string_view key, uint32_t expiry);
+
+  // --- Replication-state operations ---
+
+  // Applies a mutation received over DCP (replica / rebalance apply path).
+  // Feeds the sink so the mutation persists and re-streams.
+  void ApplyReplicated(const kv::Document& doc);
+
+  // Applies a document arriving over XDCR, running conflict resolution
+  // (paper §4.6.1). Returns KeyExists if the local version wins. Allowed in
+  // active state only.
+  Status ApplyXdcr(const kv::Document& doc);
+
+  // --- Common ---
+  uint64_t high_seqno() const { return ht_.high_seqno(); }
+  uint64_t persisted_seqno() const { return ht_.persisted_seqno(); }
+
+  // Runs `fn` with the op lock held — used for the atomic rebalance
+  // switchover (paper §4.3.1).
+  void WithOpLock(const std::function<void()>& fn) {
+    std::lock_guard<std::mutex> lock(op_mu_);
+    fn();
+  }
+
+ private:
+  Status CheckActive() const;  // caller must hold op_mu_
+  void Emit(const kv::Document& doc) {
+    if (sink_) sink_(doc);
+  }
+  // Builds the Document for a just-applied mutation so it can be emitted.
+  kv::Document MakeDoc(std::string_view key, std::string_view value,
+                       const kv::DocMeta& meta) const;
+
+  const uint16_t id_;
+  mutable std::mutex op_mu_;
+  std::atomic<VBucketState> state_;
+  kv::HashTable ht_;
+  std::shared_ptr<storage::CouchFile> file_;
+  MutationSink sink_;
+};
+
+}  // namespace couchkv::cluster
+
+#endif  // COUCHKV_CLUSTER_VBUCKET_H_

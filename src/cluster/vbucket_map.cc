@@ -1,0 +1,99 @@
+#include "cluster/vbucket_map.h"
+
+#include <algorithm>
+#include <map>
+
+namespace couchkv::cluster {
+
+const char* VBucketStateName(VBucketState s) {
+  switch (s) {
+    case VBucketState::kActive: return "active";
+    case VBucketState::kReplica: return "replica";
+    case VBucketState::kPending: return "pending";
+    case VBucketState::kDead: return "dead";
+  }
+  return "?";
+}
+
+size_t ClusterMap::CountActive(NodeId node) const {
+  size_t n = 0;
+  for (const auto& e : entries) {
+    if (e.active == node) ++n;
+  }
+  return n;
+}
+
+ClusterMap BuildBalancedMap(const std::vector<NodeId>& nodes,
+                            uint32_t num_replicas, uint64_t version) {
+  ClusterMap map;
+  map.version = version;
+  if (nodes.empty()) return map;
+  // Replica chains cannot be longer than the node count allows.
+  uint32_t replicas =
+      std::min<uint32_t>(num_replicas, static_cast<uint32_t>(nodes.size()) - 1);
+  for (uint16_t vb = 0; vb < kNumVBuckets; ++vb) {
+    VBucketEntry& e = map.entries[vb];
+    size_t base = vb % nodes.size();
+    e.active = nodes[base];
+    e.replicas.clear();
+    for (uint32_t r = 1; r <= replicas; ++r) {
+      e.replicas.push_back(nodes[(base + r) % nodes.size()]);
+    }
+  }
+  return map;
+}
+
+ClusterMap BuildMinimalMoveMap(const ClusterMap& old_map,
+                               const std::vector<NodeId>& nodes,
+                               uint32_t num_replicas, uint64_t version) {
+  ClusterMap map;
+  map.version = version;
+  if (nodes.empty()) return map;
+  const size_t n = nodes.size();
+  // Fair share per node: base everywhere, +1 for the first `extra` nodes.
+  const size_t base = kNumVBuckets / n;
+  const size_t extra = kNumVBuckets % n;
+  std::map<NodeId, size_t> quota;
+  std::map<NodeId, size_t> count;
+  std::map<NodeId, size_t> node_index;
+  for (size_t i = 0; i < n; ++i) {
+    quota[nodes[i]] = base + (i < extra ? 1 : 0);
+    count[nodes[i]] = 0;
+    node_index[nodes[i]] = i;
+  }
+  // Pass 1: keep every active that may stay (owner still present and under
+  // its fair share).
+  std::vector<uint16_t> unplaced;
+  for (uint16_t vb = 0; vb < kNumVBuckets; ++vb) {
+    NodeId cur = old_map.entries[vb].active;
+    auto it = quota.find(cur);
+    if (it != quota.end() && count[cur] < it->second) {
+      map.entries[vb].active = cur;
+      ++count[cur];
+    } else {
+      unplaced.push_back(vb);
+    }
+  }
+  // Pass 2: place the remainder on nodes below their share.
+  size_t cursor = 0;
+  for (uint16_t vb : unplaced) {
+    while (count[nodes[cursor]] >= quota[nodes[cursor]]) {
+      cursor = (cursor + 1) % n;
+    }
+    map.entries[vb].active = nodes[cursor];
+    ++count[nodes[cursor]];
+  }
+  // Replica chains: round-robin after the active's position.
+  uint32_t replicas =
+      std::min<uint32_t>(num_replicas, static_cast<uint32_t>(n) - 1);
+  for (uint16_t vb = 0; vb < kNumVBuckets; ++vb) {
+    VBucketEntry& e = map.entries[vb];
+    size_t start = node_index[e.active];
+    for (uint32_t r = 1; r <= replicas; ++r) {
+      e.replicas.push_back(nodes[(start + r) % n]);
+    }
+  }
+  return map;
+}
+
+}  // namespace couchkv::cluster

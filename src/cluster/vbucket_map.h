@@ -1,0 +1,62 @@
+// The cluster map (paper §4.1): which node hosts the active copy and which
+// host replicas of each of the 1024 vBuckets, plus the version counter smart
+// clients use to detect staleness.
+#ifndef COUCHKV_CLUSTER_VBUCKET_MAP_H_
+#define COUCHKV_CLUSTER_VBUCKET_MAP_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/crc32.h"
+#include "cluster/types.h"
+
+namespace couchkv::cluster {
+
+// Hashes a document key to its vBucket, exactly as Figure 5: CRC32 of the
+// key modulo the partition count.
+inline uint16_t KeyToVBucket(std::string_view key,
+                             uint16_t num_vbuckets = kNumVBuckets) {
+  return static_cast<uint16_t>(Crc32(key) % num_vbuckets);
+}
+
+// Assignment of one vBucket: the active node plus ordered replica nodes.
+struct VBucketEntry {
+  NodeId active = kNoNode;
+  std::vector<NodeId> replicas;
+};
+
+// A versioned snapshot of the whole mapping. Immutable once published;
+// smart clients cache it and refresh on NotMyVBucket (paper §4.1).
+struct ClusterMap {
+  uint64_t version = 0;
+  std::vector<VBucketEntry> entries;  // size kNumVBuckets
+
+  ClusterMap() : entries(kNumVBuckets) {}
+
+  NodeId ActiveFor(uint16_t vb) const { return entries[vb].active; }
+  const std::vector<NodeId>& ReplicasFor(uint16_t vb) const {
+    return entries[vb].replicas;
+  }
+
+  // Number of active vBuckets assigned to `node`.
+  size_t CountActive(NodeId node) const;
+};
+
+// Computes a balanced assignment of vBuckets over `nodes` with
+// `num_replicas` replicas each (replica i of vb goes to a node different
+// from the active and from lower replicas). Deterministic.
+ClusterMap BuildBalancedMap(const std::vector<NodeId>& nodes,
+                            uint32_t num_replicas, uint64_t version);
+
+// Computes a balanced target that moves as few active vBuckets as possible
+// from `old_map` (what rebalance actually wants): nodes keep their current
+// partitions up to their fair share; only the excess and the partitions of
+// departed nodes are reassigned. Replicas are re-derived round-robin.
+ClusterMap BuildMinimalMoveMap(const ClusterMap& old_map,
+                               const std::vector<NodeId>& nodes,
+                               uint32_t num_replicas, uint64_t version);
+
+}  // namespace couchkv::cluster
+
+#endif  // COUCHKV_CLUSTER_VBUCKET_MAP_H_

@@ -1,0 +1,23 @@
+#include "common/clock.h"
+
+namespace couchkv {
+namespace {
+
+class SteadyClock : public Clock {
+ public:
+  uint64_t NowNanos() const override {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+};
+
+}  // namespace
+
+Clock* Clock::Real() {
+  static SteadyClock* clock = new SteadyClock();
+  return clock;
+}
+
+}  // namespace couchkv

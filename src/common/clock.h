@@ -1,0 +1,42 @@
+// Clock abstraction: production code uses the steady clock; tests inject a
+// ManualClock so TTL expiry and lock timeouts are deterministic.
+#ifndef COUCHKV_COMMON_CLOCK_H_
+#define COUCHKV_COMMON_CLOCK_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace couchkv {
+
+// Monotonic time source, nanosecond resolution.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual uint64_t NowNanos() const = 0;
+
+  uint64_t NowMillis() const { return NowNanos() / 1000000ULL; }
+  uint64_t NowSeconds() const { return NowNanos() / 1000000000ULL; }
+
+  // Process-wide default (steady_clock based).
+  static Clock* Real();
+};
+
+// A clock tests can advance by hand.
+class ManualClock : public Clock {
+ public:
+  explicit ManualClock(uint64_t start_nanos = 0) : now_(start_nanos) {}
+  uint64_t NowNanos() const override {
+    return now_.load(std::memory_order_relaxed);
+  }
+  void AdvanceNanos(uint64_t delta) { now_.fetch_add(delta); }
+  void AdvanceSeconds(uint64_t s) { AdvanceNanos(s * 1000000000ULL); }
+  void AdvanceMillis(uint64_t ms) { AdvanceNanos(ms * 1000000ULL); }
+
+ private:
+  std::atomic<uint64_t> now_;
+};
+
+}  // namespace couchkv
+
+#endif  // COUCHKV_COMMON_CLOCK_H_

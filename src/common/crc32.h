@@ -1,0 +1,22 @@
+// CRC32 (Castagnoli polynomial) used for key → vBucket mapping, exactly the
+// role CRC32 plays in the paper's Figure 5, and for storage-engine record
+// checksums.
+#ifndef COUCHKV_COMMON_CRC32_H_
+#define COUCHKV_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace couchkv {
+
+// Computes CRC32C over `data`. `seed` allows incremental computation.
+uint32_t Crc32(const void* data, size_t n, uint32_t seed = 0);
+
+inline uint32_t Crc32(std::string_view s, uint32_t seed = 0) {
+  return Crc32(s.data(), s.size(), seed);
+}
+
+}  // namespace couchkv
+
+#endif  // COUCHKV_COMMON_CRC32_H_

@@ -1,0 +1,96 @@
+#include "common/histogram.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/clock.h"
+
+namespace couchkv {
+
+namespace {
+// 16 sub-buckets per power of two: bucket = 16*log2(v) + sub.
+constexpr int kSubBucketBits = 4;
+constexpr int kSubBuckets = 1 << kSubBucketBits;
+}  // namespace
+
+int Histogram::BucketFor(uint64_t nanos) {
+  if (nanos < kSubBuckets) return static_cast<int>(nanos);
+  int log2 = 63 - __builtin_clzll(nanos);
+  int sub = static_cast<int>((nanos >> (log2 - kSubBucketBits)) - kSubBuckets);
+  int idx = ((log2 - kSubBucketBits + 1) << kSubBucketBits) + sub;
+  return idx < kNumBuckets ? idx : kNumBuckets - 1;
+}
+
+uint64_t Histogram::BucketLow(int idx) {
+  if (idx < kSubBuckets) return static_cast<uint64_t>(idx);
+  int log2 = (idx >> kSubBucketBits) + kSubBucketBits - 1;
+  int sub = idx & (kSubBuckets - 1);
+  return (1ULL << log2) +
+         (static_cast<uint64_t>(sub) << (log2 - kSubBucketBits));
+}
+
+void Histogram::Record(uint64_t nanos) {
+  buckets_[BucketFor(nanos)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(nanos, std::memory_order_relaxed);
+}
+
+void Histogram::Merge(const Histogram& other) {
+  for (int i = 0; i < kNumBuckets; ++i) {
+    buckets_[i].fetch_add(other.buckets_[i].load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);
+  }
+  count_.fetch_add(other.count(), std::memory_order_relaxed);
+  sum_.fetch_add(other.sum(), std::memory_order_relaxed);
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0);
+  sum_.store(0);
+}
+
+double Histogram::Mean() const {
+  uint64_t c = count();
+  return c ? static_cast<double>(sum()) / static_cast<double>(c) : 0.0;
+}
+
+uint64_t Histogram::Percentile(double q) const {
+  uint64_t c = count();
+  if (c == 0) return 0;
+  auto target = static_cast<uint64_t>(q * static_cast<double>(c));
+  if (target >= c) target = c - 1;
+  uint64_t seen = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    uint64_t n = buckets_[i].load(std::memory_order_relaxed);
+    if (seen + n > target) {
+      uint64_t low = BucketLow(i);
+      uint64_t high = (i + 1 < kNumBuckets) ? BucketLow(i + 1) : low * 2;
+      if (n == 0) return low;
+      double frac =
+          static_cast<double>(target - seen) / static_cast<double>(n);
+      return low + static_cast<uint64_t>(
+                       frac * static_cast<double>(high - low));
+    }
+    seen += n;
+  }
+  return BucketLow(kNumBuckets - 1);
+}
+
+std::string Histogram::Summary() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "count=%llu mean=%.1fus p50=%.1fus p95=%.1fus p99=%.1fus",
+                static_cast<unsigned long long>(count()), Mean() / 1e3,
+                static_cast<double>(Percentile(0.50)) / 1e3,
+                static_cast<double>(Percentile(0.95)) / 1e3,
+                static_cast<double>(Percentile(0.99)) / 1e3);
+  return buf;
+}
+
+ScopedTimer::ScopedTimer(Histogram* h)
+    : h_(h), start_(Clock::Real()->NowNanos()) {}
+
+ScopedTimer::~ScopedTimer() { h_->Record(Clock::Real()->NowNanos() - start_); }
+
+}  // namespace couchkv

@@ -1,0 +1,58 @@
+// Log-bucketed latency histogram used by the YCSB harness and the benches to
+// report mean / percentile latencies without per-sample storage.
+#ifndef COUCHKV_COMMON_HISTOGRAM_H_
+#define COUCHKV_COMMON_HISTOGRAM_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace couchkv {
+
+// Thread-safe histogram of nanosecond values. Buckets grow geometrically
+// (~4% relative error), covering 1ns .. ~18s.
+class Histogram {
+ public:
+  static constexpr int kNumBuckets = 512;
+
+  Histogram() {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  }
+
+  void Record(uint64_t nanos);
+  void Merge(const Histogram& other);
+  void Reset();
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  double Mean() const;
+  // Value at quantile q in [0,1]; linear interpolation within a bucket.
+  uint64_t Percentile(double q) const;
+
+  // "count=... mean=...us p50=...us p95=...us p99=...us"
+  std::string Summary() const;
+
+ private:
+  static int BucketFor(uint64_t nanos);
+  static uint64_t BucketLow(int idx);
+
+  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_;
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+};
+
+// RAII timer recording elapsed wall time into a histogram.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* h);
+  ~ScopedTimer();
+
+ private:
+  Histogram* h_;
+  uint64_t start_;
+};
+
+}  // namespace couchkv
+
+#endif  // COUCHKV_COMMON_HISTOGRAM_H_

@@ -1,0 +1,47 @@
+// Minimal leveled logger. Off by default at DEBUG so benches are not skewed;
+// thread-safe via a single mutex (logging is never on a hot path).
+#ifndef COUCHKV_COMMON_LOGGING_H_
+#define COUCHKV_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace couchkv {
+
+enum class LogLevel { kDebug = 0, kInfo, kWarn, kError, kOff };
+
+// Global threshold; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_log {
+void Emit(LogLevel level, const std::string& msg);
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { Emit(level_, stream_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_log
+}  // namespace couchkv
+
+#define COUCHKV_LOG(level)                                  \
+  if (::couchkv::GetLogLevel() <= ::couchkv::LogLevel::level) \
+  ::couchkv::internal_log::LogLine(::couchkv::LogLevel::level)
+
+#define LOG_DEBUG COUCHKV_LOG(kDebug)
+#define LOG_INFO COUCHKV_LOG(kInfo)
+#define LOG_WARN COUCHKV_LOG(kWarn)
+#define LOG_ERROR COUCHKV_LOG(kError)
+
+#endif  // COUCHKV_COMMON_LOGGING_H_

@@ -1,0 +1,33 @@
+#include "common/random.h"
+
+namespace couchkv {
+
+ZipfianGenerator::ZipfianGenerator(uint64_t n, double theta)
+    : n_(n ? n : 1), theta_(theta) {
+  zetan_ = Zeta(n_, theta_);
+  zeta2theta_ = Zeta(2, theta_);
+  alpha_ = 1.0 / (1.0 - theta_);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+         (1.0 - zeta2theta_ / zetan_);
+}
+
+double ZipfianGenerator::Zeta(uint64_t n, double theta) {
+  double sum = 0;
+  for (uint64_t i = 1; i <= n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  }
+  return sum;
+}
+
+uint64_t ZipfianGenerator::Next(Rng& rng) {
+  // Algorithm from Gray et al., "Quickly Generating Billion-Record Synthetic
+  // Databases" (the same source YCSB cites).
+  double u = rng.NextDouble();
+  double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  return static_cast<uint64_t>(static_cast<double>(n_) *
+                               std::pow(eta_ * u - eta_ + 1.0, alpha_));
+}
+
+}  // namespace couchkv

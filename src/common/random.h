@@ -1,0 +1,101 @@
+// Fast seedable RNG plus the distribution generators YCSB needs (uniform,
+// zipfian, scrambled zipfian, latest). Implementations follow the original
+// YCSB core package [Cooper et al., SoCC'10], which the paper's evaluation
+// (§10.1) uses to drive load.
+#ifndef COUCHKV_COMMON_RANDOM_H_
+#define COUCHKV_COMMON_RANDOM_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace couchkv {
+
+// xorshift128+ — fast, decent quality, deterministic across platforms.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL) {
+    // SplitMix64 expansion of the seed into two non-zero words.
+    s_[0] = SplitMix(&seed);
+    s_[1] = SplitMix(&seed);
+  }
+
+  uint64_t Next() {
+    uint64_t x = s_[0];
+    const uint64_t y = s_[1];
+    s_[0] = y;
+    x ^= x << 23;
+    s_[1] = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s_[1] + y;
+  }
+
+  // Uniform in [0, n).
+  uint64_t Uniform(uint64_t n) { return n ? Next() % n : 0; }
+  // Uniform in [lo, hi] inclusive.
+  uint64_t UniformRange(uint64_t lo, uint64_t hi) {
+    return lo + Uniform(hi - lo + 1);
+  }
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+  bool OneIn(uint64_t n) { return Uniform(n) == 0; }
+
+ private:
+  static uint64_t SplitMix(uint64_t* state) {
+    uint64_t z = (*state += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+  uint64_t s_[2];
+};
+
+// Zipfian over [0, n) with parameter theta (default 0.99 as in YCSB).
+// Low ranks are the hottest items.
+class ZipfianGenerator {
+ public:
+  ZipfianGenerator(uint64_t n, double theta = 0.99);
+
+  uint64_t Next(Rng& rng);
+  uint64_t item_count() const { return n_; }
+
+ private:
+  static double Zeta(uint64_t n, double theta);
+
+  uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  double zeta2theta_;
+};
+
+// Zipfian but with the hot items scattered over the keyspace via FNV hashing,
+// as YCSB's ScrambledZipfianGenerator does.
+class ScrambledZipfianGenerator {
+ public:
+  explicit ScrambledZipfianGenerator(uint64_t n, double theta = 0.99)
+      : n_(n), zipf_(n, theta) {}
+
+  uint64_t Next(Rng& rng) {
+    uint64_t v = zipf_.Next(rng);
+    return Fnv64(v) % n_;
+  }
+
+  static uint64_t Fnv64(uint64_t v) {
+    uint64_t hash = 0xCBF29CE484222325ULL;
+    for (int i = 0; i < 8; ++i) {
+      hash ^= (v >> (i * 8)) & 0xFF;
+      hash *= 0x100000001B3ULL;
+    }
+    return hash;
+  }
+
+ private:
+  uint64_t n_;
+  ZipfianGenerator zipf_;
+};
+
+}  // namespace couchkv
+
+#endif  // COUCHKV_COMMON_RANDOM_H_

@@ -1,0 +1,36 @@
+#include "common/status.h"
+
+namespace couchkv {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "Ok";
+    case StatusCode::kNotFound: return "NotFound";
+    case StatusCode::kKeyExists: return "KeyExists";
+    case StatusCode::kLocked: return "Locked";
+    case StatusCode::kNotMyVBucket: return "NotMyVBucket";
+    case StatusCode::kTempFail: return "TempFail";
+    case StatusCode::kTimeout: return "Timeout";
+    case StatusCode::kInvalidArgument: return "InvalidArgument";
+    case StatusCode::kParseError: return "ParseError";
+    case StatusCode::kPlanError: return "PlanError";
+    case StatusCode::kIOError: return "IOError";
+    case StatusCode::kCorruption: return "Corruption";
+    case StatusCode::kUnsupported: return "Unsupported";
+    case StatusCode::kAborted: return "Aborted";
+    case StatusCode::kInternal: return "Internal";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "Ok";
+  std::string out = StatusCodeName(code_);
+  if (!msg_.empty()) {
+    out += ": ";
+    out += msg_;
+  }
+  return out;
+}
+
+}  // namespace couchkv

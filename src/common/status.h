@@ -1,0 +1,167 @@
+// Status and StatusOr: error handling without exceptions, in the style of
+// Abseil/LevelDB. Every fallible operation in couchkv returns one of these.
+#ifndef COUCHKV_COMMON_STATUS_H_
+#define COUCHKV_COMMON_STATUS_H_
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace couchkv {
+
+// Error taxonomy for the whole system. Codes mirror the conditions the paper
+// surfaces to clients (e.g. CAS mismatch, temporary failure, not-my-vbucket).
+enum class StatusCode {
+  kOk = 0,
+  kNotFound,        // key / index / bucket does not exist
+  kKeyExists,       // CAS mismatch or insert of existing key
+  kLocked,          // document is hard-locked (GETL)
+  kNotMyVBucket,    // routed to a node not hosting the active vBucket
+  kTempFail,        // transient failure (e.g. memory pressure, queue full)
+  kTimeout,         // durability or consistency wait timed out
+  kInvalidArgument, // malformed request / query
+  kParseError,      // N1QL / JSON syntax error
+  kPlanError,       // no viable access path (e.g. missing primary index)
+  kIOError,         // storage engine failure
+  kCorruption,      // on-disk data failed validation
+  kUnsupported,     // feature intentionally restricted (paper §3.2.4)
+  kAborted,         // operation cancelled (e.g. rebalance abort, shutdown)
+  kInternal,        // invariant violation
+};
+
+// Human-readable name for a code ("NotFound", "KeyExists", ...).
+const char* StatusCodeName(StatusCode code);
+
+// A cheap value type carrying success or (code, message).
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string msg)
+      : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string m = "not found") {
+    return Status(StatusCode::kNotFound, std::move(m));
+  }
+  static Status KeyExists(std::string m = "key exists / CAS mismatch") {
+    return Status(StatusCode::kKeyExists, std::move(m));
+  }
+  static Status Locked(std::string m = "document locked") {
+    return Status(StatusCode::kLocked, std::move(m));
+  }
+  static Status NotMyVBucket(std::string m = "not my vbucket") {
+    return Status(StatusCode::kNotMyVBucket, std::move(m));
+  }
+  static Status TempFail(std::string m = "temporary failure") {
+    return Status(StatusCode::kTempFail, std::move(m));
+  }
+  static Status Timeout(std::string m = "timed out") {
+    return Status(StatusCode::kTimeout, std::move(m));
+  }
+  static Status InvalidArgument(std::string m) {
+    return Status(StatusCode::kInvalidArgument, std::move(m));
+  }
+  static Status ParseError(std::string m) {
+    return Status(StatusCode::kParseError, std::move(m));
+  }
+  static Status PlanError(std::string m) {
+    return Status(StatusCode::kPlanError, std::move(m));
+  }
+  static Status IOError(std::string m) {
+    return Status(StatusCode::kIOError, std::move(m));
+  }
+  static Status Corruption(std::string m) {
+    return Status(StatusCode::kCorruption, std::move(m));
+  }
+  static Status Unsupported(std::string m) {
+    return Status(StatusCode::kUnsupported, std::move(m));
+  }
+  static Status Aborted(std::string m = "aborted") {
+    return Status(StatusCode::kAborted, std::move(m));
+  }
+  static Status Internal(std::string m) {
+    return Status(StatusCode::kInternal, std::move(m));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsKeyExists() const { return code_ == StatusCode::kKeyExists; }
+  bool IsLocked() const { return code_ == StatusCode::kLocked; }
+  bool IsNotMyVBucket() const { return code_ == StatusCode::kNotMyVBucket; }
+  bool IsTempFail() const { return code_ == StatusCode::kTempFail; }
+  bool IsTimeout() const { return code_ == StatusCode::kTimeout; }
+
+  // "Ok" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+// Holds either a value of T or an error Status. Never holds both.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(Status s) : status_(std::move(s)) {  // NOLINT implicit
+    assert(!status_.ok() && "StatusOr(Status) requires an error status");
+  }
+  StatusOr(T value)  // NOLINT implicit
+      : status_(Status::OK()), value_(std::move(value)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  T& value() & {
+    CheckOk();
+    return *value_;
+  }
+  const T& value() const& {
+    CheckOk();
+    return *value_;
+  }
+  T&& value() && {
+    CheckOk();
+    return std::move(*value_);
+  }
+
+  T& operator*() { return value(); }
+  const T& operator*() const { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  // Accessing the value of an errored StatusOr is a programming error;
+  // fail loudly even in release builds (UB otherwise).
+  void CheckOk() const {
+    if (!status_.ok()) {
+      std::fprintf(stderr, "StatusOr::value() on error: %s\n",
+                   status_.ToString().c_str());
+      std::abort();
+    }
+  }
+
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace couchkv
+
+// Propagate an error status from an expression, LevelDB-style.
+#define COUCHKV_RETURN_IF_ERROR(expr)            \
+  do {                                           \
+    ::couchkv::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                   \
+  } while (0)
+
+#endif  // COUCHKV_COMMON_STATUS_H_

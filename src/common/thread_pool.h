@@ -1,0 +1,46 @@
+// Fixed-size worker pool used for parallel fetch in the query engine
+// (paper §4.5.3: "operations, like fetch, join, and sort, are done in a
+// local parallel (based on multicore) manner") and for view scatter/gather.
+#ifndef COUCHKV_COMMON_THREAD_POOL_H_
+#define COUCHKV_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace couchkv {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueue a task. Safe from any thread, including pool workers.
+  void Submit(std::function<void()> task);
+
+  // Block until every task submitted so far has finished.
+  void Wait();
+
+  size_t num_threads() const { return threads_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;        // wakes workers
+  std::condition_variable idle_cv_;   // wakes Wait()
+  std::deque<std::function<void()>> queue_;
+  size_t active_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace couchkv
+
+#endif  // COUCHKV_COMMON_THREAD_POOL_H_

@@ -1,0 +1,269 @@
+#include "dcp/dcp.h"
+
+#include <thread>
+
+#include "common/logging.h"
+
+namespace couchkv::dcp {
+
+// ---------------------------------------------------------------------------
+// ChangeLog
+// ---------------------------------------------------------------------------
+
+void ChangeLog::Append(kv::Document doc) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (doc.meta.seqno > high_seqno_) high_seqno_ = doc.meta.seqno;
+  items_.push_back(std::move(doc));
+  while (items_.size() > max_items_) items_.pop_front();
+}
+
+uint64_t ChangeLog::ReadSince(uint64_t since, size_t max,
+                              std::vector<kv::Document>* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t start = items_.empty() ? high_seqno_ + 1 : items_.front().meta.seqno;
+  // Binary search would need random access; the deque provides it.
+  size_t lo = 0, hi = items_.size();
+  while (lo < hi) {
+    size_t mid = (lo + hi) / 2;
+    if (items_[mid].meta.seqno <= since) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  for (size_t i = lo; i < items_.size() && out->size() < max; ++i) {
+    out->push_back(items_[i]);
+  }
+  return start;
+}
+
+uint64_t ChangeLog::high_seqno() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return high_seqno_;
+}
+
+uint64_t ChangeLog::start_seqno() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return items_.empty() ? high_seqno_ + 1 : items_.front().meta.seqno;
+}
+
+size_t ChangeLog::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return items_.size();
+}
+
+// ---------------------------------------------------------------------------
+// Producer
+// ---------------------------------------------------------------------------
+
+Producer::Producer(uint16_t num_vbuckets, BackfillFn backfill)
+    : num_vbuckets_(num_vbuckets), backfill_(std::move(backfill)) {
+  logs_.reserve(num_vbuckets_);
+  for (uint16_t i = 0; i < num_vbuckets_; ++i) {
+    logs_.push_back(std::make_unique<ChangeLog>());
+  }
+}
+
+void Producer::OnMutation(uint16_t vbucket, kv::Document doc) {
+  logs_[vbucket]->Append(std::move(doc));
+}
+
+StatusOr<uint64_t> Producer::AddStream(const std::string& name,
+                                       uint16_t vbucket, uint64_t from_seqno,
+                                       MutationFn fn) {
+  if (vbucket >= num_vbuckets_) {
+    return Status::InvalidArgument("vbucket out of range");
+  }
+  auto stream = std::make_shared<Stream>();
+  stream->name = name;
+  stream->vbucket = vbucket;
+  stream->next_seqno = from_seqno + 1;
+  stream->fn = std::move(fn);
+  stream->backfill_done = false;
+  std::lock_guard<std::mutex> lock(mu_);
+  stream->id = next_stream_id_++;
+  streams_[stream->id] = stream;
+  return stream->id;
+}
+
+void Producer::RemoveStream(uint64_t stream_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  streams_.erase(stream_id);
+}
+
+void Producer::RemoveStreamsNamed(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = streams_.begin(); it != streams_.end();) {
+    if (it->second->name == name) {
+      it = streams_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+bool Producer::PumpOnce(size_t batch_per_stream) {
+  // Snapshot the stream set, then deliver without holding the map lock so
+  // callbacks may add/remove streams.
+  std::vector<std::shared_ptr<Stream>> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snapshot.reserve(streams_.size());
+    for (auto& [id, s] : streams_) snapshot.push_back(s);
+  }
+
+  bool delivered = false;
+  for (auto& s : snapshot) {
+    std::lock_guard<std::mutex> delivery_lock(s->delivery_mu);
+    ChangeLog& log = *logs_[s->vbucket];
+
+    if (!s->backfill_done) {
+      uint64_t window_start = log.start_seqno();
+      if (s->next_seqno < window_start) {
+        // The in-memory window no longer covers this stream's start point:
+        // backfill the gap from the storage engine (paper: DCP "backfill").
+        if (backfill_) {
+          uint64_t delivered_up_to = s->next_seqno - 1;
+          Status st = backfill_(
+              s->vbucket, delivered_up_to, [&](const kv::Mutation& m) {
+                if (m.doc.meta.seqno >= s->next_seqno &&
+                    m.doc.meta.seqno < window_start) {
+                  s->fn(m);
+                  if (m.doc.meta.seqno + 1 > s->next_seqno) {
+                    s->next_seqno = m.doc.meta.seqno + 1;
+                  }
+                  delivered = true;
+                }
+              });
+          if (!st.ok()) {
+            LOG_WARN << "DCP backfill failed for vb " << s->vbucket << ": "
+                     << st.ToString();
+          }
+        }
+        // Whether or not storage had everything, resume from the window.
+        if (s->next_seqno < window_start) s->next_seqno = window_start;
+      }
+      s->backfill_done = true;
+    }
+
+    std::vector<kv::Document> batch;
+    log.ReadSince(s->next_seqno - 1, batch_per_stream, &batch);
+    for (kv::Document& doc : batch) {
+      if (doc.meta.seqno < s->next_seqno) continue;  // already delivered
+      kv::Mutation m;
+      m.vbucket = s->vbucket;
+      m.doc = std::move(doc);
+      s->next_seqno = m.doc.meta.seqno + 1;
+      s->fn(m);
+      delivered = true;
+    }
+  }
+  return delivered;
+}
+
+void Producer::Drain() {
+  while (PumpOnce()) {
+  }
+}
+
+uint64_t Producer::StreamSeqno(const std::string& name,
+                               uint16_t vbucket) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t result = UINT64_MAX;
+  bool found = false;
+  for (const auto& [id, s] : streams_) {
+    if (s->name == name && s->vbucket == vbucket) {
+      found = true;
+      uint64_t acked = s->next_seqno - 1;
+      if (acked < result) result = acked;
+    }
+  }
+  return found ? result : UINT64_MAX;
+}
+
+uint64_t Producer::high_seqno(uint16_t vbucket) const {
+  return logs_[vbucket]->high_seqno();
+}
+
+// ---------------------------------------------------------------------------
+// Dispatcher
+// ---------------------------------------------------------------------------
+
+Dispatcher::Dispatcher() : thread_([this] { Loop(); }) {}
+
+Dispatcher::~Dispatcher() { Stop(); }
+
+void Dispatcher::AddProducer(std::shared_ptr<Producer> producer) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    producers_.push_back(std::move(producer));
+    work_.store(true, std::memory_order_release);
+  }
+  cv_.notify_all();
+}
+
+void Dispatcher::RemoveProducer(const std::shared_ptr<Producer>& producer) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::erase(producers_, producer);
+}
+
+void Dispatcher::Notify() {
+  // Fast path: a wakeup is already pending, nothing to do. This keeps the
+  // per-write cost of notifying DCP to one atomic exchange.
+  if (work_.exchange(true, std::memory_order_acq_rel)) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  cv_.notify_all();
+}
+
+void Dispatcher::Quiesce() {
+  std::vector<std::shared_ptr<Producer>> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snapshot = producers_;
+  }
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (auto& p : snapshot) {
+      if (p->PumpOnce()) progress = true;
+    }
+  }
+}
+
+void Dispatcher::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) return;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void Dispatcher::Loop() {
+  for (;;) {
+    std::vector<std::shared_ptr<Producer>> snapshot;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait_for(lock, std::chrono::milliseconds(5), [this] {
+        return work_.load(std::memory_order_acquire) || stop_;
+      });
+      if (stop_) return;
+      work_.store(false, std::memory_order_release);
+      snapshot = producers_;
+    }
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      for (auto& p : snapshot) {
+        if (p->PumpOnce()) progress = true;
+      }
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (stop_) return;
+      }
+    }
+  }
+}
+
+}  // namespace couchkv::dcp

@@ -1,0 +1,155 @@
+// Database Change Protocol (paper §4.3.2): the in-memory stream of document
+// mutations that every derived component — intra-cluster replication, the
+// view engine, the GSI projector, XDCR — consumes. "DCP lies at the heart of
+// Couchbase Server and supports its memory-first architecture by decoupling
+// potential I/O bottlenecks from many critical functions."
+//
+// Model: the data service owns one Producer per bucket per node. Each
+// mutation is appended to the per-vBucket ChangeLog. Consumers open Streams
+// (per vBucket, from a start seqno); a dispatcher thread pumps the producer,
+// delivering mutations to stream callbacks in seqno order. If a stream
+// starts below the log's in-memory window, the gap is backfilled from the
+// storage engine through a caller-supplied BackfillFn.
+#ifndef COUCHKV_DCP_DCP_H_
+#define COUCHKV_DCP_DCP_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "kv/doc.h"
+
+namespace couchkv::dcp {
+
+// Callback receiving mutations for one stream. Runs on the pumping thread.
+using MutationFn = std::function<void(const kv::Mutation&)>;
+
+// Reads mutations with seqno in (since, upto] for a vBucket from storage and
+// feeds them to `fn` in seqno order. Supplied by the data service.
+using BackfillFn = std::function<Status(
+    uint16_t vbucket, uint64_t since, const MutationFn& fn)>;
+
+// In-memory, bounded window of recent mutations for one vBucket.
+class ChangeLog {
+ public:
+  explicit ChangeLog(size_t max_items = 1 << 16) : max_items_(max_items) {}
+
+  // Appends a mutation; must be called with monotonically increasing seqnos
+  // (the vBucket serializes its front-end ops, which guarantees this).
+  void Append(kv::Document doc);
+
+  // Copies mutations with seqno > since (up to `max`) into out. Returns the
+  // first seqno present in the log, so callers can detect a trimmed gap.
+  uint64_t ReadSince(uint64_t since, size_t max,
+                     std::vector<kv::Document>* out) const;
+
+  uint64_t high_seqno() const;
+  uint64_t start_seqno() const;  // lowest seqno still in the window
+  size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::deque<kv::Document> items_;
+  uint64_t high_seqno_ = 0;
+  size_t max_items_;
+};
+
+// One bucket's change feed on one node.
+class Producer {
+ public:
+  // `num_vbuckets` logical partitions; `backfill` may be null if streams
+  // always start at the current seqno.
+  Producer(uint16_t num_vbuckets, BackfillFn backfill);
+
+  // Appends a mutation for vb (called by the data service on every write,
+  // while holding the vBucket's op lock).
+  void OnMutation(uint16_t vbucket, kv::Document doc);
+
+  // Opens a stream delivering mutations with seqno > from_seqno for one
+  // vBucket. `name` identifies the consumer in stats. Returns a stream id.
+  StatusOr<uint64_t> AddStream(const std::string& name, uint16_t vbucket,
+                               uint64_t from_seqno, MutationFn fn);
+
+  void RemoveStream(uint64_t stream_id);
+  // Removes every stream whose name matches (used when an index is dropped).
+  void RemoveStreamsNamed(const std::string& name);
+
+  // Delivers pending mutations to all streams; returns true if any mutation
+  // was delivered (i.e. call again). Thread-safe, but normally driven by a
+  // single dispatcher thread.
+  bool PumpOnce(size_t batch_per_stream = 256);
+
+  // Pumps until every stream has caught up to its vBucket's high seqno.
+  void Drain();
+
+  // Lowest acknowledged seqno across streams of `name` for `vbucket`
+  // (UINT64_MAX when that consumer has no stream there).
+  uint64_t StreamSeqno(const std::string& name, uint16_t vbucket) const;
+
+  uint64_t high_seqno(uint16_t vbucket) const;
+  uint16_t num_vbuckets() const { return num_vbuckets_; }
+
+ private:
+  struct Stream {
+    uint64_t id;
+    std::string name;
+    uint16_t vbucket;
+    uint64_t next_seqno;  // first seqno not yet delivered
+    MutationFn fn;
+    bool backfill_done;
+    // Serializes delivery: the dispatcher thread and synchronous pumpers
+    // (Quiesce, rebalance movers) may call PumpOnce concurrently.
+    std::mutex delivery_mu;
+  };
+
+  uint16_t num_vbuckets_;
+  BackfillFn backfill_;
+  std::vector<std::unique_ptr<ChangeLog>> logs_;
+
+  mutable std::mutex mu_;  // guards streams_ map (not delivery)
+  std::map<uint64_t, std::shared_ptr<Stream>> streams_;
+  uint64_t next_stream_id_ = 1;
+};
+
+// Background thread that keeps a set of producers pumped. One per node.
+class Dispatcher {
+ public:
+  Dispatcher();
+  ~Dispatcher();
+
+  void AddProducer(std::shared_ptr<Producer> producer);
+  void RemoveProducer(const std::shared_ptr<Producer>& producer);
+
+  // Wakes the pump thread (call after OnMutation for low latency).
+  void Notify();
+
+  // Synchronously pumps until all producers are drained (test determinism).
+  void Quiesce();
+
+  void Stop();
+
+ private:
+  void Loop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<std::shared_ptr<Producer>> producers_;
+  // work_ is atomic so Notify() can elide the mutex+notify when a wakeup is
+  // already pending — Notify is called on every front-end write.
+  std::atomic<bool> work_{false};
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+}  // namespace couchkv::dcp
+
+#endif  // COUCHKV_DCP_DCP_H_

@@ -1,0 +1,96 @@
+// The index service (paper §4.3.4): manages global secondary indexes.
+// The Projector (on each data node) evaluates DCP mutations against index
+// definitions; the Router forwards the resulting key versions to the
+// Indexer partitions hosted on index-service nodes; the Index Manager
+// handles DDL (create/drop/list) and scans with configurable consistency.
+#ifndef COUCHKV_GSI_INDEX_SERVICE_H_
+#define COUCHKV_GSI_INDEX_SERVICE_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "gsi/index_defs.h"
+#include "gsi/indexer.h"
+
+namespace couchkv::gsi {
+
+// Evaluates the map from a document version to its secondary keys.
+// Exposed for unit testing; the projector calls this per mutation.
+std::vector<json::Value> ProjectKeys(const IndexDefinition& def,
+                                     const std::string& doc_id,
+                                     const json::Value* doc /*null=deleted*/);
+
+struct IndexStats {
+  std::string name;
+  size_t num_entries = 0;
+  uint32_t num_partitions = 1;
+  uint64_t disk_bytes_written = 0;
+};
+
+class IndexService : public cluster::ClusterService,
+                     public std::enable_shared_from_this<IndexService> {
+ public:
+  explicit IndexService(cluster::Cluster* cluster) : cluster_(cluster) {}
+
+  void Attach() { cluster_->RegisterService("gsi", shared_from_this()); }
+
+  // --- Index Manager: DDL ---
+  Status CreateIndex(IndexDefinition def);
+  Status DropIndex(const std::string& bucket, const std::string& name);
+  std::vector<IndexDefinition> ListIndexes(const std::string& bucket) const;
+  // Returns the definition, or error if the index does not exist.
+  StatusOr<IndexDefinition> GetIndex(const std::string& bucket,
+                                     const std::string& name) const;
+
+  // --- Scans ---
+  // Range scan with the requested consistency. The result merges all
+  // partitions in key order (scatter/gather for partitioned GSI).
+  StatusOr<std::vector<IndexEntry>> Scan(const std::string& bucket,
+                                         const std::string& name,
+                                         const ScanRange& range, size_t limit,
+                                         ScanConsistency consistency);
+
+  // Blocks until the index covers every mutation present at call time.
+  Status WaitUntilCaughtUp(const std::string& bucket, const std::string& name,
+                           uint64_t timeout_ms = 30000);
+
+  IndexStats Stats(const std::string& bucket, const std::string& name) const;
+
+  // ClusterService: re-wire projector streams after topology changes.
+  void OnTopologyChange(const std::string& bucket) override;
+
+ private:
+  struct IndexState {
+    IndexDefinition def;
+    std::vector<std::shared_ptr<IndexPartition>> partitions;
+    // Index nodes hosting each partition (for MDS bookkeeping).
+    std::vector<cluster::NodeId> placement;
+  };
+
+  void WireIndex(const std::string& bucket,
+                 std::shared_ptr<IndexState> state);
+  // The router: broadcast a key version to every partition (each partition
+  // keeps only the keys it owns; see IndexPartition::Apply).
+  static void Route(IndexState* state, const KeyVersion& kv);
+  // Min processed seqno across partitions for one vBucket.
+  static uint64_t ProcessedSeqno(const IndexState& state, uint16_t vb);
+
+  std::string StreamName(const IndexDefinition& def) const {
+    return "gsi:" + def.bucket + ":" + def.name;
+  }
+
+  cluster::Cluster* cluster_;
+  mutable std::mutex mu_;
+  // bucket -> index name -> state. Values are shared_ptr so scans can run
+  // without holding mu_.
+  std::map<std::string, std::map<std::string, std::shared_ptr<IndexState>>>
+      indexes_;
+};
+
+}  // namespace couchkv::gsi
+
+#endif  // COUCHKV_GSI_INDEX_SERVICE_H_

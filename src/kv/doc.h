@@ -1,0 +1,43 @@
+// Document and metadata types shared by the cache, storage engine, DCP and
+// replication layers.
+#ifndef COUCHKV_KV_DOC_H_
+#define COUCHKV_KV_DOC_H_
+
+#include <cstdint>
+#include <string>
+
+namespace couchkv::kv {
+
+// Per-document metadata. This is what the paper calls "some document
+// metadata" kept resident in the hash table even when the value is evicted,
+// and what XDCR conflict resolution compares (§4.6.1).
+struct DocMeta {
+  uint64_t cas = 0;      // compare-and-swap token, changes on every mutation
+  uint64_t revno = 0;    // revision count ("number of updates"), for XDCR
+  uint64_t seqno = 0;    // per-vBucket mutation sequence number
+  uint32_t flags = 0;    // opaque application flags (as in memcached)
+  uint32_t expiry = 0;   // absolute expiry in seconds; 0 = never
+  bool deleted = false;  // tombstone marker
+};
+
+// A full document: key, metadata, and the (JSON or binary) value bytes.
+struct Document {
+  std::string key;
+  DocMeta meta;
+  std::string value;
+
+  size_t MemoryFootprint() const {
+    return sizeof(Document) + key.capacity() + value.capacity();
+  }
+};
+
+// A mutation event as carried by DCP: a document plus the vBucket it belongs
+// to. Deletions travel as documents with meta.deleted = true and empty value.
+struct Mutation {
+  uint16_t vbucket = 0;
+  Document doc;
+};
+
+}  // namespace couchkv::kv
+
+#endif  // COUCHKV_KV_DOC_H_

@@ -1,0 +1,375 @@
+#include "kv/hash_table.h"
+
+namespace couchkv::kv {
+
+HashTable::HashTable(Clock* clock, EvictionPolicy policy)
+    : clock_(clock), policy_(policy) {}
+
+uint64_t HashTable::NextCas() {
+  // CAS tokens must be unique and monotonically increasing per node; a
+  // counter is sufficient (real Couchbase uses an HLC, which this mimics).
+  return cas_counter_.fetch_add(1) + 1;
+}
+
+bool HashTable::IsExpired(const StoredValue& sv) const {
+  return sv.meta.expiry != 0 && clock_->NowSeconds() >= sv.meta.expiry;
+}
+
+bool HashTable::IsLockedNow(const StoredValue& sv) const {
+  return sv.locked_until_ns != 0 && clock_->NowNanos() < sv.locked_until_ns;
+}
+
+size_t HashTable::EntryFootprint(const std::string& key,
+                                 const StoredValue& sv) {
+  return key.capacity() + sv.value.capacity() + sizeof(StoredValue) + 64;
+}
+
+void HashTable::AccountAdd(const std::string& key, const StoredValue& sv) {
+  mem_used_.fetch_add(EntryFootprint(key, sv));
+}
+
+void HashTable::AccountRemove(const std::string& key, const StoredValue& sv) {
+  mem_used_.fetch_sub(EntryFootprint(key, sv));
+}
+
+StatusOr<GetResult> HashTable::Get(std::string_view key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(std::string(key));
+  if (it == map_.end()) return Status::NotFound();
+  StoredValue& sv = it->second;
+  if (sv.meta.deleted) return Status::NotFound();
+  if (IsExpired(sv)) {
+    num_expired_.fetch_add(1);
+    return Status::NotFound();
+  }
+  sv.referenced = true;
+  GetResult r;
+  r.doc.key = it->first;
+  r.doc.meta = sv.meta;
+  r.doc.value = sv.value;
+  r.resident = sv.resident;
+  return r;
+}
+
+StatusOr<DocMeta> HashTable::Mutate(std::string_view key,
+                                    std::string_view value, uint32_t flags,
+                                    uint32_t expiry, uint64_t cas,
+                                    bool require_absent, bool require_present,
+                                    bool deletion) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string k(key);
+  auto it = map_.find(k);
+  bool live = it != map_.end() && !it->second.meta.deleted &&
+              !IsExpired(it->second);
+
+  if (require_absent && live) return Status::KeyExists("key already exists");
+  if (require_present && !live) return Status::NotFound();
+  if (deletion && !live) return Status::NotFound();
+
+  if (live) {
+    StoredValue& sv = it->second;
+    if (IsLockedNow(sv)) {
+      // A locked document can only be mutated by presenting the lock CAS.
+      if (cas != sv.meta.cas) {
+        return Status::Locked();
+      }
+    } else if (cas != 0 && cas != sv.meta.cas) {
+      num_cas_mismatch_.fetch_add(1);
+      return Status::KeyExists("CAS mismatch");
+    }
+  } else if (cas != 0) {
+    // CAS given for a non-existent document.
+    return Status::NotFound();
+  }
+
+  DocMeta meta;
+  if (it != map_.end()) meta = it->second.meta;
+  meta.cas = NextCas();
+  meta.revno += 1;
+  meta.seqno = NextSeqno();
+  meta.flags = flags;
+  meta.expiry = expiry;
+  meta.deleted = deletion;
+
+  StoredValue sv;
+  sv.meta = meta;
+  sv.value = deletion ? std::string() : std::string(value);
+  sv.resident = true;
+  sv.dirty = true;
+  sv.referenced = true;
+  sv.locked_until_ns = 0;  // mutation releases any lock
+
+  if (it != map_.end()) {
+    AccountRemove(it->first, it->second);
+    it->second = std::move(sv);
+    AccountAdd(it->first, it->second);
+  } else {
+    auto [pos, inserted] = map_.emplace(std::move(k), std::move(sv));
+    (void)inserted;
+    AccountAdd(pos->first, pos->second);
+  }
+  return meta;
+}
+
+StatusOr<DocMeta> HashTable::Set(std::string_view key, std::string_view value,
+                                 uint32_t flags, uint32_t expiry,
+                                 uint64_t cas) {
+  return Mutate(key, value, flags, expiry, cas, /*require_absent=*/false,
+                /*require_present=*/false, /*deletion=*/false);
+}
+
+StatusOr<DocMeta> HashTable::Add(std::string_view key, std::string_view value,
+                                 uint32_t flags, uint32_t expiry) {
+  return Mutate(key, value, flags, expiry, /*cas=*/0, /*require_absent=*/true,
+                /*require_present=*/false, /*deletion=*/false);
+}
+
+StatusOr<DocMeta> HashTable::Replace(std::string_view key,
+                                     std::string_view value, uint32_t flags,
+                                     uint32_t expiry, uint64_t cas) {
+  return Mutate(key, value, flags, expiry, cas, /*require_absent=*/false,
+                /*require_present=*/true, /*deletion=*/false);
+}
+
+StatusOr<DocMeta> HashTable::Remove(std::string_view key, uint64_t cas) {
+  return Mutate(key, {}, 0, 0, cas, /*require_absent=*/false,
+                /*require_present=*/false, /*deletion=*/true);
+}
+
+StatusOr<GetResult> HashTable::GetAndLock(std::string_view key,
+                                          uint64_t lock_ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(std::string(key));
+  if (it == map_.end() || it->second.meta.deleted || IsExpired(it->second)) {
+    return Status::NotFound();
+  }
+  StoredValue& sv = it->second;
+  if (IsLockedNow(sv)) return Status::Locked();
+  // Locking changes the CAS so that pre-lock CAS holders cannot mutate.
+  sv.meta.cas = NextCas();
+  sv.locked_until_ns = clock_->NowNanos() + lock_ms * 1000000ULL;
+  sv.referenced = true;
+  GetResult r;
+  r.doc.key = it->first;
+  r.doc.meta = sv.meta;
+  r.doc.value = sv.value;
+  r.resident = sv.resident;
+  return r;
+}
+
+Status HashTable::Unlock(std::string_view key, uint64_t cas) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(std::string(key));
+  if (it == map_.end() || it->second.meta.deleted) return Status::NotFound();
+  StoredValue& sv = it->second;
+  if (!IsLockedNow(sv)) return Status::TempFail("not locked");
+  if (cas != sv.meta.cas) return Status::Locked("wrong unlock CAS");
+  sv.locked_until_ns = 0;
+  return Status::OK();
+}
+
+StatusOr<DocMeta> HashTable::Touch(std::string_view key, uint32_t expiry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(std::string(key));
+  if (it == map_.end() || it->second.meta.deleted || IsExpired(it->second)) {
+    return Status::NotFound();
+  }
+  StoredValue& sv = it->second;
+  if (IsLockedNow(sv)) return Status::Locked();
+  sv.meta.expiry = expiry;
+  sv.meta.cas = NextCas();
+  sv.dirty = true;
+  return sv.meta;
+}
+
+void HashTable::Restore(const Document& doc) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(doc.key);
+  if (it != map_.end()) {
+    StoredValue& sv = it->second;
+    // Only fill in a non-resident value; never clobber a newer mutation.
+    if (!sv.resident && sv.meta.seqno == doc.meta.seqno) {
+      AccountRemove(it->first, sv);
+      sv.value = doc.value;
+      sv.resident = true;
+      AccountAdd(it->first, sv);
+    }
+    return;
+  }
+  StoredValue sv;
+  sv.meta = doc.meta;
+  sv.value = doc.value;
+  sv.resident = true;
+  sv.dirty = false;
+  auto [pos, inserted] = map_.emplace(doc.key, std::move(sv));
+  (void)inserted;
+  AccountAdd(pos->first, pos->second);
+  // Warmup must also restore the seqno high-water marks.
+  uint64_t seqno = doc.meta.seqno;
+  uint64_t cur = high_seqno_.load();
+  while (seqno > cur && !high_seqno_.compare_exchange_weak(cur, seqno)) {
+  }
+  uint64_t pers = persisted_seqno_.load();
+  while (seqno > pers && !persisted_seqno_.compare_exchange_weak(pers, seqno)) {
+  }
+}
+
+void HashTable::MarkClean(std::string_view key, uint64_t seqno) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(std::string(key));
+  if (it != map_.end() && it->second.meta.seqno == seqno) {
+    it->second.dirty = false;
+  }
+  uint64_t cur = persisted_seqno_.load();
+  while (seqno > cur && !persisted_seqno_.compare_exchange_weak(cur, seqno)) {
+  }
+}
+
+StatusOr<DocMeta> HashTable::SetWithMeta(const Document& doc) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(doc.key);
+  if (it != map_.end()) {
+    const DocMeta& local = it->second.meta;
+    // "the document with the most updates is considered the winner. If both
+    // clusters have the same number of updates ... additional metadata
+    // fields are used to pick the winner" (§4.6.1).
+    bool remote_wins = doc.meta.revno > local.revno ||
+                       (doc.meta.revno == local.revno &&
+                        doc.meta.cas > local.cas);
+    if (!remote_wins) {
+      return Status::KeyExists("local document wins conflict resolution");
+    }
+  }
+  StoredValue sv;
+  sv.meta = doc.meta;
+  sv.meta.seqno = NextSeqno();  // new local seqno; conflict meta preserved
+  sv.value = doc.value;
+  sv.dirty = true;
+  if (it != map_.end()) {
+    AccountRemove(it->first, it->second);
+    it->second = std::move(sv);
+    AccountAdd(it->first, it->second);
+    return it->second.meta;
+  }
+  auto [pos, inserted] = map_.emplace(doc.key, std::move(sv));
+  (void)inserted;
+  AccountAdd(pos->first, pos->second);
+  return pos->second.meta;
+}
+
+void HashTable::ApplyRemote(const Document& doc) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(doc.key);
+  if (it != map_.end()) {
+    AccountRemove(it->first, it->second);
+    StoredValue& sv = it->second;
+    sv.meta = doc.meta;
+    sv.value = doc.value;
+    sv.resident = true;
+    sv.dirty = true;
+    sv.locked_until_ns = 0;
+    AccountAdd(it->first, sv);
+  } else {
+    StoredValue sv;
+    sv.meta = doc.meta;
+    sv.value = doc.value;
+    sv.dirty = true;
+    auto [pos, inserted] = map_.emplace(doc.key, std::move(sv));
+    (void)inserted;
+    AccountAdd(pos->first, pos->second);
+  }
+  uint64_t seqno = doc.meta.seqno;
+  uint64_t cur = high_seqno_.load();
+  while (seqno > cur && !high_seqno_.compare_exchange_weak(cur, seqno)) {
+  }
+}
+
+uint64_t HashTable::EvictTo(uint64_t target_bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t reclaimed = 0;
+  // Two NRU passes: first evict unreferenced clean values, then clear
+  // reference bits so a subsequent pass can make progress.
+  for (int pass = 0; pass < 2 && mem_used_.load() > target_bytes; ++pass) {
+    for (auto it = map_.begin();
+         it != map_.end() && mem_used_.load() > target_bytes;) {
+      StoredValue& sv = it->second;
+      bool evictable = sv.resident && !sv.dirty && !sv.meta.deleted &&
+                       !IsLockedNow(sv) && !sv.value.empty();
+      if (evictable && (!sv.referenced || pass == 1)) {
+        size_t before = EntryFootprint(it->first, sv);
+        if (policy_ == EvictionPolicy::kFull) {
+          mem_used_.fetch_sub(before);
+          reclaimed += before;
+          it = map_.erase(it);
+          num_evictions_.fetch_add(1);
+          continue;
+        }
+        sv.value.clear();
+        sv.value.shrink_to_fit();
+        sv.resident = false;
+        size_t after = EntryFootprint(it->first, sv);
+        mem_used_.fetch_sub(before - after);
+        reclaimed += before - after;
+        num_evictions_.fetch_add(1);
+      } else {
+        sv.referenced = false;
+      }
+      ++it;
+    }
+  }
+  return reclaimed;
+}
+
+uint64_t HashTable::Purge(uint64_t purge_before_seqno) {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t purged = 0;
+  for (auto it = map_.begin(); it != map_.end();) {
+    StoredValue& sv = it->second;
+    bool is_dead_tombstone = sv.meta.deleted && !sv.dirty &&
+                             sv.meta.seqno < purge_before_seqno;
+    bool expired = IsExpired(sv) && !sv.dirty;
+    if (is_dead_tombstone || expired) {
+      AccountRemove(it->first, sv);
+      it = map_.erase(it);
+      ++purged;
+      if (expired) num_expired_.fetch_add(1);
+    } else {
+      ++it;
+    }
+  }
+  return purged;
+}
+
+void HashTable::ForEach(
+    const std::function<void(const Document&, bool resident)>& fn) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [key, sv] : map_) {
+    if (sv.meta.deleted || IsExpired(sv)) continue;
+    Document doc;
+    doc.key = key;
+    doc.meta = sv.meta;
+    doc.value = sv.value;
+    fn(doc, sv.resident);
+  }
+}
+
+HashTableStats HashTable::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  HashTableStats s;
+  for (const auto& [key, sv] : map_) {
+    (void)key;
+    if (sv.meta.deleted) {
+      ++s.num_tombstones;
+      continue;
+    }
+    ++s.num_items;
+    if (!sv.resident) ++s.num_non_resident;
+  }
+  s.mem_used = mem_used_.load();
+  s.num_evictions = num_evictions_.load();
+  s.num_expired = num_expired_.load();
+  s.num_cas_mismatch = num_cas_mismatch_.load();
+  return s;
+}
+
+}  // namespace couchkv::kv

@@ -1,0 +1,181 @@
+// The object-managed cache (paper §4.3.3): one HashTable per vBucket holding
+// StoredValues. Provides the memcached-level semantics the paper describes —
+// optimistic CAS, hard locks with timeout (GETL), TTL expiry, and value
+// eviction with keys+metadata kept resident.
+#ifndef COUCHKV_KV_HASH_TABLE_H_
+#define COUCHKV_KV_HASH_TABLE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/status.h"
+#include "kv/doc.h"
+
+namespace couchkv::kv {
+
+// Eviction policy for a bucket (paper §4.3.3 "Object Managed Cache").
+enum class EvictionPolicy {
+  kValueOnly,  // evict values; keys + metadata stay resident (default)
+  kFull,       // evict keys and metadata too
+};
+
+// A resident entry in the cache.
+struct StoredValue {
+  DocMeta meta;
+  std::string value;
+  bool resident = true;   // false once the value has been evicted
+  bool dirty = true;      // true until persisted by the flusher
+  bool referenced = true; // NRU bit, set on access, cleared by the evictor
+  uint64_t locked_until_ns = 0;  // GETL hard-lock deadline (0 = unlocked)
+};
+
+// Result of a cache lookup.
+struct GetResult {
+  Document doc;
+  bool resident = true;  // false means value must be fetched from storage
+};
+
+// Statistics exposed for monitoring and tests.
+struct HashTableStats {
+  uint64_t num_items = 0;
+  uint64_t num_non_resident = 0;
+  uint64_t num_tombstones = 0;
+  uint64_t mem_used = 0;
+  uint64_t num_evictions = 0;
+  uint64_t num_expired = 0;
+  uint64_t num_cas_mismatch = 0;
+};
+
+// Thread-safe per-vBucket hash table.
+//
+// Sequence numbers: the table owns the vBucket's monotonically increasing
+// seqno (paper §4.2: "When a document is written, a sequence number is
+// generated ... The maximum sequence number per vBucket is also tracked").
+class HashTable {
+ public:
+  explicit HashTable(Clock* clock = Clock::Real(),
+                     EvictionPolicy policy = EvictionPolicy::kValueOnly);
+
+  HashTable(const HashTable&) = delete;
+  HashTable& operator=(const HashTable&) = delete;
+
+  // --- Front-end operations (memcached-style semantics) ---
+
+  // Fetches a document. NotFound for absent/expired/tombstoned keys. If the
+  // value has been evicted, result.resident is false and doc.value is empty;
+  // the caller (VBucket) re-reads from storage.
+  StatusOr<GetResult> Get(std::string_view key);
+
+  // Unconditional upsert. cas==0 creates-or-replaces; cas!=0 requires match
+  // (KeyExists on mismatch — the paper's optimistic-locking path, §3.1.1).
+  // Returns the new metadata.
+  StatusOr<DocMeta> Set(std::string_view key, std::string_view value,
+                        uint32_t flags, uint32_t expiry, uint64_t cas);
+
+  // Insert-only; KeyExists if the key is live.
+  StatusOr<DocMeta> Add(std::string_view key, std::string_view value,
+                        uint32_t flags, uint32_t expiry);
+
+  // Replace-only; NotFound if the key is absent.
+  StatusOr<DocMeta> Replace(std::string_view key, std::string_view value,
+                            uint32_t flags, uint32_t expiry, uint64_t cas);
+
+  // Deletes (writes a tombstone so the deletion flows through DCP).
+  StatusOr<DocMeta> Remove(std::string_view key, uint64_t cas);
+
+  // GETL: fetch and hard-lock for `lock_ms` (auto-released on timeout to
+  // avoid deadlocks, §3.1.1). While locked, mutations without the lock CAS
+  // fail with Locked.
+  StatusOr<GetResult> GetAndLock(std::string_view key, uint64_t lock_ms);
+
+  // Releases a GETL lock; requires the CAS returned by GetAndLock.
+  Status Unlock(std::string_view key, uint64_t cas);
+
+  // Updates expiry only.
+  StatusOr<DocMeta> Touch(std::string_view key, uint32_t expiry);
+
+  // --- Back-end operations ---
+
+  // Loads a document from storage (warmup or non-resident read-through).
+  // Never bumps seqno; keeps the entry clean.
+  void Restore(const Document& doc);
+
+  // Marks a key clean after the flusher persisted seqno `seqno`. No-op if
+  // the entry was mutated again in the meantime.
+  void MarkClean(std::string_view key, uint64_t seqno);
+
+  // Applies a replicated/DCP mutation as-is (no new seqno generated); used
+  // by replica vBuckets.
+  void ApplyRemote(const Document& doc);
+
+  // XDCR target apply with conflict resolution (paper §4.6.1): the incoming
+  // document wins if it has more updates (higher revno), with the CAS as
+  // the metadata tiebreaker. On a win the value and conflict metadata are
+  // taken from the remote doc but a NEW local seqno is assigned. Returns
+  // the new meta, or KeyExists when the local document wins.
+  StatusOr<DocMeta> SetWithMeta(const Document& doc);
+
+  // Evicts clean resident values until mem_used <= target_bytes or nothing
+  // more can be evicted. Returns bytes reclaimed.
+  uint64_t EvictTo(uint64_t target_bytes);
+
+  // Removes expired entries and (policy permitting) tombstones older than
+  // `purge_before_seqno`. Returns number purged.
+  uint64_t Purge(uint64_t purge_before_seqno);
+
+  // Iterates over all live (non-deleted, non-expired) documents. Values of
+  // non-resident entries are delivered empty; `resident` tells the caller.
+  void ForEach(
+      const std::function<void(const Document&, bool resident)>& fn) const;
+
+  // --- Introspection ---
+  HashTableStats stats() const;
+  uint64_t high_seqno() const { return high_seqno_.load(); }
+  uint64_t mem_used() const { return mem_used_.load(); }
+
+  // Highest seqno persisted so far (set via MarkClean); used by durability
+  // waits (persist_to) and by the storage snapshot logic.
+  uint64_t persisted_seqno() const { return persisted_seqno_.load(); }
+
+ private:
+  struct LockedEntry;
+
+  uint64_t NextCas();
+  uint64_t NextSeqno() { return high_seqno_.fetch_add(1) + 1; }
+  bool IsExpired(const StoredValue& sv) const;
+  bool IsLockedNow(const StoredValue& sv) const;
+  void AccountAdd(const std::string& key, const StoredValue& sv);
+  void AccountRemove(const std::string& key, const StoredValue& sv);
+  static size_t EntryFootprint(const std::string& key, const StoredValue& sv);
+
+  // Core mutation path shared by Set/Add/Replace/Remove.
+  StatusOr<DocMeta> Mutate(std::string_view key, std::string_view value,
+                           uint32_t flags, uint32_t expiry, uint64_t cas,
+                           bool require_absent, bool require_present,
+                           bool deletion);
+
+  Clock* clock_;
+  EvictionPolicy policy_;
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, StoredValue> map_;
+
+  std::atomic<uint64_t> high_seqno_{0};
+  std::atomic<uint64_t> persisted_seqno_{0};
+  std::atomic<uint64_t> cas_counter_{0};
+  std::atomic<uint64_t> mem_used_{0};
+  std::atomic<uint64_t> num_evictions_{0};
+  std::atomic<uint64_t> num_expired_{0};
+  std::atomic<uint64_t> num_cas_mismatch_{0};
+};
+
+}  // namespace couchkv::kv
+
+#endif  // COUCHKV_KV_HASH_TABLE_H_

@@ -1,0 +1,138 @@
+#include "n1ql/ast.h"
+
+namespace couchkv::n1ql {
+
+ExprPtr MakeLiteral(json::Value v) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kLiteral;
+  e->literal = std::move(v);
+  return e;
+}
+
+ExprPtr MakeBinary(BinaryOp op, ExprPtr lhs, ExprPtr rhs) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kBinary;
+  e->binary_op = op;
+  e->children = {std::move(lhs), std::move(rhs)};
+  return e;
+}
+
+namespace {
+
+const char* BinaryOpName(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kEq: return "=";
+    case BinaryOp::kNeq: return "!=";
+    case BinaryOp::kLt: return "<";
+    case BinaryOp::kLte: return "<=";
+    case BinaryOp::kGt: return ">";
+    case BinaryOp::kGte: return ">=";
+    case BinaryOp::kAdd: return "+";
+    case BinaryOp::kSub: return "-";
+    case BinaryOp::kMul: return "*";
+    case BinaryOp::kDiv: return "/";
+    case BinaryOp::kMod: return "%";
+    case BinaryOp::kAnd: return "AND";
+    case BinaryOp::kOr: return "OR";
+    case BinaryOp::kLike: return "LIKE";
+    case BinaryOp::kNotLike: return "NOT LIKE";
+    case BinaryOp::kConcat: return "||";
+    case BinaryOp::kIn: return "IN";
+    case BinaryOp::kNotIn: return "NOT IN";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string Expr::ToString() const {
+  switch (kind) {
+    case ExprKind::kLiteral:
+      return literal.ToJson();
+    case ExprKind::kParameter:
+      return "$" + std::to_string(param_index);
+    case ExprKind::kPath: {
+      std::string out;
+      for (size_t i = 0; i < path.size(); ++i) {
+        if (path[i].is_index()) {
+          out += "[" + std::to_string(path[i].index) + "]";
+        } else {
+          if (i > 0) out += ".";
+          out += path[i].field;
+        }
+      }
+      return out;
+    }
+    case ExprKind::kMeta:
+      return "meta(" + meta_alias + ")." + meta_field;
+    case ExprKind::kUnary:
+      return (unary_op == UnaryOp::kNot ? "NOT " : "-") +
+             children[0]->ToString();
+    case ExprKind::kBinary:
+      return "(" + children[0]->ToString() + " " + BinaryOpName(binary_op) +
+             " " + children[1]->ToString() + ")";
+    case ExprKind::kIsPredicate: {
+      const char* what = "";
+      switch (is_kind) {
+        case IsKind::kNull: what = "IS NULL"; break;
+        case IsKind::kNotNull: what = "IS NOT NULL"; break;
+        case IsKind::kMissing: what = "IS MISSING"; break;
+        case IsKind::kNotMissing: what = "IS NOT MISSING"; break;
+        case IsKind::kValued: what = "IS VALUED"; break;
+      }
+      return "(" + children[0]->ToString() + " " + what + ")";
+    }
+    case ExprKind::kFunction: {
+      std::string out = fn_name + "(";
+      if (fn_distinct) out += "DISTINCT ";
+      if (fn_star) out += "*";
+      for (size_t i = 0; i < children.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += children[i]->ToString();
+      }
+      return out + ")";
+    }
+    case ExprKind::kArrayLiteral: {
+      std::string out = "[";
+      for (size_t i = 0; i < children.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += children[i]->ToString();
+      }
+      return out + "]";
+    }
+    case ExprKind::kObjectLiteral: {
+      std::string out = "{";
+      for (size_t i = 0; i < children.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += "\"" + object_keys[i] + "\": " + children[i]->ToString();
+      }
+      return out + "}";
+    }
+    case ExprKind::kCollection: {
+      std::string out = coll_kind == CollectionKind::kAny ? "ANY " : "EVERY ";
+      out += var_name + " IN " + children[0]->ToString() + " SATISFIES " +
+             children[1]->ToString() + " END";
+      return out;
+    }
+    case ExprKind::kArrayComprehension: {
+      std::string out = "ARRAY " + children[0]->ToString() + " FOR " +
+                        var_name + " IN " + children[1]->ToString();
+      if (children.size() > 2 && children[2]) {
+        out += " WHEN " + children[2]->ToString();
+      }
+      return out + " END";
+    }
+    case ExprKind::kCase: {
+      std::string out = "CASE";
+      for (const auto& arm : case_arms) {
+        out += " WHEN " + arm.when->ToString() + " THEN " +
+               arm.then->ToString();
+      }
+      if (case_else) out += " ELSE " + case_else->ToString();
+      return out + " END";
+    }
+  }
+  return "?";
+}
+
+}  // namespace couchkv::n1ql

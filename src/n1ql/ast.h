@@ -1,0 +1,229 @@
+// Abstract syntax tree for the N1QL dialect described in the paper (§3.2):
+// SELECT with USE KEYS / JOIN ON KEYS / NEST / UNNEST, DML (INSERT, UPSERT,
+// UPDATE, DELETE), index DDL, and EXPLAIN.
+#ifndef COUCHKV_N1QL_AST_H_
+#define COUCHKV_N1QL_AST_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "json/value.h"
+
+namespace couchkv::n1ql {
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+enum class ExprKind {
+  kLiteral,
+  kParameter,     // positional $1, $2, ...
+  kPath,          // alias.a.b[0] (alias may be implicit)
+  kMeta,          // META(alias).id / .cas
+  kUnary,
+  kBinary,
+  kIsPredicate,   // IS [NOT] NULL / MISSING / VALUED
+  kFunction,      // COUNT, SUM, LOWER, ...
+  kArrayLiteral,
+  kObjectLiteral,
+  kCollection,    // ANY / EVERY var IN expr SATISFIES cond END
+  kArrayComprehension,  // ARRAY expr FOR var IN expr [WHEN cond] END
+  kCase,          // CASE WHEN c THEN v ... [ELSE e] END
+};
+
+enum class UnaryOp { kNot, kNeg };
+
+enum class BinaryOp {
+  kEq, kNeq, kLt, kLte, kGt, kGte,
+  kAdd, kSub, kMul, kDiv, kMod,
+  kAnd, kOr,
+  kLike, kNotLike,
+  kConcat,
+  kIn, kNotIn,
+};
+
+enum class IsKind { kNull, kNotNull, kMissing, kNotMissing, kValued };
+
+enum class CollectionKind { kAny, kEvery };
+
+struct Expr;
+using ExprPtr = std::shared_ptr<Expr>;
+
+// One step in a path: either a named field or an array subscript.
+struct PathSegment {
+  std::string field;       // empty for subscripts
+  int64_t index = -1;      // >= 0 for subscripts
+  bool is_index() const { return field.empty(); }
+};
+
+struct CaseArm {
+  ExprPtr when;
+  ExprPtr then;
+};
+
+struct Expr {
+  ExprKind kind;
+
+  // kLiteral
+  json::Value literal;
+  // kParameter
+  size_t param_index = 0;  // 1-based
+  // kPath: first segment is the alias or the first field (resolved against
+  // the single FROM alias when it does not match any alias).
+  std::vector<PathSegment> path;
+  // kMeta
+  std::string meta_alias;  // may be empty (single-keyspace queries)
+  std::string meta_field;  // "id" or "cas"
+  // kUnary
+  UnaryOp unary_op = UnaryOp::kNot;
+  // kBinary
+  BinaryOp binary_op = BinaryOp::kEq;
+  // kIsPredicate
+  IsKind is_kind = IsKind::kNull;
+  // kFunction
+  std::string fn_name;  // lower-cased
+  bool fn_distinct = false;
+  bool fn_star = false;  // COUNT(*)
+  // kCollection / kArrayComprehension
+  CollectionKind coll_kind = CollectionKind::kAny;
+  std::string var_name;
+  // kCase
+  std::vector<CaseArm> case_arms;
+  ExprPtr case_else;
+
+  std::vector<ExprPtr> children;  // operands / args / elements
+  std::vector<std::string> object_keys;  // kObjectLiteral field names
+
+  // Reconstructed (normalized) text, for EXPLAIN and index matching.
+  std::string ToString() const;
+};
+
+ExprPtr MakeLiteral(json::Value v);
+ExprPtr MakeBinary(BinaryOp op, ExprPtr lhs, ExprPtr rhs);
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+enum class JoinKind { kInner, kLeftOuter };
+
+// FROM b [AS x] plus the chain of join-ish clauses.
+struct FromTerm {
+  std::string keyspace;
+  std::string alias;           // defaults to keyspace name
+  ExprPtr use_keys;            // USE KEYS expr (string or array of strings)
+};
+
+struct JoinClause {
+  enum class Kind { kJoin, kNest, kUnnest } kind = Kind::kJoin;
+  JoinKind join_kind = JoinKind::kInner;
+  // kJoin / kNest: right-hand keyspace + ON KEYS expr (evaluated per left
+  // row; yields a key or array of keys — the only join N1QL permits, §3.2.4).
+  std::string keyspace;
+  ExprPtr on_keys;
+  // General join condition (`JOIN b ON a.x = b.y`). Rejected by the N1QL
+  // query service per §3.2.4; executed by the analytics service (§6.2),
+  // whose engine supports "richer (and more expensive) queries such as
+  // large joins".
+  ExprPtr on_condition;
+  // kUnnest: the array-valued expression to flatten.
+  ExprPtr unnest_expr;
+  std::string alias;
+};
+
+struct SelectItem {
+  ExprPtr expr;       // null for '*'
+  std::string alias;  // output field name ("" = derived)
+  bool star = false;
+  std::string star_alias;  // `x`.* form
+};
+
+struct OrderKey {
+  ExprPtr expr;
+  bool descending = false;
+};
+
+struct SelectStatement {
+  bool distinct = false;
+  std::vector<SelectItem> items;
+  std::optional<FromTerm> from;
+  std::vector<JoinClause> joins;
+  ExprPtr where;
+  std::vector<ExprPtr> group_by;
+  ExprPtr having;
+  std::vector<OrderKey> order_by;
+  ExprPtr limit;   // must evaluate to a number
+  ExprPtr offset;
+};
+
+struct InsertStatement {
+  std::string keyspace;
+  bool upsert = false;  // UPSERT INTO ...
+  // (KEY, VALUE) VALUES (k1, v1), (k2, v2), ...
+  std::vector<std::pair<ExprPtr, ExprPtr>> values;
+};
+
+struct UpdatePair {
+  std::string path;  // textual path relative to the document root
+  ExprPtr value;
+};
+
+struct UpdateStatement {
+  std::string keyspace;
+  std::string alias;
+  ExprPtr use_keys;
+  std::vector<UpdatePair> set;
+  std::vector<std::string> unset;
+  ExprPtr where;
+  ExprPtr limit;
+};
+
+struct DeleteStatement {
+  std::string keyspace;
+  std::string alias;
+  ExprPtr use_keys;
+  ExprPtr where;
+  ExprPtr limit;
+};
+
+struct CreateIndexStatement {
+  std::string name;
+  std::string keyspace;
+  bool primary = false;
+  std::vector<ExprPtr> keys;
+  ExprPtr where;
+  enum class Using { kGsi, kView } using_clause = Using::kGsi;
+  bool memory_optimized = false;  // WITH {"memory_optimized": true}
+  uint32_t num_partitions = 1;    // WITH {"num_partitions": N}
+  bool array_index = false;       // leading key is DISTINCT ARRAY ... form
+};
+
+struct DropIndexStatement {
+  std::string keyspace;
+  std::string name;
+};
+
+struct Statement {
+  enum class Kind {
+    kSelect,
+    kInsert,
+    kUpdate,
+    kDelete,
+    kCreateIndex,
+    kDropIndex,
+  } kind = Kind::kSelect;
+  bool explain = false;
+
+  SelectStatement select;
+  InsertStatement insert;
+  UpdateStatement update;
+  DeleteStatement del;
+  CreateIndexStatement create_index;
+  DropIndexStatement drop_index;
+};
+
+}  // namespace couchkv::n1ql
+
+#endif  // COUCHKV_N1QL_AST_H_

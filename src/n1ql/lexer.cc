@@ -1,0 +1,218 @@
+#include "n1ql/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace couchkv::n1ql {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+StatusOr<std::vector<Token>> Tokenize(std::string_view in) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = in.size();
+
+  auto error = [&](const std::string& what) {
+    return Status::ParseError("lex error at offset " + std::to_string(i) +
+                              ": " + what);
+  };
+  auto push = [&](TokenType t, size_t off) {
+    Token tok;
+    tok.type = t;
+    tok.offset = off;
+    tokens.push_back(tok);
+  };
+
+  while (i < n) {
+    char c = in[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // -- comments: -- to end of line, /* ... */
+    if (c == '-' && i + 1 < n && in[i + 1] == '-') {
+      while (i < n && in[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && in[i + 1] == '*') {
+      size_t end = in.find("*/", i + 2);
+      if (end == std::string_view::npos) return error("unterminated comment");
+      i = end + 2;
+      continue;
+    }
+    size_t start = i;
+    if (IsIdentStart(c)) {
+      while (i < n && IsIdentChar(in[i])) ++i;
+      Token tok;
+      tok.type = TokenType::kIdentifier;
+      tok.text = std::string(in.substr(start, i - start));
+      tok.upper = tok.text;
+      for (char& ch : tok.upper) ch = static_cast<char>(std::toupper(ch));
+      tok.offset = start;
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    if (c == '`') {
+      ++i;
+      size_t end = in.find('`', i);
+      if (end == std::string_view::npos) {
+        return error("unterminated backtick identifier");
+      }
+      Token tok;
+      tok.type = TokenType::kIdentifier;
+      tok.text = std::string(in.substr(i, end - i));
+      tok.upper.clear();  // escaped identifiers never match keywords
+      tok.offset = start;
+      tokens.push_back(std::move(tok));
+      i = end + 1;
+      continue;
+    }
+    if (c == '\'' || c == '"') {
+      char quote = c;
+      ++i;
+      std::string text;
+      bool closed = false;
+      while (i < n) {
+        if (in[i] == quote) {
+          // Doubled quote escapes itself ('' -> ').
+          if (i + 1 < n && in[i + 1] == quote) {
+            text.push_back(quote);
+            i += 2;
+            continue;
+          }
+          ++i;
+          closed = true;
+          break;
+        }
+        if (in[i] == '\\' && i + 1 < n) {
+          char e = in[i + 1];
+          switch (e) {
+            case 'n': text.push_back('\n'); break;
+            case 't': text.push_back('\t'); break;
+            case 'r': text.push_back('\r'); break;
+            default: text.push_back(e);
+          }
+          i += 2;
+          continue;
+        }
+        text.push_back(in[i]);
+        ++i;
+      }
+      if (!closed) return error("unterminated string");
+      Token tok;
+      tok.type = TokenType::kString;
+      tok.text = std::move(text);
+      tok.offset = start;
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(in[i + 1])))) {
+      while (i < n && (std::isdigit(static_cast<unsigned char>(in[i])) ||
+                       in[i] == '.' || in[i] == 'e' || in[i] == 'E' ||
+                       ((in[i] == '+' || in[i] == '-') &&
+                        (in[i - 1] == 'e' || in[i - 1] == 'E')))) {
+        ++i;
+      }
+      std::string num(in.substr(start, i - start));
+      char* end = nullptr;
+      double d = std::strtod(num.c_str(), &end);
+      if (end != num.c_str() + num.size()) return error("bad number " + num);
+      Token tok;
+      tok.type = TokenType::kNumber;
+      tok.number = d;
+      tok.text = num;
+      tok.offset = start;
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    if (c == '$') {
+      ++i;
+      size_t ds = i;
+      while (i < n && std::isdigit(static_cast<unsigned char>(in[i]))) ++i;
+      if (i == ds) return error("expected parameter number after $");
+      Token tok;
+      tok.type = TokenType::kParameter;
+      tok.param_index =
+          static_cast<size_t>(std::strtoull(in.substr(ds, i - ds).data(),
+                                            nullptr, 10));
+      tok.offset = start;
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    // Punctuation and operators.
+    ++i;
+    switch (c) {
+      case '(': push(TokenType::kLParen, start); break;
+      case ')': push(TokenType::kRParen, start); break;
+      case '[': push(TokenType::kLBracket, start); break;
+      case ']': push(TokenType::kRBracket, start); break;
+      case '{': push(TokenType::kLBrace, start); break;
+      case '}': push(TokenType::kRBrace, start); break;
+      case ',': push(TokenType::kComma, start); break;
+      case '.': push(TokenType::kDot, start); break;
+      case ':': push(TokenType::kColon, start); break;
+      case ';': push(TokenType::kSemicolon, start); break;
+      case '*': push(TokenType::kStar, start); break;
+      case '+': push(TokenType::kPlus, start); break;
+      case '-': push(TokenType::kMinus, start); break;
+      case '/': push(TokenType::kSlash, start); break;
+      case '%': push(TokenType::kPercent, start); break;
+      case '=':
+        if (i < n && in[i] == '=') ++i;  // == accepted as =
+        push(TokenType::kEq, start);
+        break;
+      case '!':
+        if (i < n && in[i] == '=') {
+          ++i;
+          push(TokenType::kNeq, start);
+        } else {
+          return error("unexpected '!'");
+        }
+        break;
+      case '<':
+        if (i < n && in[i] == '=') {
+          ++i;
+          push(TokenType::kLte, start);
+        } else if (i < n && in[i] == '>') {
+          ++i;
+          push(TokenType::kNeq, start);
+        } else {
+          push(TokenType::kLt, start);
+        }
+        break;
+      case '>':
+        if (i < n && in[i] == '=') {
+          ++i;
+          push(TokenType::kGte, start);
+        } else {
+          push(TokenType::kGt, start);
+        }
+        break;
+      case '|':
+        if (i < n && in[i] == '|') {
+          ++i;
+          push(TokenType::kConcat, start);
+        } else {
+          return error("unexpected '|'");
+        }
+        break;
+      default:
+        return error(std::string("unexpected character '") + c + "'");
+    }
+  }
+  push(TokenType::kEof, n);
+  return tokens;
+}
+
+}  // namespace couchkv::n1ql

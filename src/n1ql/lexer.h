@@ -1,0 +1,43 @@
+// Tokenizer for N1QL. Keywords are case-insensitive; identifiers may be
+// escaped with backticks (`Profile`); strings use single or double quotes;
+// positional parameters are $1, $2, ...
+#ifndef COUCHKV_N1QL_LEXER_H_
+#define COUCHKV_N1QL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace couchkv::n1ql {
+
+enum class TokenType {
+  kEof,
+  kIdentifier,   // possibly a keyword; parser decides
+  kString,
+  kNumber,
+  kParameter,    // $n
+  kLParen, kRParen,
+  kLBracket, kRBracket,
+  kLBrace, kRBrace,
+  kComma, kDot, kColon, kSemicolon, kStar,
+  kEq, kNeq, kLt, kLte, kGt, kGte,
+  kPlus, kMinus, kSlash, kPercent,
+  kConcat,  // ||
+};
+
+struct Token {
+  TokenType type = TokenType::kEof;
+  std::string text;    // identifier/keyword text (original case preserved)
+  std::string upper;   // upper-cased text for keyword comparison
+  double number = 0;
+  size_t param_index = 0;
+  size_t offset = 0;   // position in the input, for error messages
+};
+
+// Tokenizes `input`; returns ParseError on malformed input.
+StatusOr<std::vector<Token>> Tokenize(std::string_view input);
+
+}  // namespace couchkv::n1ql
+
+#endif  // COUCHKV_N1QL_LEXER_H_

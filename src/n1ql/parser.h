@@ -1,0 +1,20 @@
+// Recursive-descent parser for N1QL.
+#ifndef COUCHKV_N1QL_PARSER_H_
+#define COUCHKV_N1QL_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "n1ql/ast.h"
+
+namespace couchkv::n1ql {
+
+// Parses a single N1QL statement (optionally prefixed with EXPLAIN).
+StatusOr<Statement> ParseStatement(std::string_view query);
+
+// Parses a standalone expression (used in tests and by the planner).
+StatusOr<ExprPtr> ParseExpression(std::string_view text);
+
+}  // namespace couchkv::n1ql
+
+#endif  // COUCHKV_N1QL_PARSER_H_

@@ -1,0 +1,672 @@
+#include "n1ql/query_service.h"
+
+#include <algorithm>
+#include <set>
+#include <thread>
+
+#include "common/clock.h"
+#include "n1ql/exec_util.h"
+#include "n1ql/parser.h"
+
+namespace couchkv::n1ql {
+
+namespace {
+using json::Value;
+
+StatusOr<size_t> EvalCount(const ExprPtr& e, const QueryOptions& opts,
+                           size_t fallback) {
+  return EvalCountExpr(e, opts.params, fallback);
+}
+
+}  // namespace
+
+QueryService::QueryService(cluster::Cluster* cluster,
+                           std::shared_ptr<gsi::IndexService> gsi,
+                           std::shared_ptr<views::ViewEngine> views)
+    : cluster_(cluster),
+      gsi_(std::move(gsi)),
+      views_(std::move(views)),
+      pool_(std::max(4u, std::thread::hardware_concurrency())) {}
+
+client::SmartClient* QueryService::ClientFor(const std::string& bucket) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = clients_.find(bucket);
+  if (it == clients_.end()) {
+    it = clients_
+             .emplace(bucket,
+                      std::make_unique<client::SmartClient>(cluster_, bucket))
+             .first;
+  }
+  return it->second.get();
+}
+
+EvalContext QueryService::MakeContext(const ExecRow& row,
+                                      const std::string& default_alias,
+                                      const QueryOptions& opts) const {
+  EvalContext ctx;
+  ctx.row = &row.row;
+  ctx.default_alias = default_alias;
+  ctx.params = &opts.params;
+  ctx.aggregates = &row.aggregates;
+  return ctx;
+}
+
+StatusOr<QueryResult> QueryService::Execute(const std::string& query,
+                                            const QueryOptions& opts) {
+  // MDS: queries require a healthy query-service node somewhere.
+  bool have_query_node = false;
+  for (cluster::NodeId id : cluster_->node_ids()) {
+    cluster::Node* n = cluster_->node(id);
+    if (n != nullptr && n->healthy() && n->HasService(cluster::kQueryService)) {
+      have_query_node = true;
+      break;
+    }
+  }
+  if (!have_query_node) {
+    return Status::Unsupported("no query service node in the cluster");
+  }
+
+  auto stmt_or = ParseStatement(query);
+  if (!stmt_or.ok()) return stmt_or.status();
+  Statement& stmt = *stmt_or;
+
+  uint64_t start = Clock::Real()->NowNanos();
+  StatusOr<QueryResult> result = Status::Internal("unreachable");
+  switch (stmt.kind) {
+    case Statement::Kind::kSelect:
+      result = ExecSelect(stmt.select, opts, stmt.explain);
+      break;
+    case Statement::Kind::kInsert:
+      result = ExecInsert(stmt.insert, opts);
+      break;
+    case Statement::Kind::kUpdate:
+      result = ExecUpdate(stmt.update, opts);
+      break;
+    case Statement::Kind::kDelete:
+      result = ExecDelete(stmt.del, opts);
+      break;
+    case Statement::Kind::kCreateIndex:
+      result = ExecCreateIndex(stmt.create_index);
+      break;
+    case Statement::Kind::kDropIndex:
+      result = ExecDropIndex(stmt.drop_index);
+      break;
+  }
+  if (result.ok()) {
+    result->metrics.elapsed_ns = Clock::Real()->NowNanos() - start;
+    result->metrics.result_count = result->rows.size();
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// SELECT
+// ---------------------------------------------------------------------------
+
+StatusOr<std::vector<QueryService::ExecRow>> QueryService::FetchRows(
+    const std::string& bucket, const std::string& alias,
+    const std::vector<std::string>& ids, QueryMetrics* metrics) {
+  // Fetch is parallelized across the pool (paper §4.5.3: "The execution of
+  // the fetch operator is parallelized").
+  client::SmartClient* client = ClientFor(bucket);
+  std::vector<std::optional<ExecRow>> slots(ids.size());
+  std::atomic<size_t> fetched{0};
+  auto fetch_one = [&](size_t i) {
+    auto reply = client->Get(ids[i]);
+    if (!reply.ok()) return;
+    auto parsed = json::Parse(reply->value);
+    if (!parsed.ok()) return;
+    ExecRow row;
+    row.row.bindings[alias] =
+        BoundDoc{std::move(parsed).value(), ids[i], reply->cas};
+    slots[i] = std::move(row);
+    fetched.fetch_add(1, std::memory_order_relaxed);
+  };
+  // Small fetches run inline: per-task pool overhead would dominate, and
+  // concurrent queries would contend on the shared pool's queue.
+  constexpr size_t kParallelFetchThreshold = 64;
+  if (ids.size() < kParallelFetchThreshold) {
+    for (size_t i = 0; i < ids.size(); ++i) fetch_one(i);
+  } else {
+    // Per-call completion latch: the pool is shared across concurrent
+    // queries, so waiting for global pool idleness would stall under load.
+    std::mutex done_mu;
+    std::condition_variable done_cv;
+    size_t outstanding = ids.size();
+    for (size_t i = 0; i < ids.size(); ++i) {
+      pool_.Submit([&, i] {
+        fetch_one(i);
+        std::lock_guard<std::mutex> lock(done_mu);
+        if (--outstanding == 0) done_cv.notify_all();
+      });
+    }
+    std::unique_lock<std::mutex> lock(done_mu);
+    done_cv.wait(lock, [&] { return outstanding == 0; });
+  }
+  metrics->docs_fetched += fetched.load();
+  std::vector<ExecRow> rows;
+  rows.reserve(ids.size());
+  for (auto& slot : slots) {
+    if (slot.has_value()) rows.push_back(std::move(*slot));
+  }
+  return rows;
+}
+
+StatusOr<std::vector<QueryService::ExecRow>> QueryService::RunScan(
+    const SelectStatement& stmt, const QueryPlan& plan,
+    const QueryOptions& opts, QueryMetrics* metrics) {
+  if (plan.scan.kind == ScanKind::kNoScan) {
+    // SELECT without FROM: one empty row.
+    return std::vector<ExecRow>{ExecRow{}};
+  }
+  const FromTerm& from = *stmt.from;
+
+  if (plan.scan.kind == ScanKind::kKeyScan) {
+    EvalContext ctx;
+    ctx.params = &opts.params;
+    auto keys = Eval(*plan.scan.use_keys, ctx);
+    if (!keys.ok()) return keys.status();
+    std::vector<std::string> ids;
+    if (keys->is_string()) {
+      ids.push_back(keys->AsString());
+    } else if (keys->is_array()) {
+      for (const Value& k : keys->AsArray()) {
+        if (k.is_string()) ids.push_back(k.AsString());
+      }
+    } else {
+      return Status::InvalidArgument("USE KEYS expects a string or array");
+    }
+    return FetchRows(from.keyspace, from.alias, ids, metrics);
+  }
+
+  // Index-backed scans. Push LIMIT+OFFSET into the index scan only when the
+  // rest of the pipeline cannot drop or reorder rows.
+  size_t scan_limit = SIZE_MAX;
+  if (plan.scan.where_consumed && stmt.joins.empty() &&
+      stmt.order_by.empty() && stmt.group_by.empty() &&
+      !plan.has_aggregates && !stmt.distinct) {
+    auto limit = EvalCount(stmt.limit, opts, SIZE_MAX);
+    if (!limit.ok()) return limit.status();
+    auto offset = EvalCount(stmt.offset, opts, 0);
+    if (!offset.ok()) return offset.status();
+    if (*limit != SIZE_MAX) scan_limit = *limit + *offset;
+  }
+
+  auto entries = gsi_->Scan(from.keyspace, plan.scan.index_name,
+                            plan.scan.range, scan_limit, opts.consistency);
+  if (!entries.ok()) return entries.status();
+
+  if (plan.scan.kind == ScanKind::kIndexScan && plan.scan.covering) {
+    // Covered query (paper §5.1.2): reconstruct the referenced fields from
+    // the index entries; no document fetch at all.
+    std::vector<ExecRow> rows;
+    rows.reserve(entries->size());
+    for (const gsi::IndexEntry& e : *entries) {
+      Value doc = Value::MakeObject();
+      if (plan.scan.index_key_paths.size() == 1) {
+        doc.SetPath(plan.scan.index_key_paths[0], e.key);
+      } else if (e.key.is_array()) {
+        const auto& parts = e.key.AsArray();
+        for (size_t i = 0;
+             i < plan.scan.index_key_paths.size() && i < parts.size(); ++i) {
+          doc.SetPath(plan.scan.index_key_paths[i], parts[i]);
+        }
+      }
+      ExecRow row;
+      row.row.bindings[from.alias] = BoundDoc{std::move(doc), e.doc_id, 0};
+      rows.push_back(std::move(row));
+    }
+    return rows;
+  }
+
+  std::vector<std::string> ids;
+  ids.reserve(entries->size());
+  for (const gsi::IndexEntry& e : *entries) ids.push_back(e.doc_id);
+  return FetchRows(from.keyspace, from.alias, ids, metrics);
+}
+
+Status QueryService::RunJoins(const SelectStatement& stmt,
+                              const QueryOptions& opts,
+                              std::vector<ExecRow>* rows,
+                              QueryMetrics* metrics) {
+  const std::string default_alias = stmt.from ? stmt.from->alias : "";
+  for (const JoinClause& jc : stmt.joins) {
+    std::vector<ExecRow> next;
+    for (ExecRow& row : *rows) {
+      EvalContext ctx = MakeContext(row, default_alias, opts);
+      if (jc.kind == JoinClause::Kind::kUnnest) {
+        // UNNEST: repeat the parent for each element of the nested array
+        // (paper §3.2.3 / §4.5.3).
+        auto arr = Eval(*jc.unnest_expr, ctx);
+        if (!arr.ok()) return arr.status();
+        if (!arr->is_array()) continue;  // inner unnest drops the row
+        for (const Value& elem : arr->AsArray()) {
+          ExecRow out = row;
+          out.row.bindings[jc.alias] = BoundDoc{elem, "", 0};
+          next.push_back(std::move(out));
+        }
+        continue;
+      }
+      // JOIN / NEST: evaluate ON KEYS to find the inner document ids, then
+      // KeyScan the inner keyspace (the nested-loop join of §4.5.3).
+      auto keys = Eval(*jc.on_keys, ctx);
+      if (!keys.ok()) return keys.status();
+      std::vector<std::string> ids;
+      if (keys->is_string()) {
+        ids.push_back(keys->AsString());
+      } else if (keys->is_array()) {
+        for (const Value& k : keys->AsArray()) {
+          if (k.is_string()) ids.push_back(k.AsString());
+        }
+      }
+      auto inner = FetchRows(jc.keyspace, jc.alias, ids, metrics);
+      if (!inner.ok()) return inner.status();
+      if (jc.kind == JoinClause::Kind::kNest) {
+        // NEST: one output row; inner docs collected into an array
+        // (paper §3.2.3: "its right-hand input is collected into an array").
+        if (inner->empty() && jc.join_kind == JoinKind::kInner) continue;
+        Value::Array collected;
+        for (ExecRow& in : *inner) {
+          collected.push_back(in.row.bindings[jc.alias].value);
+        }
+        ExecRow out = std::move(row);
+        out.row.bindings[jc.alias] =
+            BoundDoc{Value::MakeArray(std::move(collected)), "", 0};
+        next.push_back(std::move(out));
+      } else {
+        if (inner->empty()) {
+          if (jc.join_kind == JoinKind::kLeftOuter) {
+            next.push_back(std::move(row));  // alias left unbound (MISSING)
+          }
+          continue;
+        }
+        for (ExecRow& in : *inner) {
+          ExecRow out = row;
+          out.row.bindings[jc.alias] = std::move(in.row.bindings[jc.alias]);
+          next.push_back(std::move(out));
+        }
+      }
+    }
+    *rows = std::move(next);
+  }
+  return Status::OK();
+}
+
+Status QueryService::RunGroup(const SelectStatement& stmt,
+                              const QueryPlan& plan, const QueryOptions& opts,
+                              std::vector<ExecRow>* rows) {
+  const std::string default_alias = stmt.from ? stmt.from->alias : "";
+  // Partition rows into groups keyed by the GROUP BY values (one global
+  // group when there is no GROUP BY but aggregates are present).
+  std::map<std::string, std::vector<Row>> groups;
+  std::map<std::string, ExecRow> representatives;
+  for (ExecRow& row : *rows) {
+    std::string key;
+    EvalContext ctx = MakeContext(row, default_alias, opts);
+    for (const ExprPtr& g : stmt.group_by) {
+      auto v = Eval(*g, ctx);
+      if (!v.ok()) return v.status();
+      key += v->ToJson();
+      key += '\x1f';
+    }
+    groups[key].push_back(row.row);
+    representatives.emplace(key, row);
+  }
+  if (groups.empty() && stmt.group_by.empty()) {
+    // Aggregates over an empty input still produce one row (COUNT(*) = 0).
+    groups[""] = {};
+    representatives.emplace("", ExecRow{});
+  }
+  std::vector<ExecRow> out;
+  out.reserve(groups.size());
+  for (auto& [key, members] : groups) {
+    ExecRow result = representatives.at(key);
+    for (const ExprPtr& agg : plan.aggregate_exprs) {
+      auto v = ComputeAggregate(*agg, members, default_alias, opts.params);
+      if (!v.ok()) return v.status();
+      result.aggregates[agg->ToString()] = std::move(v).value();
+    }
+    out.push_back(std::move(result));
+  }
+  *rows = std::move(out);
+  return Status::OK();
+}
+
+StatusOr<Value> QueryService::ProjectRow(const SelectStatement& stmt,
+                                         const ExecRow& row,
+                                         const QueryOptions& opts,
+                                         const std::string& default_alias) {
+  EvalContext ctx = MakeContext(row, default_alias, opts);
+  return ProjectSelectItems(stmt.items, ctx);
+}
+
+StatusOr<QueryResult> QueryService::ExecSelect(const SelectStatement& stmt,
+                                               const QueryOptions& opts,
+                                               bool explain) {
+  // §3.2.4: general (non-key) joins are linguistically restricted — "joins
+  // are only allowed when one of the two sides involves the primary key".
+  // The analytics service (§6.2) runs them instead.
+  for (const JoinClause& jc : stmt.joins) {
+    if (jc.kind == JoinClause::Kind::kJoin && jc.on_keys == nullptr) {
+      return Status::Unsupported(
+          "general join conditions are not supported by the query service; "
+          "use ON KEYS, or run the query on the analytics service");
+    }
+  }
+  std::vector<gsi::IndexDefinition> indexes;
+  if (stmt.from.has_value()) {
+    indexes = gsi_->ListIndexes(stmt.from->keyspace);
+  }
+  auto plan_or = PlanSelect(stmt, indexes, opts.params);
+  if (!plan_or.ok()) return plan_or.status();
+  QueryPlan& plan = *plan_or;
+
+  QueryResult result;
+  if (explain) {
+    result.rows.push_back(plan.Describe(stmt));
+    return result;
+  }
+
+  const std::string default_alias = stmt.from ? stmt.from->alias : "";
+
+  // Scan (+ implicit fetch).
+  auto rows_or = RunScan(stmt, plan, opts, &result.metrics);
+  if (!rows_or.ok()) return rows_or.status();
+  std::vector<ExecRow> rows = std::move(rows_or).value();
+
+  // Joins / NEST / UNNEST.
+  COUCHKV_RETURN_IF_ERROR(RunJoins(stmt, opts, &rows, &result.metrics));
+
+  // Filter.
+  if (stmt.where != nullptr) {
+    std::vector<ExecRow> kept;
+    kept.reserve(rows.size());
+    for (ExecRow& row : rows) {
+      EvalContext ctx = MakeContext(row, default_alias, opts);
+      auto cond = EvalCondition(*stmt.where, ctx);
+      if (!cond.ok()) return cond.status();
+      if (*cond) kept.push_back(std::move(row));
+    }
+    rows = std::move(kept);
+  }
+
+  // Group / aggregate.
+  if (plan.has_aggregates || !stmt.group_by.empty()) {
+    COUCHKV_RETURN_IF_ERROR(RunGroup(stmt, plan, opts, &rows));
+    if (stmt.having != nullptr) {
+      std::vector<ExecRow> kept;
+      for (ExecRow& row : rows) {
+        EvalContext ctx = MakeContext(row, default_alias, opts);
+        auto cond = EvalCondition(*stmt.having, ctx);
+        if (!cond.ok()) return cond.status();
+        if (*cond) kept.push_back(std::move(row));
+      }
+      rows = std::move(kept);
+    }
+  }
+
+  // Sort.
+  if (!stmt.order_by.empty()) {
+    struct Keyed {
+      std::vector<Value> keys;
+      size_t index;
+    };
+    std::vector<Keyed> keyed(rows.size());
+    for (size_t i = 0; i < rows.size(); ++i) {
+      keyed[i].index = i;
+      EvalContext ctx = MakeContext(rows[i], default_alias, opts);
+      for (const OrderKey& k : stmt.order_by) {
+        auto v = Eval(*ResolveOutputAlias(k.expr, stmt.items), ctx);
+        if (!v.ok()) return v.status();
+        keyed[i].keys.push_back(std::move(v).value());
+      }
+    }
+    std::stable_sort(keyed.begin(), keyed.end(),
+                     [&](const Keyed& a, const Keyed& b) {
+                       for (size_t k = 0; k < stmt.order_by.size(); ++k) {
+                         int c = Value::Compare(a.keys[k], b.keys[k]);
+                         if (c != 0) {
+                           return stmt.order_by[k].descending ? c > 0 : c < 0;
+                         }
+                       }
+                       return false;
+                     });
+    std::vector<ExecRow> sorted;
+    sorted.reserve(rows.size());
+    for (const Keyed& k : keyed) sorted.push_back(std::move(rows[k.index]));
+    rows = std::move(sorted);
+  }
+
+  // Offset / limit.
+  auto offset = EvalCount(stmt.offset, opts, 0);
+  if (!offset.ok()) return offset.status();
+  auto limit = EvalCount(stmt.limit, opts, SIZE_MAX);
+  if (!limit.ok()) return limit.status();
+  if (*offset > 0) {
+    if (*offset >= rows.size()) {
+      rows.clear();
+    } else {
+      rows.erase(rows.begin(), rows.begin() + static_cast<long>(*offset));
+    }
+  }
+  if (rows.size() > *limit) rows.resize(*limit);
+
+  // Projection (+ DISTINCT on the projected values).
+  std::set<std::string> seen;
+  for (const ExecRow& row : rows) {
+    auto projected = ProjectRow(stmt, row, opts, default_alias);
+    if (!projected.ok()) return projected.status();
+    if (stmt.distinct) {
+      std::string ser = projected->ToJson();
+      if (!seen.insert(ser).second) continue;
+    }
+    result.rows.push_back(std::move(projected).value());
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// DML
+// ---------------------------------------------------------------------------
+
+StatusOr<QueryResult> QueryService::ExecInsert(const InsertStatement& stmt,
+                                               const QueryOptions& opts) {
+  client::SmartClient* client = ClientFor(stmt.keyspace);
+  QueryResult result;
+  EvalContext ctx;
+  ctx.params = &opts.params;
+  for (const auto& [key_expr, value_expr] : stmt.values) {
+    auto key = Eval(*key_expr, ctx);
+    if (!key.ok()) return key.status();
+    if (!key->is_string()) {
+      return Status::InvalidArgument("INSERT key must be a string");
+    }
+    auto value = Eval(*value_expr, ctx);
+    if (!value.ok()) return value.status();
+    StatusOr<client::MutateReply> reply =
+        stmt.upsert ? client->Upsert(key->AsString(), value->ToJson())
+                    : client->Insert(key->AsString(), value->ToJson());
+    if (!reply.ok()) return reply.status();
+    ++result.metrics.mutation_count;
+  }
+  return result;
+}
+
+StatusOr<std::vector<QueryService::ExecRow>> QueryService::ResolveDmlTargets(
+    const std::string& keyspace, const std::string& alias,
+    const ExprPtr& use_keys, const ExprPtr& where, const QueryOptions& opts,
+    QueryMetrics* metrics) {
+  // Reuse the SELECT machinery: build a synthetic `SELECT * FROM ks ...`.
+  SelectStatement synth;
+  SelectItem star;
+  star.star = true;
+  synth.items.push_back(star);
+  FromTerm from;
+  from.keyspace = keyspace;
+  from.alias = alias;
+  from.use_keys = use_keys;
+  synth.from = from;
+  synth.where = where;
+
+  auto plan = PlanSelect(synth, gsi_->ListIndexes(keyspace), opts.params);
+  if (!plan.ok()) return plan.status();
+  // DML must see the document body, never a covered projection.
+  plan->scan.covering = false;
+  auto rows = RunScan(synth, *plan, opts, metrics);
+  if (!rows.ok()) return rows;
+  if (where != nullptr) {
+    std::vector<ExecRow> kept;
+    for (ExecRow& row : *rows) {
+      EvalContext ctx = MakeContext(row, alias, opts);
+      auto cond = EvalCondition(*where, ctx);
+      if (!cond.ok()) return cond.status();
+      if (*cond) kept.push_back(std::move(row));
+    }
+    return kept;
+  }
+  return rows;
+}
+
+StatusOr<QueryResult> QueryService::ExecUpdate(const UpdateStatement& stmt,
+                                               const QueryOptions& opts) {
+  QueryResult result;
+  auto targets = ResolveDmlTargets(stmt.keyspace, stmt.alias, stmt.use_keys,
+                                   stmt.where, opts, &result.metrics);
+  if (!targets.ok()) return targets.status();
+  auto limit = EvalCount(stmt.limit, opts, SIZE_MAX);
+  if (!limit.ok()) return limit.status();
+  if (targets->size() > *limit) targets->resize(*limit);
+
+  client::SmartClient* client = ClientFor(stmt.keyspace);
+  for (ExecRow& row : *targets) {
+    BoundDoc& bound = row.row.bindings[stmt.alias];
+    Value doc = bound.value;
+    EvalContext ctx = MakeContext(row, stmt.alias, opts);
+    for (const UpdatePair& pair : stmt.set) {
+      auto v = Eval(*pair.value, ctx);
+      if (!v.ok()) return v.status();
+      if (!doc.SetPath(pair.path, std::move(v).value())) {
+        return Status::InvalidArgument("cannot SET path " + pair.path);
+      }
+    }
+    for (const std::string& path : stmt.unset) {
+      doc.RemovePath(path);
+    }
+    client::WriteOptions wopts;
+    wopts.cas = bound.meta_cas;  // optimistic: fail on concurrent change
+    auto reply = client->Replace(bound.meta_id, doc.ToJson(), wopts);
+    if (!reply.ok()) {
+      if (reply.status().IsKeyExists()) continue;  // lost the race: skip
+      return reply.status();
+    }
+    ++result.metrics.mutation_count;
+  }
+  return result;
+}
+
+StatusOr<QueryResult> QueryService::ExecDelete(const DeleteStatement& stmt,
+                                               const QueryOptions& opts) {
+  QueryResult result;
+  auto targets = ResolveDmlTargets(stmt.keyspace, stmt.alias, stmt.use_keys,
+                                   stmt.where, opts, &result.metrics);
+  if (!targets.ok()) return targets.status();
+  auto limit = EvalCount(stmt.limit, opts, SIZE_MAX);
+  if (!limit.ok()) return limit.status();
+  if (targets->size() > *limit) targets->resize(*limit);
+
+  client::SmartClient* client = ClientFor(stmt.keyspace);
+  for (ExecRow& row : *targets) {
+    BoundDoc& bound = row.row.bindings[stmt.alias];
+    auto reply = client->Remove(bound.meta_id, bound.meta_cas);
+    if (!reply.ok()) {
+      if (reply.status().IsKeyExists() || reply.status().IsNotFound()) continue;
+      return reply.status();
+    }
+    ++result.metrics.mutation_count;
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// DDL
+// ---------------------------------------------------------------------------
+
+StatusOr<QueryResult> QueryService::ExecCreateIndex(
+    const CreateIndexStatement& stmt) {
+  if (stmt.using_clause == CreateIndexStatement::Using::kView) {
+    // USING VIEW (paper §3.3.1): materialize a local view index keyed on the
+    // indexed paths. Queryable through the View API.
+    views::ViewDefinition def;
+    def.name = stmt.name;
+    for (const ExprPtr& key : stmt.keys) {
+      auto rel = RelativePathText(*key, stmt.keyspace);
+      if (!rel.has_value()) {
+        return Status::Unsupported("USING VIEW requires plain path keys");
+      }
+      def.map.key_paths.push_back(*rel);
+    }
+    if (!def.map.key_paths.empty()) {
+      def.map.filter_exists_path = def.map.key_paths[0];
+    }
+    if (stmt.primary) {
+      return Status::Unsupported(
+          "PRIMARY INDEX USING VIEW is not supported; use GSI");
+    }
+    COUCHKV_RETURN_IF_ERROR(views_->CreateView(stmt.keyspace, def));
+    std::lock_guard<std::mutex> lock(mu_);
+    view_indexes_[stmt.keyspace + "." + stmt.name] = stmt.name;
+    return QueryResult{};
+  }
+
+  gsi::IndexDefinition def;
+  def.name = stmt.name;
+  def.bucket = stmt.keyspace;
+  def.is_primary = stmt.primary;
+  def.array_index = stmt.array_index;
+  def.num_partitions = stmt.num_partitions;
+  def.mode = stmt.memory_optimized ? gsi::IndexStorageMode::kMemoryOptimized
+                                   : gsi::IndexStorageMode::kStandard;
+  for (const ExprPtr& key : stmt.keys) {
+    auto rel = RelativePathText(*key, stmt.keyspace);
+    if (!rel.has_value()) {
+      return Status::Unsupported(
+          "only plain document paths can be indexed (got " + key->ToString() +
+          ")");
+    }
+    def.key_paths.push_back(*rel);
+  }
+  if (stmt.where != nullptr) {
+    def.where_text = stmt.where->ToString();
+    ExprPtr where = stmt.where;
+    std::string alias = stmt.keyspace;
+    def.where_fn = [where, alias](const json::Value& doc) {
+      Row row;
+      row.bindings[alias] = BoundDoc{doc, "", 0};
+      EvalContext ctx;
+      ctx.row = &row;
+      ctx.default_alias = alias;
+      auto cond = EvalCondition(*where, ctx);
+      return cond.ok() && *cond;
+    };
+  }
+  COUCHKV_RETURN_IF_ERROR(gsi_->CreateIndex(std::move(def)));
+  return QueryResult{};
+}
+
+StatusOr<QueryResult> QueryService::ExecDropIndex(
+    const DropIndexStatement& stmt) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = view_indexes_.find(stmt.keyspace + "." + stmt.name);
+    if (it != view_indexes_.end()) {
+      Status st = views_->DropView(stmt.keyspace, it->second);
+      if (st.ok()) view_indexes_.erase(it);
+      if (!st.ok()) return st;
+      return QueryResult{};
+    }
+  }
+  COUCHKV_RETURN_IF_ERROR(gsi_->DropIndex(stmt.keyspace, stmt.name));
+  return QueryResult{};
+}
+
+}  // namespace couchkv::n1ql

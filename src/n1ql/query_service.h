@@ -1,0 +1,114 @@
+// The Query Service (paper §4.3.5, §4.5): parses N1QL, plans against the
+// index catalog, and executes the operator pipeline of Figure 11 — scan →
+// fetch → join/nest/unnest → filter → group → project → sort → limit →
+// final project — with parallel fetch. Also executes DML and index DDL.
+#ifndef COUCHKV_N1QL_QUERY_SERVICE_H_
+#define COUCHKV_N1QL_QUERY_SERVICE_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "client/smart_client.h"
+#include "cluster/cluster.h"
+#include "common/thread_pool.h"
+#include "gsi/index_service.h"
+#include "n1ql/ast.h"
+#include "n1ql/expr_eval.h"
+#include "n1ql/planner.h"
+#include "views/view_engine.h"
+
+namespace couchkv::n1ql {
+
+struct QueryOptions {
+  std::vector<json::Value> params;  // positional $1, $2, ...
+  // Query scan consistency (paper §3.2.3): not_bounded or request_plus.
+  gsi::ScanConsistency consistency = gsi::ScanConsistency::kNotBounded;
+};
+
+struct QueryMetrics {
+  uint64_t elapsed_ns = 0;
+  size_t result_count = 0;
+  size_t docs_fetched = 0;    // Fetch-operator document reads
+  size_t mutation_count = 0;  // DML statements
+};
+
+struct QueryResult {
+  std::vector<json::Value> rows;
+  QueryMetrics metrics;
+};
+
+class QueryService {
+ public:
+  QueryService(cluster::Cluster* cluster,
+               std::shared_ptr<gsi::IndexService> gsi,
+               std::shared_ptr<views::ViewEngine> views);
+
+  // Parses and executes one N1QL statement.
+  StatusOr<QueryResult> Execute(const std::string& query,
+                                const QueryOptions& opts = {});
+
+ private:
+  struct ExecRow {
+    Row row;
+    std::map<std::string, json::Value> aggregates;
+  };
+
+  client::SmartClient* ClientFor(const std::string& bucket);
+
+  StatusOr<QueryResult> ExecSelect(const SelectStatement& stmt,
+                                   const QueryOptions& opts, bool explain);
+  StatusOr<QueryResult> ExecInsert(const InsertStatement& stmt,
+                                   const QueryOptions& opts);
+  StatusOr<QueryResult> ExecUpdate(const UpdateStatement& stmt,
+                                   const QueryOptions& opts);
+  StatusOr<QueryResult> ExecDelete(const DeleteStatement& stmt,
+                                   const QueryOptions& opts);
+  StatusOr<QueryResult> ExecCreateIndex(const CreateIndexStatement& stmt);
+  StatusOr<QueryResult> ExecDropIndex(const DropIndexStatement& stmt);
+
+  // --- operators ---
+  // Runs the chosen scan, producing bound rows. Sets metrics.docs_fetched.
+  StatusOr<std::vector<ExecRow>> RunScan(const SelectStatement& stmt,
+                                         const QueryPlan& plan,
+                                         const QueryOptions& opts,
+                                         QueryMetrics* metrics);
+  // Parallel fetch of documents by id; missing ids are skipped.
+  StatusOr<std::vector<ExecRow>> FetchRows(const std::string& bucket,
+                                           const std::string& alias,
+                                           const std::vector<std::string>& ids,
+                                           QueryMetrics* metrics);
+  Status RunJoins(const SelectStatement& stmt, const QueryOptions& opts,
+                  std::vector<ExecRow>* rows, QueryMetrics* metrics);
+  Status RunGroup(const SelectStatement& stmt, const QueryPlan& plan,
+                  const QueryOptions& opts, std::vector<ExecRow>* rows);
+  StatusOr<json::Value> ProjectRow(const SelectStatement& stmt,
+                                   const ExecRow& row,
+                                   const QueryOptions& opts,
+                                   const std::string& default_alias);
+
+  // Resolves the target documents for UPDATE/DELETE.
+  StatusOr<std::vector<ExecRow>> ResolveDmlTargets(
+      const std::string& keyspace, const std::string& alias,
+      const ExprPtr& use_keys, const ExprPtr& where, const QueryOptions& opts,
+      QueryMetrics* metrics);
+
+  EvalContext MakeContext(const ExecRow& row, const std::string& default_alias,
+                          const QueryOptions& opts) const;
+
+  cluster::Cluster* cluster_;
+  std::shared_ptr<gsi::IndexService> gsi_;
+  std::shared_ptr<views::ViewEngine> views_;
+  ThreadPool pool_;
+
+  std::mutex mu_;
+  std::map<std::string, std::unique_ptr<client::SmartClient>> clients_;
+  // Indexes created USING VIEW (paper §3.3.1), tracked for DROP INDEX.
+  std::map<std::string, std::string> view_indexes_;  // "bucket.name" -> view
+};
+
+}  // namespace couchkv::n1ql
+
+#endif  // COUCHKV_N1QL_QUERY_SERVICE_H_

@@ -1,0 +1,72 @@
+// Little-endian fixed-width encode/decode helpers for on-disk records.
+#ifndef COUCHKV_STORAGE_CODING_H_
+#define COUCHKV_STORAGE_CODING_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace couchkv::storage {
+
+inline void PutU8(std::string* out, uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+inline void PutU16(std::string* out, uint16_t v) {
+  char buf[2];
+  std::memcpy(buf, &v, 2);
+  out->append(buf, 2);
+}
+inline void PutU32(std::string* out, uint32_t v) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);
+  out->append(buf, 4);
+}
+inline void PutU64(std::string* out, uint64_t v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  out->append(buf, 8);
+}
+inline void PutLengthPrefixed(std::string* out, std::string_view s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+
+// Cursor-style decoder; all Get* return false on underflow.
+class Decoder {
+ public:
+  explicit Decoder(std::string_view data) : data_(data) {}
+
+  bool GetU8(uint8_t* v) {
+    if (data_.size() < 1) return false;
+    *v = static_cast<uint8_t>(data_[0]);
+    data_.remove_prefix(1);
+    return true;
+  }
+  bool GetU16(uint16_t* v) { return GetFixed(v); }
+  bool GetU32(uint32_t* v) { return GetFixed(v); }
+  bool GetU64(uint64_t* v) { return GetFixed(v); }
+  bool GetLengthPrefixed(std::string* out) {
+    uint32_t n;
+    if (!GetU32(&n) || data_.size() < n) return false;
+    out->assign(data_.data(), n);
+    data_.remove_prefix(n);
+    return true;
+  }
+  bool empty() const { return data_.empty(); }
+  size_t remaining() const { return data_.size(); }
+
+ private:
+  template <typename T>
+  bool GetFixed(T* v) {
+    if (data_.size() < sizeof(T)) return false;
+    std::memcpy(v, data_.data(), sizeof(T));
+    data_.remove_prefix(sizeof(T));
+    return true;
+  }
+  std::string_view data_;
+};
+
+}  // namespace couchkv::storage
+
+#endif  // COUCHKV_STORAGE_CODING_H_

@@ -1,0 +1,110 @@
+// Append-only per-vBucket store, modeled on couchstore (paper §4.3.3
+// "Storage Engine"): every mutation — insert, update, or delete — is
+// appended at the end of the file, so disk writes are purely sequential.
+// Commits append a commit record and fsync; on open the file is scanned
+// forward and anything after the last valid commit is discarded, giving
+// crash consistency.
+//
+// Simplification vs couchstore: couchstore persists by-id/by-seqno B-trees
+// so open() need not scan; we rebuild the in-memory index by a forward scan
+// (bitcask-style). The write path — the part the paper's performance story
+// depends on — is identical: sequential appends + periodic compaction
+// triggered by a fragmentation threshold.
+#ifndef COUCHKV_STORAGE_COUCH_FILE_H_
+#define COUCHKV_STORAGE_COUCH_FILE_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "kv/doc.h"
+#include "storage/env.h"
+
+namespace couchkv::storage {
+
+struct CouchFileStats {
+  uint64_t file_size = 0;
+  uint64_t live_bytes = 0;   // bytes occupied by the latest version of docs
+  uint64_t num_live_docs = 0;
+  uint64_t num_tombstones = 0;
+  uint64_t num_commits = 0;
+  uint64_t num_compactions = 0;
+};
+
+class CouchFile {
+ public:
+  // Opens (creating or recovering) the store at `path`.
+  static StatusOr<std::unique_ptr<CouchFile>> Open(Env* env,
+                                                   const std::string& path);
+
+  // Appends a batch of documents (deletes travel as meta.deleted). Not
+  // durable until Commit().
+  Status SaveDocs(const std::vector<kv::Document>& docs);
+
+  // Appends a commit record and syncs. Everything saved so far becomes
+  // recoverable.
+  Status Commit();
+
+  // Point lookup of the latest committed-or-pending version.
+  StatusOr<kv::Document> Get(std::string_view key) const;
+
+  // Streams documents with seqno > since, in seqno order (DCP backfill).
+  // Only the latest version of each key is retained, matching DCP's
+  // key-deduplicated snapshot semantics.
+  Status ChangesSince(uint64_t since_seqno,
+                      const std::function<void(const kv::Document&)>& fn) const;
+
+  // Iterates all live (non-deleted) documents, arbitrary order.
+  Status ForEachLive(const std::function<void(const kv::Document&)>& fn) const;
+
+  // Rewrites live documents into a fresh file and atomically swaps it in,
+  // dropping stale versions and (optionally) tombstones below
+  // `purge_before_seqno`.
+  Status Compact(uint64_t purge_before_seqno = 0);
+
+  // Fraction of the file occupied by stale data, 0..1. The compactor daemon
+  // fires when this exceeds the configured threshold.
+  double Fragmentation() const;
+
+  uint64_t high_seqno() const;
+  CouchFileStats stats() const;
+  const std::string& path() const { return path_; }
+
+ private:
+  struct IndexEntry {
+    uint64_t offset = 0;  // offset of the record header
+    uint32_t record_size = 0;
+    uint64_t seqno = 0;
+    bool deleted = false;
+  };
+
+  CouchFile(Env* env, std::string path, std::unique_ptr<File> file)
+      : env_(env), path_(std::move(path)), file_(std::move(file)) {}
+
+  Status Recover();
+  Status AppendDoc(const kv::Document& doc, uint64_t* offset, uint32_t* size);
+  StatusOr<kv::Document> ReadDocAt(uint64_t offset, uint32_t size) const;
+  void IndexDoc(const std::string& key, const IndexEntry& e);
+
+  Env* env_;
+  std::string path_;
+  std::unique_ptr<File> file_;
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, IndexEntry> by_id_;
+  std::map<uint64_t, std::string> by_seqno_;  // seqno -> key
+  uint64_t high_seqno_ = 0;
+  uint64_t committed_size_ = 0;  // file size at last commit (recovery point)
+  uint64_t live_bytes_ = 0;
+  uint64_t num_commits_ = 0;
+  uint64_t num_compactions_ = 0;
+};
+
+}  // namespace couchkv::storage
+
+#endif  // COUCHKV_STORAGE_COUCH_FILE_H_

@@ -1,0 +1,237 @@
+#include "storage/env.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <thread>
+
+namespace couchkv::storage {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Posix backend
+// ---------------------------------------------------------------------------
+
+class PosixFile : public File {
+ public:
+  PosixFile(int fd, uint64_t size) : fd_(fd), size_(size) {}
+  ~PosixFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  StatusOr<uint64_t> Append(std::string_view data) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    uint64_t off = size_;
+    const char* p = data.data();
+    size_t left = data.size();
+    while (left > 0) {
+      ssize_t n = ::pwrite(fd_, p, left, static_cast<off_t>(size_));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return Status::IOError(std::string("pwrite: ") + std::strerror(errno));
+      }
+      p += n;
+      left -= static_cast<size_t>(n);
+      size_ += static_cast<uint64_t>(n);
+    }
+    return off;
+  }
+
+  Status Read(uint64_t offset, size_t n, std::string* out) const override {
+    out->resize(n);
+    char* p = out->data();
+    size_t left = n;
+    uint64_t off = offset;
+    while (left > 0) {
+      ssize_t r = ::pread(fd_, p, left, static_cast<off_t>(off));
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        return Status::IOError(std::string("pread: ") + std::strerror(errno));
+      }
+      if (r == 0) return Status::IOError("short read");
+      p += r;
+      left -= static_cast<size_t>(r);
+      off += static_cast<uint64_t>(r);
+    }
+    return Status::OK();
+  }
+
+  uint64_t Size() const override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return size_;
+  }
+
+  Status Sync() override {
+    if (::fdatasync(fd_) != 0) {
+      return Status::IOError(std::string("fdatasync: ") +
+                             std::strerror(errno));
+    }
+    return Status::OK();
+  }
+
+  Status Truncate(uint64_t size) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (::ftruncate(fd_, static_cast<off_t>(size)) != 0) {
+      return Status::IOError(std::string("ftruncate: ") +
+                             std::strerror(errno));
+    }
+    size_ = size;
+    return Status::OK();
+  }
+
+ private:
+  int fd_;
+  mutable std::mutex mu_;
+  uint64_t size_;
+};
+
+class PosixEnvImpl : public Env {
+ public:
+  StatusOr<std::unique_ptr<File>> Open(const std::string& path) override {
+    int fd = ::open(path.c_str(), O_CREAT | O_RDWR, 0644);
+    if (fd < 0) {
+      return Status::IOError("open " + path + ": " + std::strerror(errno));
+    }
+    struct stat st;
+    if (::fstat(fd, &st) != 0) {
+      ::close(fd);
+      return Status::IOError("fstat " + path + ": " + std::strerror(errno));
+    }
+    return std::unique_ptr<File>(
+        new PosixFile(fd, static_cast<uint64_t>(st.st_size)));
+  }
+
+  bool Exists(const std::string& path) const override {
+    return ::access(path.c_str(), F_OK) == 0;
+  }
+
+  Status Remove(const std::string& path) override {
+    if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+      return Status::IOError("unlink " + path + ": " + std::strerror(errno));
+    }
+    return Status::OK();
+  }
+
+  Status Rename(const std::string& from, const std::string& to) override {
+    if (::rename(from.c_str(), to.c_str()) != 0) {
+      return Status::IOError("rename " + from + " -> " + to + ": " +
+                             std::strerror(errno));
+    }
+    return Status::OK();
+  }
+};
+
+// ---------------------------------------------------------------------------
+// In-memory backend
+// ---------------------------------------------------------------------------
+
+struct MemFileData {
+  std::mutex mu;
+  std::string contents;
+  uint64_t sync_delay_us = 0;
+};
+
+class MemFile : public File {
+ public:
+  explicit MemFile(std::shared_ptr<MemFileData> data)
+      : data_(std::move(data)) {}
+
+  StatusOr<uint64_t> Append(std::string_view data) override {
+    std::lock_guard<std::mutex> lock(data_->mu);
+    uint64_t off = data_->contents.size();
+    data_->contents.append(data);
+    return off;
+  }
+
+  Status Read(uint64_t offset, size_t n, std::string* out) const override {
+    std::lock_guard<std::mutex> lock(data_->mu);
+    if (offset + n > data_->contents.size()) {
+      return Status::IOError("read past EOF");
+    }
+    out->assign(data_->contents, offset, n);
+    return Status::OK();
+  }
+
+  uint64_t Size() const override {
+    std::lock_guard<std::mutex> lock(data_->mu);
+    return data_->contents.size();
+  }
+
+  Status Sync() override {
+    if (data_->sync_delay_us > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(data_->sync_delay_us));
+    }
+    return Status::OK();
+  }
+
+  Status Truncate(uint64_t size) override {
+    std::lock_guard<std::mutex> lock(data_->mu);
+    if (size < data_->contents.size()) data_->contents.resize(size);
+    return Status::OK();
+  }
+
+ private:
+  std::shared_ptr<MemFileData> data_;
+};
+
+class MemEnvImpl : public Env {
+ public:
+  explicit MemEnvImpl(uint64_t sync_delay_us)
+      : sync_delay_us_(sync_delay_us) {}
+
+  StatusOr<std::unique_ptr<File>> Open(const std::string& path) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto& slot = files_[path];
+    if (!slot) {
+      slot = std::make_shared<MemFileData>();
+      slot->sync_delay_us = sync_delay_us_;
+    }
+    return std::unique_ptr<File>(new MemFile(slot));
+  }
+
+  bool Exists(const std::string& path) const override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return files_.count(path) > 0;
+  }
+
+  Status Remove(const std::string& path) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    files_.erase(path);
+    return Status::OK();
+  }
+
+  Status Rename(const std::string& from, const std::string& to) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = files_.find(from);
+    if (it == files_.end()) return Status::NotFound("rename source " + from);
+    files_[to] = it->second;
+    files_.erase(it);
+    return Status::OK();
+  }
+
+ private:
+  uint64_t sync_delay_us_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<MemFileData>> files_;
+};
+
+}  // namespace
+
+Env* Env::Posix() {
+  static PosixEnvImpl* env = new PosixEnvImpl();
+  return env;
+}
+
+std::unique_ptr<Env> Env::NewMemEnv(uint64_t sync_delay_us) {
+  return std::make_unique<MemEnvImpl>(sync_delay_us);
+}
+
+}  // namespace couchkv::storage

@@ -1,0 +1,77 @@
+#include "views/view.h"
+
+#include <algorithm>
+
+namespace couchkv::views {
+
+std::optional<ViewRow> RunMap(const MapFn& map, const std::string& doc_id,
+                              const json::Value& doc) {
+  if (!map.filter_exists_path.empty() &&
+      doc.GetPath(map.filter_exists_path).is_missing()) {
+    return std::nullopt;
+  }
+  if (!map.filter_eq_path.empty() &&
+      json::Value::Compare(doc.GetPath(map.filter_eq_path),
+                           map.filter_eq_value) != 0) {
+    return std::nullopt;
+  }
+  ViewRow row;
+  row.doc_id = doc_id;
+  if (map.key_paths.size() == 1) {
+    row.key = doc.GetPath(map.key_paths[0]);
+  } else {
+    json::Value::Array parts;
+    parts.reserve(map.key_paths.size());
+    for (const std::string& p : map.key_paths) {
+      parts.push_back(doc.GetPath(p));
+    }
+    row.key = json::Value::MakeArray(std::move(parts));
+  }
+  row.value = map.value_path.empty() ? json::Value::Null()
+                                     : doc.GetPath(map.value_path);
+  return row;
+}
+
+json::Value RunReduce(ReduceFn fn, const std::vector<json::Value>& values) {
+  switch (fn) {
+    case ReduceFn::kNone:
+      return json::Value::Null();
+    case ReduceFn::kCount:
+      return json::Value::Int(static_cast<int64_t>(values.size()));
+    case ReduceFn::kSum: {
+      double sum = 0;
+      for (const auto& v : values) {
+        if (v.is_number()) sum += v.AsNumber();
+      }
+      return json::Value::Number(sum);
+    }
+    case ReduceFn::kStats: {
+      double sum = 0, sumsqr = 0;
+      double min = 0, max = 0;
+      int64_t count = 0;
+      for (const auto& v : values) {
+        if (!v.is_number()) continue;
+        double d = v.AsNumber();
+        if (count == 0) {
+          min = max = d;
+        } else {
+          min = std::min(min, d);
+          max = std::max(max, d);
+        }
+        sum += d;
+        sumsqr += d * d;
+        ++count;
+      }
+      json::Value out = json::Value::MakeObject();
+      out["sum"] = json::Value::Number(sum);
+      out["count"] = json::Value::Int(count);
+      out["min"] = json::Value::Number(min);
+      out["max"] = json::Value::Number(max);
+      out["sumsqr"] = json::Value::Number(sumsqr);
+      return out;
+    }
+  }
+  return json::Value::Null();
+}
+
+}  // namespace couchkv::views

@@ -1,0 +1,65 @@
+// View definitions (paper §3.1.2): a map function that extracts data from
+// documents and an optional reduce that aggregates it.
+//
+// Substitution note: Couchbase defines map functions in JavaScript. We use a
+// declarative map DSL with the same shape — an optional existence/equality
+// filter (the `if (doc.name)` guard in the paper's example), the paths
+// emitted as the index key, and the path emitted as the value — which drives
+// the identical indexing machinery without embedding a JS engine.
+#ifndef COUCHKV_VIEWS_VIEW_H_
+#define COUCHKV_VIEWS_VIEW_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "json/value.h"
+#include "kv/doc.h"
+
+namespace couchkv::views {
+
+// Declarative map function.
+struct MapFn {
+  // Emit only when this path exists (missing → skip), e.g. "name".
+  // Empty = no filter.
+  std::string filter_exists_path;
+  // Optional equality filter, e.g. doc_type == "order".
+  std::string filter_eq_path;
+  json::Value filter_eq_value;
+  // Paths forming the emitted key. One path → scalar key; several → array
+  // key (composite keys as in Couchbase).
+  std::vector<std::string> key_paths;
+  // Path for the emitted value; empty emits null.
+  std::string value_path;
+};
+
+// Built-in reduce functions, mirroring Couchbase's _count/_sum/_stats.
+enum class ReduceFn { kNone, kCount, kSum, kStats };
+
+struct ViewDefinition {
+  std::string name;
+  MapFn map;
+  ReduceFn reduce = ReduceFn::kNone;
+};
+
+// One emitted row.
+struct ViewRow {
+  json::Value key;
+  json::Value value;
+  std::string doc_id;
+};
+
+// Applies the map function to a document; returns the emitted row, if any.
+// (Couchbase allows multiple emits per doc; our DSL emits at most one row
+// per document, plus one row per array element when `unnest_path` querying
+// is needed — handled by array indexes in the GSI module.)
+std::optional<ViewRow> RunMap(const MapFn& map, const std::string& doc_id,
+                              const json::Value& doc);
+
+// Runs the reduce function over `values` (the emitted values of the rows
+// being aggregated). kStats returns {"sum","count","min","max","sumsqr"}.
+json::Value RunReduce(ReduceFn fn, const std::vector<json::Value>& values);
+
+}  // namespace couchkv::views
+
+#endif  // COUCHKV_VIEWS_VIEW_H_

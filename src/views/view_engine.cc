@@ -1,0 +1,256 @@
+#include "views/view_engine.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace couchkv::views {
+
+Status ViewEngine::CreateView(const std::string& bucket, ViewDefinition def) {
+  auto map = cluster_->map(bucket);
+  if (!map) return Status::NotFound("no such bucket: " + bucket);
+  ViewState* state = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto& per_bucket = views_[bucket];
+    if (per_bucket.count(def.name)) {
+      return Status::KeyExists("view exists: " + def.name);
+    }
+    ViewState st;
+    st.def = def;
+    for (cluster::NodeId id : cluster_->node_ids()) {
+      cluster::Node* n = cluster_->node(id);
+      if (n != nullptr && n->HasService(cluster::kDataService)) {
+        st.indexes[id] = std::make_shared<ViewIndex>(def);
+      }
+    }
+    state = &(per_bucket[def.name] = std::move(st));
+  }
+  WireView(bucket, state);
+  return Status::OK();
+}
+
+Status ViewEngine::DropView(const std::string& bucket,
+                            const std::string& view) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto bit = views_.find(bucket);
+  if (bit == views_.end() || !bit->second.count(view)) {
+    return Status::NotFound("no such view");
+  }
+  for (cluster::NodeId id : cluster_->node_ids()) {
+    cluster::Node* n = cluster_->node(id);
+    cluster::Bucket* b = n ? n->bucket(bucket) : nullptr;
+    if (b != nullptr) {
+      b->producer()->RemoveStreamsNamed(StreamName(bucket, view));
+    }
+  }
+  bit->second.erase(view);
+  return Status::OK();
+}
+
+void ViewEngine::WireView(const std::string& bucket, ViewState* state) {
+  auto map = cluster_->map(bucket);
+  if (!map) return;
+  // Nodes added after the view was defined (rebalance-in) need their own
+  // local index: views are co-located with the data (paper §3.3.1).
+  std::map<cluster::NodeId, std::shared_ptr<ViewIndex>> indexes;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (cluster::NodeId id : cluster_->node_ids()) {
+      cluster::Node* n = cluster_->node(id);
+      if (n != nullptr && n->HasService(cluster::kDataService) &&
+          !state->indexes.count(id)) {
+        state->indexes[id] = std::make_shared<ViewIndex>(state->def);
+      }
+    }
+    indexes = state->indexes;
+  }
+  const std::string stream = StreamName(bucket, state->def.name);
+  for (auto& [node_id, index] : indexes) {
+    cluster::Node* n = cluster_->node(node_id);
+    if (n == nullptr) continue;
+    cluster::Bucket* b = n->bucket(bucket);
+    if (b == nullptr) continue;
+    // Tear down and re-add streams for the vBuckets this node now owns.
+    b->producer()->RemoveStreamsNamed(stream);
+    for (uint16_t vb = 0; vb < cluster::kNumVBuckets; ++vb) {
+      bool owns = map->ActiveFor(vb) == node_id && n->healthy();
+      index->SetVBucketActive(vb, owns);
+      if (!owns) continue;
+      std::shared_ptr<ViewIndex> idx = index;
+      auto st = b->producer()->AddStream(
+          stream, vb, index->processed_seqno(vb),
+          [idx](const kv::Mutation& m) { idx->ApplyMutation(m); });
+      if (!st.ok()) {
+        LOG_WARN << "view stream failed: " << st.status().ToString();
+      }
+    }
+    n->dispatcher()->Notify();
+  }
+}
+
+void ViewEngine::OnTopologyChange(const std::string& bucket) {
+  std::vector<ViewState*> states;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto bit = views_.find(bucket);
+    if (bit == views_.end()) return;
+    for (auto& [name, st] : bit->second) states.push_back(&st);
+  }
+  for (ViewState* st : states) WireView(bucket, st);
+}
+
+Status ViewEngine::WaitForIndexer(const std::string& bucket, ViewState* state,
+                                  uint64_t timeout_ms) {
+  // Snapshot "now": the high seqno of each active vBucket per node.
+  auto map = cluster_->map(bucket);
+  if (!map) return Status::NotFound("no map");
+  struct Target {
+    std::shared_ptr<ViewIndex> index;
+    uint16_t vb;
+    uint64_t seqno;
+    cluster::Node* node;
+  };
+  std::map<cluster::NodeId, std::shared_ptr<ViewIndex>> indexes;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    indexes = state->indexes;
+  }
+  std::vector<Target> targets;
+  for (auto& [node_id, index] : indexes) {
+    cluster::Node* n = cluster_->node(node_id);
+    if (n == nullptr || !n->healthy()) continue;
+    cluster::Bucket* b = n->bucket(bucket);
+    if (b == nullptr) continue;
+    for (uint16_t vb = 0; vb < cluster::kNumVBuckets; ++vb) {
+      if (map->ActiveFor(vb) != node_id) continue;
+      uint64_t high = b->vbucket(vb)->high_seqno();
+      if (high > index->processed_seqno(vb)) {
+        targets.push_back({index, vb, high, n});
+      }
+    }
+  }
+  uint64_t deadline = cluster_->clock()->NowMillis() + timeout_ms;
+  for (const Target& t : targets) {
+    while (t.index->processed_seqno(t.vb) < t.seqno) {
+      t.node->dispatcher()->Notify();
+      if (cluster_->clock()->NowMillis() > deadline) {
+        return Status::Timeout("stale=false wait exceeded timeout");
+      }
+      std::this_thread::yield();
+    }
+  }
+  return Status::OK();
+}
+
+StatusOr<ViewResult> ViewEngine::Query(const std::string& bucket,
+                                       const std::string& view,
+                                       const ViewQueryOptions& opts,
+                                       Staleness stale) {
+  ViewState* state = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto bit = views_.find(bucket);
+    if (bit == views_.end()) return Status::NotFound("no such bucket");
+    auto vit = bit->second.find(view);
+    if (vit == bit->second.end()) return Status::NotFound("no such view");
+    state = &vit->second;
+  }
+
+  if (stale == Staleness::kFalse) {
+    COUCHKV_RETURN_IF_ERROR(WaitForIndexer(bucket, state, /*timeout_ms=*/30000));
+  }
+
+  // Scatter: scan each node's local index. Gather: merge in collation order.
+  std::map<cluster::NodeId, std::shared_ptr<ViewIndex>> indexes;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    indexes = state->indexes;
+  }
+  std::vector<ViewRow> merged;
+  for (auto& [node_id, index] : indexes) {
+    cluster::Node* n = cluster_->node(node_id);
+    if (n == nullptr || !n->healthy()) continue;
+    std::vector<ViewRow> part = index->Scan(opts);
+    merged.insert(merged.end(), std::make_move_iterator(part.begin()),
+                  std::make_move_iterator(part.end()));
+  }
+  std::sort(merged.begin(), merged.end(),
+            [&](const ViewRow& a, const ViewRow& b) {
+              int c = json::Value::Compare(a.key, b.key);
+              if (c != 0) return opts.descending ? c > 0 : c < 0;
+              return opts.descending ? a.doc_id > b.doc_id
+                                     : a.doc_id < b.doc_id;
+            });
+
+  ViewResult result;
+  bool do_reduce = opts.reduce && state->def.reduce != ReduceFn::kNone;
+  if (do_reduce) {
+    if (opts.group) {
+      // Group rows by key and reduce each group.
+      size_t i = 0;
+      while (i < merged.size()) {
+        size_t j = i;
+        std::vector<json::Value> values;
+        while (j < merged.size() &&
+               json::Value::Compare(merged[j].key, merged[i].key) == 0) {
+          values.push_back(merged[j].value);
+          ++j;
+        }
+        ViewRow row;
+        row.key = merged[i].key;
+        row.value = RunReduce(state->def.reduce, values);
+        result.rows.push_back(std::move(row));
+        i = j;
+      }
+    } else {
+      std::vector<json::Value> values;
+      values.reserve(merged.size());
+      for (auto& r : merged) values.push_back(r.value);
+      ViewRow row;
+      row.key = json::Value::Null();
+      row.value = RunReduce(state->def.reduce, values);
+      result.rows.push_back(std::move(row));
+    }
+  } else {
+    result.rows = std::move(merged);
+  }
+
+  // skip / limit apply to the final row stream.
+  if (opts.skip > 0) {
+    if (opts.skip >= result.rows.size()) {
+      result.rows.clear();
+    } else {
+      result.rows.erase(result.rows.begin(),
+                        result.rows.begin() + static_cast<long>(opts.skip));
+    }
+  }
+  if (result.rows.size() > opts.limit) {
+    result.rows.resize(opts.limit);
+  }
+
+  if (stale == Staleness::kUpdateAfter) {
+    // Kick the indexers after serving (the paper's default behaviour).
+    for (cluster::NodeId id : cluster_->node_ids()) {
+      cluster::Node* n = cluster_->node(id);
+      if (n != nullptr) n->dispatcher()->Notify();
+    }
+  }
+  return result;
+}
+
+size_t ViewEngine::TotalRows(const std::string& bucket,
+                             const std::string& view) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto bit = views_.find(bucket);
+  if (bit == views_.end()) return 0;
+  auto vit = bit->second.find(view);
+  if (vit == bit->second.end()) return 0;
+  size_t total = 0;
+  for (const auto& [id, index] : vit->second.indexes) {
+    total += index->row_count();
+  }
+  return total;
+}
+
+}  // namespace couchkv::views

@@ -1,0 +1,88 @@
+// The distributed view engine (paper Figure 8): local indexes co-located
+// with the data on every node, fed by DCP, queried with scatter/gather and
+// per-query staleness control (stale=false / ok / update_after).
+#ifndef COUCHKV_VIEWS_VIEW_ENGINE_H_
+#define COUCHKV_VIEWS_VIEW_ENGINE_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "views/view_index.h"
+
+namespace couchkv::views {
+
+// The `stale` parameter of a view query (paper §3.1.2).
+enum class Staleness {
+  kOk,           // serve whatever is indexed right now
+  kUpdateAfter,  // serve current entries, then trigger an index update
+  kFalse,        // wait for the indexer to catch up to now, then serve
+};
+
+struct ViewResult {
+  // For map-only (or reduce=false) queries: the matching rows.
+  // For reduced queries: one row per group (key = group key, value =
+  // aggregate); ungrouped reduces produce a single row with null key.
+  std::vector<ViewRow> rows;
+};
+
+class ViewEngine : public cluster::ClusterService,
+                   public std::enable_shared_from_this<ViewEngine> {
+ public:
+  explicit ViewEngine(cluster::Cluster* cluster) : cluster_(cluster) {}
+
+  // Registers this engine with the cluster (topology notifications). Call
+  // once after construction.
+  void Attach() { cluster_->RegisterService("views", shared_from_this()); }
+
+  // Defines a view on `bucket`; materialization begins immediately on every
+  // data node via DCP (initial build backfills from storage).
+  Status CreateView(const std::string& bucket, ViewDefinition def);
+  Status DropView(const std::string& bucket, const std::string& view);
+
+  // Scatter/gather query across all nodes (paper: "Queries are sent to a
+  // randomly selected server ... sends the request to the other relevant
+  // servers ... and then aggregates their results").
+  StatusOr<ViewResult> Query(const std::string& bucket,
+                             const std::string& view,
+                             const ViewQueryOptions& opts,
+                             Staleness stale = Staleness::kUpdateAfter);
+
+  // ClusterService: re-register DCP streams after rebalance/failover.
+  void OnTopologyChange(const std::string& bucket) override;
+
+  // Total rows across a view's per-node indexes (introspection).
+  size_t TotalRows(const std::string& bucket, const std::string& view) const;
+
+ private:
+  struct ViewState {
+    ViewDefinition def;
+    // One local index per data node.
+    std::map<cluster::NodeId, std::shared_ptr<ViewIndex>> indexes;
+  };
+
+  // (Re)wires the DCP streams + active-vBucket sets for one view according
+  // to the current cluster map. Caller must NOT hold mu_.
+  void WireView(const std::string& bucket, ViewState* state);
+
+  // Blocks until every index covers the data high-seqnos captured at entry.
+  Status WaitForIndexer(const std::string& bucket, ViewState* state,
+                        uint64_t timeout_ms);
+
+  std::string StreamName(const std::string& bucket,
+                         const std::string& view) const {
+    return "view:" + bucket + ":" + view;
+  }
+
+  cluster::Cluster* cluster_;
+  mutable std::mutex mu_;
+  // bucket -> view name -> state
+  std::map<std::string, std::map<std::string, ViewState>> views_;
+};
+
+}  // namespace couchkv::views
+
+#endif  // COUCHKV_VIEWS_VIEW_ENGINE_H_

@@ -1,0 +1,69 @@
+// Cross-datacenter replication (paper §4.6): per-bucket, optionally
+// key-filtered, topology-aware replication from a source cluster to a
+// destination cluster, implemented as a DCP consumer on every source node.
+// Conflicts are resolved deterministically (revno, then CAS) so that both
+// clusters converge to the same winner (§4.6.1) — eventual consistency
+// across clusters, CP within a cluster / AP across clusters.
+#ifndef COUCHKV_XDCR_XDCR_H_
+#define COUCHKV_XDCR_XDCR_H_
+
+#include <atomic>
+#include <memory>
+#include <regex>
+#include <string>
+
+#include "cluster/cluster.h"
+
+namespace couchkv::xdcr {
+
+struct XdcrSpec {
+  std::string source_bucket;
+  std::string target_bucket;
+  // Filtered replication: only keys matching this ECMAScript regex are
+  // replicated ("filtered replication (based on a regular expression on the
+  // document ID)"). Empty = replicate everything.
+  std::string key_filter_regex;
+};
+
+struct XdcrStats {
+  uint64_t docs_sent = 0;       // mutations shipped to the target
+  uint64_t docs_filtered = 0;   // dropped by the key filter
+  uint64_t docs_rejected = 0;   // lost conflict resolution at the target
+  uint64_t docs_retried = 0;    // re-routed after target topology changes
+};
+
+// One directional replication link. For bidirectional XDCR create two links
+// (one per direction); conflict resolution keeps them convergent.
+class XdcrLink : public cluster::ClusterService,
+                 public std::enable_shared_from_this<XdcrLink> {
+ public:
+  XdcrLink(cluster::Cluster* source, cluster::Cluster* target, XdcrSpec spec);
+
+  // Registers DCP streams on the source and topology notifications.
+  // `service_name` must be unique per link when registering several.
+  Status Start(const std::string& service_name);
+
+  // ClusterService: source topology changed → re-wire streams.
+  void OnTopologyChange(const std::string& bucket) override;
+
+  XdcrStats stats() const;
+
+ private:
+  void Wire();
+  void ShipMutation(const kv::Mutation& m);
+
+  cluster::Cluster* source_;
+  cluster::Cluster* target_;
+  XdcrSpec spec_;
+  std::unique_ptr<std::regex> filter_;
+  std::string stream_name_;
+
+  std::atomic<uint64_t> docs_sent_{0};
+  std::atomic<uint64_t> docs_filtered_{0};
+  std::atomic<uint64_t> docs_rejected_{0};
+  std::atomic<uint64_t> docs_retried_{0};
+};
+
+}  // namespace couchkv::xdcr
+
+#endif  // COUCHKV_XDCR_XDCR_H_

@@ -1,0 +1,106 @@
+// Yahoo Cloud Serving Benchmark core workloads (Cooper et al., SoCC'10) —
+// the tool the paper's evaluation uses (§10.1). Implements the standard
+// workload mixes A–F, the YCSB key choosers (uniform / zipfian / latest),
+// and a multi-threaded runner that records throughput and latency.
+#ifndef COUCHKV_YCSB_YCSB_H_
+#define COUCHKV_YCSB_YCSB_H_
+
+#include <atomic>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "json/value.h"
+
+namespace couchkv::ycsb {
+
+enum class OpType { kRead, kUpdate, kInsert, kScan, kReadModifyWrite };
+
+const char* OpTypeName(OpType t);
+
+enum class KeyDistribution { kUniform, kZipfian, kLatest };
+
+struct WorkloadConfig {
+  uint64_t record_count = 1000;
+  double read_proportion = 0;
+  double update_proportion = 0;
+  double insert_proportion = 0;
+  double scan_proportion = 0;
+  double rmw_proportion = 0;
+  KeyDistribution distribution = KeyDistribution::kZipfian;
+  size_t field_count = 10;
+  size_t field_length = 100;
+  size_t max_scan_length = 100;
+
+  // The standard YCSB core workloads.
+  static WorkloadConfig A(uint64_t records);  // 50/50 read/update, zipfian
+  static WorkloadConfig B(uint64_t records);  // 95/5 read/update, zipfian
+  static WorkloadConfig C(uint64_t records);  // 100% read, zipfian
+  static WorkloadConfig D(uint64_t records);  // 95/5 read/insert, latest
+  static WorkloadConfig E(uint64_t records);  // 95/5 scan/insert, zipfian
+  static WorkloadConfig F(uint64_t records);  // 50/50 read/RMW, zipfian
+};
+
+// A generated operation the runner hands to the executor.
+struct Op {
+  OpType type;
+  std::string key;          // target key (read/update/insert/rmw/scan start)
+  std::string value;        // JSON body for update/insert
+  size_t scan_length = 0;   // for kScan
+};
+
+// Deterministic, thread-safe-per-instance workload generator. Each worker
+// thread owns one Workload (seeded differently) over a shared key space.
+class Workload {
+ public:
+  Workload(const WorkloadConfig& config, uint64_t seed,
+           std::atomic<uint64_t>* insert_counter);
+
+  // Zero-padded key for record i ("user00000000001234"), so that key order
+  // equals record order — what workload E's meta().id range scans need.
+  static std::string KeyFor(uint64_t i);
+
+  // Generates one operation.
+  Op Next();
+
+  // Generates the JSON document body for record `i` (field0..fieldN).
+  std::string GenerateValue();
+
+  const WorkloadConfig& config() const { return config_; }
+
+ private:
+  uint64_t NextKeyIndex();
+
+  WorkloadConfig config_;
+  Rng rng_;
+  ZipfianGenerator zipf_;
+  std::atomic<uint64_t>* insert_counter_;  // shared across threads
+};
+
+// Result of a timed run.
+struct RunResult {
+  double throughput_ops_sec = 0;
+  uint64_t total_ops = 0;
+  uint64_t failed_ops = 0;
+  Histogram read_latency;
+  Histogram update_latency;
+  Histogram scan_latency;
+};
+
+// Executes `op`; returns the operation status. Supplied by the caller
+// (wired to the KV smart client for workloads A–D/F, to the query service
+// for workload E).
+using OpExecutor = std::function<Status(const Op& op)>;
+
+// Drives `threads` workers for `ops_per_thread` operations each, filling
+// `result` (an out-param because Histogram is not movable).
+void Run(const WorkloadConfig& config, size_t threads,
+         uint64_t ops_per_thread, const OpExecutor& executor,
+         RunResult* result, uint64_t seed = 42);
+
+}  // namespace couchkv::ycsb
+
+#endif  // COUCHKV_YCSB_YCSB_H_

@@ -1,0 +1,215 @@
+// Tests for the analytics service (paper §6.2): shadow-dataset ingestion,
+// full scans without indexes, general hash joins (forbidden in N1QL),
+// grouping/aggregation, performance isolation, topology changes.
+#include <gtest/gtest.h>
+
+#include "analytics/analytics.h"
+#include "client/smart_client.h"
+#include "n1ql/query_service.h"
+
+namespace couchkv::analytics {
+namespace {
+
+using json::Value;
+
+class AnalyticsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    for (int i = 0; i < 3; ++i) cluster_.AddNode();
+    cluster::BucketConfig cfg;
+    cfg.name = "orders";
+    cfg.num_replicas = 1;
+    ASSERT_TRUE(cluster_.CreateBucket(cfg).ok());
+    cfg.name = "customers";
+    ASSERT_TRUE(cluster_.CreateBucket(cfg).ok());
+    service_ = std::make_shared<AnalyticsService>(&cluster_);
+    service_->Attach();
+    orders_ = std::make_unique<client::SmartClient>(&cluster_, "orders");
+    customers_ = std::make_unique<client::SmartClient>(&cluster_, "customers");
+  }
+
+  void LoadSampleData() {
+    ASSERT_TRUE(customers_->Upsert(
+        "c1", R"({"name":"Alice","region":"west"})").ok());
+    ASSERT_TRUE(customers_->Upsert(
+        "c2", R"({"name":"Bob","region":"east"})").ok());
+    ASSERT_TRUE(customers_->Upsert(
+        "c3", R"({"name":"Cara","region":"west"})").ok());
+    ASSERT_TRUE(orders_->Upsert(
+        "o1", R"({"cust":"c1","total":100,"region":"west"})").ok());
+    ASSERT_TRUE(orders_->Upsert(
+        "o2", R"({"cust":"c1","total":250,"region":"west"})").ok());
+    ASSERT_TRUE(orders_->Upsert(
+        "o3", R"({"cust":"c2","total":75,"region":"east"})").ok());
+    ASSERT_TRUE(orders_->Upsert(
+        "o4", R"({"cust":"c9","total":10,"region":"east"})").ok());
+  }
+
+  void Connect() {
+    ASSERT_TRUE(service_->ConnectBucket("orders").ok());
+    ASSERT_TRUE(service_->ConnectBucket("customers").ok());
+    ASSERT_TRUE(service_->WaitCaughtUp("orders").ok());
+    ASSERT_TRUE(service_->WaitCaughtUp("customers").ok());
+  }
+
+  cluster::Cluster cluster_;
+  std::shared_ptr<AnalyticsService> service_;
+  std::unique_ptr<client::SmartClient> orders_, customers_;
+};
+
+TEST_F(AnalyticsTest, IngestsExistingAndNewData) {
+  LoadSampleData();
+  Connect();
+  EXPECT_EQ(service_->dataset("orders")->num_docs(), 4u);
+  // New writes flow in through DCP.
+  ASSERT_TRUE(orders_->Upsert("o5", R"({"cust":"c3","total":5})").ok());
+  ASSERT_TRUE(service_->WaitCaughtUp("orders").ok());
+  EXPECT_EQ(service_->dataset("orders")->num_docs(), 5u);
+  // Deletes too.
+  ASSERT_TRUE(orders_->Remove("o5").ok());
+  ASSERT_TRUE(service_->WaitCaughtUp("orders").ok());
+  EXPECT_EQ(service_->dataset("orders")->num_docs(), 4u);
+}
+
+TEST_F(AnalyticsTest, FullScanNeedsNoIndex) {
+  LoadSampleData();
+  Connect();
+  // No PRIMARY INDEX anywhere — the analytics engine scans the shadow.
+  auto r = service_->Query(
+      "SELECT total FROM orders WHERE total > 50 ORDER BY total");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->rows.size(), 3u);
+  EXPECT_EQ(r->rows[0].Field("total").AsInt(), 75);
+  EXPECT_GT(r->scanned_docs, 0u);
+}
+
+TEST_F(AnalyticsTest, GeneralHashJoin) {
+  LoadSampleData();
+  Connect();
+  // A general equality join on secondary attributes — exactly what N1QL
+  // §3.2.4 refuses ("A restricted Cartesian product across two secondary
+  // attributes of documents is not supported linguistically in N1QL").
+  auto r = service_->Query(
+      "SELECT c.name, o.total FROM orders o "
+      "JOIN customers c ON o.cust = META(c).id "
+      "ORDER BY o.total DESC");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->rows.size(), 3u);  // o4 has no matching customer
+  EXPECT_EQ(r->rows[0].Field("name").AsString(), "Alice");
+  EXPECT_EQ(r->rows[0].Field("total").AsInt(), 250);
+}
+
+TEST_F(AnalyticsTest, SecondaryAttributeJoin) {
+  LoadSampleData();
+  Connect();
+  // Join on region — neither side is a primary key.
+  auto r = service_->Query(
+      "SELECT DISTINCT c.name FROM orders o "
+      "JOIN customers c ON o.region = c.region "
+      "WHERE o.total >= 100 ORDER BY c.name");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->rows.size(), 2u);  // Alice + Cara (west)
+  EXPECT_EQ(r->rows[0].Field("name").AsString(), "Alice");
+  EXPECT_EQ(r->rows[1].Field("name").AsString(), "Cara");
+}
+
+TEST_F(AnalyticsTest, LeftOuterGeneralJoin) {
+  LoadSampleData();
+  Connect();
+  auto r = service_->Query(
+      "SELECT META(o).id AS oid, c.name FROM orders o "
+      "LEFT JOIN customers c ON o.cust = META(c).id ORDER BY oid");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->rows.size(), 4u);
+  EXPECT_TRUE(r->rows[3].Field("name").is_missing());  // o4: no customer
+}
+
+TEST_F(AnalyticsTest, NonEquiJoinFallsBackToNestedLoop) {
+  LoadSampleData();
+  Connect();
+  auto r = service_->Query(
+      "SELECT META(o).id AS oid, c.name FROM orders o "
+      "JOIN customers c ON o.total > 200 AND c.region = 'west' "
+      "ORDER BY oid, c.name");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->rows.size(), 2u);  // o2 x {Alice, Cara}
+}
+
+TEST_F(AnalyticsTest, GroupByAggregation) {
+  LoadSampleData();
+  Connect();
+  auto r = service_->Query(
+      "SELECT region, COUNT(*) AS n, SUM(total) AS revenue "
+      "FROM orders GROUP BY region ORDER BY region");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->rows.size(), 2u);
+  EXPECT_EQ(r->rows[0].Field("region").AsString(), "east");
+  EXPECT_EQ(r->rows[0].Field("n").AsInt(), 2);
+  EXPECT_EQ(r->rows[0].Field("revenue").AsInt(), 85);
+  EXPECT_EQ(r->rows[1].Field("revenue").AsInt(), 350);
+}
+
+TEST_F(AnalyticsTest, SameQueryRejectedByN1ql) {
+  LoadSampleData();
+  auto gsi = std::make_shared<gsi::IndexService>(&cluster_);
+  gsi->Attach();
+  auto views = std::make_shared<views::ViewEngine>(&cluster_);
+  views->Attach();
+  n1ql::QueryService qs(&cluster_, gsi, views);
+  auto r = qs.Execute(
+      "SELECT c.name FROM orders o JOIN customers c ON o.cust = META(c).id");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnsupported);
+}
+
+TEST_F(AnalyticsTest, ReadOnlyService) {
+  LoadSampleData();
+  Connect();
+  EXPECT_FALSE(service_
+                   ->Query(R"(INSERT INTO orders (KEY, VALUE) VALUES ("x", 1))")
+                   .ok());
+  EXPECT_FALSE(service_->Query("DELETE FROM orders").ok());
+}
+
+TEST_F(AnalyticsTest, NotConnectedBucketFails) {
+  EXPECT_FALSE(service_->Query("SELECT * FROM orders").ok());
+  LoadSampleData();
+  ASSERT_TRUE(service_->ConnectBucket("orders").ok());
+  EXPECT_TRUE(service_->ConnectBucket("orders").IsKeyExists());
+}
+
+TEST_F(AnalyticsTest, DisconnectStopsIngestion) {
+  LoadSampleData();
+  Connect();
+  ASSERT_TRUE(service_->DisconnectBucket("orders").ok());
+  EXPECT_FALSE(service_->Query("SELECT * FROM orders").ok());
+}
+
+TEST_F(AnalyticsTest, SurvivesRebalance) {
+  LoadSampleData();
+  Connect();
+  cluster_.AddNode();
+  ASSERT_TRUE(cluster_.Rebalance().ok());
+  ASSERT_TRUE(orders_->Upsert("o9", R"({"cust":"c1","total":7})").ok());
+  ASSERT_TRUE(service_->WaitCaughtUp("orders").ok());
+  auto r = service_->Query("SELECT COUNT(*) AS n FROM orders");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->rows[0].Field("n").AsInt(), 5);
+}
+
+TEST_F(AnalyticsTest, UnnestAndParams) {
+  ASSERT_TRUE(orders_->Upsert(
+      "basket1", R"({"items":[{"sku":"a","qty":2},{"sku":"b","qty":1}]})").ok());
+  ASSERT_TRUE(service_->ConnectBucket("orders").ok());
+  ASSERT_TRUE(service_->WaitCaughtUp("orders").ok());
+  auto r = service_->Query(
+      "SELECT i.sku FROM orders o UNNEST o.items AS i WHERE i.qty >= $1 "
+      "ORDER BY i.sku",
+      {Value::Int(1)});
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->rows.size(), 2u);
+  EXPECT_EQ(r->rows[0].Field("sku").AsString(), "a");
+}
+
+}  // namespace
+}  // namespace couchkv::analytics

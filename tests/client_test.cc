@@ -1,0 +1,253 @@
+// Tests for the smart client: routing, CAS workflow, durability options,
+// locks, JSON helpers, and transparent re-routing across topology changes.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "client/smart_client.h"
+
+namespace couchkv::client {
+namespace {
+
+class SmartClientTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    for (int i = 0; i < 4; ++i) cluster_.AddNode();
+    cluster::BucketConfig cfg;
+    cfg.name = "default";
+    cfg.num_replicas = 1;
+    ASSERT_TRUE(cluster_.CreateBucket(cfg).ok());
+    client_ = std::make_unique<SmartClient>(&cluster_, "default");
+  }
+
+  cluster::Cluster cluster_;
+  std::unique_ptr<SmartClient> client_;
+};
+
+TEST_F(SmartClientTest, UpsertGetRoundTrip) {
+  auto m = client_->Upsert("profile::1", R"({"name":"Dipti"})");
+  ASSERT_TRUE(m.ok());
+  EXPECT_GT(m->cas, 0u);
+  auto r = client_->Get("profile::1");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->value, R"({"name":"Dipti"})");
+  EXPECT_EQ(r->cas, m->cas);
+}
+
+TEST_F(SmartClientTest, GetMissingIsNotFound) {
+  EXPECT_TRUE(client_->Get("nope").status().IsNotFound());
+}
+
+TEST_F(SmartClientTest, InsertTwiceFails) {
+  ASSERT_TRUE(client_->Insert("k", "v").ok());
+  EXPECT_TRUE(client_->Insert("k", "v").status().IsKeyExists());
+}
+
+TEST_F(SmartClientTest, ReplaceMissingFails) {
+  EXPECT_TRUE(client_->Replace("k", "v").status().IsNotFound());
+}
+
+TEST_F(SmartClientTest, OptimisticCasWorkflow) {
+  auto m1 = client_->Upsert("k", "v1");
+  // Another client sneaks in.
+  ASSERT_TRUE(client_->Upsert("k", "v2").ok());
+  WriteOptions opts;
+  opts.cas = m1->cas;
+  EXPECT_TRUE(client_->Replace("k", "v3", opts).status().IsKeyExists());
+  // Re-read, retry.
+  auto fresh = client_->Get("k");
+  opts.cas = fresh->cas;
+  EXPECT_TRUE(client_->Replace("k", "v3", opts).ok());
+  EXPECT_EQ(client_->Get("k")->value, "v3");
+}
+
+TEST_F(SmartClientTest, RemoveThenGetNotFound) {
+  client_->Upsert("k", "v");
+  ASSERT_TRUE(client_->Remove("k").ok());
+  EXPECT_TRUE(client_->Get("k").status().IsNotFound());
+}
+
+TEST_F(SmartClientTest, JsonHelpers) {
+  json::Value doc = json::Value::MakeObject();
+  doc["name"] = json::Value::Str("Gerald");
+  doc["age"] = json::Value::Int(42);
+  ASSERT_TRUE(client_->UpsertJson("p1", doc).ok());
+  auto round = client_->GetJson("p1");
+  ASSERT_TRUE(round.ok());
+  EXPECT_EQ(round->Field("name").AsString(), "Gerald");
+  EXPECT_EQ(round->Field("age").AsInt(), 42);
+}
+
+TEST_F(SmartClientTest, DurabilityOptionsSucceed) {
+  WriteOptions opts;
+  opts.durability = cluster::Durability::Replicate(1);
+  EXPECT_TRUE(client_->Upsert("r", "v", opts).ok());
+  opts.durability = cluster::Durability::Persist(1);
+  EXPECT_TRUE(client_->Upsert("p", "v", opts).ok());
+  opts.durability.replicate_to = 1;
+  opts.durability.persist_to = 2;  // active + replica persistence
+  EXPECT_TRUE(client_->Upsert("rp", "v", opts).ok());
+}
+
+TEST_F(SmartClientTest, LockWorkflow) {
+  client_->Upsert("k", "v");
+  auto locked = client_->GetAndLock("k", 15000);
+  ASSERT_TRUE(locked.ok());
+  EXPECT_TRUE(client_->Upsert("k", "steal").status().IsLocked());
+  WriteOptions opts;
+  opts.cas = locked->cas;
+  EXPECT_TRUE(client_->Upsert("k", "mine", opts).ok());
+}
+
+TEST_F(SmartClientTest, UnlockReleases) {
+  client_->Upsert("k", "v");
+  auto locked = client_->GetAndLock("k", 15000);
+  ASSERT_TRUE(client_->Unlock("k", locked->cas).ok());
+  EXPECT_TRUE(client_->Upsert("k", "free").ok());
+}
+
+TEST_F(SmartClientTest, SurvivesRebalance) {
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(
+        client_->Upsert("key" + std::to_string(i), "v" + std::to_string(i))
+            .ok());
+  }
+  cluster_.AddNode();
+  ASSERT_TRUE(cluster_.Rebalance().ok());
+  // The client's cached map is stale; it must re-route transparently.
+  for (int i = 0; i < 100; ++i) {
+    auto r = client_->Get("key" + std::to_string(i));
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(r->value, "v" + std::to_string(i));
+  }
+  EXPECT_TRUE(client_->Upsert("new-key", "nv").ok());
+}
+
+TEST_F(SmartClientTest, SurvivesFailover) {
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(client_->Upsert("key" + std::to_string(i), "v").ok());
+  }
+  cluster_.Quiesce();  // let replication catch up before the crash
+  ASSERT_TRUE(cluster_.Failover(3).ok());
+  for (int i = 0; i < 100; ++i) {
+    auto r = client_->Get("key" + std::to_string(i));
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+  }
+}
+
+TEST_F(SmartClientTest, ConcurrentClientsNoLostUpdates) {
+  // Each thread increments a counter field under CAS; the total must equal
+  // the number of successful increments.
+  client_->Upsert("counter", R"({"n":0})");
+  constexpr int kThreads = 8;
+  constexpr int kIncrPerThread = 50;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      SmartClient local(&cluster_, "default");
+      for (int i = 0; i < kIncrPerThread; ++i) {
+        for (;;) {  // CAS retry loop
+          auto cur = local.Get("counter");
+          ASSERT_TRUE(cur.ok());
+          auto doc = json::Parse(cur->value).value();
+          doc["n"] = json::Value::Int(doc.Field("n").AsInt() + 1);
+          WriteOptions opts;
+          opts.cas = cur->cas;
+          auto st = local.Replace("counter", doc.ToJson(), opts);
+          if (st.ok()) break;
+          ASSERT_TRUE(st.status().IsKeyExists() || st.status().IsLocked());
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  auto final_doc = client_->GetJson("counter");
+  EXPECT_EQ(final_doc->Field("n").AsInt(), kThreads * kIncrPerThread);
+}
+
+TEST_F(SmartClientTest, SubdocLookupIn) {
+  client_->Upsert("doc", R"({"a":{"b":[10,20]},"name":"X"})");
+  auto v = client_->LookupIn("doc", "a.b[1]");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->AsInt(), 20);
+  EXPECT_TRUE(client_->LookupIn("doc", "a.zzz")->is_missing());
+  EXPECT_TRUE(client_->LookupIn("gone", "a").status().IsNotFound());
+}
+
+TEST_F(SmartClientTest, SubdocMutateIn) {
+  client_->Upsert("doc", R"({"profile":{"age":30}})");
+  ASSERT_TRUE(client_->MutateIn("doc", "profile.city",
+                                json::Value::Str("SF")).ok());
+  ASSERT_TRUE(
+      client_->MutateIn("doc", "profile.age", json::Value::Int(31)).ok());
+  auto round = client_->GetJson("doc");
+  EXPECT_EQ(round->GetPath("profile.city").AsString(), "SF");
+  EXPECT_EQ(round->GetPath("profile.age").AsInt(), 31);
+}
+
+TEST_F(SmartClientTest, SubdocRemoveIn) {
+  client_->Upsert("doc", R"({"keep":1,"drop":2})");
+  ASSERT_TRUE(client_->RemoveIn("doc", "drop").ok());
+  EXPECT_TRUE(client_->RemoveIn("doc", "drop").status().IsNotFound());
+  auto round = client_->GetJson("doc");
+  EXPECT_TRUE(round->Field("drop").is_missing());
+  EXPECT_EQ(round->Field("keep").AsInt(), 1);
+}
+
+TEST_F(SmartClientTest, SubdocMutateInConcurrent) {
+  client_->Upsert("doc", R"({"counters":{}})");
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      SmartClient local(&cluster_, "default");
+      for (int i = 0; i < 20; ++i) {
+        ASSERT_TRUE(local
+                        .MutateIn("doc",
+                                  "counters.t" + std::to_string(t) + "_" +
+                                      std::to_string(i),
+                                  json::Value::Int(i))
+                        .ok());
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  auto round = client_->GetJson("doc");
+  EXPECT_EQ(round->Field("counters").AsObject().size(), 80u);
+}
+
+TEST_F(SmartClientTest, IncrementCreatesAndCounts) {
+  auto v = client_->Increment("hits", 1, /*initial=*/100);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 101);
+  EXPECT_EQ(*client_->Increment("hits", 5), 106);
+  EXPECT_EQ(*client_->Increment("hits", -6), 100);
+}
+
+TEST_F(SmartClientTest, IncrementConcurrentNoLostCounts) {
+  constexpr int kThreads = 6, kPerThread = 40;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      SmartClient local(&cluster_, "default");
+      for (int i = 0; i < kPerThread; ++i) {
+        ASSERT_TRUE(local.Increment("ctr", 1).ok());
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  auto final_value = client_->GetJson("ctr");
+  EXPECT_EQ(final_value->AsInt(), kThreads * kPerThread);
+}
+
+TEST_F(SmartClientTest, IncrementOnNonNumberFails) {
+  client_->Upsert("text", R"("hello")");
+  EXPECT_FALSE(client_->Increment("text", 1).ok());
+}
+
+TEST_F(SmartClientTest, VBucketForIsStable) {
+  EXPECT_EQ(client_->VBucketFor("abc"), client_->VBucketFor("abc"));
+  EXPECT_LT(client_->VBucketFor("abc"), cluster::kNumVBuckets);
+}
+
+}  // namespace
+}  // namespace couchkv::client

@@ -1,0 +1,295 @@
+// Tests for the cluster layer: vBucket mapping, bucket/flusher behaviour,
+// replication, durability, orchestrator election, rebalance, failover.
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.h"
+#include "cluster/vbucket_map.h"
+
+namespace couchkv::cluster {
+namespace {
+
+// --- VBucketMap ---
+
+TEST(VBucketMapTest, KeyHashingMatchesCrc32) {
+  EXPECT_EQ(KeyToVBucket("user::123"), Crc32("user::123") % kNumVBuckets);
+}
+
+TEST(VBucketMapTest, BalancedMapCoversAllVBuckets) {
+  ClusterMap map = BuildBalancedMap({0, 1, 2, 3}, 1, 1);
+  for (uint16_t vb = 0; vb < kNumVBuckets; ++vb) {
+    const auto& e = map.entries[vb];
+    EXPECT_NE(e.active, kNoNode);
+    ASSERT_EQ(e.replicas.size(), 1u);
+    EXPECT_NE(e.replicas[0], e.active);
+  }
+}
+
+TEST(VBucketMapTest, BalancedMapIsEven) {
+  ClusterMap map = BuildBalancedMap({0, 1, 2, 3}, 1, 1);
+  for (NodeId n = 0; n < 4; ++n) {
+    EXPECT_EQ(map.CountActive(n), kNumVBuckets / 4);
+  }
+}
+
+TEST(VBucketMapTest, ReplicaCountClampedToNodes) {
+  ClusterMap map = BuildBalancedMap({0, 1}, 3, 1);
+  EXPECT_EQ(map.entries[0].replicas.size(), 1u);  // only 1 other node
+}
+
+TEST(VBucketMapTest, ThreeReplicasDistinctNodes) {
+  ClusterMap map = BuildBalancedMap({0, 1, 2, 3, 4}, 3, 1);
+  for (uint16_t vb = 0; vb < kNumVBuckets; vb += 97) {
+    const auto& e = map.entries[vb];
+    std::set<NodeId> owners(e.replicas.begin(), e.replicas.end());
+    owners.insert(e.active);
+    EXPECT_EQ(owners.size(), 4u);
+  }
+}
+
+// --- Cluster fixture ---
+
+class ClusterTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    for (int i = 0; i < 4; ++i) cluster_.AddNode();
+    BucketConfig cfg;
+    cfg.name = "default";
+    cfg.num_replicas = 1;
+    ASSERT_TRUE(cluster_.CreateBucket(cfg).ok());
+  }
+
+  // Writes through the data service directly (no smart client).
+  StatusOr<kv::DocMeta> Write(const std::string& key,
+                              const std::string& value) {
+    uint16_t vb = KeyToVBucket(key);
+    NodeId active = cluster_.map("default")->ActiveFor(vb);
+    return cluster_.node(active)->Set("default", vb, key, value, 0, 0, 0);
+  }
+
+  StatusOr<kv::GetResult> Read(const std::string& key) {
+    uint16_t vb = KeyToVBucket(key);
+    NodeId active = cluster_.map("default")->ActiveFor(vb);
+    return cluster_.node(active)->Get("default", vb, key);
+  }
+
+  Cluster cluster_;
+};
+
+TEST_F(ClusterTest, WriteAndReadThroughActiveNode) {
+  ASSERT_TRUE(Write("k1", "{\"a\":1}").ok());
+  auto r = Read("k1");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->doc.value, "{\"a\":1}");
+}
+
+TEST_F(ClusterTest, WrongNodeReturnsNotMyVBucket) {
+  uint16_t vb = KeyToVBucket("k1");
+  NodeId active = cluster_.map("default")->ActiveFor(vb);
+  NodeId wrong = (active + 1) % 4;
+  // The wrong node hosts this vb as replica or dead, never active.
+  auto r = cluster_.node(wrong)->Set("default", vb, "k1", "v", 0, 0, 0);
+  EXPECT_TRUE(r.status().IsNotMyVBucket());
+}
+
+TEST_F(ClusterTest, OrchestratorIsLowestHealthyNode) {
+  EXPECT_EQ(cluster_.orchestrator(), 0u);
+  cluster_.node(0)->set_healthy(false);
+  EXPECT_EQ(cluster_.orchestrator(), 1u);
+  cluster_.node(0)->set_healthy(true);
+  EXPECT_EQ(cluster_.orchestrator(), 0u);
+}
+
+TEST_F(ClusterTest, MutationsReplicateAsynchronously) {
+  ASSERT_TRUE(Write("k1", "v1").ok());
+  cluster_.Quiesce();
+  uint16_t vb = KeyToVBucket("k1");
+  auto map = cluster_.map("default");
+  NodeId replica = map->ReplicasFor(vb)[0];
+  Bucket* rb = cluster_.node(replica)->bucket("default");
+  auto r = rb->vbucket(vb)->hash_table().Get("k1");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->doc.value, "v1");
+}
+
+TEST_F(ClusterTest, ReplicaRejectsFrontEndOps) {
+  uint16_t vb = KeyToVBucket("k1");
+  NodeId replica = cluster_.map("default")->ReplicasFor(vb)[0];
+  auto r = cluster_.node(replica)->Get("default", vb, "k1");
+  EXPECT_TRUE(r.status().IsNotMyVBucket());
+}
+
+TEST_F(ClusterTest, FlusherPersistsAsynchronously) {
+  auto meta = Write("k1", "v1");
+  ASSERT_TRUE(meta.ok());
+  cluster_.Quiesce();
+  uint16_t vb = KeyToVBucket("k1");
+  NodeId active = cluster_.map("default")->ActiveFor(vb);
+  Bucket* b = cluster_.node(active)->bucket("default");
+  EXPECT_GE(b->vbucket(vb)->persisted_seqno(), meta->seqno);
+  // The document is now on "disk".
+  auto doc = b->vbucket(vb)->file()->Get("k1");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->value, "v1");
+}
+
+TEST_F(ClusterTest, DurabilityReplicateTo) {
+  auto meta = Write("k1", "v1");
+  ASSERT_TRUE(meta.ok());
+  Status st = cluster_.WaitForDurability("default", KeyToVBucket("k1"),
+                                         meta->seqno, Durability::Replicate(1));
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST_F(ClusterTest, DurabilityPersistTo) {
+  auto meta = Write("k1", "v1");
+  ASSERT_TRUE(meta.ok());
+  Status st = cluster_.WaitForDurability("default", KeyToVBucket("k1"),
+                                         meta->seqno, Durability::Persist(1));
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST_F(ClusterTest, DurabilityTimesOutWhenImpossible) {
+  auto meta = Write("k1", "v1");
+  ASSERT_TRUE(meta.ok());
+  Durability dur;
+  dur.replicate_to = 3;  // only 1 replica configured
+  dur.timeout_ms = 50;
+  Status st = cluster_.WaitForDurability("default", KeyToVBucket("k1"),
+                                         meta->seqno, dur);
+  EXPECT_TRUE(st.IsTimeout());
+}
+
+TEST_F(ClusterTest, FailoverPromotesReplicas) {
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(Write("key" + std::to_string(i), "v" + std::to_string(i)).ok());
+  }
+  cluster_.Quiesce();
+
+  NodeId victim = 2;
+  ASSERT_TRUE(cluster_.Failover(victim).ok());
+  auto map = cluster_.map("default");
+  // No vBucket is active on the failed node.
+  for (uint16_t vb = 0; vb < kNumVBuckets; ++vb) {
+    EXPECT_NE(map->ActiveFor(vb), victim);
+    EXPECT_NE(map->ActiveFor(vb), kNoNode);
+  }
+  // All data remains readable from promoted replicas.
+  for (int i = 0; i < 200; ++i) {
+    auto r = Read("key" + std::to_string(i));
+    ASSERT_TRUE(r.ok()) << "key" << i;
+    EXPECT_EQ(r->doc.value, "v" + std::to_string(i));
+  }
+}
+
+TEST_F(ClusterTest, FailedNodeRefusesRequests) {
+  cluster_.Failover(1);
+  auto r = cluster_.node(1)->Get("default", 0, "k");
+  EXPECT_TRUE(r.status().IsTempFail());
+}
+
+TEST_F(ClusterTest, RebalanceAfterAddNodeMovesVBuckets) {
+  for (int i = 0; i < 300; ++i) {
+    ASSERT_TRUE(Write("key" + std::to_string(i), "v" + std::to_string(i)).ok());
+  }
+  cluster_.Quiesce();
+
+  NodeId n4 = cluster_.AddNode();
+  ASSERT_TRUE(cluster_.Rebalance().ok());
+  EXPECT_GT(cluster_.total_vbucket_moves(), 0u);
+
+  auto map = cluster_.map("default");
+  // The new node now owns ~1/5 of the active partitions.
+  size_t on_new = map->CountActive(n4);
+  EXPECT_NEAR(static_cast<double>(on_new), kNumVBuckets / 5.0,
+              kNumVBuckets / 20.0);
+  // All data survives and routes correctly.
+  for (int i = 0; i < 300; ++i) {
+    auto r = Read("key" + std::to_string(i));
+    ASSERT_TRUE(r.ok()) << "key" << i << ": " << r.status().ToString();
+    EXPECT_EQ(r->doc.value, "v" + std::to_string(i));
+  }
+}
+
+TEST_F(ClusterTest, RebalanceKeepsReplicationWorking) {
+  cluster_.AddNode();
+  ASSERT_TRUE(cluster_.Rebalance().ok());
+  ASSERT_TRUE(Write("post-rebalance", "v").ok());
+  cluster_.Quiesce();
+  uint16_t vb = KeyToVBucket("post-rebalance");
+  auto map = cluster_.map("default");
+  ASSERT_FALSE(map->ReplicasFor(vb).empty());
+  NodeId replica = map->ReplicasFor(vb)[0];
+  auto r = cluster_.node(replica)
+               ->bucket("default")
+               ->vbucket(vb)
+               ->hash_table()
+               .Get("post-rebalance");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->doc.value, "v");
+}
+
+TEST_F(ClusterTest, MapVersionIncreasesOnTopologyChange) {
+  uint64_t v0 = cluster_.map("default")->version;
+  cluster_.AddNode();
+  cluster_.Rebalance();
+  EXPECT_GT(cluster_.map("default")->version, v0);
+}
+
+TEST_F(ClusterTest, MdsNodeWithoutDataServiceHostsNoBuckets) {
+  Cluster c;
+  c.AddNode(kDataService);
+  NodeId query_only = c.AddNode(kQueryService);
+  BucketConfig cfg;
+  cfg.name = "b";
+  cfg.num_replicas = 0;
+  ASSERT_TRUE(c.CreateBucket(cfg).ok());
+  EXPECT_EQ(c.node(query_only)->bucket("b"), nullptr);
+  auto r = c.node(query_only)->Get("b", 0, "k");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(ClusterTest, CompactionReducesFragmentation) {
+  // Hammer one key so its vBucket file is nearly all stale versions. Each
+  // write waits for persistence so the disk-queue dedup cannot collapse the
+  // versions into a single disk write.
+  std::string key = "hot";
+  uint16_t vb = KeyToVBucket(key);
+  NodeId active = cluster_.map("default")->ActiveFor(vb);
+  Bucket* b = cluster_.node(active)->bucket("default");
+  for (int i = 0; i < 50; ++i) {
+    auto meta = Write(key, std::string(256, 'x') + std::to_string(i));
+    ASSERT_TRUE(meta.ok());
+    ASSERT_TRUE(b->WaitForPersistence(vb, meta->seqno, 5000).ok());
+  }
+  cluster_.Quiesce();
+  EXPECT_GT(b->vbucket(vb)->file()->Fragmentation(), 0.5);
+  size_t compacted = b->MaybeCompact();
+  EXPECT_GE(compacted, 1u);
+  EXPECT_LT(b->vbucket(vb)->file()->Fragmentation(), 0.5);
+  auto r = Read(key);
+  ASSERT_TRUE(r.ok());
+}
+
+TEST_F(ClusterTest, QuotaEnforcementEvicts) {
+  Cluster c;
+  c.AddNode();
+  BucketConfig cfg;
+  cfg.name = "small";
+  cfg.num_replicas = 0;
+  cfg.memory_quota_bytes = 1 << 20;  // 1 MiB
+  ASSERT_TRUE(c.CreateBucket(cfg).ok());
+  Bucket* b = c.node(0)->bucket("small");
+  for (int i = 0; i < 2000; ++i) {
+    std::string key = "k" + std::to_string(i);
+    uint16_t vb = KeyToVBucket(key);
+    ASSERT_TRUE(
+        c.node(0)->Set("small", vb, key, std::string(2048, 'v'), 0, 0, 0).ok());
+  }
+  c.Quiesce();  // persist so values are clean and evictable
+  ASSERT_GT(b->mem_used(), cfg.memory_quota_bytes);
+  uint64_t reclaimed = b->EnforceQuota();
+  EXPECT_GT(reclaimed, 0u);
+}
+
+}  // namespace
+}  // namespace couchkv::cluster

@@ -1,0 +1,276 @@
+// Whole-system integration tests: the Figure-6 asynchronous flow (memory →
+// disk / replicas / views / GSI / XDCR), warmup after restart, topology
+// changes under live query traffic, and cross-service consistency.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "client/smart_client.h"
+#include "n1ql/query_service.h"
+#include "xdcr/xdcr.h"
+
+namespace couchkv {
+namespace {
+
+using json::Value;
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    for (int i = 0; i < 4; ++i) cluster_.AddNode();
+    cluster::BucketConfig cfg;
+    cfg.name = "default";
+    cfg.num_replicas = 1;
+    ASSERT_TRUE(cluster_.CreateBucket(cfg).ok());
+    gsi_ = std::make_shared<gsi::IndexService>(&cluster_);
+    gsi_->Attach();
+    views_ = std::make_shared<views::ViewEngine>(&cluster_);
+    views_->Attach();
+    queries_ = std::make_unique<n1ql::QueryService>(&cluster_, gsi_, views_);
+    client_ = std::make_unique<client::SmartClient>(&cluster_, "default");
+  }
+
+  cluster::Cluster cluster_;
+  std::shared_ptr<gsi::IndexService> gsi_;
+  std::shared_ptr<views::ViewEngine> views_;
+  std::unique_ptr<n1ql::QueryService> queries_;
+  std::unique_ptr<client::SmartClient> client_;
+};
+
+TEST_F(IntegrationTest, OneWriteReachesEveryComponent) {
+  // Set up every derived consumer first.
+  ASSERT_TRUE(queries_
+                  ->Execute("CREATE INDEX by_kind ON `default`(kind) USING GSI")
+                  .ok());
+  views::ViewDefinition vdef;
+  vdef.name = "by_kind_view";
+  vdef.map.key_paths = {"kind"};
+  ASSERT_TRUE(views_->CreateView("default", vdef).ok());
+
+  // One durable write.
+  client::WriteOptions opts;
+  opts.durability = {1, 1, 10000};  // replicate to 1 AND persist to 1
+  auto m = client_->Upsert("probe", R"({"kind":"canary"})", opts);
+  ASSERT_TRUE(m.ok());
+  uint16_t vb = client_->VBucketFor("probe");
+  auto map = cluster_.map("default");
+  cluster::NodeId active = map->ActiveFor(vb);
+  cluster::Bucket* ab = cluster_.node(active)->bucket("default");
+
+  // 1. Persisted on the active node (durability already guaranteed it).
+  EXPECT_GE(ab->vbucket(vb)->persisted_seqno(), m->seqno);
+  EXPECT_EQ(ab->vbucket(vb)->file()->Get("probe")->value,
+            R"({"kind":"canary"})");
+  // 2. Replicated.
+  cluster::NodeId replica = map->ReplicasFor(vb)[0];
+  auto rep = cluster_.node(replica)
+                 ->bucket("default")
+                 ->vbucket(vb)
+                 ->hash_table()
+                 .Get("probe");
+  ASSERT_TRUE(rep.ok());
+  EXPECT_EQ(rep->doc.meta.cas, m->cas);
+  // 3. Visible to a request_plus N1QL query via GSI.
+  n1ql::QueryOptions qopts;
+  qopts.consistency = gsi::ScanConsistency::kRequestPlus;
+  auto qr = queries_->Execute(
+      "SELECT META(d).id AS id FROM `default` d WHERE kind = 'canary'", qopts);
+  ASSERT_TRUE(qr.ok()) << qr.status().ToString();
+  ASSERT_EQ(qr->rows.size(), 1u);
+  EXPECT_EQ(qr->rows[0].Field("id").AsString(), "probe");
+  // 4. Visible to a stale=false view query.
+  views::ViewQueryOptions vopts;
+  vopts.key = Value::Str("canary");
+  auto vr = views_->Query("default", "by_kind_view", vopts,
+                          views::Staleness::kFalse);
+  ASSERT_TRUE(vr.ok());
+  EXPECT_EQ(vr->rows.size(), 1u);
+}
+
+TEST_F(IntegrationTest, DeleteDisappearsEverywhere) {
+  ASSERT_TRUE(
+      queries_->Execute("CREATE INDEX by_kind ON `default`(kind) USING GSI")
+          .ok());
+  client_->Upsert("gone", R"({"kind":"temp"})");
+  ASSERT_TRUE(client_->Remove("gone").ok());
+  n1ql::QueryOptions qopts;
+  qopts.consistency = gsi::ScanConsistency::kRequestPlus;
+  auto qr = queries_->Execute(
+      "SELECT META(d).id FROM `default` d WHERE kind = 'temp'", qopts);
+  ASSERT_TRUE(qr.ok());
+  EXPECT_TRUE(qr->rows.empty());
+  cluster_.Quiesce();
+  uint16_t vb = client_->VBucketFor("gone");
+  cluster::NodeId replica = cluster_.map("default")->ReplicasFor(vb)[0];
+  EXPECT_TRUE(cluster_.node(replica)
+                  ->bucket("default")
+                  ->vbucket(vb)
+                  ->hash_table()
+                  .Get("gone")
+                  .status()
+                  .IsNotFound());
+}
+
+TEST_F(IntegrationTest, WarmupRestoresBucketFromStorage) {
+  // Simulated node restart: write + flush through one Bucket instance,
+  // destroy it, then warm a fresh Bucket up from the same "disk".
+  auto env = storage::Env::NewMemEnv();
+  ManualClock clock;
+  cluster::BucketConfig cfg;
+  cfg.name = "restartable";
+  {
+    dcp::Dispatcher dispatcher;
+    cluster::Bucket before(cfg, /*node_id=*/9, env.get(), &clock,
+                           &dispatcher);
+    ASSERT_TRUE(before.SetVBucketState(0, cluster::VBucketState::kActive).ok());
+    for (int i = 0; i < 50; ++i) {
+      ASSERT_TRUE(before.vbucket(0)
+                      ->Set("k" + std::to_string(i), "v" + std::to_string(i),
+                            0, 0, 0)
+                      .ok());
+    }
+    ASSERT_TRUE(before.vbucket(0)->Remove("k7", 0).ok());
+    before.FlushAll();
+  }  // "crash"
+  dcp::Dispatcher dispatcher;
+  cluster::Bucket after(cfg, 9, env.get(), &clock, &dispatcher);
+  ASSERT_TRUE(after.SetVBucketState(0, cluster::VBucketState::kActive).ok());
+  auto loaded = after.Warmup();
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(*loaded, 49u);  // 50 writes, 1 deleted
+  auto r = after.vbucket(0)->Get("k3");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->doc.value, "v3");
+  EXPECT_TRUE(after.vbucket(0)->Get("k7").status().IsNotFound());
+  // Seqno high-water marks survive the restart: new mutations continue on.
+  auto m = after.vbucket(0)->Set("new", "nv", 0, 0, 0);
+  ASSERT_TRUE(m.ok());
+  EXPECT_GT(m->seqno, 50u);
+}
+
+TEST_F(IntegrationTest, QueriesKeepWorkingThroughRebalance) {
+  ASSERT_TRUE(
+      queries_->Execute("CREATE INDEX by_n ON `default`(n) USING GSI").ok());
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(client_
+                    ->Upsert("d" + std::to_string(i),
+                             R"({"n":)" + std::to_string(i) + "}")
+                    .ok());
+  }
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> ok_queries{0}, failed_queries{0};
+  std::thread querier([&] {
+    while (!stop.load()) {
+      auto r = queries_->Execute("SELECT n FROM `default` WHERE n = 42");
+      if (r.ok()) {
+        ok_queries.fetch_add(1);
+      } else {
+        failed_queries.fetch_add(1);
+      }
+    }
+  });
+  cluster_.AddNode();
+  ASSERT_TRUE(cluster_.Rebalance().ok());
+  stop.store(true);
+  querier.join();
+  EXPECT_GT(ok_queries.load(), 0u);
+  EXPECT_EQ(failed_queries.load(), 0u);
+  // Post-rebalance, request_plus still returns exactly the right answer.
+  n1ql::QueryOptions qopts;
+  qopts.consistency = gsi::ScanConsistency::kRequestPlus;
+  auto r = queries_->Execute("SELECT n FROM `default` WHERE n = 42", qopts);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->rows.size(), 1u);
+}
+
+TEST_F(IntegrationTest, N1qlDmlFlowsToXdcrTarget) {
+  cluster::Cluster dr;
+  for (int i = 0; i < 2; ++i) dr.AddNode();
+  cluster::BucketConfig cfg;
+  cfg.name = "default";
+  cfg.num_replicas = 0;
+  ASSERT_TRUE(dr.CreateBucket(cfg).ok());
+  xdcr::XdcrSpec spec;
+  spec.source_bucket = spec.target_bucket = "default";
+  auto link = std::make_shared<xdcr::XdcrLink>(&cluster_, &dr, spec);
+  ASSERT_TRUE(link->Start("to-dr").ok());
+
+  // Mutations created through N1QL DML must replicate like any others.
+  ASSERT_TRUE(queries_
+                  ->Execute(R"(INSERT INTO `default` (KEY, VALUE)
+                               VALUES ("dml::1", {"from": "n1ql"}))")
+                  .ok());
+  for (int i = 0; i < 4; ++i) {
+    cluster_.Quiesce();
+    dr.Quiesce();
+  }
+  client::SmartClient dr_client(&dr, "default");
+  auto r = dr_client.GetJson("dml::1");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->Field("from").AsString(), "n1ql");
+}
+
+TEST_F(IntegrationTest, MdsTopologyDataIndexQuerySeparated) {
+  // A cluster where each service runs on its own nodes (paper §4.4).
+  cluster::Cluster mds;
+  mds.AddNode(cluster::kDataService);
+  mds.AddNode(cluster::kDataService);
+  mds.AddNode(cluster::kIndexService);
+  mds.AddNode(cluster::kQueryService);
+  cluster::BucketConfig cfg;
+  cfg.name = "b";
+  cfg.num_replicas = 1;
+  ASSERT_TRUE(mds.CreateBucket(cfg).ok());
+  auto g = std::make_shared<gsi::IndexService>(&mds);
+  g->Attach();
+  auto v = std::make_shared<views::ViewEngine>(&mds);
+  v->Attach();
+  n1ql::QueryService qs(&mds, g, v);
+  client::SmartClient c(&mds, "b");
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(
+        c.Upsert("k" + std::to_string(i), R"({"x":)" + std::to_string(i) + "}")
+            .ok());
+  }
+  ASSERT_TRUE(qs.Execute("CREATE INDEX by_x ON b(x) USING GSI").ok());
+  n1ql::QueryOptions qopts;
+  qopts.consistency = gsi::ScanConsistency::kRequestPlus;
+  auto r = qs.Execute("SELECT x FROM b WHERE x >= 15", qopts);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->rows.size(), 5u);
+}
+
+TEST_F(IntegrationTest, EndToEndPaperExampleProfileStory) {
+  // The running example of the paper: the profile document from §3.1.2
+  // accessed by key, by view, and by N1QL.
+  ASSERT_TRUE(
+      client_
+          ->Upsert("borkar123",
+                   R"({"name":"Dipti","email":"Dipti@couchbase.com"})")
+          .ok());
+  // Key access.
+  auto kv_doc = client_->GetJson("borkar123");
+  EXPECT_EQ(kv_doc->Field("name").AsString(), "Dipti");
+  // View access: emit(doc.name, doc.email), key="Dipti", stale=false.
+  views::ViewDefinition def;
+  def.name = "profile";
+  def.map.filter_exists_path = "name";
+  def.map.key_paths = {"name"};
+  def.map.value_path = "email";
+  ASSERT_TRUE(views_->CreateView("default", def).ok());
+  views::ViewQueryOptions vopts;
+  vopts.key = Value::Str("Dipti");
+  auto vr =
+      views_->Query("default", "profile", vopts, views::Staleness::kFalse);
+  ASSERT_TRUE(vr.ok());
+  ASSERT_EQ(vr->rows.size(), 1u);
+  EXPECT_EQ(vr->rows[0].value.AsString(), "Dipti@couchbase.com");
+  // N1QL access with USE KEYS.
+  auto qr = queries_->Execute(
+      "SELECT email FROM `default` USE KEYS 'borkar123'");
+  ASSERT_TRUE(qr.ok());
+  EXPECT_EQ(qr->rows[0].Field("email").AsString(), "Dipti@couchbase.com");
+}
+
+}  // namespace
+}  // namespace couchkv

@@ -1,0 +1,200 @@
+// Unit tests for the N1QL planner: access-path selection, sargable range
+// extraction, covering detection, partial-index implication, LIMIT
+// pushdown eligibility — all without a live cluster.
+#include <gtest/gtest.h>
+
+#include "n1ql/parser.h"
+#include "n1ql/planner.h"
+
+namespace couchkv::n1ql {
+namespace {
+
+using json::Value;
+
+SelectStatement Parse(const std::string& q) {
+  auto stmt = ParseStatement(q);
+  EXPECT_TRUE(stmt.ok()) << stmt.status().ToString();
+  return stmt->select;
+}
+
+gsi::IndexDefinition Index(const std::string& name,
+                           std::vector<std::string> paths,
+                           bool primary = false) {
+  gsi::IndexDefinition def;
+  def.name = name;
+  def.bucket = "b";
+  def.key_paths = std::move(paths);
+  def.is_primary = primary;
+  return def;
+}
+
+TEST(PlannerTest, UseKeysAlwaysWins) {
+  auto stmt = Parse("SELECT * FROM b USE KEYS 'k' WHERE age = 1");
+  auto plan = PlanSelect(stmt, {Index("by_age", {"age"})}, {});
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->scan.kind, ScanKind::kKeyScan);
+}
+
+TEST(PlannerTest, NoFromIsNoScan) {
+  auto stmt = Parse("SELECT 1");
+  auto plan = PlanSelect(stmt, {}, {});
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->scan.kind, ScanKind::kNoScan);
+}
+
+TEST(PlannerTest, NoIndexesIsPlanError) {
+  auto stmt = Parse("SELECT * FROM b WHERE age = 1");
+  auto plan = PlanSelect(stmt, {}, {});
+  EXPECT_FALSE(plan.ok());
+  EXPECT_EQ(plan.status().code(), StatusCode::kPlanError);
+}
+
+TEST(PlannerTest, EqualityProducesPointRange) {
+  auto stmt = Parse("SELECT age FROM b WHERE age = 30");
+  auto plan = PlanSelect(stmt, {Index("by_age", {"age"})}, {});
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->scan.kind, ScanKind::kIndexScan);
+  ASSERT_TRUE(plan->scan.range.lo.has_value());
+  ASSERT_TRUE(plan->scan.range.hi.has_value());
+  EXPECT_EQ(plan->scan.range.lo->AsInt(), 30);
+  EXPECT_EQ(plan->scan.range.hi->AsInt(), 30);
+}
+
+TEST(PlannerTest, RangePredicatesCombineBounds) {
+  auto stmt = Parse("SELECT age FROM b WHERE age >= 10 AND age < 20");
+  auto plan = PlanSelect(stmt, {Index("by_age", {"age"})}, {});
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->scan.range.lo->AsInt(), 10);
+  EXPECT_TRUE(plan->scan.range.lo_inclusive);
+  EXPECT_EQ(plan->scan.range.hi->AsInt(), 20);
+  EXPECT_FALSE(plan->scan.range.hi_inclusive);
+  EXPECT_TRUE(plan->scan.where_consumed);
+}
+
+TEST(PlannerTest, FlippedComparisonNormalized) {
+  // 10 <= age  ==>  age >= 10
+  auto stmt = Parse("SELECT age FROM b WHERE 10 <= age");
+  auto plan = PlanSelect(stmt, {Index("by_age", {"age"})}, {});
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->scan.kind, ScanKind::kIndexScan);
+  EXPECT_EQ(plan->scan.range.lo->AsInt(), 10);
+}
+
+TEST(PlannerTest, ParameterBoundsResolved) {
+  auto stmt = Parse("SELECT age FROM b WHERE age > $1");
+  auto plan = PlanSelect(stmt, {Index("by_age", {"age"})}, {Value::Int(42)});
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->scan.range.lo->AsInt(), 42);
+  EXPECT_FALSE(plan->scan.range.lo_inclusive);
+}
+
+TEST(PlannerTest, CoveringDetection) {
+  auto covered = Parse("SELECT age FROM b WHERE age > 5 ORDER BY age");
+  auto plan = PlanSelect(covered, {Index("by_age", {"age"})}, {});
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(plan->scan.covering);
+
+  auto uncovered = Parse("SELECT age, name FROM b WHERE age > 5");
+  plan = PlanSelect(uncovered, {Index("by_age", {"age"})}, {});
+  ASSERT_TRUE(plan.ok());
+  EXPECT_FALSE(plan->scan.covering);
+
+  auto star = Parse("SELECT * FROM b WHERE age > 5");
+  plan = PlanSelect(star, {Index("by_age", {"age"})}, {});
+  ASSERT_TRUE(plan.ok());
+  EXPECT_FALSE(plan->scan.covering);
+}
+
+TEST(PlannerTest, CompositeIndexCoversSecondKey) {
+  auto stmt = Parse("SELECT city FROM b WHERE age = 30");
+  auto plan = PlanSelect(stmt, {Index("by_age_city", {"age", "city"})}, {});
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->scan.kind, ScanKind::kIndexScan);
+  EXPECT_TRUE(plan->scan.covering);
+}
+
+TEST(PlannerTest, MetaIdCoveredByIndexScan) {
+  // meta().id rides along with every index entry.
+  auto stmt = Parse("SELECT META(b).id, age FROM b WHERE age = 1");
+  auto plan = PlanSelect(stmt, {Index("by_age", {"age"})}, {});
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(plan->scan.covering);
+}
+
+TEST(PlannerTest, PartialIndexRequiresPredicateRestated) {
+  gsi::IndexDefinition partial = Index("over21", {"age"});
+  auto where = ParseExpression("(age > 21)").value();
+  partial.where_text = where->ToString();
+
+  auto with = Parse("SELECT age FROM b WHERE age > 21 AND age = 30");
+  auto plan = PlanSelect(with, {partial}, {});
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->scan.index_name, "over21");
+
+  auto without = Parse("SELECT age FROM b WHERE age = 30");
+  EXPECT_FALSE(PlanSelect(without, {partial}, {}).ok());
+}
+
+TEST(PlannerTest, PrimaryFallbackForUnsargablePredicate) {
+  auto stmt = Parse("SELECT name FROM b WHERE LOWER(name) = 'x'");
+  auto plan = PlanSelect(
+      stmt, {Index("by_age", {"age"}), Index("#primary", {}, true)}, {});
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->scan.kind, ScanKind::kPrimaryScan);
+  EXPECT_FALSE(plan->scan.where_consumed);
+}
+
+TEST(PlannerTest, MetaIdRangeOnPrimary) {
+  auto stmt = Parse("SELECT META(b).id FROM b WHERE META(b).id >= 'user1'");
+  auto plan = PlanSelect(stmt, {Index("#primary", {}, true)}, {});
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->scan.kind, ScanKind::kPrimaryScan);
+  ASSERT_TRUE(plan->scan.range.lo.has_value());
+  EXPECT_EQ(plan->scan.range.lo->AsString(), "user1");
+  EXPECT_TRUE(plan->scan.where_consumed);  // LIMIT pushdown eligible
+}
+
+TEST(PlannerTest, ResidualPredicateBlocksPushdown) {
+  auto stmt = Parse("SELECT age FROM b WHERE age > 5 AND name = 'x'");
+  auto plan = PlanSelect(stmt, {Index("by_age", {"age"})}, {});
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->scan.kind, ScanKind::kIndexScan);
+  EXPECT_FALSE(plan->scan.where_consumed);
+}
+
+TEST(PlannerTest, EqualityPreferredOverRangeIndex) {
+  auto stmt = Parse("SELECT x FROM b WHERE age = 1 AND height > 2");
+  auto plan = PlanSelect(
+      stmt, {Index("by_height", {"height"}), Index("by_age", {"age"})}, {});
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->scan.index_name, "by_age");  // equality scores higher
+}
+
+TEST(PlannerTest, AggregatesDetected) {
+  auto stmt = Parse("SELECT COUNT(*), MAX(age) FROM b WHERE age > 0");
+  auto plan = PlanSelect(stmt, {Index("by_age", {"age"})}, {});
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(plan->has_aggregates);
+  EXPECT_EQ(plan->aggregate_exprs.size(), 2u);
+}
+
+TEST(PlannerTest, AliasQualifiedPathsMatchIndex) {
+  auto stmt = Parse("SELECT p.age FROM b AS p WHERE p.age = 5");
+  auto plan = PlanSelect(stmt, {Index("by_age", {"age"})}, {});
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->scan.kind, ScanKind::kIndexScan);
+  EXPECT_TRUE(plan->scan.covering);
+}
+
+TEST(PlannerTest, RelativePathText) {
+  auto expr = ParseExpression("p.addr.city").value();
+  EXPECT_EQ(RelativePathText(*expr, "p").value(), "addr.city");
+  EXPECT_EQ(RelativePathText(*expr, "q").value(), "p.addr.city");
+  auto idx = ParseExpression("p.tags[0]").value();
+  EXPECT_EQ(RelativePathText(*idx, "p").value(), "tags[0]");
+  auto lit = ParseExpression("42").value();
+  EXPECT_FALSE(RelativePathText(*lit, "p").has_value());
+}
+
+}  // namespace
+}  // namespace couchkv::n1ql

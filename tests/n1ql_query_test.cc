@@ -1,0 +1,397 @@
+// End-to-end N1QL tests: planner access-path selection and full query
+// execution against a live 3-node cluster with GSI.
+#include <gtest/gtest.h>
+
+#include "client/smart_client.h"
+#include "n1ql/query_service.h"
+
+namespace couchkv::n1ql {
+namespace {
+
+using json::Value;
+
+class N1qlTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    for (int i = 0; i < 3; ++i) cluster_.AddNode();
+    cluster::BucketConfig cfg;
+    cfg.name = "profiles";
+    cfg.num_replicas = 1;
+    ASSERT_TRUE(cluster_.CreateBucket(cfg).ok());
+    gsi_ = std::make_shared<gsi::IndexService>(&cluster_);
+    gsi_->Attach();
+    views_ = std::make_shared<views::ViewEngine>(&cluster_);
+    views_->Attach();
+    service_ = std::make_unique<QueryService>(&cluster_, gsi_, views_);
+    client_ = std::make_unique<client::SmartClient>(&cluster_, "profiles");
+  }
+
+  void LoadProfiles(int n) {
+    for (int i = 0; i < n; ++i) {
+      json::Value doc = json::Value::MakeObject();
+      doc["name"] = Value::Str("user" + std::to_string(i));
+      doc["email"] = Value::Str("u" + std::to_string(i) + "@example.com");
+      doc["age"] = Value::Int(18 + i % 50);
+      doc["city"] = Value::Str(i % 2 ? "SF" : "NY");
+      ASSERT_TRUE(
+          client_->UpsertJson("profile::" + std::to_string(i), doc).ok());
+    }
+  }
+
+  QueryResult MustQuery(const std::string& q, QueryOptions opts = {}) {
+    // request_plus by default so tests are deterministic.
+    if (opts.consistency == gsi::ScanConsistency::kNotBounded) {
+      opts.consistency = gsi::ScanConsistency::kRequestPlus;
+    }
+    auto r = service_->Execute(q, opts);
+    EXPECT_TRUE(r.ok()) << q << " -> " << r.status().ToString();
+    return r.ok() ? std::move(r).value() : QueryResult{};
+  }
+
+  cluster::Cluster cluster_;
+  std::shared_ptr<gsi::IndexService> gsi_;
+  std::shared_ptr<views::ViewEngine> views_;
+  std::unique_ptr<QueryService> service_;
+  std::unique_ptr<client::SmartClient> client_;
+};
+
+TEST_F(N1qlTest, SelectWithoutFrom) {
+  auto r = MustQuery("SELECT 1 + 2 AS three");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0].Field("three").AsInt(), 3);
+}
+
+TEST_F(N1qlTest, UseKeysKeyScan) {
+  LoadProfiles(10);
+  auto r = MustQuery("SELECT name, email FROM profiles USE KEYS 'profile::3'");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0].Field("name").AsString(), "user3");
+  // No index fetch involved: explain shows KeyScan.
+  auto ex = MustQuery("EXPLAIN SELECT * FROM profiles USE KEYS 'profile::3'");
+  EXPECT_EQ(ex.rows[0].GetPath("operators[0].#operator").AsString(),
+            "KeyScan");
+}
+
+TEST_F(N1qlTest, UseKeysMultiple) {
+  LoadProfiles(10);
+  auto r = MustQuery(
+      "SELECT name FROM profiles USE KEYS ['profile::1', 'profile::4']");
+  EXPECT_EQ(r.rows.size(), 2u);
+}
+
+TEST_F(N1qlTest, UseKeysMissingKeyYieldsNoRow) {
+  LoadProfiles(2);
+  auto r = MustQuery("SELECT * FROM profiles USE KEYS 'nope'");
+  EXPECT_TRUE(r.rows.empty());
+}
+
+TEST_F(N1qlTest, NoIndexMeansPlanError) {
+  LoadProfiles(2);
+  auto r = service_->Execute("SELECT * FROM profiles WHERE age > 20");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kPlanError);
+}
+
+TEST_F(N1qlTest, PrimaryIndexEnablesFullScan) {
+  LoadProfiles(20);
+  MustQuery("CREATE PRIMARY INDEX ON profiles USING GSI");
+  auto r = MustQuery("SELECT name FROM profiles WHERE age >= 18");
+  EXPECT_EQ(r.rows.size(), 20u);
+  auto ex = MustQuery("EXPLAIN SELECT name FROM profiles WHERE age >= 18");
+  EXPECT_EQ(ex.rows[0].GetPath("operators[0].#operator").AsString(),
+            "PrimaryScan");
+}
+
+TEST_F(N1qlTest, SecondaryIndexScanChosen) {
+  LoadProfiles(40);
+  MustQuery("CREATE INDEX by_age ON profiles(age) USING GSI");
+  auto ex = MustQuery("EXPLAIN SELECT name FROM profiles WHERE age = 25");
+  EXPECT_EQ(ex.rows[0].GetPath("operators[0].#operator").AsString(),
+            "IndexScan");
+  EXPECT_EQ(ex.rows[0].GetPath("operators[0].index").AsString(), "by_age");
+  auto r = MustQuery("SELECT name, age FROM profiles WHERE age = 25");
+  ASSERT_FALSE(r.rows.empty());
+  for (const Value& row : r.rows) {
+    EXPECT_EQ(row.Field("age").AsInt(), 25);
+  }
+}
+
+TEST_F(N1qlTest, CoveringIndexAvoidsFetch) {
+  LoadProfiles(30);
+  MustQuery("CREATE INDEX by_age ON profiles(age) USING GSI");
+  auto ex = MustQuery("EXPLAIN SELECT age FROM profiles WHERE age > 40");
+  EXPECT_TRUE(ex.rows[0].GetPath("operators[0].covering").AsBool());
+  // Non-covered: selects name too.
+  auto ex2 = MustQuery("EXPLAIN SELECT name, age FROM profiles WHERE age > 40");
+  EXPECT_FALSE(ex2.rows[0].GetPath("operators[0].covering").AsBool());
+
+  auto covered = MustQuery("SELECT age FROM profiles WHERE age > 40");
+  EXPECT_EQ(covered.metrics.docs_fetched, 0u);  // §5.1.2: no fetch at all
+  auto fetched = MustQuery("SELECT name, age FROM profiles WHERE age > 40");
+  EXPECT_GT(fetched.metrics.docs_fetched, 0u);
+  EXPECT_EQ(covered.rows.size(), fetched.rows.size());
+}
+
+TEST_F(N1qlTest, RangePredicatesCombine) {
+  LoadProfiles(60);
+  MustQuery("CREATE INDEX by_age ON profiles(age) USING GSI");
+  auto r = MustQuery(
+      "SELECT age FROM profiles WHERE age >= 30 AND age < 35 ORDER BY age");
+  ASSERT_FALSE(r.rows.empty());
+  EXPECT_EQ(r.rows.front().Field("age").AsInt(), 30);
+  EXPECT_EQ(r.rows.back().Field("age").AsInt(), 34);
+}
+
+TEST_F(N1qlTest, PartialIndexUsedOnlyWhenImplied) {
+  LoadProfiles(40);
+  MustQuery(
+      "CREATE INDEX over21 ON profiles(age) WHERE age > 21 USING GSI");
+  // Query repeating the predicate can use it.
+  auto ex = MustQuery(
+      "EXPLAIN SELECT age FROM profiles WHERE age > 21 AND age = 30");
+  EXPECT_EQ(ex.rows[0].GetPath("operators[0].index").AsString(), "over21");
+  // Query without the predicate cannot (and has no other index).
+  auto r = service_->Execute("SELECT age FROM profiles WHERE age = 30");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(N1qlTest, OrderLimitOffset) {
+  LoadProfiles(20);
+  MustQuery("CREATE PRIMARY INDEX ON profiles USING GSI");
+  auto r = MustQuery(
+      "SELECT name, age FROM profiles WHERE age >= 18 "
+      "ORDER BY age DESC, name ASC LIMIT 5 OFFSET 2");
+  ASSERT_EQ(r.rows.size(), 5u);
+  for (size_t i = 1; i < r.rows.size(); ++i) {
+    EXPECT_GE(r.rows[i - 1].Field("age").AsInt(),
+              r.rows[i].Field("age").AsInt());
+  }
+}
+
+TEST_F(N1qlTest, GroupByWithAggregates) {
+  LoadProfiles(30);
+  MustQuery("CREATE PRIMARY INDEX ON profiles USING GSI");
+  auto r = MustQuery(
+      "SELECT city, COUNT(*) AS n, AVG(age) AS avg_age, MIN(age) AS min_age "
+      "FROM profiles WHERE age >= 18 GROUP BY city ORDER BY city");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0].Field("city").AsString(), "NY");
+  EXPECT_EQ(r.rows[0].Field("n").AsInt(), 15);
+  EXPECT_GT(r.rows[0].Field("avg_age").AsNumber(), 17.0);
+  // HAVING filters groups.
+  auto h = MustQuery(
+      "SELECT city, COUNT(*) AS n FROM profiles WHERE age >= 18 "
+      "GROUP BY city HAVING COUNT(*) > 100");
+  EXPECT_TRUE(h.rows.empty());
+}
+
+TEST_F(N1qlTest, GlobalAggregateWithoutGroupBy) {
+  LoadProfiles(25);
+  MustQuery("CREATE PRIMARY INDEX ON profiles USING GSI");
+  auto r = MustQuery("SELECT COUNT(*) AS total FROM profiles WHERE age >= 0");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0].Field("total").AsInt(), 25);
+}
+
+TEST_F(N1qlTest, JoinOnKeys) {
+  // Orders reference customer keys: the only join N1QL allows (§3.2.4).
+  cluster::BucketConfig cfg;
+  cfg.name = "orders";
+  cfg.num_replicas = 0;
+  ASSERT_TRUE(cluster_.CreateBucket(cfg).ok());
+  client::SmartClient orders(&cluster_, "orders");
+  ASSERT_TRUE(client_->Upsert("cust::1", R"({"name":"Alice"})").ok());
+  ASSERT_TRUE(client_->Upsert("cust::2", R"({"name":"Bob"})").ok());
+  ASSERT_TRUE(
+      orders.Upsert("ord::1", R"({"cust":"cust::1","total":10})").ok());
+  ASSERT_TRUE(
+      orders.Upsert("ord::2", R"({"cust":"cust::1","total":20})").ok());
+  ASSERT_TRUE(
+      orders.Upsert("ord::3", R"({"cust":"cust::9","total":30})").ok());
+
+  auto r = MustQuery(
+      "SELECT o.total, c.name FROM orders o "
+      "USE KEYS ['ord::1','ord::2','ord::3'] "
+      "INNER JOIN profiles c ON KEYS o.cust ORDER BY o.total");
+  ASSERT_EQ(r.rows.size(), 2u);  // ord::3 has no matching customer
+  EXPECT_EQ(r.rows[0].Field("name").AsString(), "Alice");
+
+  auto lo = MustQuery(
+      "SELECT o.total, c.name FROM orders o "
+      "USE KEYS ['ord::1','ord::3'] "
+      "LEFT JOIN profiles c ON KEYS o.cust ORDER BY o.total");
+  ASSERT_EQ(lo.rows.size(), 2u);  // left outer keeps ord::3
+  EXPECT_TRUE(lo.rows[1].Field("name").is_missing());
+}
+
+TEST_F(N1qlTest, NestCollectsIntoArray) {
+  // The paper's §3.2.3 NEST: orders embedded as an array in the user.
+  cluster::BucketConfig cfg;
+  cfg.name = "po";
+  cfg.num_replicas = 0;
+  ASSERT_TRUE(cluster_.CreateBucket(cfg).ok());
+  client::SmartClient po(&cluster_, "po");
+  ASSERT_TRUE(po.Upsert("borkar123", R"({
+      "personal_details": {"name": "Dipti"},
+      "shipped_order_history": [
+        {"order_id": "order::1"}, {"order_id": "order::2"}]})")
+                  .ok());
+  ASSERT_TRUE(po.Upsert("order::1", R"({"item":"couch","qty":1})").ok());
+  ASSERT_TRUE(po.Upsert("order::2", R"({"item":"base","qty":2})").ok());
+
+  auto r = MustQuery(
+      "SELECT PO.personal_details, orders FROM po PO USE KEYS 'borkar123' "
+      "NEST po AS orders "
+      "ON KEYS ARRAY s.order_id FOR s IN PO.shipped_order_history END");
+  ASSERT_EQ(r.rows.size(), 1u);
+  const Value& orders = r.rows[0].Field("orders");
+  ASSERT_TRUE(orders.is_array());
+  EXPECT_EQ(orders.AsArray().size(), 2u);
+  EXPECT_EQ(r.rows[0].GetPath("personal_details.name").AsString(), "Dipti");
+}
+
+TEST_F(N1qlTest, UnnestFlattensArrays) {
+  cluster::BucketConfig cfg;
+  cfg.name = "product";
+  cfg.num_replicas = 0;
+  ASSERT_TRUE(cluster_.CreateBucket(cfg).ok());
+  client::SmartClient prod(&cluster_, "product");
+  ASSERT_TRUE(
+      prod.Upsert("p1", R"({"categories":["sofa","living"]})").ok());
+  ASSERT_TRUE(
+      prod.Upsert("p2", R"({"categories":["sofa","office"]})").ok());
+
+  // The paper's §3.2.3 UNNEST example (distinct in-use categories).
+  auto r = MustQuery(
+      "SELECT DISTINCT categories FROM product USE KEYS ['p1','p2'] "
+      "UNNEST product.categories AS categories ORDER BY categories");
+  ASSERT_EQ(r.rows.size(), 3u);
+  EXPECT_EQ(r.rows[0].Field("categories").AsString(), "living");
+  EXPECT_EQ(r.rows[1].Field("categories").AsString(), "office");
+  EXPECT_EQ(r.rows[2].Field("categories").AsString(), "sofa");
+}
+
+TEST_F(N1qlTest, DmlInsertUpdateDelete) {
+  auto ins = MustQuery(
+      R"(INSERT INTO profiles (KEY, VALUE)
+         VALUES ("p::a", {"name": "A", "age": 1}),
+                ("p::b", {"name": "B", "age": 2}))");
+  EXPECT_EQ(ins.metrics.mutation_count, 2u);
+  // Duplicate INSERT fails; UPSERT succeeds.
+  EXPECT_FALSE(
+      service_->Execute(
+                  R"(INSERT INTO profiles (KEY, VALUE) VALUES ("p::a", 1))")
+          .ok());
+  MustQuery(R"(UPSERT INTO profiles (KEY, VALUE)
+               VALUES ("p::a", {"name": "A2", "age": 10}))");
+  auto up = MustQuery(
+      "UPDATE profiles USE KEYS 'p::b' SET age = 99, extra.note = 'hi'");
+  EXPECT_EQ(up.metrics.mutation_count, 1u);
+  auto check = MustQuery("SELECT age, extra FROM profiles USE KEYS 'p::b'");
+  EXPECT_EQ(check.rows[0].Field("age").AsInt(), 99);
+  EXPECT_EQ(check.rows[0].GetPath("extra.note").AsString(), "hi");
+  auto del = MustQuery("DELETE FROM profiles USE KEYS 'p::a'");
+  EXPECT_EQ(del.metrics.mutation_count, 1u);
+  EXPECT_TRUE(client_->Get("p::a").status().IsNotFound());
+}
+
+TEST_F(N1qlTest, UpdateWithWhereViaIndex) {
+  LoadProfiles(20);
+  MustQuery("CREATE INDEX by_age ON profiles(age) USING GSI");
+  auto r = MustQuery("UPDATE profiles SET city = 'LA' WHERE age = 20");
+  EXPECT_GT(r.metrics.mutation_count, 0u);
+  auto check = MustQuery("SELECT city FROM profiles WHERE age = 20");
+  for (const Value& row : check.rows) {
+    EXPECT_EQ(row.Field("city").AsString(), "LA");
+  }
+}
+
+TEST_F(N1qlTest, WorkloadEStyleQuery) {
+  LoadProfiles(50);
+  MustQuery("CREATE PRIMARY INDEX ON profiles USING GSI");
+  QueryOptions opts;
+  opts.params = {Value::Str("profile::2"), Value::Int(5)};
+  auto r = MustQuery(
+      "SELECT meta().id AS id FROM profiles WHERE meta().id >= $1 LIMIT $2",
+      opts);
+  ASSERT_EQ(r.rows.size(), 5u);
+  EXPECT_EQ(r.rows[0].Field("id").AsString(), "profile::2");
+  for (size_t i = 1; i < r.rows.size(); ++i) {
+    EXPECT_LT(r.rows[i - 1].Field("id").AsString(),
+              r.rows[i].Field("id").AsString());
+  }
+}
+
+TEST_F(N1qlTest, AnySatisfiesFilter) {
+  cluster::BucketConfig cfg;
+  cfg.name = "orders2";
+  cfg.num_replicas = 0;
+  ASSERT_TRUE(cluster_.CreateBucket(cfg).ok());
+  client::SmartClient orders(&cluster_, "orders2");
+  ASSERT_TRUE(orders.Upsert("o1", R"({"items":[{"sku":"a"},{"sku":"b"}]})")
+                  .ok());
+  ASSERT_TRUE(orders.Upsert("o2", R"({"items":[{"sku":"c"}]})").ok());
+  auto r = MustQuery(
+      "SELECT META(o).id AS id FROM orders2 o USE KEYS ['o1','o2'] "
+      "WHERE ANY i IN o.items SATISFIES i.sku = 'b' END");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0].Field("id").AsString(), "o1");
+}
+
+TEST_F(N1qlTest, ScanConsistencyNotBoundedVsRequestPlus) {
+  MustQuery("CREATE INDEX by_age ON profiles(age) USING GSI");
+  cluster_.Quiesce();
+  ASSERT_TRUE(client_->Upsert("fresh", R"({"age":123})").ok());
+  // request_plus must see the write that preceded the query (§3.2.3).
+  QueryOptions plus;
+  plus.consistency = gsi::ScanConsistency::kRequestPlus;
+  auto r = service_->Execute(
+      "SELECT age FROM profiles WHERE age = 123", plus);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows.size(), 1u);
+}
+
+TEST_F(N1qlTest, CreateIndexUsingViewAndDrop) {
+  LoadProfiles(5);
+  MustQuery("CREATE INDEX email_view ON profiles(email) USING VIEW");
+  // The view exists and is queryable through the view engine.
+  views::ViewQueryOptions vopts;
+  auto vr = views_->Query("profiles", "email_view", vopts,
+                          views::Staleness::kFalse);
+  ASSERT_TRUE(vr.ok());
+  EXPECT_EQ(vr->rows.size(), 5u);
+  MustQuery("DROP INDEX profiles.email_view");
+  EXPECT_FALSE(views_->Query("profiles", "email_view", vopts).ok());
+}
+
+TEST_F(N1qlTest, MdsNoQueryNodeRefusesQueries) {
+  cluster::Cluster c;
+  c.AddNode(cluster::kDataService | cluster::kIndexService);
+  cluster::BucketConfig cfg;
+  cfg.name = "b";
+  cfg.num_replicas = 0;
+  ASSERT_TRUE(c.CreateBucket(cfg).ok());
+  auto g = std::make_shared<gsi::IndexService>(&c);
+  g->Attach();
+  auto v = std::make_shared<views::ViewEngine>(&c);
+  v->Attach();
+  QueryService qs(&c, g, v);
+  auto r = qs.Execute("SELECT 1");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnsupported);
+}
+
+TEST_F(N1qlTest, ExplainListsOperatorPipeline) {
+  LoadProfiles(5);
+  MustQuery("CREATE PRIMARY INDEX ON profiles USING GSI");
+  auto ex = MustQuery(
+      "EXPLAIN SELECT city, COUNT(*) FROM profiles WHERE age > 1 "
+      "GROUP BY city ORDER BY city LIMIT 2");
+  const Value& ops = ex.rows[0].Field("operators");
+  ASSERT_TRUE(ops.is_array());
+  // Scan, Fetch, Filter, Group, InitialProject, Sort, Limit, FinalProject.
+  EXPECT_EQ(ops.AsArray().size(), 8u);
+}
+
+}  // namespace
+}  // namespace couchkv::n1ql

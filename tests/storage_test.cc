@@ -1,0 +1,247 @@
+// Unit tests for the append-only storage engine: persistence, crash
+// recovery (torn tails), compaction, fragmentation, and both Env backends.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "storage/couch_file.h"
+#include "storage/env.h"
+
+namespace couchkv::storage {
+namespace {
+
+kv::Document MakeDoc(const std::string& key, const std::string& value,
+                     uint64_t seqno, bool deleted = false) {
+  kv::Document doc;
+  doc.key = key;
+  doc.value = value;
+  doc.meta.seqno = seqno;
+  doc.meta.cas = seqno * 10;
+  doc.meta.revno = 1;
+  doc.meta.deleted = deleted;
+  return doc;
+}
+
+class CouchFileTest : public ::testing::TestWithParam<bool> {
+ protected:
+  void SetUp() override {
+    if (GetParam()) {
+      dir_ = ::testing::TempDir() + "/couchkv_storage_test";
+      std::filesystem::create_directories(dir_);
+      env_owned_.reset();
+      env_ = Env::Posix();
+      // Unique path per test case: parallel ctest runs must not collide.
+      // Parameterized test names contain '/', which is not path-safe.
+      const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+      std::string name = info->name();
+      for (char& c : name) {
+        if (c == '/') c = '_';
+      }
+      path_ = dir_ + "/" + name + ".couch";
+      env_->Remove(path_);
+      env_->Remove(path_ + ".compact");
+    } else {
+      env_owned_ = Env::NewMemEnv();
+      env_ = env_owned_.get();
+      path_ = "vb0.couch";
+    }
+  }
+
+  std::unique_ptr<Env> env_owned_;
+  Env* env_ = nullptr;
+  std::string dir_;
+  std::string path_;
+};
+
+INSTANTIATE_TEST_SUITE_P(Backends, CouchFileTest, ::testing::Values(false, true),
+                         [](const auto& info) {
+                           return info.param ? "Posix" : "Mem";
+                         });
+
+TEST_P(CouchFileTest, SaveCommitGet) {
+  auto cf = CouchFile::Open(env_, path_).value();
+  ASSERT_TRUE(cf->SaveDocs({MakeDoc("a", "v1", 1), MakeDoc("b", "v2", 2)}).ok());
+  ASSERT_TRUE(cf->Commit().ok());
+  auto doc = cf->Get("a");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->value, "v1");
+  EXPECT_EQ(doc->meta.seqno, 1u);
+  EXPECT_TRUE(cf->Get("zzz").status().IsNotFound());
+  EXPECT_EQ(cf->high_seqno(), 2u);
+}
+
+TEST_P(CouchFileTest, UpdatesSupersede) {
+  auto cf = CouchFile::Open(env_, path_).value();
+  cf->SaveDocs({MakeDoc("a", "v1", 1)});
+  cf->SaveDocs({MakeDoc("a", "v2", 2)});
+  cf->Commit();
+  EXPECT_EQ(cf->Get("a")->value, "v2");
+  EXPECT_EQ(cf->stats().num_live_docs, 1u);
+}
+
+TEST_P(CouchFileTest, DeleteLeavesTombstone) {
+  auto cf = CouchFile::Open(env_, path_).value();
+  cf->SaveDocs({MakeDoc("a", "v1", 1)});
+  cf->SaveDocs({MakeDoc("a", "", 2, /*deleted=*/true)});
+  cf->Commit();
+  EXPECT_TRUE(cf->Get("a").status().IsNotFound());
+  EXPECT_EQ(cf->stats().num_tombstones, 1u);
+}
+
+TEST_P(CouchFileTest, ReopenRecoversCommittedState) {
+  {
+    auto cf = CouchFile::Open(env_, path_).value();
+    cf->SaveDocs({MakeDoc("a", "v1", 1), MakeDoc("b", "v2", 2)});
+    cf->Commit();
+    cf->SaveDocs({MakeDoc("c", "v3", 3)});
+    // No commit for c: it must vanish on reopen (crash semantics).
+  }
+  auto cf = CouchFile::Open(env_, path_).value();
+  EXPECT_EQ(cf->Get("a")->value, "v1");
+  EXPECT_EQ(cf->Get("b")->value, "v2");
+  EXPECT_TRUE(cf->Get("c").status().IsNotFound());
+  EXPECT_EQ(cf->high_seqno(), 2u);
+}
+
+TEST_P(CouchFileTest, RecoveryTruncatesTornTail) {
+  {
+    auto cf = CouchFile::Open(env_, path_).value();
+    cf->SaveDocs({MakeDoc("a", "v1", 1)});
+    cf->Commit();
+  }
+  // Simulate a torn write: append garbage bytes.
+  {
+    auto f = env_->Open(path_).value();
+    f->Append("GARBAGE-PARTIAL-RECORD");
+  }
+  auto cf = CouchFile::Open(env_, path_).value();
+  EXPECT_EQ(cf->Get("a")->value, "v1");
+  // Further writes after recovery work.
+  EXPECT_TRUE(cf->SaveDocs({MakeDoc("b", "v2", 2)}).ok());
+  EXPECT_TRUE(cf->Commit().ok());
+  EXPECT_EQ(cf->Get("b")->value, "v2");
+}
+
+TEST_P(CouchFileTest, ChangesSinceStreamsInSeqnoOrder) {
+  auto cf = CouchFile::Open(env_, path_).value();
+  cf->SaveDocs({MakeDoc("a", "1", 1), MakeDoc("b", "2", 2),
+                MakeDoc("c", "3", 3), MakeDoc("a", "4", 4)});
+  cf->Commit();
+  std::vector<uint64_t> seqnos;
+  ASSERT_TRUE(cf->ChangesSince(1, [&](const kv::Document& d) {
+                  seqnos.push_back(d.meta.seqno);
+                }).ok());
+  // seqno 1 was superseded by 4 (same key); only latest versions stream.
+  EXPECT_EQ(seqnos, (std::vector<uint64_t>{2, 3, 4}));
+}
+
+TEST_P(CouchFileTest, CompactionShrinksFile) {
+  auto cf = CouchFile::Open(env_, path_).value();
+  std::string big(512, 'x');
+  for (uint64_t i = 1; i <= 100; ++i) {
+    cf->SaveDocs({MakeDoc("hot", big + std::to_string(i), i)});
+  }
+  cf->Commit();
+  double frag_before = cf->Fragmentation();
+  uint64_t size_before = cf->stats().file_size;
+  EXPECT_GT(frag_before, 0.9);
+  ASSERT_TRUE(cf->Compact().ok());
+  EXPECT_LT(cf->stats().file_size, size_before / 10);
+  EXPECT_LT(cf->Fragmentation(), 0.1);
+  // Data survives compaction.
+  EXPECT_EQ(cf->Get("hot")->value, big + "100");
+  EXPECT_EQ(cf->high_seqno(), 100u);
+}
+
+TEST_P(CouchFileTest, CompactionPurgesOldTombstones) {
+  auto cf = CouchFile::Open(env_, path_).value();
+  cf->SaveDocs({MakeDoc("a", "v", 1)});
+  cf->SaveDocs({MakeDoc("a", "", 2, true)});
+  cf->SaveDocs({MakeDoc("b", "v", 3)});
+  cf->Commit();
+  ASSERT_TRUE(cf->Compact(/*purge_before_seqno=*/3).ok());
+  EXPECT_EQ(cf->stats().num_tombstones, 0u);
+  EXPECT_EQ(cf->stats().num_live_docs, 1u);
+}
+
+TEST_P(CouchFileTest, ReopenAfterCompaction) {
+  {
+    auto cf = CouchFile::Open(env_, path_).value();
+    for (uint64_t i = 1; i <= 10; ++i) {
+      cf->SaveDocs({MakeDoc("k" + std::to_string(i), "v", i)});
+    }
+    cf->Commit();
+    cf->Compact();
+  }
+  auto cf = CouchFile::Open(env_, path_).value();
+  EXPECT_EQ(cf->stats().num_live_docs, 10u);
+  EXPECT_EQ(cf->Get("k7")->value, "v");
+}
+
+TEST_P(CouchFileTest, ForEachLiveVisitsAllLiveDocs) {
+  auto cf = CouchFile::Open(env_, path_).value();
+  cf->SaveDocs({MakeDoc("a", "1", 1), MakeDoc("b", "2", 2),
+                MakeDoc("b", "", 3, true)});
+  cf->Commit();
+  int count = 0;
+  cf->ForEachLive([&](const kv::Document& d) {
+    EXPECT_EQ(d.key, "a");
+    ++count;
+  });
+  EXPECT_EQ(count, 1);
+}
+
+TEST_P(CouchFileTest, EmptyFileHasNoFragmentation) {
+  auto cf = CouchFile::Open(env_, path_).value();
+  EXPECT_DOUBLE_EQ(cf->Fragmentation(), 0.0);
+  EXPECT_EQ(cf->high_seqno(), 0u);
+}
+
+TEST_P(CouchFileTest, LargeValuesRoundTrip) {
+  auto cf = CouchFile::Open(env_, path_).value();
+  std::string huge(1 << 20, 'q');
+  cf->SaveDocs({MakeDoc("big", huge, 1)});
+  cf->Commit();
+  EXPECT_EQ(cf->Get("big")->value, huge);
+}
+
+TEST(EnvTest, MemEnvRename) {
+  auto env = Env::NewMemEnv();
+  auto f = env->Open("a").value();
+  f->Append("data");
+  ASSERT_TRUE(env->Rename("a", "b").ok());
+  EXPECT_FALSE(env->Exists("a"));
+  EXPECT_TRUE(env->Exists("b"));
+  std::string out;
+  ASSERT_TRUE(env->Open("b").value()->Read(0, 4, &out).ok());
+  EXPECT_EQ(out, "data");
+}
+
+TEST(EnvTest, MemEnvIsolation) {
+  auto env1 = Env::NewMemEnv();
+  auto env2 = Env::NewMemEnv();
+  env1->Open("f").value()->Append("x");
+  EXPECT_TRUE(env1->Exists("f"));
+  EXPECT_FALSE(env2->Exists("f"));
+}
+
+TEST(EnvTest, ReadPastEofFails) {
+  auto env = Env::NewMemEnv();
+  auto f = env->Open("f").value();
+  f->Append("abc");
+  std::string out;
+  EXPECT_FALSE(f->Read(1, 5, &out).ok());
+  EXPECT_TRUE(f->Read(1, 2, &out).ok());
+  EXPECT_EQ(out, "bc");
+}
+
+TEST(EnvTest, TruncateShrinks) {
+  auto env = Env::NewMemEnv();
+  auto f = env->Open("f").value();
+  f->Append("abcdef");
+  ASSERT_TRUE(f->Truncate(3).ok());
+  EXPECT_EQ(f->Size(), 3u);
+}
+
+}  // namespace
+}  // namespace couchkv::storage

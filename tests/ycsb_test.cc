@@ -1,0 +1,118 @@
+// Tests for the YCSB workload generator and runner.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "ycsb/ycsb.h"
+
+namespace couchkv::ycsb {
+namespace {
+
+TEST(WorkloadConfigTest, StandardMixesSumToOne) {
+  for (const WorkloadConfig& c :
+       {WorkloadConfig::A(10), WorkloadConfig::B(10), WorkloadConfig::C(10),
+        WorkloadConfig::D(10), WorkloadConfig::E(10), WorkloadConfig::F(10)}) {
+    double total = c.read_proportion + c.update_proportion +
+                   c.insert_proportion + c.scan_proportion + c.rmw_proportion;
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST(WorkloadTest, KeysAreZeroPaddedAndOrdered) {
+  EXPECT_EQ(Workload::KeyFor(0), "user00000000000000");
+  EXPECT_EQ(Workload::KeyFor(123), "user00000000000123");
+  EXPECT_LT(Workload::KeyFor(9), Workload::KeyFor(10));  // lexicographic
+}
+
+TEST(WorkloadTest, WorkloadAMixIsHalfReadsHalfUpdates) {
+  std::atomic<uint64_t> counter{1000};
+  Workload w(WorkloadConfig::A(1000), 1, &counter);
+  std::map<OpType, int> histogram;
+  for (int i = 0; i < 10000; ++i) histogram[w.Next().type]++;
+  EXPECT_NEAR(histogram[OpType::kRead], 5000, 500);
+  EXPECT_NEAR(histogram[OpType::kUpdate], 5000, 500);
+  EXPECT_EQ(histogram[OpType::kScan], 0);
+}
+
+TEST(WorkloadTest, WorkloadEMixIsScansAndInserts) {
+  std::atomic<uint64_t> counter{1000};
+  Workload w(WorkloadConfig::E(1000), 2, &counter);
+  std::map<OpType, int> histogram;
+  for (int i = 0; i < 10000; ++i) {
+    Op op = w.Next();
+    histogram[op.type]++;
+    if (op.type == OpType::kScan) {
+      EXPECT_GE(op.scan_length, 1u);
+      EXPECT_LE(op.scan_length, w.config().max_scan_length);
+    }
+  }
+  EXPECT_NEAR(histogram[OpType::kScan], 9500, 400);
+  EXPECT_NEAR(histogram[OpType::kInsert], 500, 300);
+}
+
+TEST(WorkloadTest, InsertsExtendTheKeySpace) {
+  std::atomic<uint64_t> counter{100};
+  WorkloadConfig cfg = WorkloadConfig::A(100);
+  cfg.insert_proportion = 1.0;
+  cfg.read_proportion = cfg.update_proportion = 0;
+  Workload w(cfg, 3, &counter);
+  Op op1 = w.Next();
+  Op op2 = w.Next();
+  EXPECT_EQ(op1.key, Workload::KeyFor(100));
+  EXPECT_EQ(op2.key, Workload::KeyFor(101));
+  EXPECT_EQ(counter.load(), 102u);
+}
+
+TEST(WorkloadTest, ZipfianKeysAreSkewedButScattered) {
+  std::atomic<uint64_t> counter{10000};
+  Workload w(WorkloadConfig::C(10000), 4, &counter);
+  std::map<std::string, int> freq;
+  for (int i = 0; i < 20000; ++i) freq[w.Next().key]++;
+  // Some keys should be much hotter than average.
+  int max_freq = 0;
+  for (auto& [k, f] : freq) max_freq = std::max(max_freq, f);
+  EXPECT_GT(max_freq, 50);
+  // But accesses are scattered over a large portion of the space.
+  EXPECT_GT(freq.size(), 1000u);
+}
+
+TEST(WorkloadTest, GeneratedValueIsJsonWithFields) {
+  std::atomic<uint64_t> counter{10};
+  WorkloadConfig cfg = WorkloadConfig::A(10);
+  cfg.field_count = 3;
+  cfg.field_length = 8;
+  Workload w(cfg, 5, &counter);
+  auto doc = json::Parse(w.GenerateValue());
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->AsObject().size(), 3u);
+  EXPECT_EQ(doc->Field("field0").AsString().size(), 8u);
+}
+
+TEST(RunnerTest, ExecutesRequestedOpsAcrossThreads) {
+  std::atomic<uint64_t> reads{0}, updates{0};
+  RunResult result;
+  couchkv::ycsb::Run(WorkloadConfig::A(100), /*threads=*/4, /*ops_per_thread=*/250,
+      [&](const Op& op) {
+        if (op.type == OpType::kRead) reads.fetch_add(1);
+        else updates.fetch_add(1);
+        return Status::OK();
+      },
+      &result);
+  EXPECT_EQ(result.total_ops, 1000u);
+  EXPECT_EQ(reads.load() + updates.load(), 1000u);
+  EXPECT_EQ(result.failed_ops, 0u);
+  EXPECT_GT(result.throughput_ops_sec, 0.0);
+  EXPECT_EQ(result.read_latency.count() + result.update_latency.count() +
+                result.scan_latency.count(),
+            1000u);
+}
+
+TEST(RunnerTest, CountsFailures) {
+  RunResult result;
+  couchkv::ycsb::Run(WorkloadConfig::C(10), 2, 50,
+      [&](const Op&) { return Status::TempFail(); }, &result);
+  EXPECT_EQ(result.failed_ops, 100u);
+}
+
+}  // namespace
+}  // namespace couchkv::ycsb
