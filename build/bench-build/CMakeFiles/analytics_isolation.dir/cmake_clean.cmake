@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/analytics_isolation"
+  "../bench/analytics_isolation.pdb"
+  "CMakeFiles/analytics_isolation.dir/analytics_isolation.cpp.o"
+  "CMakeFiles/analytics_isolation.dir/analytics_isolation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analytics_isolation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/covering_index.cpp" "bench-build/CMakeFiles/covering_index.dir/covering_index.cpp.o" "gcc" "bench-build/CMakeFiles/covering_index.dir/covering_index.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/n1ql/CMakeFiles/couchkv_n1ql.dir/DependInfo.cmake"
+  "/root/repo/build/src/ycsb/CMakeFiles/couchkv_ycsb.dir/DependInfo.cmake"
+  "/root/repo/build/src/xdcr/CMakeFiles/couchkv_xdcr.dir/DependInfo.cmake"
+  "/root/repo/build/src/fts/CMakeFiles/couchkv_fts.dir/DependInfo.cmake"
+  "/root/repo/build/src/analytics/CMakeFiles/couchkv_analytics.dir/DependInfo.cmake"
+  "/root/repo/build/src/client/CMakeFiles/couchkv_client.dir/DependInfo.cmake"
+  "/root/repo/build/src/gsi/CMakeFiles/couchkv_gsi.dir/DependInfo.cmake"
+  "/root/repo/build/src/views/CMakeFiles/couchkv_views.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/couchkv_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/couchkv_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/couchkv_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/dcp/CMakeFiles/couchkv_dcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/kv/CMakeFiles/couchkv_kv.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/couchkv_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/covering_index"
+  "../bench/covering_index.pdb"
+  "CMakeFiles/covering_index.dir/covering_index.cpp.o"
+  "CMakeFiles/covering_index.dir/covering_index.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/covering_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

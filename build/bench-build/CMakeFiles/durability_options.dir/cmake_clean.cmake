@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/durability_options"
+  "../bench/durability_options.pdb"
+  "CMakeFiles/durability_options.dir/durability_options.cpp.o"
+  "CMakeFiles/durability_options.dir/durability_options.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/durability_options.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig15_ycsb_a"
+  "../bench/fig15_ycsb_a.pdb"
+  "CMakeFiles/fig15_ycsb_a.dir/fig15_ycsb_a.cpp.o"
+  "CMakeFiles/fig15_ycsb_a.dir/fig15_ycsb_a.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_ycsb_a.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig16_ycsb_e"
+  "../bench/fig16_ycsb_e.pdb"
+  "CMakeFiles/fig16_ycsb_e.dir/fig16_ycsb_e.cpp.o"
+  "CMakeFiles/fig16_ycsb_e.dir/fig16_ycsb_e.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_ycsb_e.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig16_ycsb_e.
+# This may be replaced when dependencies are built.

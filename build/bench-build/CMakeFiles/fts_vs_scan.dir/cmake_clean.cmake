@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fts_vs_scan"
+  "../bench/fts_vs_scan.pdb"
+  "CMakeFiles/fts_vs_scan.dir/fts_vs_scan.cpp.o"
+  "CMakeFiles/fts_vs_scan.dir/fts_vs_scan.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fts_vs_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

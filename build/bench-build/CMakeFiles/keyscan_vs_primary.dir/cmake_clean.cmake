@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/keyscan_vs_primary"
+  "../bench/keyscan_vs_primary.pdb"
+  "CMakeFiles/keyscan_vs_primary.dir/keyscan_vs_primary.cpp.o"
+  "CMakeFiles/keyscan_vs_primary.dir/keyscan_vs_primary.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/keyscan_vs_primary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for keyscan_vs_primary.
+# This may be replaced when dependencies are built.

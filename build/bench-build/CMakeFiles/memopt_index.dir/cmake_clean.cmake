@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/memopt_index"
+  "../bench/memopt_index.pdb"
+  "CMakeFiles/memopt_index.dir/memopt_index.cpp.o"
+  "CMakeFiles/memopt_index.dir/memopt_index.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memopt_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

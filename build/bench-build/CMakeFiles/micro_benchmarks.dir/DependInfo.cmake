@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/micro_benchmarks.cpp" "bench-build/CMakeFiles/micro_benchmarks.dir/micro_benchmarks.cpp.o" "gcc" "bench-build/CMakeFiles/micro_benchmarks.dir/micro_benchmarks.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/n1ql/CMakeFiles/couchkv_n1ql.dir/DependInfo.cmake"
+  "/root/repo/build/src/dcp/CMakeFiles/couchkv_dcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/couchkv_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/kv/CMakeFiles/couchkv_kv.dir/DependInfo.cmake"
+  "/root/repo/build/src/client/CMakeFiles/couchkv_client.dir/DependInfo.cmake"
+  "/root/repo/build/src/gsi/CMakeFiles/couchkv_gsi.dir/DependInfo.cmake"
+  "/root/repo/build/src/views/CMakeFiles/couchkv_views.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/couchkv_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/couchkv_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/couchkv_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/rebalance"
+  "../bench/rebalance.pdb"
+  "CMakeFiles/rebalance.dir/rebalance.cpp.o"
+  "CMakeFiles/rebalance.dir/rebalance.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rebalance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

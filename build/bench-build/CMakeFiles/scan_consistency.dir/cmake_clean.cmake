@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/scan_consistency"
+  "../bench/scan_consistency.pdb"
+  "CMakeFiles/scan_consistency.dir/scan_consistency.cpp.o"
+  "CMakeFiles/scan_consistency.dir/scan_consistency.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scan_consistency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

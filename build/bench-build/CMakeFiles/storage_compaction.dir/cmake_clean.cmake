@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/storage_compaction"
+  "../bench/storage_compaction.pdb"
+  "CMakeFiles/storage_compaction.dir/storage_compaction.cpp.o"
+  "CMakeFiles/storage_compaction.dir/storage_compaction.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_compaction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

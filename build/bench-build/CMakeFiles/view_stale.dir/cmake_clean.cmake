@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/view_stale"
+  "../bench/view_stale.pdb"
+  "CMakeFiles/view_stale.dir/view_stale.cpp.o"
+  "CMakeFiles/view_stale.dir/view_stale.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/view_stale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/catalog_queries.dir/catalog_queries.cpp.o"
+  "CMakeFiles/catalog_queries.dir/catalog_queries.cpp.o.d"
+  "catalog_queries"
+  "catalog_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/catalog_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

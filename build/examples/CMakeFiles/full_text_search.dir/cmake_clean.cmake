@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/full_text_search.dir/full_text_search.cpp.o"
+  "CMakeFiles/full_text_search.dir/full_text_search.cpp.o.d"
+  "full_text_search"
+  "full_text_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/full_text_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xdcr_disaster_recovery.dir/xdcr_disaster_recovery.cpp.o"
+  "CMakeFiles/xdcr_disaster_recovery.dir/xdcr_disaster_recovery.cpp.o.d"
+  "xdcr_disaster_recovery"
+  "xdcr_disaster_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xdcr_disaster_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

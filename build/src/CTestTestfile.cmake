@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("json")
+subdirs("kv")
+subdirs("storage")
+subdirs("dcp")
+subdirs("cluster")
+subdirs("client")
+subdirs("views")
+subdirs("gsi")
+subdirs("n1ql")
+subdirs("xdcr")
+subdirs("ycsb")
+subdirs("fts")
+subdirs("analytics")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/couchkv_analytics.dir/analytics.cc.o"
+  "CMakeFiles/couchkv_analytics.dir/analytics.cc.o.d"
+  "libcouchkv_analytics.a"
+  "libcouchkv_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/couchkv_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/couchkv_client.dir/smart_client.cc.o"
+  "CMakeFiles/couchkv_client.dir/smart_client.cc.o.d"
+  "libcouchkv_client.a"
+  "libcouchkv_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/couchkv_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/bucket.cc" "src/cluster/CMakeFiles/couchkv_cluster.dir/bucket.cc.o" "gcc" "src/cluster/CMakeFiles/couchkv_cluster.dir/bucket.cc.o.d"
+  "/root/repo/src/cluster/cluster.cc" "src/cluster/CMakeFiles/couchkv_cluster.dir/cluster.cc.o" "gcc" "src/cluster/CMakeFiles/couchkv_cluster.dir/cluster.cc.o.d"
+  "/root/repo/src/cluster/node.cc" "src/cluster/CMakeFiles/couchkv_cluster.dir/node.cc.o" "gcc" "src/cluster/CMakeFiles/couchkv_cluster.dir/node.cc.o.d"
+  "/root/repo/src/cluster/vbucket.cc" "src/cluster/CMakeFiles/couchkv_cluster.dir/vbucket.cc.o" "gcc" "src/cluster/CMakeFiles/couchkv_cluster.dir/vbucket.cc.o.d"
+  "/root/repo/src/cluster/vbucket_map.cc" "src/cluster/CMakeFiles/couchkv_cluster.dir/vbucket_map.cc.o" "gcc" "src/cluster/CMakeFiles/couchkv_cluster.dir/vbucket_map.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/couchkv_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/kv/CMakeFiles/couchkv_kv.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/couchkv_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/dcp/CMakeFiles/couchkv_dcp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/couchkv_cluster.dir/bucket.cc.o"
+  "CMakeFiles/couchkv_cluster.dir/bucket.cc.o.d"
+  "CMakeFiles/couchkv_cluster.dir/cluster.cc.o"
+  "CMakeFiles/couchkv_cluster.dir/cluster.cc.o.d"
+  "CMakeFiles/couchkv_cluster.dir/node.cc.o"
+  "CMakeFiles/couchkv_cluster.dir/node.cc.o.d"
+  "CMakeFiles/couchkv_cluster.dir/vbucket.cc.o"
+  "CMakeFiles/couchkv_cluster.dir/vbucket.cc.o.d"
+  "CMakeFiles/couchkv_cluster.dir/vbucket_map.cc.o"
+  "CMakeFiles/couchkv_cluster.dir/vbucket_map.cc.o.d"
+  "libcouchkv_cluster.a"
+  "libcouchkv_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/couchkv_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

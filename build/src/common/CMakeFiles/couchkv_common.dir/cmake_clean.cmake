@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/couchkv_common.dir/clock.cc.o"
+  "CMakeFiles/couchkv_common.dir/clock.cc.o.d"
+  "CMakeFiles/couchkv_common.dir/crc32.cc.o"
+  "CMakeFiles/couchkv_common.dir/crc32.cc.o.d"
+  "CMakeFiles/couchkv_common.dir/histogram.cc.o"
+  "CMakeFiles/couchkv_common.dir/histogram.cc.o.d"
+  "CMakeFiles/couchkv_common.dir/logging.cc.o"
+  "CMakeFiles/couchkv_common.dir/logging.cc.o.d"
+  "CMakeFiles/couchkv_common.dir/random.cc.o"
+  "CMakeFiles/couchkv_common.dir/random.cc.o.d"
+  "CMakeFiles/couchkv_common.dir/status.cc.o"
+  "CMakeFiles/couchkv_common.dir/status.cc.o.d"
+  "CMakeFiles/couchkv_common.dir/thread_pool.cc.o"
+  "CMakeFiles/couchkv_common.dir/thread_pool.cc.o.d"
+  "libcouchkv_common.a"
+  "libcouchkv_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/couchkv_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/couchkv_dcp.dir/dcp.cc.o"
+  "CMakeFiles/couchkv_dcp.dir/dcp.cc.o.d"
+  "libcouchkv_dcp.a"
+  "libcouchkv_dcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/couchkv_dcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/couchkv_fts.dir/fts.cc.o"
+  "CMakeFiles/couchkv_fts.dir/fts.cc.o.d"
+  "libcouchkv_fts.a"
+  "libcouchkv_fts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/couchkv_fts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcouchkv_fts.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/couchkv_gsi.dir/index_service.cc.o"
+  "CMakeFiles/couchkv_gsi.dir/index_service.cc.o.d"
+  "CMakeFiles/couchkv_gsi.dir/indexer.cc.o"
+  "CMakeFiles/couchkv_gsi.dir/indexer.cc.o.d"
+  "libcouchkv_gsi.a"
+  "libcouchkv_gsi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/couchkv_gsi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

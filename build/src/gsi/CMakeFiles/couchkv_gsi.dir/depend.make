@@ -1,0 +1,2 @@
+# Empty dependencies file for couchkv_gsi.
+# This may be replaced when dependencies are built.

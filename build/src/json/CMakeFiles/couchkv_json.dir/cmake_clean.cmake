@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/couchkv_json.dir/value.cc.o"
+  "CMakeFiles/couchkv_json.dir/value.cc.o.d"
+  "libcouchkv_json.a"
+  "libcouchkv_json.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/couchkv_json.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

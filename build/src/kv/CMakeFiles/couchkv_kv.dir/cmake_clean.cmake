@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/couchkv_kv.dir/hash_table.cc.o"
+  "CMakeFiles/couchkv_kv.dir/hash_table.cc.o.d"
+  "libcouchkv_kv.a"
+  "libcouchkv_kv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/couchkv_kv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

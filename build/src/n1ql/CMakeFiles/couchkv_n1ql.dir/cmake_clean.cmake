@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/couchkv_n1ql.dir/ast.cc.o"
+  "CMakeFiles/couchkv_n1ql.dir/ast.cc.o.d"
+  "CMakeFiles/couchkv_n1ql.dir/exec_util.cc.o"
+  "CMakeFiles/couchkv_n1ql.dir/exec_util.cc.o.d"
+  "CMakeFiles/couchkv_n1ql.dir/expr_eval.cc.o"
+  "CMakeFiles/couchkv_n1ql.dir/expr_eval.cc.o.d"
+  "CMakeFiles/couchkv_n1ql.dir/lexer.cc.o"
+  "CMakeFiles/couchkv_n1ql.dir/lexer.cc.o.d"
+  "CMakeFiles/couchkv_n1ql.dir/parser.cc.o"
+  "CMakeFiles/couchkv_n1ql.dir/parser.cc.o.d"
+  "CMakeFiles/couchkv_n1ql.dir/planner.cc.o"
+  "CMakeFiles/couchkv_n1ql.dir/planner.cc.o.d"
+  "CMakeFiles/couchkv_n1ql.dir/query_service.cc.o"
+  "CMakeFiles/couchkv_n1ql.dir/query_service.cc.o.d"
+  "libcouchkv_n1ql.a"
+  "libcouchkv_n1ql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/couchkv_n1ql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

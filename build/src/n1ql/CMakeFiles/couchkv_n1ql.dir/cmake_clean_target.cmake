@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcouchkv_n1ql.a"
+)

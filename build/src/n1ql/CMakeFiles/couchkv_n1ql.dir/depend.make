@@ -1,0 +1,2 @@
+# Empty dependencies file for couchkv_n1ql.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/couch_file.cc" "src/storage/CMakeFiles/couchkv_storage.dir/couch_file.cc.o" "gcc" "src/storage/CMakeFiles/couchkv_storage.dir/couch_file.cc.o.d"
+  "/root/repo/src/storage/env.cc" "src/storage/CMakeFiles/couchkv_storage.dir/env.cc.o" "gcc" "src/storage/CMakeFiles/couchkv_storage.dir/env.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/couchkv_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/kv/CMakeFiles/couchkv_kv.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

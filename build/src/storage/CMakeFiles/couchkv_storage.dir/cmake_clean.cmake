@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/couchkv_storage.dir/couch_file.cc.o"
+  "CMakeFiles/couchkv_storage.dir/couch_file.cc.o.d"
+  "CMakeFiles/couchkv_storage.dir/env.cc.o"
+  "CMakeFiles/couchkv_storage.dir/env.cc.o.d"
+  "libcouchkv_storage.a"
+  "libcouchkv_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/couchkv_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/couchkv_views.dir/view.cc.o"
+  "CMakeFiles/couchkv_views.dir/view.cc.o.d"
+  "CMakeFiles/couchkv_views.dir/view_engine.cc.o"
+  "CMakeFiles/couchkv_views.dir/view_engine.cc.o.d"
+  "CMakeFiles/couchkv_views.dir/view_index.cc.o"
+  "CMakeFiles/couchkv_views.dir/view_index.cc.o.d"
+  "libcouchkv_views.a"
+  "libcouchkv_views.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/couchkv_views.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

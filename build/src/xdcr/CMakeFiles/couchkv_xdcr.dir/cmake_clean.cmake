@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/couchkv_xdcr.dir/xdcr.cc.o"
+  "CMakeFiles/couchkv_xdcr.dir/xdcr.cc.o.d"
+  "libcouchkv_xdcr.a"
+  "libcouchkv_xdcr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/couchkv_xdcr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for couchkv_xdcr.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/couchkv_ycsb.dir/ycsb.cc.o"
+  "CMakeFiles/couchkv_ycsb.dir/ycsb.cc.o.d"
+  "libcouchkv_ycsb.a"
+  "libcouchkv_ycsb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/couchkv_ycsb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

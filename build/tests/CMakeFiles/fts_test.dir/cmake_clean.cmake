@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fts_test.dir/fts_test.cc.o"
+  "CMakeFiles/fts_test.dir/fts_test.cc.o.d"
+  "fts_test"
+  "fts_test.pdb"
+  "fts_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fts_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

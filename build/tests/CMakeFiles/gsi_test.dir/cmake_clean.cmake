@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gsi_test.dir/gsi_test.cc.o"
+  "CMakeFiles/gsi_test.dir/gsi_test.cc.o.d"
+  "gsi_test"
+  "gsi_test.pdb"
+  "gsi_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gsi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/n1ql_planner_test.dir/n1ql_planner_test.cc.o"
+  "CMakeFiles/n1ql_planner_test.dir/n1ql_planner_test.cc.o.d"
+  "n1ql_planner_test"
+  "n1ql_planner_test.pdb"
+  "n1ql_planner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/n1ql_planner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

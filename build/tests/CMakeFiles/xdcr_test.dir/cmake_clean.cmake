@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xdcr_test.dir/xdcr_test.cc.o"
+  "CMakeFiles/xdcr_test.dir/xdcr_test.cc.o.d"
+  "xdcr_test"
+  "xdcr_test.pdb"
+  "xdcr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xdcr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

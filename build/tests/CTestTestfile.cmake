@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/json_test[1]_include.cmake")
+include("/root/repo/build/tests/kv_test[1]_include.cmake")
+include("/root/repo/build/tests/storage_test[1]_include.cmake")
+include("/root/repo/build/tests/dcp_test[1]_include.cmake")
+include("/root/repo/build/tests/cluster_test[1]_include.cmake")
+include("/root/repo/build/tests/client_test[1]_include.cmake")
+include("/root/repo/build/tests/views_test[1]_include.cmake")
+include("/root/repo/build/tests/gsi_test[1]_include.cmake")
+include("/root/repo/build/tests/n1ql_parser_test[1]_include.cmake")
+include("/root/repo/build/tests/n1ql_query_test[1]_include.cmake")
+include("/root/repo/build/tests/xdcr_test[1]_include.cmake")
+include("/root/repo/build/tests/ycsb_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/fts_test[1]_include.cmake")
+include("/root/repo/build/tests/model_test[1]_include.cmake")
+include("/root/repo/build/tests/n1ql_planner_test[1]_include.cmake")
+include("/root/repo/build/tests/analytics_test[1]_include.cmake")
