@@ -95,8 +95,10 @@ BENCHMARK(BM_CouchFileAppend)->Arg(128)->Arg(1024)->Arg(8192);
 void BM_DcpPumpThroughput(benchmark::State& state) {
   dcp::Producer producer(1, nullptr);
   uint64_t delivered = 0;
-  producer.AddStream("bench", 0, 0,
-                     [&](const kv::Mutation&) { ++delivered; });
+  producer.AddStream("bench", 0, 0, [&](const kv::Mutation&) {
+    ++delivered;
+    return Status::OK();
+  });
   uint64_t seqno = 0;
   kv::Document doc;
   doc.value.assign(128, 'x');

@@ -92,7 +92,7 @@ Status AnalyticsService::DisconnectBucket(const std::string& bucket) {
   }
   for (cluster::NodeId id : cluster_->node_ids()) {
     cluster::Node* n = cluster_->node(id);
-    cluster::Bucket* b = n ? n->bucket(bucket) : nullptr;
+    std::shared_ptr<cluster::Bucket> b = n ? n->bucket(bucket) : nullptr;
     if (b != nullptr) b->producer()->RemoveStreamsNamed(StreamName(bucket));
   }
   return Status::OK();
@@ -106,7 +106,7 @@ void AnalyticsService::WireDataset(const std::string& bucket,
   for (cluster::NodeId id : cluster_->node_ids()) {
     cluster::Node* n = cluster_->node(id);
     if (n == nullptr || !n->HasService(cluster::kDataService)) continue;
-    cluster::Bucket* b = n->bucket(bucket);
+    std::shared_ptr<cluster::Bucket> b = n->bucket(bucket);
     if (b == nullptr) continue;
     b->producer()->RemoveStreamsNamed(stream);
     if (!n->healthy()) continue;
@@ -115,7 +115,10 @@ void AnalyticsService::WireDataset(const std::string& bucket,
       std::shared_ptr<ShadowDataset> shadow = ds;
       auto st = b->producer()->AddStream(
           stream, vb, ds->processed_seqno(vb),
-          [shadow](const kv::Mutation& m) { shadow->ApplyMutation(m); });
+          [shadow](const kv::Mutation& m) {
+            shadow->ApplyMutation(m);
+            return Status::OK();
+          });
       if (!st.ok()) {
         LOG_WARN << "analytics stream failed: " << st.status().ToString();
       }
@@ -150,7 +153,7 @@ Status AnalyticsService::WaitCaughtUp(const std::string& bucket,
   for (uint16_t vb = 0; vb < cluster::kNumVBuckets; ++vb) {
     cluster::Node* n = cluster_->node(map->ActiveFor(vb));
     if (n == nullptr || !n->healthy()) continue;
-    cluster::Bucket* b = n->bucket(bucket);
+    std::shared_ptr<cluster::Bucket> b = n->bucket(bucket);
     if (b == nullptr) continue;
     uint64_t high = b->vbucket(vb)->high_seqno();
     while (ds->processed_seqno(vb) < high) {

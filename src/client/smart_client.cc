@@ -1,15 +1,23 @@
 #include "client/smart_client.h"
 
+#include <atomic>
+#include <chrono>
 #include <thread>
 
 namespace couchkv::client {
 
 namespace {
-constexpr int kMaxAttempts = 64;
+// Process-wide id allocator for clients that don't pass an explicit id.
+std::atomic<uint32_t> next_client_id{1};
 }  // namespace
 
-SmartClient::SmartClient(cluster::Cluster* cluster, std::string bucket)
-    : cluster_(cluster), bucket_(std::move(bucket)) {
+SmartClient::SmartClient(cluster::Cluster* cluster, std::string bucket,
+                         RetryPolicy retry, uint32_t client_id)
+    : cluster_(cluster),
+      bucket_(std::move(bucket)),
+      retry_(retry),
+      endpoint_(net::Endpoint::Client(
+          client_id != 0 ? client_id : next_client_id.fetch_add(1))) {
   RefreshMap();
 }
 
@@ -20,24 +28,35 @@ auto SmartClient::WithRouting(std::string_view key, Fn&& op)
     -> decltype(op(nullptr, uint16_t{0})) {
   uint16_t vb = cluster::KeyToVBucket(key);
   Status last = Status::TempFail("no attempts made");
-  for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+  uint64_t backoff_us = retry_.initial_backoff_us;
+  for (int attempt = 0; attempt < retry_.max_attempts; ++attempt) {
+    if (attempt > 0) {
+      if (backoff_us > 0) {
+        std::this_thread::sleep_for(std::chrono::microseconds(backoff_us));
+      }
+      backoff_us = std::min(backoff_us * 2, retry_.max_backoff_us);
+    }
     if (!map_) RefreshMap();
     if (!map_) return Status::NotFound("bucket has no cluster map");
     cluster::NodeId target = map_->ActiveFor(vb);
     cluster::Node* n = cluster_->node(target);
     if (n == nullptr) {
       RefreshMap();
-      std::this_thread::yield();
       continue;
     }
-    auto result = op(n, vb);
+    // Both legs of the op cross the network: a lost request means it never
+    // ran; a lost reply means it ran but we can't know (ambiguous outcome —
+    // the retry may then see e.g. KeyExists from its own first attempt).
+    auto result =
+        net::Call(cluster_->transport(), endpoint_,
+                  net::Endpoint::Node(target), [&] { return op(n, vb); });
     if (result.ok()) return result;
     last = result.status();
     if (last.IsNotMyVBucket() || last.IsTempFail()) {
-      // Topology moved under us (rebalance/failover) or node is overloaded:
-      // refresh the cached map and retry, as SDKs do.
+      // Topology moved under us (rebalance/failover), the node is
+      // overloaded/down, or the transport dropped a message: refresh the
+      // cached map and retry with backoff, as SDKs do.
       RefreshMap();
-      std::this_thread::yield();
       continue;
     }
     return result;  // semantic error (NotFound, CAS mismatch, ...): surface

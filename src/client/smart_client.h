@@ -10,8 +10,20 @@
 
 #include "cluster/cluster.h"
 #include "json/value.h"
+#include "net/transport.h"
 
 namespace couchkv::client {
+
+// How the client retries operations that fail transiently — NotMyVBucket
+// after a topology change, TempFail from an overloaded/partitioned/down
+// node, or a message lost by a faulty transport. Timeouts and semantic
+// errors (NotFound, CAS mismatch, ...) are never retried.
+struct RetryPolicy {
+  int max_attempts = 64;
+  // Exponential backoff between attempts: initial, doubling, capped.
+  uint64_t initial_backoff_us = 50;
+  uint64_t max_backoff_us = 2000;
+};
 
 // Options for a single write.
 struct WriteOptions {
@@ -38,7 +50,11 @@ struct MutateReply {
 
 class SmartClient {
  public:
-  SmartClient(cluster::Cluster* cluster, std::string bucket);
+  // `client_id` names this client on the transport (its Endpoint); 0 means
+  // auto-assign. Pass explicit ids when fault schedules must be
+  // reproducible across runs — auto-assignment is a process-wide counter.
+  SmartClient(cluster::Cluster* cluster, std::string bucket,
+              RetryPolicy retry = {}, uint32_t client_id = 0);
 
   // --- KV API (access path 1 in §3.1) ---
   StatusOr<GetReply> Get(std::string_view key);
@@ -81,6 +97,7 @@ class SmartClient {
 
   const std::string& bucket() const { return bucket_; }
   cluster::Cluster* cluster() { return cluster_; }
+  const net::Endpoint& endpoint() const { return endpoint_; }
 
   // The vBucket a key routes to (exposed for tests / diagnostics).
   uint16_t VBucketFor(std::string_view key) const {
@@ -98,6 +115,8 @@ class SmartClient {
 
   cluster::Cluster* cluster_;
   std::string bucket_;
+  RetryPolicy retry_;
+  net::Endpoint endpoint_;
   std::shared_ptr<const cluster::ClusterMap> map_;
 };
 

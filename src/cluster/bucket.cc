@@ -13,16 +13,7 @@ Bucket::Bucket(BucketConfig config, NodeId node_id, storage::Env* env,
       dispatcher_(dispatcher) {
   vbuckets_.reserve(kNumVBuckets);
   for (uint16_t vb = 0; vb < kNumVBuckets; ++vb) {
-    auto v = std::make_unique<VBucket>(vb, VBucketState::kDead, clock_,
-                                       config_.eviction);
-    VBucket* raw = v.get();
-    v->set_sink([this, raw, vb](const kv::Document& doc) {
-      producer_->OnMutation(vb, doc);
-      EnqueueForPersistence(vb, doc);
-      dispatcher_->Notify();
-      (void)raw;
-    });
-    vbuckets_.push_back(std::move(v));
+    vbuckets_.push_back(MakeVBucket(vb));
   }
   // DCP backfill reads from the vBucket's storage file.
   producer_ = std::make_shared<dcp::Producer>(
@@ -46,6 +37,17 @@ Bucket::~Bucket() {
   queue_cv_.notify_all();
   if (flusher_.joinable()) flusher_.join();
   dispatcher_->RemoveProducer(producer_);
+}
+
+std::unique_ptr<VBucket> Bucket::MakeVBucket(uint16_t vb) {
+  auto v = std::make_unique<VBucket>(vb, VBucketState::kDead, clock_,
+                                     config_.eviction);
+  v->set_sink([this, vb](const kv::Document& doc) {
+    producer_->OnMutation(vb, doc);
+    EnqueueForPersistence(vb, doc);
+    dispatcher_->Notify();
+  });
+  return v;
 }
 
 std::string Bucket::VBucketFilePath(uint16_t vb) const {
@@ -89,6 +91,7 @@ void Bucket::EnqueueForPersistence(uint16_t vb, const kv::Document& doc) {
 
 void Bucket::FlusherLoop() {
   for (;;) {
+    if (stop_hard_.load()) return;  // crash: abandon the queue
     std::map<std::pair<uint16_t, std::string>, kv::Document> batch;
     {
       std::unique_lock<std::mutex> lock(queue_mu_);
@@ -98,6 +101,7 @@ void Bucket::FlusherLoop() {
         return stop_.load() || queued_.load() > 0;
       });
     }
+    if (stop_hard_.load()) return;
     if (queued_.load() == 0) {
       if (stop_.load()) return;
       continue;
@@ -116,11 +120,21 @@ void Bucket::FlusherLoop() {
       by_vb[key.first].push_back(std::move(doc));
     }
     for (auto& [vb, docs] : by_vb) {
+      if (stop_hard_.load()) {
+        flushing_.store(false);
+        return;  // crash between per-vBucket batches
+      }
       VBucket* v = vbuckets_[vb].get();
       if (v->file() == nullptr) {
         if (!EnsureStorage(vb).ok()) continue;
       }
       Status st = v->file()->SaveDocs(docs);
+      if (stop_hard_.load()) {
+        // Crash between the batch write and its commit record: the torn
+        // tail is discarded by recovery on the next open.
+        flushing_.store(false);
+        return;
+      }
       if (st.ok()) st = v->file()->Commit();
       if (!st.ok()) {
         LOG_ERROR << "flush failed for vb " << vb << ": " << st.ToString();
@@ -167,6 +181,50 @@ void Bucket::FlushAll() {
   flush_cv_.wait(lock, [this] {
     return queued_.load() == 0 && !flushing_.load();
   });
+}
+
+void Bucket::Kill() {
+  stop_hard_.store(true);
+  stop_.store(true);
+  queue_cv_.notify_all();
+  if (flusher_.joinable()) flusher_.join();
+  flush_cv_.notify_all();
+}
+
+Status Bucket::RollbackVBucket(uint16_t vb) {
+  if (vb >= kNumVBuckets) return Status::InvalidArgument("bad vbucket");
+  VBucketState prev_state = vbuckets_[vb]->state();
+  // Purge queued-but-unflushed writes for this partition so the flusher
+  // cannot resurrect the discarded state into the fresh file.
+  {
+    QueueShard& shard = shards_[vb % kQueueShards];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    size_t purged = 0;
+    for (auto it = shard.items.begin(); it != shard.items.end();) {
+      if (it->first.first == vb) {
+        it = shard.items.erase(it);
+        ++purged;
+      } else {
+        ++it;
+      }
+    }
+    if (purged > 0) queued_.fetch_sub(purged);
+  }
+  // Let any in-flight flush batch (snapshotted before the purge) complete
+  // so no flusher reference to the old VBucket object survives.
+  {
+    std::unique_lock<std::mutex> lock(queue_mu_);
+    flush_cv_.wait(lock, [this] { return !flushing_.load(); });
+  }
+  std::string path = VBucketFilePath(vb);
+  {
+    std::lock_guard<std::mutex> lock(storage_mu_);
+    vbuckets_[vb] = MakeVBucket(vb);  // drops the hash table + file handle
+    if (env_->Exists(path)) {
+      COUCHKV_RETURN_IF_ERROR(env_->Remove(path));
+    }
+  }
+  return SetVBucketState(vb, prev_state);
 }
 
 Status Bucket::WaitForPersistence(uint16_t vb, uint64_t seqno,

@@ -68,6 +68,19 @@ class Bucket {
   // Blocks until `seqno` of vBucket `vb` is persisted locally, or timeout.
   Status WaitForPersistence(uint16_t vb, uint64_t seqno, uint64_t timeout_ms);
 
+  // Crash-stops the bucket: the flusher exits WITHOUT draining the disk
+  // queue, possibly between writing a batch and committing it (the storage
+  // layer's recovery then discards the torn tail). Everything still in
+  // memory only is lost, exactly as in a process crash.
+  void Kill();
+
+  // Discards a vBucket's in-memory and on-disk state and re-creates it in
+  // its current lifecycle state, so a DCP stream re-backfills it from
+  // scratch. Used to roll back a replica that ran ahead of a crashed-and-
+  // recovered active. Caller must ensure nothing is feeding this vBucket
+  // (its incoming stream died with the crashed active).
+  Status RollbackVBucket(uint16_t vb);
+
   // Runs one compaction sweep: compacts any hosted vBucket file whose
   // fragmentation exceeds the configured threshold. Returns #compacted.
   size_t MaybeCompact();
@@ -84,6 +97,7 @@ class Bucket {
 
  private:
   void FlusherLoop();
+  std::unique_ptr<VBucket> MakeVBucket(uint16_t vb);
   void EnqueueForPersistence(uint16_t vb, const kv::Document& doc);
   std::string VBucketFilePath(uint16_t vb) const;
   Status EnsureStorage(uint16_t vb);
@@ -116,6 +130,7 @@ class Bucket {
   uint64_t flush_epoch_ = 0;           // bumped after each flush batch
   std::condition_variable flush_cv_;   // signaled after each commit
   std::atomic<bool> stop_{false};
+  std::atomic<bool> stop_hard_{false};  // crash: exit without draining
   std::mutex storage_mu_;              // serializes lazy CouchFile creation
   std::thread flusher_;
 };

@@ -25,6 +25,10 @@ Cluster::Cluster(ClusterOptions opts) : opts_(std::move(opts)) {
 
 Cluster::~Cluster() {
   std::lock_guard<std::mutex> lock(mu_);
+  // Stop every node's DCP pump before destroying any node: replication
+  // callbacks registered on node A deliver into node B's vBuckets, so no
+  // pump thread may survive the first ~Node.
+  for (auto& [id, n] : nodes_) n->dispatcher()->Stop();
   nodes_.clear();
 }
 
@@ -146,7 +150,7 @@ void Cluster::ApplyMap(const std::string& bucket,
   for (NodeId id : node_ids()) {
     Node* n = node(id);
     if (n == nullptr || !n->HasService(kDataService)) continue;
-    Bucket* b = n->bucket(bucket);
+    std::shared_ptr<Bucket> b = n->bucket(bucket);
     if (b == nullptr) continue;
     for (uint16_t vb = 0; vb < kNumVBuckets; ++vb) {
       const VBucketEntry& e = map->entries[vb];
@@ -180,7 +184,7 @@ void Cluster::SetupReplication(const std::string& bucket,
   std::vector<NodeId> ids = node_ids();
   for (NodeId src : ids) {
     Node* n = node(src);
-    Bucket* b = n ? n->bucket(bucket) : nullptr;
+    std::shared_ptr<Bucket> b = n ? n->bucket(bucket) : nullptr;
     if (b == nullptr) continue;
     for (NodeId dst : ids) {
       b->producer()->RemoveStreamsNamed(ReplStreamName(dst));
@@ -190,18 +194,26 @@ void Cluster::SetupReplication(const std::string& bucket,
     const VBucketEntry& e = map.entries[vb];
     Node* src_node = node(e.active);
     if (src_node == nullptr || !src_node->healthy()) continue;
-    Bucket* src_bucket = src_node->bucket(bucket);
+    std::shared_ptr<Bucket> src_bucket = src_node->bucket(bucket);
     if (src_bucket == nullptr) continue;
     for (NodeId r : e.replicas) {
       Node* dst_node = node(r);
       if (dst_node == nullptr || !dst_node->healthy()) continue;
-      Bucket* dst_bucket = dst_node->bucket(bucket);
+      std::shared_ptr<Bucket> dst_bucket = dst_node->bucket(bucket);
       if (dst_bucket == nullptr) continue;
       VBucket* dst_vb = dst_bucket->vbucket(vb);
       uint64_t from = dst_vb->high_seqno();
+      // Each replicated mutation is one message on the active->replica link.
+      // A lost delivery returns non-OK, which stalls the stream (at-least-
+      // once: it is retried on a later pump; ApplyReplicated is idempotent).
       auto stream_or = src_bucket->producer()->AddStream(
-          ReplStreamName(r), vb, from, [dst_vb](const kv::Mutation& m) {
-            dst_vb->ApplyReplicated(m.doc);
+          ReplStreamName(r), vb, from,
+          [this, dst_vb, src = e.active, dst = r](const kv::Mutation& m) {
+            return net::Call(transport(), net::Endpoint::Node(src),
+                             net::Endpoint::Node(dst), [&] {
+                               dst_vb->ApplyReplicated(m.doc);
+                               return Status::OK();
+                             });
           });
       if (!stream_or.ok()) {
         LOG_ERROR << "replication stream failed: "
@@ -228,8 +240,8 @@ Status Cluster::MoveVBucket(const std::string& bucket, uint16_t vb,
   if (src_node == nullptr || dst_node == nullptr) {
     return Status::InvalidArgument("bad nodes for move");
   }
-  Bucket* src = src_node->bucket(bucket);
-  Bucket* dst = dst_node->bucket(bucket);
+  std::shared_ptr<Bucket> src = src_node->bucket(bucket);
+  std::shared_ptr<Bucket> dst = dst_node->bucket(bucket);
   if (src == nullptr || dst == nullptr) {
     return Status::InvalidArgument("bucket missing on nodes");
   }
@@ -242,7 +254,13 @@ Status Cluster::MoveVBucket(const std::string& bucket, uint16_t vb,
   // between two server nodes").
   auto stream_or = src->producer()->AddStream(
       kMoverStream, vb, dst_vb->high_seqno(),
-      [dst_vb](const kv::Mutation& m) { dst_vb->ApplyReplicated(m.doc); });
+      [this, dst_vb, from, to](const kv::Mutation& m) {
+        return net::Call(transport(), net::Endpoint::Node(from),
+                         net::Endpoint::Node(to), [&] {
+                           dst_vb->ApplyReplicated(m.doc);
+                           return Status::OK();
+                         });
+      });
   if (!stream_or.ok()) return stream_or.status();
   uint64_t stream_id = stream_or.value();
 
@@ -356,6 +374,97 @@ Status Cluster::Failover(NodeId id) {
   return Status::OK();
 }
 
+Status Cluster::CrashNode(NodeId id) {
+  Node* n = node(id);
+  if (n == nullptr) return Status::NotFound("no such node");
+  if (!n->healthy()) return Status::InvalidArgument("node already down");
+  // Mark the node down first so clients stop routing to it mid-teardown.
+  n->set_healthy(false);
+  // Detach the replication streams feeding this node's replicas: their
+  // delivery callbacks hold pointers into the buckets about to be freed.
+  // RemoveStreamsNamed is a barrier, so after this loop no other node's
+  // dispatcher can touch the crashing node's memory.
+  for (const std::string& bucket : bucket_names()) {
+    for (NodeId src : node_ids()) {
+      if (src == id) continue;
+      Node* sn = node(src);
+      std::shared_ptr<Bucket> sb = sn != nullptr ? sn->bucket(bucket) : nullptr;
+      if (sb != nullptr) {
+        sb->producer()->RemoveStreamsNamed(ReplStreamName(id));
+      }
+    }
+  }
+  n->Crash();
+  return Status::OK();
+}
+
+Status Cluster::RestartNode(NodeId id) {
+  Node* n = node(id);
+  if (n == nullptr) return Status::NotFound("no such node");
+  if (n->healthy()) return Status::InvalidArgument("node is running");
+  n->Boot();
+  std::map<std::string, BucketConfig> configs;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    configs = bucket_configs_;
+  }
+  for (const auto& [name, config] : configs) {
+    if (!n->HasService(kDataService)) break;
+    COUCHKV_RETURN_IF_ERROR(n->CreateBucket(config));
+    std::shared_ptr<Bucket> b = n->bucket(name);
+    std::shared_ptr<const ClusterMap> m = map(name);
+    if (!m) continue;
+    // Set the hosted states before warmup so Warmup() scans exactly the
+    // files this node is responsible for. Opening each file runs the
+    // storage layer's recovery, which discards any uncommitted (torn) tail.
+    for (uint16_t vb = 0; vb < kNumVBuckets; ++vb) {
+      const VBucketEntry& e = m->entries[vb];
+      VBucketState want = VBucketState::kDead;
+      if (e.active == id) {
+        want = VBucketState::kActive;
+      } else if (std::find(e.replicas.begin(), e.replicas.end(), id) !=
+                 e.replicas.end()) {
+        want = VBucketState::kReplica;
+      }
+      if (want != VBucketState::kDead) {
+        COUCHKV_RETURN_IF_ERROR(b->SetVBucketState(vb, want));
+      }
+    }
+    auto loaded = b->Warmup();
+    if (!loaded.ok()) return loaded.status();
+    // A replica elsewhere may be AHEAD of the reborn active: writes that
+    // were replicated but not yet persisted died with the process. Such a
+    // replica is rolled back (dropped and re-backfilled from the active's
+    // storage) — the divergent seqnos would otherwise collide with the new
+    // write stream. This mirrors Couchbase's replica rollback on failover.
+    for (uint16_t vb = 0; vb < kNumVBuckets; ++vb) {
+      const VBucketEntry& e = m->entries[vb];
+      if (e.active != id) continue;
+      uint64_t active_high = b->vbucket(vb)->high_seqno();
+      for (NodeId r : e.replicas) {
+        Node* rn = node(r);
+        if (rn == nullptr || !rn->healthy()) continue;
+        std::shared_ptr<Bucket> rb = rn->bucket(name);
+        if (rb == nullptr) continue;
+        if (rb->vbucket(vb)->high_seqno() > active_high) {
+          Status st = rb->RollbackVBucket(vb);
+          if (!st.ok()) {
+            LOG_ERROR << "replica rollback failed for vb " << vb << ": "
+                      << st.ToString();
+          }
+        }
+      }
+    }
+  }
+  n->set_healthy(true);
+  for (const auto& [name, config] : configs) {
+    std::shared_ptr<const ClusterMap> m = map(name);
+    if (m) ApplyMap(name, m);
+    NotifyServices(name);
+  }
+  return Status::OK();
+}
+
 Status Cluster::WaitForDurability(const std::string& bucket, uint16_t vb,
                                   uint64_t seqno, const Durability& dur) {
   if (dur.replicate_to == 0 && dur.persist_to == 0) return Status::OK();
@@ -369,7 +478,7 @@ Status Cluster::WaitForDurability(const std::string& bucket, uint16_t vb,
   if (dur.persist_to > 0) {
     Node* an = node(e.active);
     if (an != nullptr) {
-      Bucket* b = an->bucket(bucket);
+      std::shared_ptr<Bucket> b = an->bucket(bucket);
       if (b != nullptr) {
         (void)b->WaitForPersistence(vb, seqno, dur.timeout_ms);
       }
@@ -378,24 +487,31 @@ Status Cluster::WaitForDurability(const std::string& bucket, uint16_t vb,
   for (;;) {
     uint32_t replicated = 0;
     uint32_t persisted = 0;
+    bool active_persisted = false;
     Node* an = node(e.active);
     if (an != nullptr) {
-      Bucket* b = an->bucket(bucket);
+      std::shared_ptr<Bucket> b = an->bucket(bucket);
       if (b != nullptr && b->vbucket(vb)->persisted_seqno() >= seqno) {
         ++persisted;  // active's persistence counts toward persist_to
+        active_persisted = true;
       }
       an->dispatcher()->Notify();
     }
     for (NodeId r : e.replicas) {
       Node* rn = node(r);
       if (rn == nullptr || !rn->healthy()) continue;
-      Bucket* rb = rn->bucket(bucket);
+      std::shared_ptr<Bucket> rb = rn->bucket(bucket);
       if (rb == nullptr) continue;
       VBucket* rvb = rb->vbucket(vb);
       if (rvb->high_seqno() >= seqno) ++replicated;
       if (rvb->persisted_seqno() >= seqno) ++persisted;
     }
-    if (replicated >= dur.replicate_to && persisted >= dur.persist_to) {
+    // persist_to >= 1 requires the active among the persisted nodes (the
+    // Couchbase PersistTo.MASTER rule). Without it, a persist-ack could be
+    // backed only by a replica — which a crash-restart of the active rolls
+    // back, silently voiding the durability promise.
+    if (replicated >= dur.replicate_to && persisted >= dur.persist_to &&
+        (dur.persist_to == 0 || active_persisted)) {
       return Status::OK();
     }
     if (opts_.clock->NowMillis() > deadline) {
@@ -430,7 +546,7 @@ void Cluster::Quiesce() {
       Node* n = node(id);
       if (n == nullptr) continue;
       for (const std::string& bucket : bucket_names()) {
-        Bucket* b = n->bucket(bucket);
+        std::shared_ptr<Bucket> b = n->bucket(bucket);
         if (b != nullptr) b->FlushAll();
       }
     }

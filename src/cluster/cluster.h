@@ -7,6 +7,7 @@
 #ifndef COUCHKV_CLUSTER_CLUSTER_H_
 #define COUCHKV_CLUSTER_CLUSTER_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <string>
@@ -17,6 +18,7 @@
 #include "cluster/vbucket_map.h"
 #include "common/clock.h"
 #include "common/status.h"
+#include "net/transport.h"
 
 namespace couchkv::cluster {
 
@@ -71,6 +73,36 @@ class Cluster {
   // Takes `id` out of service, promoting replica partitions to active.
   Status Failover(NodeId id);
 
+  // --- Crash / restart (torture testing) ---
+  // Kills node `id` like a process crash: its in-memory hash tables, disk
+  // write queue, and DCP state are destroyed; its flusher may be stopped
+  // between writing a batch and committing it (torn write — the storage
+  // layer's recovery discards the uncommitted tail). The node's simulated
+  // disk survives. Unlike Failover(), the cluster map is left untouched, so
+  // requests for the node's partitions fail with TempFail until restart.
+  Status CrashNode(NodeId id);
+
+  // Boots a crashed node: recreates its buckets, recovers each hosted
+  // vBucket from storage through the real Warmup path, rolls back replicas
+  // elsewhere that ran ahead of the recovered actives (replicated-but-
+  // unpersisted writes died in the crash), and re-wires replication.
+  Status RestartNode(NodeId id);
+
+  // --- Transport ---
+  // All cross-node traffic (smart-client KV ops, DCP replication and
+  // rebalance deliveries, GSI fan-out, XDCR shipments) is admitted through
+  // this transport. Defaults to a DirectTransport (perfect network).
+  net::Transport* transport() const {
+    return transport_.load(std::memory_order_acquire);
+  }
+  // Installs a transport (e.g. net::FaultyTransport). `t` must outlive the
+  // cluster; nullptr restores the built-in DirectTransport. Existing
+  // callbacks pick the new transport up on their next delivery.
+  void set_transport(net::Transport* t) {
+    transport_.store(t != nullptr ? t : &direct_transport_,
+                     std::memory_order_release);
+  }
+
   // --- Durability (paper §2.3.2) ---
   // Blocks until `seqno` in (bucket, vb) satisfies `dur`, observing replica
   // high-seqnos and persisted-seqnos across the cluster.
@@ -103,6 +135,9 @@ class Cluster {
                      NodeId to);
 
   ClusterOptions opts_;
+
+  net::DirectTransport direct_transport_;
+  std::atomic<net::Transport*> transport_{&direct_transport_};
 
   mutable std::mutex mu_;
   std::map<NodeId, std::unique_ptr<Node>> nodes_;

@@ -20,6 +20,22 @@ Node::~Node() {
   dispatcher_->Stop();
 }
 
+void Node::Crash() {
+  set_healthy(false);
+  // Stop the pump thread before freeing buckets: stream callbacks and
+  // backfills on this dispatcher touch bucket state.
+  dispatcher_->Stop();
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, b] : buckets_) b->Kill();
+  buckets_.clear();
+}
+
+void Node::Boot() {
+  std::lock_guard<std::mutex> lock(mu_);
+  buckets_.clear();
+  dispatcher_ = std::make_unique<dcp::Dispatcher>();
+}
+
 Status Node::CreateBucket(const BucketConfig& config) {
   if (!HasService(kDataService)) {
     return Status::Unsupported("node runs no data service");
@@ -28,88 +44,89 @@ Status Node::CreateBucket(const BucketConfig& config) {
   if (buckets_.count(config.name)) {
     return Status::KeyExists("bucket exists: " + config.name);
   }
-  buckets_[config.name] = std::make_unique<Bucket>(config, id_, env_.get(),
+  buckets_[config.name] = std::make_shared<Bucket>(config, id_, env_.get(),
                                                    clock_, dispatcher_.get());
   return Status::OK();
 }
 
-Bucket* Node::bucket(const std::string& name) {
+std::shared_ptr<Bucket> Node::bucket(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = buckets_.find(name);
-  return it == buckets_.end() ? nullptr : it->second.get();
+  return it == buckets_.end() ? nullptr : it->second;
 }
 
-StatusOr<VBucket*> Node::Route(const std::string& bucket, uint16_t vb) {
+StatusOr<std::shared_ptr<Bucket>> Node::Route(const std::string& bucket,
+                                              uint16_t vb) {
   if (!healthy()) return Status::TempFail("node is down");
   if (!HasService(kDataService)) {
     return Status::Unsupported("no data service on node");
   }
-  Bucket* b = this->bucket(bucket);
+  std::shared_ptr<Bucket> b = this->bucket(bucket);
   if (b == nullptr) return Status::NotFound("no such bucket: " + bucket);
   if (vb >= kNumVBuckets) return Status::InvalidArgument("bad vbucket");
-  return b->vbucket(vb);
+  return b;
 }
 
 StatusOr<kv::GetResult> Node::Get(const std::string& bucket, uint16_t vb,
                                   std::string_view key) {
-  auto v = Route(bucket, vb);
-  if (!v.ok()) return v.status();
-  return (*v)->Get(key);
+  auto b = Route(bucket, vb);
+  if (!b.ok()) return b.status();
+  return (*b)->vbucket(vb)->Get(key);
 }
 
 StatusOr<kv::DocMeta> Node::Set(const std::string& bucket, uint16_t vb,
                                 std::string_view key, std::string_view value,
                                 uint32_t flags, uint32_t expiry,
                                 uint64_t cas) {
-  auto v = Route(bucket, vb);
-  if (!v.ok()) return v.status();
-  return (*v)->Set(key, value, flags, expiry, cas);
+  auto b = Route(bucket, vb);
+  if (!b.ok()) return b.status();
+  return (*b)->vbucket(vb)->Set(key, value, flags, expiry, cas);
 }
 
 StatusOr<kv::DocMeta> Node::Add(const std::string& bucket, uint16_t vb,
                                 std::string_view key, std::string_view value,
                                 uint32_t flags, uint32_t expiry) {
-  auto v = Route(bucket, vb);
-  if (!v.ok()) return v.status();
-  return (*v)->Add(key, value, flags, expiry);
+  auto b = Route(bucket, vb);
+  if (!b.ok()) return b.status();
+  return (*b)->vbucket(vb)->Add(key, value, flags, expiry);
 }
 
 StatusOr<kv::DocMeta> Node::Replace(const std::string& bucket, uint16_t vb,
                                     std::string_view key,
                                     std::string_view value, uint32_t flags,
                                     uint32_t expiry, uint64_t cas) {
-  auto v = Route(bucket, vb);
-  if (!v.ok()) return v.status();
-  return (*v)->Replace(key, value, flags, expiry, cas);
+  auto b = Route(bucket, vb);
+  if (!b.ok()) return b.status();
+  return (*b)->vbucket(vb)->Replace(key, value, flags, expiry, cas);
 }
 
 StatusOr<kv::DocMeta> Node::Remove(const std::string& bucket, uint16_t vb,
                                    std::string_view key, uint64_t cas) {
-  auto v = Route(bucket, vb);
-  if (!v.ok()) return v.status();
-  return (*v)->Remove(key, cas);
+  auto b = Route(bucket, vb);
+  if (!b.ok()) return b.status();
+  return (*b)->vbucket(vb)->Remove(key, cas);
 }
 
 StatusOr<kv::GetResult> Node::GetAndLock(const std::string& bucket,
                                          uint16_t vb, std::string_view key,
                                          uint64_t lock_ms) {
-  auto v = Route(bucket, vb);
-  if (!v.ok()) return v.status();
-  return (*v)->GetAndLock(key, lock_ms);
+  auto b = Route(bucket, vb);
+  if (!b.ok()) return b.status();
+  return (*b)->vbucket(vb)->GetAndLock(key, lock_ms);
 }
 
 Status Node::Unlock(const std::string& bucket, uint16_t vb,
                     std::string_view key, uint64_t cas) {
-  auto v = Route(bucket, vb);
-  if (!v.ok()) return v.status();
-  return (*v)->Unlock(key, cas);
+  auto b = Route(bucket, vb);
+  if (!b.ok()) return b.status();
+  return (*b)->vbucket(vb)->Unlock(key, cas);
 }
 
 StatusOr<kv::DocMeta> Node::Touch(const std::string& bucket, uint16_t vb,
                                   std::string_view key, uint32_t expiry) {
-  auto v = Route(bucket, vb);
-  if (!v.ok()) return v.status();
-  return (*v)->Touch(key, expiry);
+  auto b = Route(bucket, vb);
+  if (!b.ok()) return b.status();
+  return (*b)->vbucket(vb)->Touch(key, expiry);
 }
 
 }  // namespace couchkv::cluster

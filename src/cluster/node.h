@@ -40,8 +40,23 @@ class Node {
   bool healthy() const { return healthy_.load(std::memory_order_acquire); }
   void set_healthy(bool h) { healthy_.store(h, std::memory_order_release); }
 
+  // Simulates a process crash: stops the DCP dispatcher, then destroys all
+  // buckets hard (hash tables and the disk write queue are lost; the flusher
+  // may be killed between writing a batch and committing it). The node's
+  // env (its simulated disk) survives. Caller (Cluster::CrashNode) must
+  // first detach streams on OTHER nodes that point into this node's memory.
+  void Crash();
+
+  // Brings a crashed node back up with a fresh dispatcher and no buckets;
+  // the cluster layer recreates buckets and warms them up from the env.
+  // Does not flip healthy() — the caller does that once recovery completes.
+  void Boot();
+
   Status CreateBucket(const BucketConfig& config);
-  Bucket* bucket(const std::string& name);
+  // Returns a pin on the bucket: holders keep it alive even if the node
+  // crashes mid-operation (Crash() drops the node's reference, and the
+  // object dies when the last in-flight operation lets go).
+  std::shared_ptr<Bucket> bucket(const std::string& name);
   dcp::Dispatcher* dispatcher() { return dispatcher_.get(); }
   storage::Env* env() { return env_.get(); }
   Clock* clock() { return clock_; }
@@ -68,8 +83,11 @@ class Node {
                               std::string_view key, uint32_t expiry);
 
  private:
-  // Common pre-checks; returns the VBucket or an error.
-  StatusOr<VBucket*> Route(const std::string& bucket, uint16_t vb);
+  // Common pre-checks; returns a pinned bucket (see bucket()) or an error.
+  // Callers hold the returned shared_ptr across the whole operation so a
+  // concurrent Crash() cannot free the memory under them.
+  StatusOr<std::shared_ptr<Bucket>> Route(const std::string& bucket,
+                                          uint16_t vb);
 
   const NodeId id_;
   const uint32_t services_;
@@ -79,7 +97,7 @@ class Node {
   std::atomic<bool> healthy_{true};
 
   mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Bucket>> buckets_;
+  std::map<std::string, std::shared_ptr<Bucket>> buckets_;
 };
 
 }  // namespace couchkv::cluster

@@ -87,18 +87,36 @@ StatusOr<uint64_t> Producer::AddStream(const std::string& name,
 }
 
 void Producer::RemoveStream(uint64_t stream_id) {
-  std::lock_guard<std::mutex> lock(mu_);
-  streams_.erase(stream_id);
+  std::shared_ptr<Stream> victim;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = streams_.find(stream_id);
+    if (it == streams_.end()) return;
+    victim = it->second;
+    streams_.erase(it);
+  }
+  // Barrier: wait out any in-flight delivery and mark the stream closed so
+  // a pumper that snapshotted it before the erase skips it.
+  std::lock_guard<std::mutex> delivery_lock(victim->delivery_mu);
+  victim->closed = true;
 }
 
 void Producer::RemoveStreamsNamed(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
-  for (auto it = streams_.begin(); it != streams_.end();) {
-    if (it->second->name == name) {
-      it = streams_.erase(it);
-    } else {
-      ++it;
+  std::vector<std::shared_ptr<Stream>> victims;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto it = streams_.begin(); it != streams_.end();) {
+      if (it->second->name == name) {
+        victims.push_back(it->second);
+        it = streams_.erase(it);
+      } else {
+        ++it;
+      }
     }
+  }
+  for (auto& victim : victims) {
+    std::lock_guard<std::mutex> delivery_lock(victim->delivery_mu);
+    victim->closed = true;
   }
 }
 
@@ -115,10 +133,12 @@ bool Producer::PumpOnce(size_t batch_per_stream) {
   bool delivered = false;
   for (auto& s : snapshot) {
     std::lock_guard<std::mutex> delivery_lock(s->delivery_mu);
+    if (s->closed) continue;
     ChangeLog& log = *logs_[s->vbucket];
 
     if (!s->backfill_done) {
       uint64_t window_start = log.start_seqno();
+      bool stalled = false;
       if (s->next_seqno < window_start) {
         // The in-memory window no longer covers this stream's start point:
         // backfill the gap from the storage engine (paper: DCP "backfill").
@@ -126,23 +146,34 @@ bool Producer::PumpOnce(size_t batch_per_stream) {
           uint64_t delivered_up_to = s->next_seqno - 1;
           Status st = backfill_(
               s->vbucket, delivered_up_to, [&](const kv::Mutation& m) {
+                if (stalled) return Status::OK();  // skip; retry next pump
                 if (m.doc.meta.seqno >= s->next_seqno &&
                     m.doc.meta.seqno < window_start) {
-                  s->fn(m);
+                  Status delivery = s->fn(m);
+                  if (!delivery.ok()) {
+                    stalled = true;
+                    return delivery;
+                  }
                   if (m.doc.meta.seqno + 1 > s->next_seqno) {
                     s->next_seqno = m.doc.meta.seqno + 1;
                   }
                   delivered = true;
                 }
+                return Status::OK();
               });
           if (!st.ok()) {
             LOG_WARN << "DCP backfill failed for vb " << s->vbucket << ": "
                      << st.ToString();
           }
         }
-        // Whether or not storage had everything, resume from the window.
-        if (s->next_seqno < window_start) s->next_seqno = window_start;
+        // Whether or not storage had everything, resume from the window —
+        // unless a delivery stalled, in which case the backfill resumes
+        // from the first undelivered seqno on a later pump.
+        if (!stalled && s->next_seqno < window_start) {
+          s->next_seqno = window_start;
+        }
       }
+      if (stalled) continue;
       s->backfill_done = true;
     }
 
@@ -153,8 +184,11 @@ bool Producer::PumpOnce(size_t batch_per_stream) {
       kv::Mutation m;
       m.vbucket = s->vbucket;
       m.doc = std::move(doc);
+      // Advance only after a successful delivery: a failed (dropped /
+      // partitioned) delivery stalls the stream so the mutation is retried
+      // rather than lost.
+      if (!s->fn(m).ok()) break;
       s->next_seqno = m.doc.meta.seqno + 1;
-      s->fn(m);
       delivered = true;
     }
   }

@@ -31,7 +31,11 @@
 namespace couchkv::dcp {
 
 // Callback receiving mutations for one stream. Runs on the pumping thread.
-using MutationFn = std::function<void(const kv::Mutation&)>;
+// Returning non-OK stalls the stream: the mutation is NOT considered
+// delivered and will be retried on a later pump. This is how consumers on
+// the far side of a faulty net::Transport link get at-least-once delivery —
+// a dropped message never silently advances the stream past it.
+using MutationFn = std::function<Status(const kv::Mutation&)>;
 
 // Reads mutations with seqno in (since, upto] for a vBucket from storage and
 // feeds them to `fn` in seqno order. Supplied by the data service.
@@ -79,16 +83,21 @@ class Producer {
   StatusOr<uint64_t> AddStream(const std::string& name, uint16_t vbucket,
                                uint64_t from_seqno, MutationFn fn);
 
+  // Stream removal is a barrier: on return no delivery callback for the
+  // removed stream(s) is running or will run again, so callers may free
+  // state the callbacks capture (e.g. when crashing a node).
   void RemoveStream(uint64_t stream_id);
   // Removes every stream whose name matches (used when an index is dropped).
   void RemoveStreamsNamed(const std::string& name);
 
   // Delivers pending mutations to all streams; returns true if any mutation
-  // was delivered (i.e. call again). Thread-safe, but normally driven by a
+  // was successfully delivered (i.e. call again). A stream whose callback
+  // fails stalls without counting as progress, so pump loops terminate even
+  // while a link is partitioned. Thread-safe, but normally driven by a
   // single dispatcher thread.
   bool PumpOnce(size_t batch_per_stream = 256);
 
-  // Pumps until every stream has caught up to its vBucket's high seqno.
+  // Pumps until no stream makes progress (all caught up or stalled).
   void Drain();
 
   // Lowest acknowledged seqno across streams of `name` for `vbucket`
@@ -109,6 +118,10 @@ class Producer {
     // Serializes delivery: the dispatcher thread and synchronous pumpers
     // (Quiesce, rebalance movers) may call PumpOnce concurrently.
     std::mutex delivery_mu;
+    // Set (under delivery_mu) when the stream is removed; a pumper that
+    // snapshotted the stream before removal skips it. This is what makes
+    // RemoveStream* a barrier.
+    bool closed = false;
   };
 
   uint16_t num_vbuckets_;

@@ -235,7 +235,7 @@ Status SearchService::DropIndex(const std::string& bucket,
   }
   for (cluster::NodeId id : cluster_->node_ids()) {
     cluster::Node* n = cluster_->node(id);
-    cluster::Bucket* b = n ? n->bucket(bucket) : nullptr;
+    std::shared_ptr<cluster::Bucket> b = n ? n->bucket(bucket) : nullptr;
     if (b != nullptr) {
       b->producer()->RemoveStreamsNamed(StreamName(index->definition()));
     }
@@ -251,7 +251,7 @@ void SearchService::WireIndex(const std::string& bucket,
   for (cluster::NodeId id : cluster_->node_ids()) {
     cluster::Node* n = cluster_->node(id);
     if (n == nullptr || !n->HasService(cluster::kDataService)) continue;
-    cluster::Bucket* b = n->bucket(bucket);
+    std::shared_ptr<cluster::Bucket> b = n->bucket(bucket);
     if (b == nullptr) continue;
     b->producer()->RemoveStreamsNamed(stream);
     if (!n->healthy()) continue;
@@ -260,7 +260,10 @@ void SearchService::WireIndex(const std::string& bucket,
       std::shared_ptr<InvertedIndex> idx = index;
       auto st = b->producer()->AddStream(
           stream, vb, index->processed_seqno(vb),
-          [idx](const kv::Mutation& m) { idx->ApplyMutation(m); });
+          [idx](const kv::Mutation& m) {
+            idx->ApplyMutation(m);
+            return Status::OK();
+          });
       if (!st.ok()) {
         LOG_WARN << "fts stream failed: " << st.status().ToString();
       }
@@ -288,7 +291,7 @@ Status SearchService::WaitCaughtUp(const std::string& bucket,
   for (uint16_t vb = 0; vb < cluster::kNumVBuckets; ++vb) {
     cluster::Node* n = cluster_->node(map->ActiveFor(vb));
     if (n == nullptr || !n->healthy()) continue;
-    cluster::Bucket* b = n->bucket(bucket);
+    std::shared_ptr<cluster::Bucket> b = n->bucket(bucket);
     if (b == nullptr) continue;
     uint64_t high = b->vbucket(vb)->high_seqno();
     while (index->processed_seqno(vb) < high) {

@@ -109,7 +109,7 @@ Status IndexService::DropIndex(const std::string& bucket,
   }
   for (cluster::NodeId id : cluster_->node_ids()) {
     cluster::Node* n = cluster_->node(id);
-    cluster::Bucket* b = n ? n->bucket(bucket) : nullptr;
+    std::shared_ptr<cluster::Bucket> b = n ? n->bucket(bucket) : nullptr;
     if (b != nullptr) b->producer()->RemoveStreamsNamed(StreamName(state->def));
   }
   return Status::OK();
@@ -136,13 +136,27 @@ StatusOr<IndexDefinition> IndexService::GetIndex(
   return Status::NotFound("no such index: " + name);
 }
 
-void IndexService::Route(IndexState* state, const KeyVersion& kv) {
+Status IndexService::Route(net::Transport* t, cluster::NodeId src_node,
+                           IndexState* state, const KeyVersion& kv) {
   // The router decides which indexer receives the key version. With a
   // broadcast scheme, an insert lands on the partition owning the new key
   // while deletes land wherever old entries live (paper §4.3.4: "An insert
   // message may be sent to one indexer with a delete message being sent to
   // another ... if the partition key itself has changed").
-  for (auto& p : state->partitions) p->Apply(kv);
+  for (size_t i = 0; i < state->partitions.size(); ++i) {
+    IndexPartition* p = state->partitions[i].get();
+    Status st =
+        net::Call(t, net::Endpoint::Node(src_node),
+                  net::Endpoint::Node(state->placement[i]), [&] {
+                    p->Apply(kv);
+                    return Status::OK();
+                  });
+    // Partial broadcast is fine: the re-delivery re-applies to every
+    // partition, and Apply replaces a document's entries wholesale, so
+    // applying the same key version twice is a no-op.
+    if (!st.ok()) return st;
+  }
+  return Status::OK();
 }
 
 void IndexService::WireIndex(const std::string& bucket,
@@ -153,17 +167,18 @@ void IndexService::WireIndex(const std::string& bucket,
   for (cluster::NodeId id : cluster_->node_ids()) {
     cluster::Node* n = cluster_->node(id);
     if (n == nullptr || !n->HasService(cluster::kDataService)) continue;
-    cluster::Bucket* b = n->bucket(bucket);
+    std::shared_ptr<cluster::Bucket> b = n->bucket(bucket);
     if (b == nullptr) continue;
     b->producer()->RemoveStreamsNamed(stream);
     if (!n->healthy()) continue;
     IndexDefinition def = state->def;
+    cluster::Cluster* cluster = cluster_;
     for (uint16_t vb = 0; vb < cluster::kNumVBuckets; ++vb) {
       if (map->ActiveFor(vb) != id) continue;
       uint64_t from = ProcessedSeqno(*state, vb);
       std::shared_ptr<IndexState> sp = state;
       auto st = b->producer()->AddStream(
-          stream, vb, from, [sp, def](const kv::Mutation& m) {
+          stream, vb, from, [sp, def, cluster, id](const kv::Mutation& m) {
             // Projector: evaluate the secondary keys for this mutation.
             KeyVersion kv;
             kv.index_name = def.name;
@@ -176,7 +191,7 @@ void IndexService::WireIndex(const std::string& bucket,
                 kv.keys = ProjectKeys(def, m.doc.key, &parsed.value());
               }
             }
-            Route(sp.get(), kv);
+            return Route(cluster->transport(), id, sp.get(), kv);
           });
       if (!st.ok()) {
         LOG_WARN << "gsi stream failed: " << st.status().ToString();
@@ -232,7 +247,7 @@ Status IndexService::WaitUntilCaughtUp(const std::string& bucket,
     cluster::NodeId active = map->ActiveFor(vb);
     cluster::Node* n = cluster_->node(active);
     if (n == nullptr || !n->healthy()) continue;
-    cluster::Bucket* b = n->bucket(bucket);
+    std::shared_ptr<cluster::Bucket> b = n->bucket(bucket);
     if (b == nullptr) continue;
     uint64_t high = b->vbucket(vb)->high_seqno();
     if (high > ProcessedSeqno(*state, vb)) targets.push_back({vb, high, n});
@@ -265,10 +280,26 @@ StatusOr<std::vector<IndexEntry>> IndexService::Scan(
   if (consistency == ScanConsistency::kRequestPlus) {
     COUCHKV_RETURN_IF_ERROR(WaitUntilCaughtUp(bucket, name));
   }
-  // Scatter: scan each partition; gather: merge in key order.
+  // Scatter: scan each partition on its index node; gather: merge in key
+  // order. Each partition scan is one round trip on the query-service ->
+  // index-node link, retried a few times under transient faults.
+  net::Transport* t = cluster_->transport();
   std::vector<IndexEntry> merged;
-  for (auto& p : state->partitions) {
-    std::vector<IndexEntry> part = p->Scan(range, limit);
+  for (size_t i = 0; i < state->partitions.size(); ++i) {
+    IndexPartition* p = state->partitions[i].get();
+    std::vector<IndexEntry> part;
+    Status st = Status::OK();
+    for (int attempt = 0; attempt < 16; ++attempt) {
+      part.clear();
+      st = net::Call(t, net::Endpoint::Service(net::kServiceQuery),
+                     net::Endpoint::Node(state->placement[i]), [&] {
+                       part = p->Scan(range, limit);
+                       return Status::OK();
+                     });
+      if (st.ok()) break;
+      std::this_thread::yield();
+    }
+    if (!st.ok()) return st;  // partition unreachable: the scan fails whole
     merged.insert(merged.end(), std::make_move_iterator(part.begin()),
                   std::make_move_iterator(part.end()));
   }

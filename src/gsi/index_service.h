@@ -74,8 +74,12 @@ class IndexService : public cluster::ClusterService,
   void WireIndex(const std::string& bucket,
                  std::shared_ptr<IndexState> state);
   // The router: broadcast a key version to every partition (each partition
-  // keeps only the keys it owns; see IndexPartition::Apply).
-  static void Route(IndexState* state, const KeyVersion& kv);
+  // keeps only the keys it owns; see IndexPartition::Apply). Each forward
+  // is a message from the projector's data node to the partition's index
+  // node through `t`; a lost forward returns non-OK, stalling the DCP
+  // stream so the key version is re-delivered (Apply is idempotent).
+  static Status Route(net::Transport* t, cluster::NodeId src_node,
+                      IndexState* state, const KeyVersion& kv);
   // Min processed seqno across partitions for one vBucket.
   static uint64_t ProcessedSeqno(const IndexState& state, uint16_t vb);
 

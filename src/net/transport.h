@@ -1,0 +1,100 @@
+// The explicit transport layer every cross-node interaction is routed
+// through (DESIGN.md: "all cross-node traffic goes through an explicit
+// transport layer with injectable latency/failures"). In the real system
+// each hop is a TCP connection; here a hop is a function call bracketed by
+// two admission decisions — one for the request leg, one for the reply leg —
+// so a fault-injecting implementation can drop, delay, or partition traffic
+// on any directed link without the caller knowing.
+//
+// Callers use the typed `Call` helper: a lost request means the operation
+// never ran; a lost reply means it ran but the caller cannot know (the
+// classic ambiguous-outcome failure smart clients must retry through).
+#ifndef COUCHKV_NET_TRANSPORT_H_
+#define COUCHKV_NET_TRANSPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <tuple>
+
+#include "common/status.h"
+
+namespace couchkv::net {
+
+// Well-known service endpoint ids (Endpoint::Service ordinals).
+constexpr uint32_t kServiceXdcr = 1;
+constexpr uint32_t kServiceGsi = 2;
+constexpr uint32_t kServiceQuery = 3;
+
+// A participant in cross-node traffic: a smart client, a server node, or a
+// cluster-level service (XDCR shipper, GSI scatter-gather, ...).
+struct Endpoint {
+  enum class Kind : uint8_t { kClient = 0, kNode = 1, kService = 2 };
+
+  Kind kind = Kind::kClient;
+  uint32_t id = 0;
+
+  static Endpoint Client(uint32_t id = 0) { return {Kind::kClient, id}; }
+  static Endpoint Node(uint32_t id) { return {Kind::kNode, id}; }
+  static Endpoint Service(uint32_t id) { return {Kind::kService, id}; }
+
+  bool is_node() const { return kind == Kind::kNode; }
+  bool is_client() const { return kind == Kind::kClient; }
+
+  std::string ToString() const;
+
+  friend bool operator==(const Endpoint& a, const Endpoint& b) {
+    return a.kind == b.kind && a.id == b.id;
+  }
+  friend bool operator<(const Endpoint& a, const Endpoint& b) {
+    return std::tie(a.kind, a.id) < std::tie(b.kind, b.id);
+  }
+};
+
+// Admission control for the two legs of a remote call. Implementations
+// decide the fate of each message; they never see payloads, so every RPC in
+// the system — KV ops, DCP replication deliveries, GSI key versions, XDCR
+// shipments — routes through the same two hooks.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  // Fate of the request traveling src -> dst. Non-OK: the request is lost
+  // and the operation must not run. Always TempFail-style codes so retry
+  // layers treat link faults like any other transient failure.
+  virtual Status Request(const Endpoint& src, const Endpoint& dst) = 0;
+
+  // Fate of the reply traveling dst -> src, after the operation ran.
+  // Non-OK: the reply is lost; the caller sees failure for an operation
+  // that actually executed.
+  virtual Status Reply(const Endpoint& src, const Endpoint& dst) = 0;
+};
+
+// Today's behaviour: every message is delivered, zero overhead beyond the
+// virtual dispatch. Installed by default in every Cluster.
+class DirectTransport : public Transport {
+ public:
+  Status Request(const Endpoint&, const Endpoint&) override {
+    return Status::OK();
+  }
+  Status Reply(const Endpoint&, const Endpoint&) override {
+    return Status::OK();
+  }
+};
+
+// Routes `op` from src to dst through transport `t`. Returns the op's
+// result, or the transport's error when either leg is lost. `op` must
+// return Status or StatusOr<T>.
+template <typename Fn>
+auto Call(Transport* t, const Endpoint& src, const Endpoint& dst, Fn&& op)
+    -> decltype(op()) {
+  Status sent = t->Request(src, dst);
+  if (!sent.ok()) return sent;
+  auto result = op();
+  Status replied = t->Reply(src, dst);
+  if (!replied.ok()) return replied;
+  return result;
+}
+
+}  // namespace couchkv::net
+
+#endif  // COUCHKV_NET_TRANSPORT_H_

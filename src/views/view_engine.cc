@@ -39,7 +39,7 @@ Status ViewEngine::DropView(const std::string& bucket,
   }
   for (cluster::NodeId id : cluster_->node_ids()) {
     cluster::Node* n = cluster_->node(id);
-    cluster::Bucket* b = n ? n->bucket(bucket) : nullptr;
+    std::shared_ptr<cluster::Bucket> b = n ? n->bucket(bucket) : nullptr;
     if (b != nullptr) {
       b->producer()->RemoveStreamsNamed(StreamName(bucket, view));
     }
@@ -69,7 +69,7 @@ void ViewEngine::WireView(const std::string& bucket, ViewState* state) {
   for (auto& [node_id, index] : indexes) {
     cluster::Node* n = cluster_->node(node_id);
     if (n == nullptr) continue;
-    cluster::Bucket* b = n->bucket(bucket);
+    std::shared_ptr<cluster::Bucket> b = n->bucket(bucket);
     if (b == nullptr) continue;
     // Tear down and re-add streams for the vBuckets this node now owns.
     b->producer()->RemoveStreamsNamed(stream);
@@ -80,7 +80,11 @@ void ViewEngine::WireView(const std::string& bucket, ViewState* state) {
       std::shared_ptr<ViewIndex> idx = index;
       auto st = b->producer()->AddStream(
           stream, vb, index->processed_seqno(vb),
-          [idx](const kv::Mutation& m) { idx->ApplyMutation(m); });
+          [idx](const kv::Mutation& m) {
+            // Views are maintained node-locally (no network hop).
+            idx->ApplyMutation(m);
+            return Status::OK();
+          });
       if (!st.ok()) {
         LOG_WARN << "view stream failed: " << st.status().ToString();
       }
@@ -120,7 +124,7 @@ Status ViewEngine::WaitForIndexer(const std::string& bucket, ViewState* state,
   for (auto& [node_id, index] : indexes) {
     cluster::Node* n = cluster_->node(node_id);
     if (n == nullptr || !n->healthy()) continue;
-    cluster::Bucket* b = n->bucket(bucket);
+    std::shared_ptr<cluster::Bucket> b = n->bucket(bucket);
     if (b == nullptr) continue;
     for (uint16_t vb = 0; vb < cluster::kNumVBuckets; ++vb) {
       if (map->ActiveFor(vb) != node_id) continue;

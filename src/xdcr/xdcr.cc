@@ -3,6 +3,7 @@
 #include <thread>
 
 #include "common/logging.h"
+#include "net/transport.h"
 
 namespace couchkv::xdcr {
 
@@ -37,7 +38,7 @@ void XdcrLink::Wire() {
   for (cluster::NodeId id : source_->node_ids()) {
     cluster::Node* n = source_->node(id);
     if (n == nullptr || !n->HasService(cluster::kDataService)) continue;
-    cluster::Bucket* b = n->bucket(spec_.source_bucket);
+    std::shared_ptr<cluster::Bucket> b = n->bucket(spec_.source_bucket);
     if (b == nullptr) continue;
     b->producer()->RemoveStreamsNamed(stream_name_);
     if (!n->healthy()) continue;
@@ -48,7 +49,7 @@ void XdcrLink::Wire() {
       // re-delivery idempotent (equal metadata never overwrites).
       auto st = b->producer()->AddStream(
           stream_name_, vb, 0,
-          [self](const kv::Mutation& m) { self->ShipMutation(m); });
+          [self](const kv::Mutation& m) { return self->ShipMutation(m); });
       if (!st.ok()) {
         LOG_WARN << "xdcr stream failed: " << st.status().ToString();
       }
@@ -57,44 +58,55 @@ void XdcrLink::Wire() {
   }
 }
 
-void XdcrLink::ShipMutation(const kv::Mutation& m) {
+Status XdcrLink::ShipMutation(const kv::Mutation& m) {
   if (filter_ != nullptr && !std::regex_search(m.doc.key, *filter_)) {
     docs_filtered_.fetch_add(1, std::memory_order_relaxed);
-    return;
+    return Status::OK();
   }
   // Topology-aware routing: resolve the target's active node per shipment,
   // so destination failover/rebalance is picked up immediately (§4.6:
   // "XDCR is able to utilize the updated cluster topology information").
+  Status last = Status::TempFail("xdcr: no attempts made");
   for (int attempt = 0; attempt < 64; ++attempt) {
     auto target_map = target_->map(spec_.target_bucket);
-    if (!target_map) return;
+    if (!target_map) return Status::OK();  // target bucket gone: drop
     cluster::NodeId active = target_map->ActiveFor(m.vbucket);
     cluster::Node* n = target_->node(active);
-    if (n == nullptr || !n->healthy()) {
-      docs_retried_.fetch_add(1, std::memory_order_relaxed);
-      std::this_thread::yield();
-      continue;
+    std::shared_ptr<cluster::Bucket> b = (n != nullptr && n->healthy())
+                                             ? n->bucket(spec_.target_bucket)
+                                             : nullptr;
+    Status st;
+    if (b == nullptr) {
+      // Target active is down or still booting: transient, retry.
+      st = Status::TempFail("xdcr target node unavailable");
+    } else {
+      // One shipment = one message on the xdcr-service -> target-node link
+      // of the TARGET cluster's transport.
+      st = net::Call(target_->transport(),
+                     net::Endpoint::Service(net::kServiceXdcr),
+                     net::Endpoint::Node(active),
+                     [&] { return b->vbucket(m.vbucket)->ApplyXdcr(m.doc); });
     }
-    cluster::Bucket* b = n->bucket(spec_.target_bucket);
-    if (b == nullptr) return;
-    Status st = b->vbucket(m.vbucket)->ApplyXdcr(m.doc);
     if (st.ok()) {
       docs_sent_.fetch_add(1, std::memory_order_relaxed);
       n->dispatcher()->Notify();
-      return;
+      return Status::OK();
     }
     if (st.IsKeyExists()) {
       docs_rejected_.fetch_add(1, std::memory_order_relaxed);
-      return;  // local version won; both sides already agree
+      return Status::OK();  // local version won; both sides already agree
     }
     if (st.IsNotMyVBucket() || st.IsTempFail()) {
       docs_retried_.fetch_add(1, std::memory_order_relaxed);
+      last = st;
       std::this_thread::yield();
-      continue;  // stale routing: re-read the target map
+      continue;  // stale routing / dropped message: re-read the target map
     }
     LOG_WARN << "xdcr apply failed: " << st.ToString();
-    return;
+    return st;
   }
+  // Exhausted: stall the stream; the dispatcher re-delivers later.
+  return last;
 }
 
 XdcrStats XdcrLink::stats() const {

@@ -50,7 +50,11 @@ class XdcrLink : public cluster::ClusterService,
 
  private:
   void Wire();
-  void ShipMutation(const kv::Mutation& m);
+  // Ships one mutation to the target cluster through its transport.
+  // Returns non-OK (stalling the source DCP stream for retry) when the
+  // target is unreachable; re-delivery is idempotent thanks to conflict
+  // resolution.
+  Status ShipMutation(const kv::Mutation& m);
 
   cluster::Cluster* source_;
   cluster::Cluster* target_;

@@ -2,8 +2,13 @@
 // replication, durability, orchestrator election, rebalance, failover.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+
+#include "client/smart_client.h"
 #include "cluster/cluster.h"
 #include "cluster/vbucket_map.h"
+#include "net/faulty_transport.h"
 
 namespace couchkv::cluster {
 namespace {
@@ -105,7 +110,7 @@ TEST_F(ClusterTest, MutationsReplicateAsynchronously) {
   uint16_t vb = KeyToVBucket("k1");
   auto map = cluster_.map("default");
   NodeId replica = map->ReplicasFor(vb)[0];
-  Bucket* rb = cluster_.node(replica)->bucket("default");
+  std::shared_ptr<Bucket> rb = cluster_.node(replica)->bucket("default");
   auto r = rb->vbucket(vb)->hash_table().Get("k1");
   ASSERT_TRUE(r.ok());
   EXPECT_EQ(r->doc.value, "v1");
@@ -124,7 +129,7 @@ TEST_F(ClusterTest, FlusherPersistsAsynchronously) {
   cluster_.Quiesce();
   uint16_t vb = KeyToVBucket("k1");
   NodeId active = cluster_.map("default")->ActiveFor(vb);
-  Bucket* b = cluster_.node(active)->bucket("default");
+  std::shared_ptr<Bucket> b = cluster_.node(active)->bucket("default");
   EXPECT_GE(b->vbucket(vb)->persisted_seqno(), meta->seqno);
   // The document is now on "disk".
   auto doc = b->vbucket(vb)->file()->Get("k1");
@@ -255,7 +260,7 @@ TEST_F(ClusterTest, CompactionReducesFragmentation) {
   std::string key = "hot";
   uint16_t vb = KeyToVBucket(key);
   NodeId active = cluster_.map("default")->ActiveFor(vb);
-  Bucket* b = cluster_.node(active)->bucket("default");
+  std::shared_ptr<Bucket> b = cluster_.node(active)->bucket("default");
   for (int i = 0; i < 50; ++i) {
     auto meta = Write(key, std::string(256, 'x') + std::to_string(i));
     ASSERT_TRUE(meta.ok());
@@ -278,7 +283,7 @@ TEST_F(ClusterTest, QuotaEnforcementEvicts) {
   cfg.num_replicas = 0;
   cfg.memory_quota_bytes = 1 << 20;  // 1 MiB
   ASSERT_TRUE(c.CreateBucket(cfg).ok());
-  Bucket* b = c.node(0)->bucket("small");
+  std::shared_ptr<Bucket> b = c.node(0)->bucket("small");
   for (int i = 0; i < 2000; ++i) {
     std::string key = "k" + std::to_string(i);
     uint16_t vb = KeyToVBucket(key);
@@ -289,6 +294,104 @@ TEST_F(ClusterTest, QuotaEnforcementEvicts) {
   ASSERT_GT(b->mem_used(), cfg.memory_quota_bytes);
   uint64_t reclaimed = b->EnforceQuota();
   EXPECT_GT(reclaimed, 0u);
+}
+
+TEST_F(ClusterTest, CrashNodeRefusesRequestsUntilRestart) {
+  ASSERT_TRUE(Write("k1", "v1").ok());
+  cluster_.Quiesce();  // persist + replicate before the crash
+  uint16_t vb = KeyToVBucket("k1");
+  NodeId active = cluster_.map("default")->ActiveFor(vb);
+
+  ASSERT_TRUE(cluster_.CrashNode(active).ok());
+  auto r = cluster_.node(active)->Get("default", vb, "k1");
+  EXPECT_TRUE(r.status().IsTempFail()) << r.status().ToString();
+  // Unlike Failover, the map still names the crashed node as active.
+  EXPECT_EQ(cluster_.map("default")->ActiveFor(vb), active);
+
+  ASSERT_TRUE(cluster_.RestartNode(active).ok());
+  auto after = Read("k1");
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  EXPECT_EQ(after->doc.value, "v1");
+}
+
+TEST_F(ClusterTest, RestartedNodeRecoversOnlyCommittedWrites) {
+  // Persisted write -> survives. Memory-only write -> lost by the crash,
+  // and the replica that received it over DCP is rolled back to match.
+  ASSERT_TRUE(Write("durable", "kept").ok());
+  cluster_.Quiesce();
+  uint16_t vb = KeyToVBucket("durable");
+  NodeId active = cluster_.map("default")->ActiveFor(vb);
+  ASSERT_TRUE(cluster_.CrashNode(active).ok());
+  ASSERT_TRUE(cluster_.RestartNode(active).ok());
+  cluster_.Quiesce();
+
+  auto r = Read("durable");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->doc.value, "kept");
+  // Replica converged on the recovered active.
+  NodeId replica = cluster_.map("default")->ReplicasFor(vb)[0];
+  auto rr = cluster_.node(replica)->bucket("default")->vbucket(vb)
+                ->hash_table().Get("durable");
+  ASSERT_TRUE(rr.ok());
+  EXPECT_EQ(rr->doc.value, "kept");
+}
+
+TEST_F(ClusterTest, RebalanceUnderFaultyTransport) {
+  // Clients keep writing and reading while a node joins and the cluster
+  // rebalances over a lossy, laggy network. NOT_MY_VBUCKET answers and
+  // dropped messages are retried by the smart client; when the dust
+  // settles, every acknowledged key must be reachable.
+  net::FaultyTransport transport(12345);
+  net::LinkFaults lossy;
+  lossy.drop = 0.05;
+  lossy.max_latency_us = 30;
+  transport.SetDefaultFaults(lossy);
+  cluster_.set_transport(&transport);
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> write_failures{0};
+  std::vector<std::vector<std::string>> acked(3);
+  std::vector<std::thread> workers;
+  for (int c = 0; c < 3; ++c) {
+    workers.emplace_back([&, c] {
+      client::SmartClient client(&cluster_, "default", {},
+                                 /*client_id=*/100 + c);
+      // At least one full pass over this client's 40 keys, then keep the
+      // load up until the rebalance finishes.
+      for (int i = 0; i < 40 || !stop.load(); ++i) {
+        std::string key = "rb-c" + std::to_string(c) + "-" +
+                          std::to_string(i % 40);
+        if (client.Upsert(key, "v" + std::to_string(i)).ok()) {
+          if (i < 40) acked[c].push_back(key);
+        } else {
+          write_failures.fetch_add(1);
+        }
+        (void)client.Get(key);
+      }
+    });
+  }
+
+  NodeId added = cluster_.AddNode();
+  Status st = cluster_.Rebalance();
+  stop.store(true);
+  for (auto& w : workers) w.join();
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_GT(cluster_.map("default")->CountActive(added), 0u);
+  EXPECT_GT(transport.stats().dropped, 0u);
+
+  // Settle on a clean network, then verify reachability of every key that
+  // was acked during the storm: zero unreachable keys.
+  transport.Reset();
+  cluster_.Quiesce();
+  client::SmartClient checker(&cluster_, "default", {}, /*client_id=*/99);
+  int unreachable = 0;
+  for (const auto& keys : acked) {
+    for (const std::string& key : keys) {
+      if (!checker.Get(key).ok()) ++unreachable;
+    }
+  }
+  EXPECT_EQ(unreachable, 0);
+  cluster_.set_transport(nullptr);
 }
 
 }  // namespace

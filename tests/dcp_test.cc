@@ -56,6 +56,7 @@ TEST(ProducerTest, StreamReceivesMutationsInOrder) {
   ASSERT_TRUE(p.AddStream("test", 2, 0, [&](const kv::Mutation& m) {
                  EXPECT_EQ(m.vbucket, 2);
                  seen.push_back(m.doc.meta.seqno);
+                 return Status::OK();
                }).ok());
   p.OnMutation(2, Doc("a", "1", 1));
   p.OnMutation(2, Doc("b", "2", 2));
@@ -70,6 +71,7 @@ TEST(ProducerTest, StreamFromMidpoint) {
   std::vector<uint64_t> seen;
   p.AddStream("mid", 0, 7, [&](const kv::Mutation& m) {
     seen.push_back(m.doc.meta.seqno);
+    return Status::OK();
   });
   p.Drain();
   EXPECT_EQ(seen, (std::vector<uint64_t>{8, 9, 10}));
@@ -78,10 +80,16 @@ TEST(ProducerTest, StreamFromMidpoint) {
 TEST(ProducerTest, MultipleConsumersIndependent) {
   Producer p(1, nullptr);
   int a = 0, b = 0;
-  p.AddStream("a", 0, 0, [&](const kv::Mutation&) { ++a; });
+  p.AddStream("a", 0, 0, [&](const kv::Mutation&) {
+    ++a;
+    return Status::OK();
+  });
   p.OnMutation(0, Doc("k", "1", 1));
   p.Drain();
-  p.AddStream("b", 0, 0, [&](const kv::Mutation&) { ++b; });
+  p.AddStream("b", 0, 0, [&](const kv::Mutation&) {
+    ++b;
+    return Status::OK();
+  });
   p.OnMutation(0, Doc("k", "2", 2));
   p.Drain();
   EXPECT_EQ(a, 2);
@@ -92,7 +100,10 @@ TEST(ProducerTest, RemoveStreamStopsDelivery) {
   Producer p(1, nullptr);
   int count = 0;
   uint64_t id =
-      p.AddStream("x", 0, 0, [&](const kv::Mutation&) { ++count; }).value();
+      p.AddStream("x", 0, 0, [&](const kv::Mutation&) {
+         ++count;
+         return Status::OK();
+       }).value();
   p.OnMutation(0, Doc("k", "1", 1));
   p.Drain();
   p.RemoveStream(id);
@@ -104,9 +115,13 @@ TEST(ProducerTest, RemoveStreamStopsDelivery) {
 TEST(ProducerTest, RemoveStreamsNamed) {
   Producer p(2, nullptr);
   int count = 0;
-  p.AddStream("repl", 0, 0, [&](const kv::Mutation&) { ++count; });
-  p.AddStream("repl", 1, 0, [&](const kv::Mutation&) { ++count; });
-  p.AddStream("other", 0, 0, [&](const kv::Mutation&) {});
+  auto counter = [&](const kv::Mutation&) {
+    ++count;
+    return Status::OK();
+  };
+  p.AddStream("repl", 0, 0, counter);
+  p.AddStream("repl", 1, 0, counter);
+  p.AddStream("other", 0, 0, [](const kv::Mutation&) { return Status::OK(); });
   p.RemoveStreamsNamed("repl");
   p.OnMutation(0, Doc("k", "1", 1));
   p.Drain();
@@ -115,7 +130,7 @@ TEST(ProducerTest, RemoveStreamsNamed) {
 
 TEST(ProducerTest, StreamSeqnoTracksAcks) {
   Producer p(1, nullptr);
-  p.AddStream("idx", 0, 0, [](const kv::Mutation&) {});
+  p.AddStream("idx", 0, 0, [](const kv::Mutation&) { return Status::OK(); });
   EXPECT_EQ(p.StreamSeqno("idx", 0), 0u);
   p.OnMutation(0, Doc("k", "1", 1));
   p.OnMutation(0, Doc("k", "2", 2));
@@ -152,6 +167,7 @@ TEST(ProducerTest, BackfillFromStorageCoversTrimmedWindow) {
   std::vector<uint64_t> seen;
   p.AddStream("warm", 0, 0, [&](const kv::Mutation& m) {
     seen.push_back(m.doc.meta.seqno);
+    return Status::OK();
   });
   p.Drain();
   // Backfill supplies 1..94 from storage, the window supplies 95..100.
@@ -162,7 +178,10 @@ TEST(ProducerTest, BackfillFromStorageCoversTrimmedWindow) {
 TEST(DispatcherTest, DeliversAsynchronously) {
   auto p = std::make_shared<Producer>(1, nullptr);
   std::atomic<int> count{0};
-  p->AddStream("async", 0, 0, [&](const kv::Mutation&) { count.fetch_add(1); });
+  p->AddStream("async", 0, 0, [&](const kv::Mutation&) {
+    count.fetch_add(1);
+    return Status::OK();
+  });
   Dispatcher d;
   d.AddProducer(p);
   for (uint64_t i = 1; i <= 50; ++i) {
@@ -180,7 +199,10 @@ TEST(DispatcherTest, DeliversAsynchronously) {
 TEST(DispatcherTest, QuiesceDrainsSynchronously) {
   auto p = std::make_shared<Producer>(1, nullptr);
   int count = 0;
-  p->AddStream("q", 0, 0, [&](const kv::Mutation&) { ++count; });
+  p->AddStream("q", 0, 0, [&](const kv::Mutation&) {
+    ++count;
+    return Status::OK();
+  });
   Dispatcher d;
   d.AddProducer(p);
   d.Stop();  // kill the async thread; quiesce still works

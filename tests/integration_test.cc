@@ -55,7 +55,7 @@ TEST_F(IntegrationTest, OneWriteReachesEveryComponent) {
   uint16_t vb = client_->VBucketFor("probe");
   auto map = cluster_.map("default");
   cluster::NodeId active = map->ActiveFor(vb);
-  cluster::Bucket* ab = cluster_.node(active)->bucket("default");
+  std::shared_ptr<cluster::Bucket> ab = cluster_.node(active)->bucket("default");
 
   // 1. Persisted on the active node (durability already guaranteed it).
   EXPECT_GE(ab->vbucket(vb)->persisted_seqno(), m->seqno);
