@@ -1,0 +1,41 @@
+#!/bin/sh
+# Smoke-runs every experiment bench at a tiny scale and validates that the
+# BENCH_*.json files they emit parse. Driven by the couchkv_bench_smoke
+# CMake target:
+#   bench_smoke.sh <bench-bin-dir> <output-dir> <json_check-binary>
+set -eu
+
+BENCH_DIR="$1"
+OUT_DIR="$2"
+JSON_CHECK="$3"
+
+mkdir -p "$OUT_DIR"
+rm -f "$OUT_DIR"/BENCH_*.json
+
+# Tiny datasets so every bench finishes in ~a second.
+COUCHKV_SCALE="${COUCHKV_SCALE:-0.002}"
+export COUCHKV_SCALE
+COUCHKV_BENCH_JSON_DIR="$OUT_DIR"
+export COUCHKV_BENCH_JSON_DIR
+
+status=0
+for b in "$BENCH_DIR"/*; do
+  [ -x "$b" ] || continue
+  name="$(basename "$b")"
+  case "$name" in
+    micro_benchmarks|json_check) continue ;;  # not experiment benches
+  esac
+  echo "== bench_smoke: $name"
+  if ! "$b" > "$OUT_DIR/$name.out" 2>&1; then
+    echo "bench_smoke: $name FAILED; tail of output:"
+    tail -20 "$OUT_DIR/$name.out"
+    status=1
+  fi
+done
+
+# At least one bench must have emitted machine-readable results, and every
+# emitted file must parse. The glob stays unexpanded when no file matched;
+# json_check then fails on the unopenable literal name.
+"$JSON_CHECK" "$OUT_DIR"/BENCH_*.json || status=1
+
+exit $status

@@ -12,7 +12,9 @@
 
 #include "client/smart_client.h"
 #include "cluster/cluster.h"
+#include "json/value.h"
 #include "n1ql/query_service.h"
+#include "stats/registry.h"
 #include "ycsb/ycsb.h"
 
 namespace couchkv::bench {
@@ -91,6 +93,83 @@ inline void LoadRecords(cluster::Cluster* cluster, const std::string& bucket,
 inline void PrintHeader(const char* title, const char* columns) {
   std::printf("\n=== %s ===\n%s\n", title, columns);
 }
+
+// Machine-readable bench output: collects one JSON row per measurement plus
+// the stats-registry delta over the bench's lifetime, and writes
+// BENCH_<name>.json into $COUCHKV_BENCH_JSON_DIR (or the cwd). Latency
+// percentiles in rows should come from registry histograms (HistDelta /
+// LatencySummary) so the emitted numbers are the same ones an operator would
+// scrape in production.
+class BenchReporter {
+ public:
+  explicit BenchReporter(std::string name)
+      : name_(std::move(name)), start_(stats::Registry::Global().Collect()) {}
+
+  void AddRow(json::Value row) { rows_.push_back(std::move(row)); }
+
+  // Fresh scrape, for callers tracking per-row intervals themselves.
+  static stats::Snapshot Now() { return stats::Registry::Global().Collect(); }
+
+  // Interval view of one registry histogram since construction.
+  HistogramSnapshot HistDelta(const std::string& full_name) const {
+    return HistBetween(start_, Now(), full_name);
+  }
+
+  // Interval view of one registry histogram between two scrapes.
+  static HistogramSnapshot HistBetween(const stats::Snapshot& before,
+                                       const stats::Snapshot& after,
+                                       const std::string& full_name) {
+    auto it = after.find(full_name);
+    if (it == after.end()) return {};
+    HistogramSnapshot h = it->second.hist;
+    auto b = before.find(full_name);
+    if (b != before.end()) h.Subtract(b->second.hist);
+    return h;
+  }
+
+  // {"count":..,"mean_us":..,"p50_us":..,"p95_us":..,"p99_us":..}
+  static json::Value LatencySummary(const HistogramSnapshot& h) {
+    json::Value::Object o;
+    o["count"] = json::Value::Int(static_cast<int64_t>(h.count));
+    o["mean_us"] = json::Value::Number(h.Mean() / 1e3);
+    o["p50_us"] =
+        json::Value::Number(static_cast<double>(h.Percentile(0.50)) / 1e3);
+    o["p95_us"] =
+        json::Value::Number(static_cast<double>(h.Percentile(0.95)) / 1e3);
+    o["p99_us"] =
+        json::Value::Number(static_cast<double>(h.Percentile(0.99)) / 1e3);
+    return json::Value::MakeObject(std::move(o));
+  }
+
+  // Writes BENCH_<name>.json. Returns false (and warns) on I/O failure.
+  bool Write() const {
+    std::string dir = ".";
+    if (const char* d = std::getenv("COUCHKV_BENCH_JSON_DIR")) dir = d;
+    std::string path = dir + "/BENCH_" + name_ + ".json";
+    std::string body = "{\"bench\":\"" + name_ + "\",\"rows\":[";
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      if (i > 0) body += ",";
+      body += rows_[i].ToJson();
+    }
+    stats::Snapshot end = Now();
+    body += "],\"registry_delta\":" + stats::ToJson(stats::Delta(start_, end)) +
+            "}";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "BenchReporter: cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::fwrite(body.data(), 1, body.size(), f);
+    std::fclose(f);
+    std::printf("wrote %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  std::string name_;
+  stats::Snapshot start_;
+  std::vector<json::Value> rows_;
+};
 
 }  // namespace couchkv::bench
 

@@ -1,0 +1,48 @@
+// Validates that bench-emitted BENCH_*.json files parse as JSON and carry
+// the expected top-level shape. Exit code 0 only when every argument parses
+// and at least one file was checked — the couchkv_bench_smoke target's
+// pass/fail gate.
+#include <cstdio>
+#include <string>
+
+#include "json/value.h"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "json_check: no BENCH_*.json files to validate\n");
+    return 1;
+  }
+  int failures = 0;
+  for (int i = 1; i < argc; ++i) {
+    std::FILE* f = std::fopen(argv[i], "rb");
+    if (f == nullptr) {
+      std::fprintf(stderr, "json_check: cannot open %s\n", argv[i]);
+      ++failures;
+      continue;
+    }
+    std::string body;
+    char buf[4096];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) body.append(buf, n);
+    std::fclose(f);
+
+    auto parsed = couchkv::json::Parse(body);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "json_check: %s does not parse: %s\n", argv[i],
+                   parsed.status().ToString().c_str());
+      ++failures;
+      continue;
+    }
+    if (!parsed->is_object() || parsed->Field("bench").is_missing() ||
+        !parsed->Field("rows").is_array()) {
+      std::fprintf(stderr,
+                   "json_check: %s lacks {\"bench\":..,\"rows\":[..]} shape\n",
+                   argv[i]);
+      ++failures;
+      continue;
+    }
+    std::printf("json_check: %s ok (%zu rows)\n", argv[i],
+                parsed->Field("rows").AsArray().size());
+  }
+  return failures == 0 ? 0 : 1;
+}

@@ -15,6 +15,7 @@ int main() {
   PrintHeader("Append-only storage & compaction (paper §4.3.3)",
               "threshold | final size (KB) | live (KB) | compactions | "
               "write amp");
+  BenchReporter reporter("storage_compaction");
   for (double threshold : {0.25, 0.5, 0.75, 1.01 /* never */}) {
     auto env = storage::Env::NewMemEnv();
     auto file_or = storage::CouchFile::Open(env.get(), "vb0.couch");
@@ -53,7 +54,17 @@ int main() {
                 static_cast<double>(stats.live_bytes) / 1024.0,
                 static_cast<unsigned long long>(stats.num_compactions),
                 write_amp);
+    json::Value::Object row;
+    row["threshold"] = json::Value::Number(threshold);
+    row["file_size_bytes"] =
+        json::Value::Int(static_cast<int64_t>(stats.file_size));
+    row["live_bytes"] = json::Value::Int(static_cast<int64_t>(stats.live_bytes));
+    row["compactions"] =
+        json::Value::Int(static_cast<int64_t>(stats.num_compactions));
+    row["write_amplification"] = json::Value::Number(write_amp);
+    reporter.AddRow(json::Value::MakeObject(std::move(row)));
   }
+  reporter.Write();
   std::printf(
       "\nExpected shape: lower thresholds keep the file near its live size\n"
       "at the cost of more compaction work (higher write amplification);\n"

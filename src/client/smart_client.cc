@@ -4,6 +4,8 @@
 #include <chrono>
 #include <thread>
 
+#include "stats/trace.h"
+
 namespace couchkv::client {
 
 namespace {
@@ -18,10 +20,19 @@ SmartClient::SmartClient(cluster::Cluster* cluster, std::string bucket,
       retry_(retry),
       endpoint_(net::Endpoint::Client(
           client_id != 0 ? client_id : next_client_id.fetch_add(1))) {
+  stats_scope_ = stats::Registry::Global().GetScope("client");
+  get_ns_ = stats_scope_->GetHistogram("get_ns");
+  mutate_ns_ = stats_scope_->GetHistogram("mutate_ns");
+  retries_ = stats_scope_->GetCounter("retries");
+  op_errors_ = stats_scope_->GetCounter("op_errors");
+  map_refreshes_ = stats_scope_->GetCounter("map_refreshes");
   RefreshMap();
 }
 
-void SmartClient::RefreshMap() { map_ = cluster_->map(bucket_); }
+void SmartClient::RefreshMap() {
+  if (map_refreshes_ != nullptr) map_refreshes_->Add();
+  map_ = cluster_->map(bucket_);
+}
 
 template <typename Fn>
 auto SmartClient::WithRouting(std::string_view key, Fn&& op)
@@ -31,6 +42,7 @@ auto SmartClient::WithRouting(std::string_view key, Fn&& op)
   uint64_t backoff_us = retry_.initial_backoff_us;
   for (int attempt = 0; attempt < retry_.max_attempts; ++attempt) {
     if (attempt > 0) {
+      retries_->Add();
       if (backoff_us > 0) {
         std::this_thread::sleep_for(std::chrono::microseconds(backoff_us));
       }
@@ -61,10 +73,12 @@ auto SmartClient::WithRouting(std::string_view key, Fn&& op)
     }
     return result;  // semantic error (NotFound, CAS mismatch, ...): surface
   }
+  op_errors_->Add();
   return last;
 }
 
 StatusOr<GetReply> SmartClient::Get(std::string_view key) {
+  trace::Span span("client.get", get_ns_);
   return WithRouting(key,
                      [&](cluster::Node* n, uint16_t vb) -> StatusOr<GetReply> {
                        auto r = n->Get(bucket_, vb, key);
@@ -103,6 +117,7 @@ StatusOr<MutateReply> FinishMutation(cluster::Cluster* cluster,
 StatusOr<MutateReply> SmartClient::Upsert(std::string_view key,
                                           std::string_view value,
                                           const WriteOptions& opts) {
+  trace::Span span("client.upsert", mutate_ns_);
   return WithRouting(
       key, [&](cluster::Node* n, uint16_t vb) -> StatusOr<MutateReply> {
         auto meta =
@@ -114,6 +129,7 @@ StatusOr<MutateReply> SmartClient::Upsert(std::string_view key,
 StatusOr<MutateReply> SmartClient::Insert(std::string_view key,
                                           std::string_view value,
                                           const WriteOptions& opts) {
+  trace::Span span("client.insert", mutate_ns_);
   return WithRouting(
       key, [&](cluster::Node* n, uint16_t vb) -> StatusOr<MutateReply> {
         auto meta = n->Add(bucket_, vb, key, value, opts.flags, opts.expiry);
@@ -124,6 +140,7 @@ StatusOr<MutateReply> SmartClient::Insert(std::string_view key,
 StatusOr<MutateReply> SmartClient::Replace(std::string_view key,
                                            std::string_view value,
                                            const WriteOptions& opts) {
+  trace::Span span("client.replace", mutate_ns_);
   return WithRouting(
       key, [&](cluster::Node* n, uint16_t vb) -> StatusOr<MutateReply> {
         auto meta = n->Replace(bucket_, vb, key, value, opts.flags,
@@ -134,6 +151,7 @@ StatusOr<MutateReply> SmartClient::Replace(std::string_view key,
 
 StatusOr<MutateReply> SmartClient::Remove(std::string_view key, uint64_t cas,
                                           const cluster::Durability& dur) {
+  trace::Span span("client.remove", mutate_ns_);
   return WithRouting(
       key, [&](cluster::Node* n, uint16_t vb) -> StatusOr<MutateReply> {
         auto meta = n->Remove(bucket_, vb, key, cas);
@@ -149,6 +167,7 @@ StatusOr<MutateReply> SmartClient::UpsertJson(std::string_view key,
 
 StatusOr<GetReply> SmartClient::GetAndLock(std::string_view key,
                                            uint64_t lock_ms) {
+  trace::Span span("client.getl", get_ns_);
   return WithRouting(key,
                      [&](cluster::Node* n, uint16_t vb) -> StatusOr<GetReply> {
                        auto r = n->GetAndLock(bucket_, vb, key, lock_ms);
@@ -255,7 +274,33 @@ StatusOr<int64_t> SmartClient::Increment(std::string_view key, int64_t delta,
   return Status::TempFail("counter CAS retries exhausted");
 }
 
+ClusterStatsResult SmartClient::ClusterStats(const std::string& group) {
+  ClusterStatsResult result;
+  for (cluster::NodeId id : cluster_->node_ids()) {
+    NodeStatsResult entry;
+    entry.node = id;
+    cluster::Node* n = cluster_->node(id);
+    if (n == nullptr) {
+      entry.error = "node removed";
+      result.nodes.push_back(std::move(entry));
+      continue;
+    }
+    auto snap = net::Call(cluster_->transport(), endpoint_,
+                          net::Endpoint::Node(id),
+                          [&] { return n->Stats(group); });
+    if (snap.ok()) {
+      entry.reachable = true;
+      entry.stats = std::move(*snap);
+    } else {
+      entry.error = snap.status().ToString();
+    }
+    result.nodes.push_back(std::move(entry));
+  }
+  return result;
+}
+
 Status SmartClient::Touch(std::string_view key, uint32_t expiry) {
+  trace::Span span("client.touch", mutate_ns_);
   auto r = WithRouting(
       key, [&](cluster::Node* n, uint16_t vb) -> StatusOr<bool> {
         auto meta = n->Touch(bucket_, vb, key, expiry);

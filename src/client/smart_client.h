@@ -7,10 +7,12 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "cluster/cluster.h"
 #include "json/value.h"
 #include "net/transport.h"
+#include "stats/registry.h"
 
 namespace couchkv::client {
 
@@ -46,6 +48,20 @@ struct MutateReply {
   uint64_t cas = 0;
   uint64_t seqno = 0;
   uint16_t vbucket = 0;
+};
+
+// One node's contribution to a cluster-wide STATS scatter/gather. A node
+// that could not be reached (partitioned, crashed, message lost) is labeled
+// unreachable with the error — never silently merged or dropped.
+struct NodeStatsResult {
+  cluster::NodeId node = 0;
+  bool reachable = false;
+  std::string error;
+  stats::Snapshot stats;
+};
+
+struct ClusterStatsResult {
+  std::vector<NodeStatsResult> nodes;
 };
 
 class SmartClient {
@@ -95,6 +111,12 @@ class SmartClient {
   StatusOr<int64_t> Increment(std::string_view key, int64_t delta,
                               int64_t initial = 0);
 
+  // Memcached-style `STATS [group]` fanned out to every node in the
+  // cluster. Each node's Stats() runs over the transport, so partitions and
+  // crashes surface as unreachable entries with their error labeled —
+  // partial results are never silently merged into a cluster total.
+  ClusterStatsResult ClusterStats(const std::string& group = "");
+
   const std::string& bucket() const { return bucket_; }
   cluster::Cluster* cluster() { return cluster_; }
   const net::Endpoint& endpoint() const { return endpoint_; }
@@ -118,6 +140,15 @@ class SmartClient {
   RetryPolicy retry_;
   net::Endpoint endpoint_;
   std::shared_ptr<const cluster::ClusterMap> map_;
+
+  // Client-side observability (scope "client", shared by all clients in the
+  // process): end-to-end op latency including routing retries and backoff.
+  std::shared_ptr<stats::Scope> stats_scope_;
+  Histogram* get_ns_ = nullptr;
+  Histogram* mutate_ns_ = nullptr;
+  stats::Counter* retries_ = nullptr;
+  stats::Counter* op_errors_ = nullptr;
+  stats::Counter* map_refreshes_ = nullptr;
 };
 
 }  // namespace couchkv::client

@@ -11,6 +11,16 @@ Bucket::Bucket(BucketConfig config, NodeId node_id, storage::Env* env,
       env_(env),
       clock_(clock),
       dispatcher_(dispatcher) {
+  scope_ = stats::Registry::Global().GetScope(
+      "node." + std::to_string(node_id_) + ".bucket." + config_.name);
+  op_inst_ = OpInstruments::In(scope_.get());
+  cache_counters_ = kv::CacheCounters::In(scope_.get());
+  storage_counters_ = storage::StorageCounters::In(scope_.get());
+  dcp_counters_ = dcp::DcpCounters::In(scope_.get());
+  flush_batches_ = scope_->GetCounter("flusher.batches");
+  flush_docs_ = scope_->GetCounter("flusher.batch_docs");
+  flush_ns_ = scope_->GetHistogram("flusher.flush_ns");
+
   vbuckets_.reserve(kNumVBuckets);
   for (uint16_t vb = 0; vb < kNumVBuckets; ++vb) {
     vbuckets_.push_back(MakeVBucket(vb));
@@ -27,7 +37,8 @@ Bucket::Bucket(BucketConfig config, NodeId node_id, storage::Env* env,
           m.doc = doc;
           fn(m);
         });
-      });
+      },
+      &dcp_counters_);
   dispatcher_->AddProducer(producer_);
   flusher_ = std::thread([this] { FlusherLoop(); });
 }
@@ -37,11 +48,15 @@ Bucket::~Bucket() {
   queue_cv_.notify_all();
   if (flusher_.joinable()) flusher_.join();
   dispatcher_->RemoveProducer(producer_);
+  // Deregister from exposition; scope_ keeps the metric storage alive for
+  // anything still holding pointers into it.
+  stats::Registry::Global().DropScope(scope_->name());
 }
 
 std::unique_ptr<VBucket> Bucket::MakeVBucket(uint16_t vb) {
   auto v = std::make_unique<VBucket>(vb, VBucketState::kDead, clock_,
-                                     config_.eviction);
+                                     config_.eviction, &op_inst_,
+                                     &cache_counters_);
   v->set_sink([this, vb](const kv::Document& doc) {
     producer_->OnMutation(vb, doc);
     EnqueueForPersistence(vb, doc);
@@ -59,7 +74,8 @@ Status Bucket::EnsureStorage(uint16_t vb) {
   std::lock_guard<std::mutex> lock(storage_mu_);
   VBucket* v = vbuckets_[vb].get();
   if (v->file() != nullptr) return Status::OK();
-  auto file_or = storage::CouchFile::Open(env_, VBucketFilePath(vb));
+  auto file_or =
+      storage::CouchFile::Open(env_, VBucketFilePath(vb), &storage_counters_);
   if (!file_or.ok()) return file_or.status();
   std::shared_ptr<storage::CouchFile> file = std::move(file_or).value();
   v->set_file(std::move(file));
@@ -107,12 +123,15 @@ void Bucket::FlusherLoop() {
       continue;
     }
     flushing_.store(true);
+    uint64_t flush_start_ns = Clock::Real()->NowNanos();
     for (QueueShard& shard : shards_) {
       std::lock_guard<std::mutex> lock(shard.mu);
       batch.merge(shard.items);
       shard.items.clear();
     }
     queued_.fetch_sub(batch.size());
+    flush_batches_->Add();
+    flush_docs_->Add(batch.size());
     // Group the batch by vBucket: one SaveDocs + Commit per file, so a
     // flush cycle is a small number of sequential writes + fsyncs.
     std::map<uint16_t, std::vector<kv::Document>> by_vb;
@@ -144,6 +163,7 @@ void Bucket::FlusherLoop() {
         v->hash_table().MarkClean(doc.key, doc.meta.seqno);
       }
     }
+    flush_ns_->Record(Clock::Real()->NowNanos() - flush_start_ns);
     {
       std::lock_guard<std::mutex> lock(queue_mu_);
       ++flush_epoch_;
@@ -275,17 +295,41 @@ uint64_t Bucket::mem_used() const {
 
 size_t Bucket::disk_queue_depth() const { return queued_.load(); }
 
+void Bucket::UpdateScrapeGauges() {
+  scope_->GetGauge("bucket.mem_used")->Set(static_cast<int64_t>(mem_used()));
+  scope_->GetGauge("bucket.disk_queue_depth")
+      ->Set(static_cast<int64_t>(disk_queue_depth()));
+  scope_->GetGauge("dcp.backlog")
+      ->Set(static_cast<int64_t>(producer_->TotalBacklog()));
+  // Worst fragmentation across hosted vBucket files, in basis points (the
+  // §4.3.3 compaction trigger input).
+  double worst_frag = 0.0;
+  uint64_t items = 0, non_resident = 0;
+  for (const auto& v : vbuckets_) {
+    if (v->state() == VBucketState::kDead) continue;
+    if (v->file() != nullptr) {
+      double f = v->file()->Fragmentation();
+      if (f > worst_frag) worst_frag = f;
+    }
+    auto hs = v->hash_table().stats();
+    items += hs.num_items;
+    non_resident += hs.num_non_resident;
+  }
+  scope_->GetGauge("storage.fragmentation_bp")
+      ->Set(static_cast<int64_t>(worst_frag * 10000));
+  scope_->GetGauge("kv.curr_items")->Set(static_cast<int64_t>(items));
+  scope_->GetGauge("kv.non_resident_items")
+      ->Set(static_cast<int64_t>(non_resident));
+}
+
 BucketStats Bucket::stats() const {
   BucketStats s;
+  s.ops_get = op_inst_.ops_get->Value();
+  s.ops_set = op_inst_.ops_mutate->Value();
   s.disk_queue_depth = disk_queue_depth();
   s.mem_used = mem_used();
-  for (const auto& v : vbuckets_) {
-    if (v->file() != nullptr) {
-      auto fs = v->file()->stats();
-      s.total_commits += fs.num_commits;
-      s.total_compactions += fs.num_compactions;
-    }
-  }
+  s.total_commits = storage_counters_.commits->Value();
+  s.total_compactions = storage_counters_.compactions->Value();
   return s;
 }
 

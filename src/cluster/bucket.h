@@ -22,12 +22,15 @@
 #include "common/clock.h"
 #include "common/status.h"
 #include "dcp/dcp.h"
+#include "stats/registry.h"
 #include "storage/env.h"
 
 namespace couchkv::cluster {
 
+// Thin view over the bucket's registry scope (single source of truth: the
+// monitoring path and this accessor read the same counters).
 struct BucketStats {
-  uint64_t ops_set = 0;
+  uint64_t ops_set = 0;  // all mutations: set/add/replace/remove/touch
   uint64_t ops_get = 0;
   uint64_t disk_queue_depth = 0;
   uint64_t total_commits = 0;
@@ -92,6 +95,13 @@ class Bucket {
   uint64_t mem_used() const;
   BucketStats stats() const;
 
+  // Refreshes the scope's point-in-time gauges (mem used, queue depth, DCP
+  // backlog, fragmentation). Called by the STATS scrape path before Collect.
+  void UpdateScrapeGauges();
+
+  // The bucket's registry scope ("node.<id>.bucket.<name>").
+  stats::Scope* stats_scope() const { return scope_.get(); }
+
   // Test hook: the disk write queue depth.
   size_t disk_queue_depth() const;
 
@@ -107,6 +117,18 @@ class Bucket {
   storage::Env* env_;
   Clock* clock_;
   dcp::Dispatcher* dispatcher_;
+
+  // Registry scope + instruments resolved once at construction; vBuckets,
+  // files, and the producer hold raw pointers into the scope, which the
+  // shared_ptr keeps alive (even past DropScope on destruction).
+  std::shared_ptr<stats::Scope> scope_;
+  OpInstruments op_inst_;
+  kv::CacheCounters cache_counters_;
+  storage::StorageCounters storage_counters_;
+  dcp::DcpCounters dcp_counters_;
+  stats::Counter* flush_batches_ = nullptr;
+  stats::Counter* flush_docs_ = nullptr;
+  Histogram* flush_ns_ = nullptr;
 
   std::vector<std::unique_ptr<VBucket>> vbuckets_;
   std::shared_ptr<dcp::Producer> producer_;

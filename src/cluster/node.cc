@@ -8,7 +8,13 @@ Node::Node(NodeId id, uint32_t services, Clock* clock,
       services_(services),
       clock_(clock),
       env_(env ? std::move(env) : storage::Env::NewMemEnv()),
-      dispatcher_(std::make_unique<dcp::Dispatcher>()) {}
+      dispatcher_(std::make_unique<dcp::Dispatcher>()) {
+  scope_ =
+      stats::Registry::Global().GetScope("node." + std::to_string(id_));
+  stat_scrapes_ = scope_->GetCounter("node.stat_scrapes");
+  boots_ = scope_->GetCounter("node.boots");
+  scope_->GetGauge("node.healthy")->Set(1);
+}
 
 Node::~Node() {
   // Buckets must go before the dispatcher: their destructors unregister
@@ -18,10 +24,12 @@ Node::~Node() {
     buckets_.clear();
   }
   dispatcher_->Stop();
+  stats::Registry::Global().DropScope(scope_->name());
 }
 
 void Node::Crash() {
   set_healthy(false);
+  scope_->GetGauge("node.healthy")->Set(0);
   // Stop the pump thread before freeing buckets: stream callbacks and
   // backfills on this dispatcher touch bucket state.
   dispatcher_->Stop();
@@ -34,6 +42,7 @@ void Node::Boot() {
   std::lock_guard<std::mutex> lock(mu_);
   buckets_.clear();
   dispatcher_ = std::make_unique<dcp::Dispatcher>();
+  boots_->Add();
 }
 
 Status Node::CreateBucket(const BucketConfig& config) {
@@ -127,6 +136,33 @@ StatusOr<kv::DocMeta> Node::Touch(const std::string& bucket, uint16_t vb,
   auto b = Route(bucket, vb);
   if (!b.ok()) return b.status();
   return (*b)->vbucket(vb)->Touch(key, expiry);
+}
+
+StatusOr<stats::Snapshot> Node::Stats(const std::string& group) {
+  if (!healthy()) return Status::TempFail("node is down");
+  stat_scrapes_->Add();
+  // Pin buckets so a concurrent crash cannot free them mid-scrape.
+  std::vector<std::shared_ptr<Bucket>> pinned;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    pinned.reserve(buckets_.size());
+    for (auto& [name, b] : buckets_) pinned.push_back(b);
+  }
+  stats::Snapshot out;
+  for (auto& b : pinned) {
+    b->UpdateScrapeGauges();
+    b->stats_scope()->Collect(&out, group);
+  }
+  scope_->Collect(&out, group);
+  // This node's slice of the process-wide transport scope: the metrics
+  // keyed by destination node carry our id.
+  stats::Snapshot transport;
+  stats::Registry::Global().GetScope("transport")->Collect(&transport, group);
+  const std::string prefix = "transport.node." + std::to_string(id_) + ".";
+  for (auto& [name, v] : transport) {
+    if (name.rfind(prefix, 0) == 0) out.emplace(name, v);
+  }
+  return out;
 }
 
 }  // namespace couchkv::cluster

@@ -16,6 +16,7 @@
 #include "common/clock.h"
 #include "common/status.h"
 #include "dcp/dcp.h"
+#include "stats/registry.h"
 #include "storage/env.h"
 
 namespace couchkv::cluster {
@@ -82,6 +83,13 @@ class Node {
   StatusOr<kv::DocMeta> Touch(const std::string& bucket, uint16_t vb,
                               std::string_view key, uint32_t expiry);
 
+  // The memcached-style STATS [group] admin op (paper §3.1.2): scrapes this
+  // node's scope, every hosted bucket's scope (refreshing their gauges
+  // first), and this node's slice of the transport scope. `group` filters by
+  // dot-delimited segment ("kv", "storage", "dcp", ...); empty returns all.
+  // TempFail when the node is down, like every other op.
+  StatusOr<stats::Snapshot> Stats(const std::string& group = "");
+
  private:
   // Common pre-checks; returns a pinned bucket (see bucket()) or an error.
   // Callers hold the returned shared_ptr across the whole operation so a
@@ -95,6 +103,9 @@ class Node {
   std::unique_ptr<storage::Env> env_;
   std::unique_ptr<dcp::Dispatcher> dispatcher_;
   std::atomic<bool> healthy_{true};
+  std::shared_ptr<stats::Scope> scope_;  // "node.<id>"
+  stats::Counter* stat_scrapes_ = nullptr;
+  stats::Counter* boots_ = nullptr;
 
   mutable std::mutex mu_;
   std::map<std::string, std::shared_ptr<Bucket>> buckets_;

@@ -1,6 +1,17 @@
 #include "cluster/vbucket.h"
 
+#include "stats/trace.h"
+
 namespace couchkv::cluster {
+
+OpInstruments OpInstruments::In(stats::Scope* scope) {
+  OpInstruments i;
+  i.ops_get = scope->GetCounter("kv.ops_get");
+  i.ops_mutate = scope->GetCounter("kv.ops_mutate");
+  i.get_ns = scope->GetHistogram("kv.get_ns");
+  i.mutate_ns = scope->GetHistogram("kv.mutate_ns");
+  return i;
+}
 
 Status VBucket::CheckActive() const {
   if (state_ != VBucketState::kActive) {
@@ -20,9 +31,13 @@ kv::Document VBucket::MakeDoc(std::string_view key, std::string_view value,
 }
 
 StatusOr<kv::GetResult> VBucket::Get(std::string_view key) {
+  trace::Span span("kv.get", inst_.get_ns);
   std::lock_guard<std::mutex> lock(op_mu_);
+  span.Phase("dispatch");
   COUCHKV_RETURN_IF_ERROR(CheckActive());
+  if (inst_.ops_get != nullptr) inst_.ops_get->Add();
   auto r = ht_.Get(key);
+  span.Phase("cache");
   if (!r.ok()) return r;
   if (!r->resident) {
     // Read-through: the value was evicted; fetch it from the append-only
@@ -31,6 +46,7 @@ StatusOr<kv::GetResult> VBucket::Get(std::string_view key) {
     auto doc_or = file_->Get(key);
     if (!doc_or.ok()) return doc_or.status();
     ht_.Restore(doc_or.value());
+    span.Phase("disk");
     return ht_.Get(key);
   }
   return r;
@@ -39,45 +55,75 @@ StatusOr<kv::GetResult> VBucket::Get(std::string_view key) {
 StatusOr<kv::DocMeta> VBucket::Set(std::string_view key,
                                    std::string_view value, uint32_t flags,
                                    uint32_t expiry, uint64_t cas) {
+  trace::Span span("kv.set", inst_.mutate_ns);
   std::lock_guard<std::mutex> lock(op_mu_);
+  span.Phase("dispatch");
   COUCHKV_RETURN_IF_ERROR(CheckActive());
+  if (inst_.ops_mutate != nullptr) inst_.ops_mutate->Add();
   auto meta = ht_.Set(key, value, flags, expiry, cas);
-  if (meta.ok()) Emit(MakeDoc(key, value, meta.value()));
+  span.Phase("cache");
+  if (meta.ok()) {
+    Emit(MakeDoc(key, value, meta.value()));
+    span.Phase("sink");
+  }
   return meta;
 }
 
 StatusOr<kv::DocMeta> VBucket::Add(std::string_view key,
                                    std::string_view value, uint32_t flags,
                                    uint32_t expiry) {
+  trace::Span span("kv.add", inst_.mutate_ns);
   std::lock_guard<std::mutex> lock(op_mu_);
+  span.Phase("dispatch");
   COUCHKV_RETURN_IF_ERROR(CheckActive());
+  if (inst_.ops_mutate != nullptr) inst_.ops_mutate->Add();
   auto meta = ht_.Add(key, value, flags, expiry);
-  if (meta.ok()) Emit(MakeDoc(key, value, meta.value()));
+  span.Phase("cache");
+  if (meta.ok()) {
+    Emit(MakeDoc(key, value, meta.value()));
+    span.Phase("sink");
+  }
   return meta;
 }
 
 StatusOr<kv::DocMeta> VBucket::Replace(std::string_view key,
                                        std::string_view value, uint32_t flags,
                                        uint32_t expiry, uint64_t cas) {
+  trace::Span span("kv.replace", inst_.mutate_ns);
   std::lock_guard<std::mutex> lock(op_mu_);
+  span.Phase("dispatch");
   COUCHKV_RETURN_IF_ERROR(CheckActive());
+  if (inst_.ops_mutate != nullptr) inst_.ops_mutate->Add();
   auto meta = ht_.Replace(key, value, flags, expiry, cas);
-  if (meta.ok()) Emit(MakeDoc(key, value, meta.value()));
+  span.Phase("cache");
+  if (meta.ok()) {
+    Emit(MakeDoc(key, value, meta.value()));
+    span.Phase("sink");
+  }
   return meta;
 }
 
 StatusOr<kv::DocMeta> VBucket::Remove(std::string_view key, uint64_t cas) {
+  trace::Span span("kv.remove", inst_.mutate_ns);
   std::lock_guard<std::mutex> lock(op_mu_);
+  span.Phase("dispatch");
   COUCHKV_RETURN_IF_ERROR(CheckActive());
+  if (inst_.ops_mutate != nullptr) inst_.ops_mutate->Add();
   auto meta = ht_.Remove(key, cas);
-  if (meta.ok()) Emit(MakeDoc(key, {}, meta.value()));
+  span.Phase("cache");
+  if (meta.ok()) {
+    Emit(MakeDoc(key, {}, meta.value()));
+    span.Phase("sink");
+  }
   return meta;
 }
 
 StatusOr<kv::GetResult> VBucket::GetAndLock(std::string_view key,
                                             uint64_t lock_ms) {
+  trace::Span span("kv.getl", inst_.get_ns);
   std::lock_guard<std::mutex> lock(op_mu_);
   COUCHKV_RETURN_IF_ERROR(CheckActive());
+  if (inst_.ops_get != nullptr) inst_.ops_get->Add();
   auto r = ht_.GetAndLock(key, lock_ms);
   if (!r.ok()) return r;
   if (!r->resident && file_ != nullptr) {
@@ -98,8 +144,10 @@ Status VBucket::Unlock(std::string_view key, uint64_t cas) {
 }
 
 StatusOr<kv::DocMeta> VBucket::Touch(std::string_view key, uint32_t expiry) {
+  trace::Span span("kv.touch", inst_.mutate_ns);
   std::lock_guard<std::mutex> lock(op_mu_);
   COUCHKV_RETURN_IF_ERROR(CheckActive());
+  if (inst_.ops_mutate != nullptr) inst_.ops_mutate->Add();
   auto meta = ht_.Touch(key, expiry);
   if (meta.ok()) {
     // Touch changes metadata only; emit so indexes/replicas see new expiry.

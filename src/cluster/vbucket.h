@@ -17,9 +17,22 @@
 #include "common/clock.h"
 #include "common/status.h"
 #include "kv/hash_table.h"
+#include "stats/registry.h"
 #include "storage/couch_file.h"
 
 namespace couchkv::cluster {
+
+// Front-end op accounting shared by all vBuckets of a bucket: op counts plus
+// the latency histograms per-op trace::Spans record into.
+struct OpInstruments {
+  stats::Counter* ops_get = nullptr;
+  stats::Counter* ops_mutate = nullptr;  // set/add/replace/remove/touch
+  Histogram* get_ns = nullptr;
+  Histogram* mutate_ns = nullptr;
+
+  // Resolves the "kv.ops_*"/"kv.*_ns" metrics in `scope`.
+  static OpInstruments In(stats::Scope* scope);
+};
 
 class VBucket {
  public:
@@ -27,9 +40,16 @@ class VBucket {
   // mutation; the Bucket wires this to DCP + the disk write queue.
   using MutationSink = std::function<void(const kv::Document&)>;
 
+  // `instruments` and `cache_counters`, when given, must outlive the vBucket
+  // (the bucket's stats scope keeps them alive).
   VBucket(uint16_t id, VBucketState state, Clock* clock,
-          kv::EvictionPolicy eviction)
-      : id_(id), state_(state), ht_(clock, eviction) {}
+          kv::EvictionPolicy eviction,
+          const OpInstruments* instruments = nullptr,
+          const kv::CacheCounters* cache_counters = nullptr)
+      : id_(id),
+        state_(state),
+        inst_(instruments != nullptr ? *instruments : OpInstruments{}),
+        ht_(clock, eviction, cache_counters) {}
 
   uint16_t id() const { return id_; }
 
@@ -94,6 +114,7 @@ class VBucket {
                        const kv::DocMeta& meta) const;
 
   const uint16_t id_;
+  OpInstruments inst_;  // null members = reporting disabled
   mutable std::mutex op_mu_;
   std::atomic<VBucketState> state_;
   kv::HashTable ht_;

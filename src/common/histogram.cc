@@ -50,42 +50,77 @@ void Histogram::Reset() {
   sum_.store(0);
 }
 
-double Histogram::Mean() const {
-  uint64_t c = count();
-  return c ? static_cast<double>(sum()) / static_cast<double>(c) : 0.0;
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot s;
+  // Derive count from the bucket copy rather than reading count_: a writer
+  // between the two reads would otherwise leave count out of sync with the
+  // buckets and skew Percentile()'s target rank.
+  for (int i = 0; i < kNumBuckets; ++i) {
+    s.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+    s.count += s.buckets[i];
+  }
+  s.sum = sum_.load(std::memory_order_relaxed);
+  return s;
 }
 
-uint64_t Histogram::Percentile(double q) const {
-  uint64_t c = count();
-  if (c == 0) return 0;
-  auto target = static_cast<uint64_t>(q * static_cast<double>(c));
-  if (target >= c) target = c - 1;
+double HistogramSnapshot::Mean() const {
+  return count ? static_cast<double>(sum) / static_cast<double>(count) : 0.0;
+}
+
+uint64_t HistogramSnapshot::Percentile(double q) const {
+  if (count == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  auto target = static_cast<uint64_t>(q * static_cast<double>(count));
+  if (target >= count) target = count - 1;
   uint64_t seen = 0;
   for (int i = 0; i < kNumBuckets; ++i) {
-    uint64_t n = buckets_[i].load(std::memory_order_relaxed);
+    uint64_t n = buckets[i];
     if (seen + n > target) {
-      uint64_t low = BucketLow(i);
-      uint64_t high = (i + 1 < kNumBuckets) ? BucketLow(i + 1) : low * 2;
-      if (n == 0) return low;
+      uint64_t low = Histogram::BucketLow(i);
+      uint64_t high =
+          (i + 1 < kNumBuckets) ? Histogram::BucketLow(i + 1) : low * 2;
+      // Single-bucket distributions: every sample shares this bucket, so
+      // interpolating across the full bucket span would report a spread
+      // that does not exist. Rank-interpolate only among this bucket's own
+      // samples, which collapses to `low` when the bucket holds them all.
       double frac =
           static_cast<double>(target - seen) / static_cast<double>(n);
-      return low + static_cast<uint64_t>(
-                       frac * static_cast<double>(high - low));
+      if (n == count) frac = 0.0;
+      return low +
+             static_cast<uint64_t>(frac * static_cast<double>(high - low));
     }
     seen += n;
   }
-  return BucketLow(kNumBuckets - 1);
+  return Histogram::BucketLow(kNumBuckets - 1);
 }
 
-std::string Histogram::Summary() const {
+std::string HistogramSnapshot::Summary() const {
   char buf[256];
   std::snprintf(buf, sizeof(buf),
                 "count=%llu mean=%.1fus p50=%.1fus p95=%.1fus p99=%.1fus",
-                static_cast<unsigned long long>(count()), Mean() / 1e3,
+                static_cast<unsigned long long>(count), Mean() / 1e3,
                 static_cast<double>(Percentile(0.50)) / 1e3,
                 static_cast<double>(Percentile(0.95)) / 1e3,
                 static_cast<double>(Percentile(0.99)) / 1e3);
   return buf;
+}
+
+void HistogramSnapshot::Subtract(const HistogramSnapshot& earlier) {
+  count = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    buckets[i] = buckets[i] >= earlier.buckets[i]
+                     ? buckets[i] - earlier.buckets[i]
+                     : 0;
+    count += buckets[i];
+  }
+  sum = sum >= earlier.sum ? sum - earlier.sum : 0;
+}
+
+void HistogramSnapshot::Merge(const HistogramSnapshot& other) {
+  for (int i = 0; i < kNumBuckets; ++i) buckets[i] += other.buckets[i];
+  count += other.count;
+  sum += other.sum;
 }
 
 ScopedTimer::ScopedTimer(Histogram* h)

@@ -1,10 +1,23 @@
 // Minimal leveled logger. Off by default at DEBUG so benches are not skewed;
 // thread-safe via a single mutex (logging is never on a hot path).
+//
+// Filtering happens at two levels:
+//   * Compile time: define COUCHKV_MIN_LOG_LEVEL (0=DEBUG .. 4=OFF) to make
+//     statements below the floor compile to nothing — the stream arguments
+//     are never evaluated. The default floor is DEBUG (everything compiles).
+//   * Run time: SetLogLevel() / GetLogLevel() gate emission of the
+//     statements that survived the compile-time floor.
 #ifndef COUCHKV_COMMON_LOGGING_H_
 #define COUCHKV_COMMON_LOGGING_H_
 
 #include <sstream>
 #include <string>
+
+// Compile-time floor; statements below it are dead code with no runtime
+// cost. 0=DEBUG, 1=INFO, 2=WARN, 3=ERROR, 4=OFF (drop everything).
+#ifndef COUCHKV_MIN_LOG_LEVEL
+#define COUCHKV_MIN_LOG_LEVEL 0
+#endif
 
 namespace couchkv {
 
@@ -32,12 +45,27 @@ class LogLine {
   std::ostringstream stream_;
 };
 
+// Swallows a LogLine so the conditional-expression form of COUCHKV_LOG has
+// type void on both arms ("operator&" binds looser than "<<").
+struct Voidify {
+  void operator&(const LogLine&) const {}
+};
+
 }  // namespace internal_log
 }  // namespace couchkv
 
-#define COUCHKV_LOG(level)                                  \
-  if (::couchkv::GetLogLevel() <= ::couchkv::LogLevel::level) \
-  ::couchkv::internal_log::LogLine(::couchkv::LogLevel::level)
+// True iff `level` survives the compile-time floor AND the runtime
+// threshold. The first operand is a constant expression, so below-floor log
+// statements (including their stream arguments) are eliminated entirely.
+#define COUCHKV_LOG_ENABLED(level)                                          \
+  (static_cast<int>(::couchkv::LogLevel::level) >= COUCHKV_MIN_LOG_LEVEL && \
+   ::couchkv::GetLogLevel() <= ::couchkv::LogLevel::level)
+
+#define COUCHKV_LOG(level)                  \
+  !COUCHKV_LOG_ENABLED(level)               \
+      ? (void)0                             \
+      : ::couchkv::internal_log::Voidify()& \
+            ::couchkv::internal_log::LogLine(::couchkv::LogLevel::level)
 
 #define LOG_DEBUG COUCHKV_LOG(kDebug)
 #define LOG_INFO COUCHKV_LOG(kInfo)

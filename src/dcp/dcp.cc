@@ -56,8 +56,19 @@ size_t ChangeLog::size() const {
 // Producer
 // ---------------------------------------------------------------------------
 
-Producer::Producer(uint16_t num_vbuckets, BackfillFn backfill)
-    : num_vbuckets_(num_vbuckets), backfill_(std::move(backfill)) {
+DcpCounters DcpCounters::In(stats::Scope* scope) {
+  DcpCounters c;
+  c.items_appended = scope->GetCounter("dcp.items_appended");
+  c.items_delivered = scope->GetCounter("dcp.items_delivered");
+  c.backfill_items = scope->GetCounter("dcp.backfill_items");
+  return c;
+}
+
+Producer::Producer(uint16_t num_vbuckets, BackfillFn backfill,
+                   const DcpCounters* counters)
+    : num_vbuckets_(num_vbuckets),
+      backfill_(std::move(backfill)),
+      counters_(counters != nullptr ? *counters : DcpCounters{}) {
   logs_.reserve(num_vbuckets_);
   for (uint16_t i = 0; i < num_vbuckets_; ++i) {
     logs_.push_back(std::make_unique<ChangeLog>());
@@ -66,6 +77,7 @@ Producer::Producer(uint16_t num_vbuckets, BackfillFn backfill)
 
 void Producer::OnMutation(uint16_t vbucket, kv::Document doc) {
   logs_[vbucket]->Append(std::move(doc));
+  if (counters_.items_appended != nullptr) counters_.items_appended->Add();
 }
 
 StatusOr<uint64_t> Producer::AddStream(const std::string& name,
@@ -158,6 +170,10 @@ bool Producer::PumpOnce(size_t batch_per_stream) {
                     s->next_seqno = m.doc.meta.seqno + 1;
                   }
                   delivered = true;
+                  if (counters_.items_delivered != nullptr) {
+                    counters_.items_delivered->Add();
+                    counters_.backfill_items->Add();
+                  }
                 }
                 return Status::OK();
               });
@@ -190,6 +206,7 @@ bool Producer::PumpOnce(size_t batch_per_stream) {
       if (!s->fn(m).ok()) break;
       s->next_seqno = m.doc.meta.seqno + 1;
       delivered = true;
+      if (counters_.items_delivered != nullptr) counters_.items_delivered->Add();
     }
   }
   return delivered;
@@ -217,6 +234,17 @@ uint64_t Producer::StreamSeqno(const std::string& name,
 
 uint64_t Producer::high_seqno(uint16_t vbucket) const {
   return logs_[vbucket]->high_seqno();
+}
+
+uint64_t Producer::TotalBacklog() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t backlog = 0;
+  for (const auto& [id, s] : streams_) {
+    uint64_t high = logs_[s->vbucket]->high_seqno();
+    uint64_t acked = s->next_seqno - 1;
+    if (high > acked) backlog += high - acked;
+  }
+  return backlog;
 }
 
 // ---------------------------------------------------------------------------

@@ -27,8 +27,20 @@
 
 #include "common/status.h"
 #include "kv/doc.h"
+#include "stats/registry.h"
 
 namespace couchkv::dcp {
+
+// Registry-backed counters for one producer (one bucket on one node).
+// Optional: producers constructed without them (tests) skip the reporting.
+struct DcpCounters {
+  stats::Counter* items_appended = nullptr;   // mutations entering ChangeLogs
+  stats::Counter* items_delivered = nullptr;  // successful stream deliveries
+  stats::Counter* backfill_items = nullptr;   // of those, served from storage
+
+  // Resolves the "dcp.*" counters in `scope`.
+  static DcpCounters In(stats::Scope* scope);
+};
 
 // Callback receiving mutations for one stream. Runs on the pumping thread.
 // Returning non-OK stalls the stream: the mutation is NOT considered
@@ -71,8 +83,10 @@ class ChangeLog {
 class Producer {
  public:
   // `num_vbuckets` logical partitions; `backfill` may be null if streams
-  // always start at the current seqno.
-  Producer(uint16_t num_vbuckets, BackfillFn backfill);
+  // always start at the current seqno. `counters`, when given, must outlive
+  // the producer (the bucket's stats scope keeps it alive).
+  Producer(uint16_t num_vbuckets, BackfillFn backfill,
+           const DcpCounters* counters = nullptr);
 
   // Appends a mutation for vb (called by the data service on every write,
   // while holding the vBucket's op lock).
@@ -107,6 +121,11 @@ class Producer {
   uint64_t high_seqno(uint16_t vbucket) const;
   uint16_t num_vbuckets() const { return num_vbuckets_; }
 
+  // Total undelivered items across all open streams (Σ per-stream
+  // high_seqno − acked). The paper's DCP backlog stat: how far consumers
+  // (replicas, views, GSI, XDCR) trail the data service.
+  uint64_t TotalBacklog() const;
+
  private:
   struct Stream {
     uint64_t id;
@@ -126,6 +145,7 @@ class Producer {
 
   uint16_t num_vbuckets_;
   BackfillFn backfill_;
+  DcpCounters counters_;  // null members = reporting disabled
   std::vector<std::unique_ptr<ChangeLog>> logs_;
 
   mutable std::mutex mu_;  // guards streams_ map (not delivery)

@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "common/logging.h"
+#include "stats/trace.h"
 
 namespace couchkv::gsi {
 
@@ -173,12 +174,15 @@ void IndexService::WireIndex(const std::string& bucket,
     if (!n->healthy()) continue;
     IndexDefinition def = state->def;
     cluster::Cluster* cluster = cluster_;
+    stats::Counter* projected = keys_projected_;
+    stats::Counter* routed = routed_keys_;
     for (uint16_t vb = 0; vb < cluster::kNumVBuckets; ++vb) {
       if (map->ActiveFor(vb) != id) continue;
       uint64_t from = ProcessedSeqno(*state, vb);
       std::shared_ptr<IndexState> sp = state;
       auto st = b->producer()->AddStream(
-          stream, vb, from, [sp, def, cluster, id](const kv::Mutation& m) {
+          stream, vb, from,
+          [sp, def, cluster, id, projected, routed](const kv::Mutation& m) {
             // Projector: evaluate the secondary keys for this mutation.
             KeyVersion kv;
             kv.index_name = def.name;
@@ -191,7 +195,10 @@ void IndexService::WireIndex(const std::string& bucket,
                 kv.keys = ProjectKeys(def, m.doc.key, &parsed.value());
               }
             }
-            return Route(cluster->transport(), id, sp.get(), kv);
+            projected->Add(kv.keys.size());
+            Status routed_st = Route(cluster->transport(), id, sp.get(), kv);
+            if (routed_st.ok()) routed->Add();
+            return routed_st;
           });
       if (!st.ok()) {
         LOG_WARN << "gsi stream failed: " << st.status().ToString();
@@ -277,9 +284,12 @@ StatusOr<std::vector<IndexEntry>> IndexService::Scan(
     if (it == bit->second.end()) return Status::NotFound("no such index");
     state = it->second;
   }
+  scans_->Add();
+  trace::Span span("gsi.scan", scan_ns_);
   if (consistency == ScanConsistency::kRequestPlus) {
     COUCHKV_RETURN_IF_ERROR(WaitUntilCaughtUp(bucket, name));
   }
+  span.Phase("barrier");
   // Scatter: scan each partition on its index node; gather: merge in key
   // order. Each partition scan is one round trip on the query-service ->
   // index-node link, retried a few times under transient faults.
@@ -290,6 +300,7 @@ StatusOr<std::vector<IndexEntry>> IndexService::Scan(
     std::vector<IndexEntry> part;
     Status st = Status::OK();
     for (int attempt = 0; attempt < 16; ++attempt) {
+      if (attempt > 0) scan_retries_->Add();
       part.clear();
       st = net::Call(t, net::Endpoint::Service(net::kServiceQuery),
                      net::Endpoint::Node(state->placement[i]), [&] {

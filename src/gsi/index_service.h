@@ -15,6 +15,7 @@
 #include "cluster/cluster.h"
 #include "gsi/index_defs.h"
 #include "gsi/indexer.h"
+#include "stats/registry.h"
 
 namespace couchkv::gsi {
 
@@ -34,7 +35,14 @@ struct IndexStats {
 class IndexService : public cluster::ClusterService,
                      public std::enable_shared_from_this<IndexService> {
  public:
-  explicit IndexService(cluster::Cluster* cluster) : cluster_(cluster) {}
+  explicit IndexService(cluster::Cluster* cluster) : cluster_(cluster) {
+    stats_scope_ = stats::Registry::Global().GetScope("gsi");
+    keys_projected_ = stats_scope_->GetCounter("keys_projected");
+    routed_keys_ = stats_scope_->GetCounter("routed_keys");
+    scans_ = stats_scope_->GetCounter("scans");
+    scan_retries_ = stats_scope_->GetCounter("scan_retries");
+    scan_ns_ = stats_scope_->GetHistogram("scan_ns");
+  }
 
   void Attach() { cluster_->RegisterService("gsi", shared_from_this()); }
 
@@ -88,6 +96,16 @@ class IndexService : public cluster::ClusterService,
   }
 
   cluster::Cluster* cluster_;
+
+  // Service-wide observability (scope "gsi"): projector output volume,
+  // router traffic, and scatter/gather scan latency across partitions.
+  std::shared_ptr<stats::Scope> stats_scope_;
+  stats::Counter* keys_projected_ = nullptr;
+  stats::Counter* routed_keys_ = nullptr;
+  stats::Counter* scans_ = nullptr;
+  stats::Counter* scan_retries_ = nullptr;
+  Histogram* scan_ns_ = nullptr;
+
   mutable std::mutex mu_;
   // bucket -> index name -> state. Values are shared_ptr so scans can run
   // without holding mu_.

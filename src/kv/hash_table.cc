@@ -2,8 +2,28 @@
 
 namespace couchkv::kv {
 
-HashTable::HashTable(Clock* clock, EvictionPolicy policy)
-    : clock_(clock), policy_(policy) {}
+CacheCounters CacheCounters::In(stats::Scope* scope) {
+  CacheCounters c;
+  c.hits = scope->GetCounter("kv.hits");
+  c.misses = scope->GetCounter("kv.misses");
+  c.evictions = scope->GetCounter("kv.evictions");
+  c.expirations = scope->GetCounter("kv.expirations");
+  c.cas_mismatches = scope->GetCounter("kv.cas_mismatches");
+  c.lock_conflicts = scope->GetCounter("kv.lock_conflicts");
+  c.lock_timeouts = scope->GetCounter("kv.lock_timeouts");
+  return c;
+}
+
+HashTable::HashTable(Clock* clock, EvictionPolicy policy,
+                     const CacheCounters* counters)
+    : clock_(clock), policy_(policy) {
+  if (counters != nullptr) {
+    c_ = *counters;
+  } else {
+    own_scope_ = std::make_shared<stats::Scope>("");
+    c_ = CacheCounters::In(own_scope_.get());
+  }
+}
 
 uint64_t HashTable::NextCas() {
   // CAS tokens must be unique and monotonically increasing per node; a
@@ -35,14 +55,24 @@ void HashTable::AccountRemove(const std::string& key, const StoredValue& sv) {
 StatusOr<GetResult> HashTable::Get(std::string_view key) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = map_.find(std::string(key));
-  if (it == map_.end()) return Status::NotFound();
+  if (it == map_.end()) {
+    c_.misses->Add();
+    return Status::NotFound();
+  }
   StoredValue& sv = it->second;
-  if (sv.meta.deleted) return Status::NotFound();
+  if (sv.meta.deleted) {
+    c_.misses->Add();
+    return Status::NotFound();
+  }
   if (IsExpired(sv)) {
-    num_expired_.fetch_add(1);
+    c_.expirations->Add();
+    c_.misses->Add();
     return Status::NotFound();
   }
   sv.referenced = true;
+  // A non-resident entry is a cache miss in the paper's sense: metadata is
+  // here but the value must be read back from disk.
+  (sv.resident ? c_.hits : c_.misses)->Add();
   GetResult r;
   r.doc.key = it->first;
   r.doc.meta = sv.meta;
@@ -71,11 +101,19 @@ StatusOr<DocMeta> HashTable::Mutate(std::string_view key,
     if (IsLockedNow(sv)) {
       // A locked document can only be mutated by presenting the lock CAS.
       if (cas != sv.meta.cas) {
+        c_.lock_conflicts->Add();
         return Status::Locked();
       }
-    } else if (cas != 0 && cas != sv.meta.cas) {
-      num_cas_mismatch_.fetch_add(1);
-      return Status::KeyExists("CAS mismatch");
+    } else {
+      if (sv.locked_until_ns != 0) {
+        // The GETL lock expired before the holder came back (§3.1.1's
+        // auto-release); this mutation proceeds past it.
+        c_.lock_timeouts->Add();
+      }
+      if (cas != 0 && cas != sv.meta.cas) {
+        c_.cas_mismatches->Add();
+        return Status::KeyExists("CAS mismatch");
+      }
     }
   } else if (cas != 0) {
     // CAS given for a non-existent document.
@@ -144,7 +182,10 @@ StatusOr<GetResult> HashTable::GetAndLock(std::string_view key,
     return Status::NotFound();
   }
   StoredValue& sv = it->second;
-  if (IsLockedNow(sv)) return Status::Locked();
+  if (IsLockedNow(sv)) {
+    c_.lock_conflicts->Add();
+    return Status::Locked();
+  }
   // Locking changes the CAS so that pre-lock CAS holders cannot mutate.
   sv.meta.cas = NextCas();
   sv.locked_until_ns = clock_->NowNanos() + lock_ms * 1000000ULL;
@@ -175,7 +216,10 @@ StatusOr<DocMeta> HashTable::Touch(std::string_view key, uint32_t expiry) {
     return Status::NotFound();
   }
   StoredValue& sv = it->second;
-  if (IsLockedNow(sv)) return Status::Locked();
+  if (IsLockedNow(sv)) {
+    c_.lock_conflicts->Add();
+    return Status::Locked();
+  }
   sv.meta.expiry = expiry;
   sv.meta.cas = NextCas();
   sv.dirty = true;
@@ -301,7 +345,7 @@ uint64_t HashTable::EvictTo(uint64_t target_bytes) {
           mem_used_.fetch_sub(before);
           reclaimed += before;
           it = map_.erase(it);
-          num_evictions_.fetch_add(1);
+          c_.evictions->Add();
           continue;
         }
         sv.value.clear();
@@ -310,7 +354,7 @@ uint64_t HashTable::EvictTo(uint64_t target_bytes) {
         size_t after = EntryFootprint(it->first, sv);
         mem_used_.fetch_sub(before - after);
         reclaimed += before - after;
-        num_evictions_.fetch_add(1);
+        c_.evictions->Add();
       } else {
         sv.referenced = false;
       }
@@ -332,7 +376,7 @@ uint64_t HashTable::Purge(uint64_t purge_before_seqno) {
       AccountRemove(it->first, sv);
       it = map_.erase(it);
       ++purged;
-      if (expired) num_expired_.fetch_add(1);
+      if (expired) c_.expirations->Add();
     } else {
       ++it;
     }
@@ -366,9 +410,13 @@ HashTableStats HashTable::stats() const {
     if (!sv.resident) ++s.num_non_resident;
   }
   s.mem_used = mem_used_.load();
-  s.num_evictions = num_evictions_.load();
-  s.num_expired = num_expired_.load();
-  s.num_cas_mismatch = num_cas_mismatch_.load();
+  s.num_hits = c_.hits->Value();
+  s.num_misses = c_.misses->Value();
+  s.num_evictions = c_.evictions->Value();
+  s.num_expired = c_.expirations->Value();
+  s.num_cas_mismatch = c_.cas_mismatches->Value();
+  s.num_lock_conflicts = c_.lock_conflicts->Value();
+  s.num_lock_timeouts = c_.lock_timeouts->Value();
   return s;
 }
 

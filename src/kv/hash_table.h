@@ -17,6 +17,7 @@
 #include "common/clock.h"
 #include "common/status.h"
 #include "kv/doc.h"
+#include "stats/registry.h"
 
 namespace couchkv::kv {
 
@@ -42,15 +43,37 @@ struct GetResult {
   bool resident = true;  // false means value must be fetched from storage
 };
 
-// Statistics exposed for monitoring and tests.
+// The cache-event counters a HashTable reports into. All tables in a bucket
+// share the bucket's counters (one set per bucket scope); standalone tables
+// resolve a private unregistered scope so the accounting code is identical.
+struct CacheCounters {
+  stats::Counter* hits = nullptr;
+  stats::Counter* misses = nullptr;  // not-found, expired, or value evicted
+  stats::Counter* evictions = nullptr;
+  stats::Counter* expirations = nullptr;
+  stats::Counter* cas_mismatches = nullptr;
+  stats::Counter* lock_conflicts = nullptr;  // mutations rejected with Locked
+  stats::Counter* lock_timeouts = nullptr;   // GETL locks that expired unused
+
+  // Resolves the "kv.*" counters in `scope`.
+  static CacheCounters In(stats::Scope* scope);
+};
+
+// Statistics exposed for monitoring and tests — a thin view assembled from
+// the registry counters plus a walk of the table (single source of truth;
+// the monitoring path and this accessor can never disagree).
 struct HashTableStats {
   uint64_t num_items = 0;
   uint64_t num_non_resident = 0;
   uint64_t num_tombstones = 0;
   uint64_t mem_used = 0;
+  uint64_t num_hits = 0;
+  uint64_t num_misses = 0;
   uint64_t num_evictions = 0;
   uint64_t num_expired = 0;
   uint64_t num_cas_mismatch = 0;
+  uint64_t num_lock_conflicts = 0;
+  uint64_t num_lock_timeouts = 0;
 };
 
 // Thread-safe per-vBucket hash table.
@@ -60,8 +83,12 @@ struct HashTableStats {
 // generated ... The maximum sequence number per vBucket is also tracked").
 class HashTable {
  public:
+  // `counters`, when given, must outlive the table (the bucket's scope keeps
+  // them alive). Without it the table resolves counters in a private,
+  // unregistered scope — standalone tables (tests) need no registry setup.
   explicit HashTable(Clock* clock = Clock::Real(),
-                     EvictionPolicy policy = EvictionPolicy::kValueOnly);
+                     EvictionPolicy policy = EvictionPolicy::kValueOnly,
+                     const CacheCounters* counters = nullptr);
 
   HashTable(const HashTable&) = delete;
   HashTable& operator=(const HashTable&) = delete;
@@ -164,6 +191,11 @@ class HashTable {
   Clock* clock_;
   EvictionPolicy policy_;
 
+  // Private scope backing a standalone table's counters; null when the
+  // counters are shared (bucket-owned).
+  std::shared_ptr<stats::Scope> own_scope_;
+  CacheCounters c_;
+
   mutable std::mutex mu_;
   std::unordered_map<std::string, StoredValue> map_;
 
@@ -171,9 +203,6 @@ class HashTable {
   std::atomic<uint64_t> persisted_seqno_{0};
   std::atomic<uint64_t> cas_counter_{0};
   std::atomic<uint64_t> mem_used_{0};
-  std::atomic<uint64_t> num_evictions_{0};
-  std::atomic<uint64_t> num_expired_{0};
-  std::atomic<uint64_t> num_cas_mismatch_{0};
 };
 
 }  // namespace couchkv::kv

@@ -7,6 +7,7 @@
 #include "common/clock.h"
 #include "n1ql/exec_util.h"
 #include "n1ql/parser.h"
+#include "stats/trace.h"
 
 namespace couchkv::n1ql {
 
@@ -26,7 +27,14 @@ QueryService::QueryService(cluster::Cluster* cluster,
     : cluster_(cluster),
       gsi_(std::move(gsi)),
       views_(std::move(views)),
-      pool_(std::max(4u, std::thread::hardware_concurrency())) {}
+      pool_(std::max(4u, std::thread::hardware_concurrency())) {
+  stats_scope_ = stats::Registry::Global().GetScope("n1ql");
+  queries_ = stats_scope_->GetCounter("queries");
+  query_errors_ = stats_scope_->GetCounter("query_errors");
+  dml_mutations_ = stats_scope_->GetCounter("dml_mutations");
+  query_ns_ = stats_scope_->GetHistogram("query_ns");
+  fetch_ns_ = stats_scope_->GetHistogram("fetch_ns");
+}
 
 client::SmartClient* QueryService::ClientFor(const std::string& bucket) {
   std::lock_guard<std::mutex> lock(mu_);
@@ -66,9 +74,15 @@ StatusOr<QueryResult> QueryService::Execute(const std::string& query,
     return Status::Unsupported("no query service node in the cluster");
   }
 
+  queries_->Add();
+  trace::Span span("n1ql.query", query_ns_);
   auto stmt_or = ParseStatement(query);
-  if (!stmt_or.ok()) return stmt_or.status();
+  if (!stmt_or.ok()) {
+    query_errors_->Add();
+    return stmt_or.status();
+  }
   Statement& stmt = *stmt_or;
+  span.Phase("parse");
 
   uint64_t start = Clock::Real()->NowNanos();
   StatusOr<QueryResult> result = Status::Internal("unreachable");
@@ -92,9 +106,13 @@ StatusOr<QueryResult> QueryService::Execute(const std::string& query,
       result = ExecDropIndex(stmt.drop_index);
       break;
   }
+  span.Phase("exec");
   if (result.ok()) {
     result->metrics.elapsed_ns = Clock::Real()->NowNanos() - start;
     result->metrics.result_count = result->rows.size();
+    dml_mutations_->Add(result->metrics.mutation_count);
+  } else {
+    query_errors_->Add();
   }
   return result;
 }
@@ -108,6 +126,7 @@ StatusOr<std::vector<QueryService::ExecRow>> QueryService::FetchRows(
     const std::vector<std::string>& ids, QueryMetrics* metrics) {
   // Fetch is parallelized across the pool (paper §4.5.3: "The execution of
   // the fetch operator is parallelized").
+  trace::Span span("n1ql.fetch", fetch_ns_);
   client::SmartClient* client = ClientFor(bucket);
   std::vector<std::optional<ExecRow>> slots(ids.size());
   std::atomic<size_t> fetched{0};

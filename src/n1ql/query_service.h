@@ -18,6 +18,7 @@
 #include "n1ql/ast.h"
 #include "n1ql/expr_eval.h"
 #include "n1ql/planner.h"
+#include "stats/registry.h"
 #include "views/view_engine.h"
 
 namespace couchkv::n1ql {
@@ -102,6 +103,15 @@ class QueryService {
   std::shared_ptr<gsi::IndexService> gsi_;
   std::shared_ptr<views::ViewEngine> views_;
   ThreadPool pool_;
+
+  // Service-wide observability (scope "n1ql"): statement counts, end-to-end
+  // query latency, and the fan-out fetch operator's latency.
+  std::shared_ptr<stats::Scope> stats_scope_;
+  stats::Counter* queries_ = nullptr;
+  stats::Counter* query_errors_ = nullptr;
+  stats::Counter* dml_mutations_ = nullptr;
+  Histogram* query_ns_ = nullptr;
+  Histogram* fetch_ns_ = nullptr;
 
   std::mutex mu_;
   std::map<std::string, std::unique_ptr<client::SmartClient>> clients_;

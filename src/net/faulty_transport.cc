@@ -3,6 +3,8 @@
 #include <chrono>
 #include <thread>
 
+#include "net/transport_metrics.h"
+
 namespace couchkv::net {
 
 namespace {
@@ -158,6 +160,7 @@ Status FaultyTransport::Admit(const Endpoint& src, const Endpoint& dst,
   if (Blocked(src, dst)) {
     ++stats_.blocked;
     Record(state, "BLOCKED");
+    TransportMetrics::Instance().OnBlocked(src, dst);
     return Status::TempFail("link blocked: " + src.ToString() + "->" +
                             dst.ToString());
   }
@@ -166,6 +169,7 @@ Status FaultyTransport::Admit(const Endpoint& src, const Endpoint& dst,
   if (faults.drop > 0.0 && state.rng.NextDouble() < faults.drop) {
     ++stats_.dropped;
     Record(state, "DROP");
+    TransportMetrics::Instance().OnDropped(src, dst);
     return Status::TempFail("message dropped: " + src.ToString() + "->" +
                             dst.ToString());
   }
@@ -190,6 +194,7 @@ Status FaultyTransport::Admit(const Endpoint& src, const Endpoint& dst,
   stats_.latency_us_total += delay;
   Record(state, delay == 0 ? "DELIVER"
                            : "DELIVER+" + std::to_string(delay) + "us");
+  TransportMetrics::Instance().OnDelivered(src, dst, delay);
   *sleep_us = delay;
   return Status::OK();
 }

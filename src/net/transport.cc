@@ -1,0 +1,18 @@
+#include "net/transport.h"
+
+#include "net/transport_metrics.h"
+
+namespace couchkv::net {
+
+Status DirectTransport::Request(const Endpoint& src, const Endpoint& dst) {
+  TransportMetrics::Instance().OnDelivered(src, dst, 0);
+  return Status::OK();
+}
+
+Status DirectTransport::Reply(const Endpoint& src, const Endpoint& dst) {
+  // The reply leg travels the reverse directed link.
+  TransportMetrics::Instance().OnDelivered(dst, src, 0);
+  return Status::OK();
+}
+
+}  // namespace couchkv::net

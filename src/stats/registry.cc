@@ -1,0 +1,276 @@
+#include "stats/registry.h"
+
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+#include <utility>
+
+namespace couchkv::stats {
+
+namespace {
+
+template <typename Map, typename Factory>
+auto* GetOrCreate(Map& map, std::string_view name, Factory&& factory) {
+  auto it = map.find(name);
+  if (it == map.end()) {
+    it = map.emplace(std::string(name), factory()).first;
+  }
+  return it->second.get();
+}
+
+void AppendJsonString(std::string* out, std::string_view s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+std::string SanitizeForPrometheus(std::string_view name) {
+  std::string out = "couchkv_";
+  for (char c : name) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+void AppendF(std::string* out, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void AppendF(std::string* out, const char* fmt, ...) {
+  char buf[512];
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
+  *out += buf;
+}
+
+}  // namespace
+
+Counter* Scope::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return GetOrCreate(counters_, name,
+                     [] { return std::make_unique<Counter>(); });
+}
+
+Gauge* Scope::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return GetOrCreate(gauges_, name, [] { return std::make_unique<Gauge>(); });
+}
+
+Histogram* Scope::GetHistogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return GetOrCreate(histograms_, name,
+                     [] { return std::make_unique<Histogram>(); });
+}
+
+void Scope::Collect(Snapshot* out, std::string_view group) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto emit = [&](const std::string& metric) -> MetricValue* {
+    std::string full = name_.empty() ? metric : name_ + "." + metric;
+    if (!group.empty() && !MatchesGroup(full, group)) return nullptr;
+    return &(*out)[std::move(full)];
+  };
+  for (const auto& [metric, c] : counters_) {
+    if (MetricValue* v = emit(metric)) {
+      v->kind = MetricValue::Kind::kCounter;
+      v->counter = c->Value();
+    }
+  }
+  for (const auto& [metric, g] : gauges_) {
+    if (MetricValue* v = emit(metric)) {
+      v->kind = MetricValue::Kind::kGauge;
+      v->gauge = g->Value();
+    }
+  }
+  for (const auto& [metric, h] : histograms_) {
+    if (MetricValue* v = emit(metric)) {
+      v->kind = MetricValue::Kind::kHistogram;
+      v->hist = h->Snapshot();
+    }
+  }
+}
+
+Registry& Registry::Global() {
+  static Registry* g = new Registry();  // leaked: outlives static destructors
+  return *g;
+}
+
+std::shared_ptr<Scope> Registry::GetScope(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = scopes_.find(name);
+  if (it == scopes_.end()) {
+    it = scopes_.emplace(name, std::make_shared<Scope>(name)).first;
+  }
+  return it->second;
+}
+
+void Registry::DropScope(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  scopes_.erase(name);
+}
+
+bool Registry::HasScope(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return scopes_.count(name) > 0;
+}
+
+Snapshot Registry::Collect(std::string_view group) const {
+  // Copy the scope index first so scrapes never hold the registry lock while
+  // walking (and locking) individual scopes.
+  std::vector<std::shared_ptr<Scope>> scopes;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    scopes.reserve(scopes_.size());
+    for (const auto& [_, s] : scopes_) scopes.push_back(s);
+  }
+  Snapshot out;
+  for (const auto& s : scopes) s->Collect(&out, group);
+  return out;
+}
+
+std::string Registry::DebugString(std::string_view group) const {
+  return stats::DebugString(Collect(group));
+}
+
+bool MatchesGroup(std::string_view name, std::string_view group) {
+  if (group.empty()) return true;
+  // Match group as a whole dot-delimited segment sequence anywhere in name.
+  size_t pos = 0;
+  while (pos <= name.size()) {
+    size_t hit = name.find(group, pos);
+    if (hit == std::string_view::npos) return false;
+    bool left_ok = hit == 0 || name[hit - 1] == '.';
+    size_t end = hit + group.size();
+    bool right_ok = end == name.size() || name[end] == '.';
+    if (left_ok && right_ok) return true;
+    pos = hit + 1;
+  }
+  return false;
+}
+
+Snapshot Delta(const Snapshot& before, const Snapshot& after) {
+  Snapshot out;
+  for (const auto& [name, a] : after) {
+    MetricValue v = a;
+    auto it = before.find(name);
+    if (it != before.end()) {
+      const MetricValue& b = it->second;
+      switch (v.kind) {
+        case MetricValue::Kind::kCounter:
+          v.counter = v.counter >= b.counter ? v.counter - b.counter : 0;
+          break;
+        case MetricValue::Kind::kGauge:
+          break;  // gauges are levels: keep the latest value
+        case MetricValue::Kind::kHistogram:
+          v.hist.Subtract(b.hist);
+          break;
+      }
+    }
+    out.emplace(name, std::move(v));
+  }
+  return out;
+}
+
+std::string ToJson(const Snapshot& snapshot) {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [name, v] : snapshot) {
+    if (!first) out += ",";
+    first = false;
+    AppendJsonString(&out, name);
+    out += ":";
+    switch (v.kind) {
+      case MetricValue::Kind::kCounter:
+        AppendF(&out, "%" PRIu64, v.counter);
+        break;
+      case MetricValue::Kind::kGauge:
+        AppendF(&out, "%" PRId64, v.gauge);
+        break;
+      case MetricValue::Kind::kHistogram:
+        AppendF(&out,
+                "{\"count\":%" PRIu64 ",\"sum\":%" PRIu64
+                ",\"mean_us\":%.1f,\"p50_us\":%.1f,\"p95_us\":%.1f,"
+                "\"p99_us\":%.1f}",
+                v.hist.count, v.hist.sum, v.hist.Mean() / 1e3,
+                static_cast<double>(v.hist.Percentile(0.50)) / 1e3,
+                static_cast<double>(v.hist.Percentile(0.95)) / 1e3,
+                static_cast<double>(v.hist.Percentile(0.99)) / 1e3);
+        break;
+    }
+  }
+  out += "}";
+  return out;
+}
+
+std::string ToPrometheusText(const Snapshot& snapshot) {
+  std::string out;
+  for (const auto& [name, v] : snapshot) {
+    std::string prom = SanitizeForPrometheus(name);
+    switch (v.kind) {
+      case MetricValue::Kind::kCounter:
+        AppendF(&out, "# TYPE %s counter\n%s %" PRIu64 "\n", prom.c_str(),
+                prom.c_str(), v.counter);
+        break;
+      case MetricValue::Kind::kGauge:
+        AppendF(&out, "# TYPE %s gauge\n%s %" PRId64 "\n", prom.c_str(),
+                prom.c_str(), v.gauge);
+        break;
+      case MetricValue::Kind::kHistogram: {
+        AppendF(&out, "# TYPE %s summary\n", prom.c_str());
+        for (double q : {0.50, 0.95, 0.99}) {
+          AppendF(&out, "%s{quantile=\"%.2f\"} %" PRIu64 "\n", prom.c_str(), q,
+                  v.hist.Percentile(q));
+        }
+        AppendF(&out, "%s_sum %" PRIu64 "\n%s_count %" PRIu64 "\n",
+                prom.c_str(), v.hist.sum, prom.c_str(), v.hist.count);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string DebugString(const Snapshot& snapshot, bool skip_zero) {
+  std::string out;
+  for (const auto& [name, v] : snapshot) {
+    switch (v.kind) {
+      case MetricValue::Kind::kCounter:
+        if (skip_zero && v.counter == 0) continue;
+        AppendF(&out, "%s=%" PRIu64 "\n", name.c_str(), v.counter);
+        break;
+      case MetricValue::Kind::kGauge:
+        if (skip_zero && v.gauge == 0) continue;
+        AppendF(&out, "%s=%" PRId64 "\n", name.c_str(), v.gauge);
+        break;
+      case MetricValue::Kind::kHistogram:
+        if (skip_zero && v.hist.count == 0) continue;
+        AppendF(&out, "%s: %s\n", name.c_str(), v.hist.Summary().c_str());
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace couchkv::stats

@@ -1,5 +1,6 @@
 #include "storage/couch_file.h"
 
+#include "common/clock.h"
 #include "common/crc32.h"
 #include "common/logging.h"
 #include "storage/coding.h"
@@ -47,12 +48,24 @@ void FrameRecord(uint8_t type, std::string_view payload, std::string* out) {
 
 }  // namespace
 
-StatusOr<std::unique_ptr<CouchFile>> CouchFile::Open(Env* env,
-                                                     const std::string& path) {
+StorageCounters StorageCounters::In(stats::Scope* scope) {
+  StorageCounters c;
+  c.appends = scope->GetCounter("storage.appends");
+  c.bytes_appended = scope->GetCounter("storage.bytes_appended");
+  c.commits = scope->GetCounter("storage.commits");
+  c.compactions = scope->GetCounter("storage.compactions");
+  c.compaction_bytes_reclaimed =
+      scope->GetCounter("storage.compaction_bytes_reclaimed");
+  c.commit_ns = scope->GetHistogram("storage.commit_ns");
+  return c;
+}
+
+StatusOr<std::unique_ptr<CouchFile>> CouchFile::Open(
+    Env* env, const std::string& path, const StorageCounters* counters) {
   auto file_or = env->Open(path);
   if (!file_or.ok()) return file_or.status();
   std::unique_ptr<CouchFile> cf(
-      new CouchFile(env, path, std::move(file_or).value()));
+      new CouchFile(env, path, std::move(file_or).value(), counters));
   COUCHKV_RETURN_IF_ERROR(cf->Recover());
   return cf;
 }
@@ -150,6 +163,10 @@ Status CouchFile::AppendDoc(const kv::Document& doc, uint64_t* offset,
   if (!off_or.ok()) return off_or.status();
   *offset = off_or.value();
   *size = static_cast<uint32_t>(record.size());
+  if (counters_.appends != nullptr) {
+    counters_.appends->Add();
+    counters_.bytes_appended->Add(record.size());
+  }
   return Status::OK();
 }
 
@@ -172,6 +189,7 @@ Status CouchFile::SaveDocs(const std::vector<kv::Document>& docs) {
 
 Status CouchFile::Commit() {
   std::lock_guard<std::mutex> lock(mu_);
+  uint64_t start_ns = Clock::Real()->NowNanos();
   std::string payload;
   PutU64(&payload, high_seqno_);
   PutU64(&payload, live_bytes_);
@@ -182,6 +200,11 @@ Status CouchFile::Commit() {
   COUCHKV_RETURN_IF_ERROR(file_->Sync());
   committed_size_ = file_->Size();
   ++num_commits_;
+  if (counters_.commits != nullptr) {
+    counters_.commits->Add();
+    counters_.bytes_appended->Add(record.size());
+    counters_.commit_ns->Record(Clock::Real()->NowNanos() - start_ns);
+  }
   return Status::OK();
 }
 
@@ -305,6 +328,7 @@ Status CouchFile::Compact(uint64_t purge_before_seqno) {
   if (!off_or.ok()) return off_or.status();
   COUCHKV_RETURN_IF_ERROR(tmp->Sync());
 
+  uint64_t old_size = file_->Size();
   COUCHKV_RETURN_IF_ERROR(env_->Rename(tmp_path, path_));
   file_ = std::move(tmp);
   by_id_ = std::move(new_by_id);
@@ -312,6 +336,13 @@ Status CouchFile::Compact(uint64_t purge_before_seqno) {
   live_bytes_ = new_live;
   committed_size_ = file_->Size();
   ++num_compactions_;
+  if (counters_.compactions != nullptr) {
+    counters_.compactions->Add();
+    uint64_t new_size = file_->Size();
+    if (old_size > new_size) {
+      counters_.compaction_bytes_reclaimed->Add(old_size - new_size);
+    }
+  }
   return Status::OK();
 }
 

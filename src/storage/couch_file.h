@@ -23,9 +23,24 @@
 
 #include "common/status.h"
 #include "kv/doc.h"
+#include "stats/registry.h"
 #include "storage/env.h"
 
 namespace couchkv::storage {
+
+// Registry-backed counters shared by all CouchFiles of a bucket. Optional:
+// files opened without them (tests, tools) skip the reporting.
+struct StorageCounters {
+  stats::Counter* appends = nullptr;         // doc records written
+  stats::Counter* bytes_appended = nullptr;  // incl. commit records
+  stats::Counter* commits = nullptr;         // fsync'd commit records
+  stats::Counter* compactions = nullptr;
+  stats::Counter* compaction_bytes_reclaimed = nullptr;
+  Histogram* commit_ns = nullptr;  // SaveDocs batch append + fsync latency
+
+  // Resolves the "storage.*" metrics in `scope`.
+  static StorageCounters In(stats::Scope* scope);
+};
 
 struct CouchFileStats {
   uint64_t file_size = 0;
@@ -38,9 +53,11 @@ struct CouchFileStats {
 
 class CouchFile {
  public:
-  // Opens (creating or recovering) the store at `path`.
-  static StatusOr<std::unique_ptr<CouchFile>> Open(Env* env,
-                                                   const std::string& path);
+  // Opens (creating or recovering) the store at `path`. `counters`, when
+  // given, must outlive the file (the bucket's stats scope keeps it alive).
+  static StatusOr<std::unique_ptr<CouchFile>> Open(
+      Env* env, const std::string& path,
+      const StorageCounters* counters = nullptr);
 
   // Appends a batch of documents (deletes travel as meta.deleted). Not
   // durable until Commit().
@@ -83,8 +100,12 @@ class CouchFile {
     bool deleted = false;
   };
 
-  CouchFile(Env* env, std::string path, std::unique_ptr<File> file)
-      : env_(env), path_(std::move(path)), file_(std::move(file)) {}
+  CouchFile(Env* env, std::string path, std::unique_ptr<File> file,
+            const StorageCounters* counters)
+      : env_(env),
+        path_(std::move(path)),
+        file_(std::move(file)),
+        counters_(counters != nullptr ? *counters : StorageCounters{}) {}
 
   Status Recover();
   Status AppendDoc(const kv::Document& doc, uint64_t* offset, uint32_t* size);
@@ -94,6 +115,7 @@ class CouchFile {
   Env* env_;
   std::string path_;
   std::unique_ptr<File> file_;
+  StorageCounters counters_;  // null members = reporting disabled
 
   mutable std::mutex mu_;
   std::unordered_map<std::string, IndexEntry> by_id_;

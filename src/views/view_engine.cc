@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "stats/trace.h"
 
 namespace couchkv::views {
 
@@ -151,6 +152,8 @@ StatusOr<ViewResult> ViewEngine::Query(const std::string& bucket,
                                        const std::string& view,
                                        const ViewQueryOptions& opts,
                                        Staleness stale) {
+  queries_->Add();
+  trace::Span span("views.query", query_ns_);
   ViewState* state = nullptr;
   {
     std::lock_guard<std::mutex> lock(mu_);

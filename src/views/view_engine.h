@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "cluster/cluster.h"
+#include "stats/registry.h"
 #include "views/view_index.h"
 
 namespace couchkv::views {
@@ -32,7 +33,11 @@ struct ViewResult {
 class ViewEngine : public cluster::ClusterService,
                    public std::enable_shared_from_this<ViewEngine> {
  public:
-  explicit ViewEngine(cluster::Cluster* cluster) : cluster_(cluster) {}
+  explicit ViewEngine(cluster::Cluster* cluster) : cluster_(cluster) {
+    stats_scope_ = stats::Registry::Global().GetScope("views");
+    queries_ = stats_scope_->GetCounter("queries");
+    query_ns_ = stats_scope_->GetHistogram("query_ns");
+  }
 
   // Registers this engine with the cluster (topology notifications). Call
   // once after construction.
@@ -78,6 +83,12 @@ class ViewEngine : public cluster::ClusterService,
   }
 
   cluster::Cluster* cluster_;
+
+  // Scope "views": scatter/gather query volume and latency.
+  std::shared_ptr<stats::Scope> stats_scope_;
+  stats::Counter* queries_ = nullptr;
+  Histogram* query_ns_ = nullptr;
+
   mutable std::mutex mu_;
   // bucket -> view name -> state
   std::map<std::string, std::map<std::string, ViewState>> views_;

@@ -23,6 +23,13 @@ Status XdcrLink::Start(const std::string& service_name) {
     return Status::NotFound("target bucket missing: " + spec_.target_bucket);
   }
   stream_name_ = "xdcr:" + service_name;
+  stats_scope_ =
+      stats::Registry::Global().GetScope("xdcr." + service_name);
+  docs_sent_ = stats_scope_->GetCounter("docs_sent");
+  docs_filtered_ = stats_scope_->GetCounter("docs_filtered");
+  docs_rejected_ = stats_scope_->GetCounter("docs_rejected");
+  docs_retried_ = stats_scope_->GetCounter("docs_retried");
+  backlog_ = stats_scope_->GetGauge("backlog");
   source_->RegisterService(service_name, shared_from_this());
   Wire();
   return Status::OK();
@@ -60,7 +67,7 @@ void XdcrLink::Wire() {
 
 Status XdcrLink::ShipMutation(const kv::Mutation& m) {
   if (filter_ != nullptr && !std::regex_search(m.doc.key, *filter_)) {
-    docs_filtered_.fetch_add(1, std::memory_order_relaxed);
+    docs_filtered_->Add();
     return Status::OK();
   }
   // Topology-aware routing: resolve the target's active node per shipment,
@@ -88,16 +95,16 @@ Status XdcrLink::ShipMutation(const kv::Mutation& m) {
                      [&] { return b->vbucket(m.vbucket)->ApplyXdcr(m.doc); });
     }
     if (st.ok()) {
-      docs_sent_.fetch_add(1, std::memory_order_relaxed);
+      docs_sent_->Add();
       n->dispatcher()->Notify();
       return Status::OK();
     }
     if (st.IsKeyExists()) {
-      docs_rejected_.fetch_add(1, std::memory_order_relaxed);
+      docs_rejected_->Add();
       return Status::OK();  // local version won; both sides already agree
     }
     if (st.IsNotMyVBucket() || st.IsTempFail()) {
-      docs_retried_.fetch_add(1, std::memory_order_relaxed);
+      docs_retried_->Add();
       last = st;
       std::this_thread::yield();
       continue;  // stale routing / dropped message: re-read the target map
@@ -109,12 +116,33 @@ Status XdcrLink::ShipMutation(const kv::Mutation& m) {
   return last;
 }
 
+uint64_t XdcrLink::ComputeBacklog() const {
+  uint64_t backlog = 0;
+  for (cluster::NodeId id : source_->node_ids()) {
+    cluster::Node* n = source_->node(id);
+    if (n == nullptr || !n->healthy()) continue;
+    std::shared_ptr<cluster::Bucket> b = n->bucket(spec_.source_bucket);
+    if (b == nullptr) continue;
+    dcp::Producer* p = b->producer();
+    for (uint16_t vb = 0; vb < p->num_vbuckets(); ++vb) {
+      uint64_t acked = p->StreamSeqno(stream_name_, vb);
+      if (acked == UINT64_MAX) continue;  // no stream here
+      uint64_t high = p->high_seqno(vb);
+      if (high > acked) backlog += high - acked;
+    }
+  }
+  return backlog;
+}
+
 XdcrStats XdcrLink::stats() const {
   XdcrStats s;
-  s.docs_sent = docs_sent_.load();
-  s.docs_filtered = docs_filtered_.load();
-  s.docs_rejected = docs_rejected_.load();
-  s.docs_retried = docs_retried_.load();
+  if (docs_sent_ == nullptr) return s;  // Start() not called yet
+  s.docs_sent = docs_sent_->Value();
+  s.docs_filtered = docs_filtered_->Value();
+  s.docs_rejected = docs_rejected_->Value();
+  s.docs_retried = docs_retried_->Value();
+  s.backlog = ComputeBacklog();
+  backlog_->Set(static_cast<int64_t>(s.backlog));
   return s;
 }
 

@@ -7,12 +7,12 @@
 #ifndef COUCHKV_XDCR_XDCR_H_
 #define COUCHKV_XDCR_XDCR_H_
 
-#include <atomic>
 #include <memory>
 #include <regex>
 #include <string>
 
 #include "cluster/cluster.h"
+#include "stats/registry.h"
 
 namespace couchkv::xdcr {
 
@@ -25,11 +25,14 @@ struct XdcrSpec {
   std::string key_filter_regex;
 };
 
+// Thin view over the link's registry counters (scope "xdcr.<service_name>",
+// created by Start()). All zeros before Start().
 struct XdcrStats {
   uint64_t docs_sent = 0;       // mutations shipped to the target
   uint64_t docs_filtered = 0;   // dropped by the key filter
   uint64_t docs_rejected = 0;   // lost conflict resolution at the target
   uint64_t docs_retried = 0;    // re-routed after target topology changes
+  uint64_t backlog = 0;         // source mutations not yet shipped (XDCR lag)
 };
 
 // One directional replication link. For bidirectional XDCR create two links
@@ -56,16 +59,24 @@ class XdcrLink : public cluster::ClusterService,
   // resolution.
   Status ShipMutation(const kv::Mutation& m);
 
+  // Replication lag: source mutations DCP has not yet shipped, summed over
+  // the vBuckets this link streams. Scraped into the "xdcr.backlog" gauge.
+  uint64_t ComputeBacklog() const;
+
   cluster::Cluster* source_;
   cluster::Cluster* target_;
   XdcrSpec spec_;
   std::unique_ptr<std::regex> filter_;
   std::string stream_name_;
 
-  std::atomic<uint64_t> docs_sent_{0};
-  std::atomic<uint64_t> docs_filtered_{0};
-  std::atomic<uint64_t> docs_rejected_{0};
-  std::atomic<uint64_t> docs_retried_{0};
+  // Registry-backed link counters, resolved by Start() into the scope
+  // "xdcr.<service_name>" — null (reporting disabled) before Start().
+  std::shared_ptr<stats::Scope> stats_scope_;
+  stats::Counter* docs_sent_ = nullptr;
+  stats::Counter* docs_filtered_ = nullptr;
+  stats::Counter* docs_rejected_ = nullptr;
+  stats::Counter* docs_retried_ = nullptr;
+  stats::Gauge* backlog_ = nullptr;
 };
 
 }  // namespace couchkv::xdcr

@@ -189,6 +189,82 @@ TEST(HistogramTest, ResetClears) {
   EXPECT_EQ(h.Percentile(0.5), 0u);
 }
 
+TEST(HistogramTest, SnapshotIsConsistentCopy) {
+  Histogram h;
+  h.Record(100);
+  h.Record(1000);
+  HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.count, 2u);
+  EXPECT_EQ(snap.sum, 1100u);
+  uint64_t bucket_total = 0;
+  for (uint64_t b : snap.buckets) bucket_total += b;
+  EXPECT_EQ(bucket_total, snap.count);
+  // The snapshot is decoupled: later records don't change it.
+  h.Record(5000);
+  EXPECT_EQ(snap.count, 2u);
+}
+
+TEST(HistogramTest, SnapshotSubtractGivesInterval) {
+  Histogram h;
+  h.Record(100);
+  HistogramSnapshot before = h.Snapshot();
+  h.Record(100);
+  h.Record(200);
+  HistogramSnapshot after = h.Snapshot();
+  after.Subtract(before);
+  EXPECT_EQ(after.count, 2u);
+  EXPECT_EQ(after.sum, 300u);
+}
+
+TEST(HistogramTest, SubtractClampsAtZero) {
+  Histogram a, b;
+  a.Record(100);
+  b.Record(100);
+  b.Record(100);
+  HistogramSnapshot snap = a.Snapshot();
+  snap.Subtract(b.Snapshot());  // "earlier" is larger: clamp, don't wrap
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_EQ(snap.sum, 0u);
+  EXPECT_EQ(snap.Percentile(0.5), 0u);
+}
+
+TEST(HistogramTest, PercentileEdgeCases) {
+  Histogram h;
+  EXPECT_EQ(h.Percentile(0.5), 0u);  // empty
+  h.Record(1000);
+  // A single sample: every quantile lands in its bucket, including the
+  // out-of-range ones (clamped to [0, 1]).
+  uint64_t p = h.Percentile(0.5);
+  EXPECT_GE(p, Histogram::BucketLow(Histogram::BucketFor(1000)));
+  EXPECT_EQ(h.Percentile(-1.0), h.Percentile(0.0));
+  EXPECT_EQ(h.Percentile(2.0), h.Percentile(1.0));
+  // p100 of a single-bucket histogram must not interpolate past the bucket.
+  EXPECT_LE(h.Percentile(1.0),
+            Histogram::BucketLow(Histogram::BucketFor(1000) + 1));
+}
+
+TEST(HistogramTest, BucketGeometryMonotone) {
+  EXPECT_EQ(Histogram::BucketFor(0), 0);
+  int prev = 0;
+  for (uint64_t v = 1; v < (1ull << 40); v *= 7) {
+    int idx = Histogram::BucketFor(v);
+    EXPECT_GE(idx, prev);
+    EXPECT_LT(idx, Histogram::kNumBuckets);
+    EXPECT_LE(Histogram::BucketLow(idx), v);
+    prev = idx;
+  }
+}
+
+TEST(HistogramTest, SnapshotMergeCombines) {
+  Histogram a, b;
+  a.Record(10);
+  b.Record(20);
+  HistogramSnapshot sa = a.Snapshot();
+  sa.Merge(b.Snapshot());
+  EXPECT_EQ(sa.count, 2u);
+  EXPECT_EQ(sa.sum, 30u);
+}
+
 TEST(ThreadPoolTest, RunsAllTasks) {
   ThreadPool pool(4);
   std::atomic<int> count{0};

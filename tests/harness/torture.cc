@@ -30,6 +30,7 @@ uint64_t FnvMix(uint64_t h, std::string_view s) {
 TortureDriver::TortureDriver(cluster::Cluster* cluster, std::string bucket,
                              TortureOptions opts)
     : cluster_(cluster), bucket_(std::move(bucket)), opts_(opts) {
+  start_stats_ = stats::Registry::Global().Collect();
   // Pre-create every key's (empty) history so worker threads never mutate
   // the map structure concurrently — each thread only appends to vectors it
   // owns.
@@ -98,6 +99,12 @@ std::unique_ptr<client::SmartClient> TortureDriver::MakeCheckClient() {
       cluster_, bucket_, opts_.retry, opts_.base_client_id - 1);
 }
 
+std::string TortureDriver::StatsDump() const {
+  stats::Snapshot now = stats::Registry::Global().Collect();
+  return "\n--- registry delta since driver construction ---\n" +
+         stats::DebugString(stats::Delta(start_stats_, now));
+}
+
 int TortureDriver::AnchorIndex(const std::vector<WriteRecord>& h) const {
   for (int i = static_cast<int>(h.size()) - 1; i >= 0; --i) {
     if (crash_occurred_ ? h[i].persist_acked : h[i].acked) return i;
@@ -112,7 +119,8 @@ testing::AssertionResult TortureDriver::CheckAckedWritesDurable() {
     auto r = client->Get(key);
     if (!r.ok() && !r.status().IsNotFound()) {
       return testing::AssertionFailure()
-             << "Get(" << key << ") failed: " << r.status().ToString();
+             << "Get(" << key << ") failed: " << r.status().ToString()
+             << StatsDump();
     }
     if (anchor < 0) {
       // No write is guaranteed to have survived; absent or any in-doubt
@@ -123,7 +131,7 @@ testing::AssertionResult TortureDriver::CheckAckedWritesDurable() {
       if (!known && !h.empty()) {
         return testing::AssertionFailure()
                << key << " holds a value the client never wrote: "
-               << r.value().value;
+               << r.value().value << StatsDump();
       }
       continue;
     }
@@ -131,7 +139,7 @@ testing::AssertionResult TortureDriver::CheckAckedWritesDurable() {
       return testing::AssertionFailure()
              << (crash_occurred_ ? "persist-acked" : "acked") << " write to "
              << key << " was lost: key not found (anchor value "
-             << h[anchor].value << ")";
+             << h[anchor].value << ")" << StatsDump();
     }
     // The observed value must come from the anchor or a later write — an
     // earlier value means the anchored write was rolled back.
@@ -143,7 +151,8 @@ testing::AssertionResult TortureDriver::CheckAckedWritesDurable() {
       return testing::AssertionFailure()
              << key << " regressed past an acked write: observed \""
              << r.value().value << "\", anchor \"" << h[anchor].value
-             << "\" (index " << anchor << " of " << h.size() << ")";
+             << "\" (index " << anchor << " of " << h.size() << ")"
+             << StatsDump();
     }
   }
   return testing::AssertionSuccess();
@@ -200,7 +209,7 @@ testing::AssertionResult TortureDriver::CheckReplicaConvergence() {
           if (!active_sig.count(k)) os << "; extra " << k << "@"
                                        << std::get<0>(v);
         }
-        return testing::AssertionFailure() << os.str();
+        return testing::AssertionFailure() << os.str() << StatsDump();
       }
     }
   }
@@ -215,7 +224,7 @@ testing::AssertionResult TortureDriver::CheckAllKeysReachable() {
     if (!r.ok()) {
       return testing::AssertionFailure()
              << key << " (vb " << client->VBucketFor(key)
-             << ") unreachable: " << r.status().ToString();
+             << ") unreachable: " << r.status().ToString() << StatsDump();
     }
   }
   return testing::AssertionSuccess();

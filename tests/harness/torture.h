@@ -26,6 +26,7 @@
 
 #include "client/smart_client.h"
 #include "cluster/cluster.h"
+#include "stats/registry.h"
 
 namespace couchkv::harness {
 
@@ -87,11 +88,17 @@ class TortureDriver {
   // Index of the newest write that is guaranteed to have survived, or -1.
   int AnchorIndex(const std::vector<WriteRecord>& h) const;
   std::unique_ptr<client::SmartClient> MakeCheckClient();
+  // Registry delta since construction, appended to invariant failures so a
+  // torture report shows what the cluster was doing (retries, drops,
+  // evictions, DCP backlog, ...) when the invariant broke.
+  std::string StatsDump() const;
 
   cluster::Cluster* cluster_;
   std::string bucket_;
   TortureOptions opts_;
   bool crash_occurred_ = false;
+  // Registry snapshot taken at construction; failures print the delta.
+  stats::Snapshot start_stats_;
   // key -> its write history. Written by exactly one worker thread during
   // Run(), read only after the workers join.
   std::map<std::string, std::vector<WriteRecord>> history_;
