@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# Repo lint gate, run by CI and usable locally: scripts/lint.sh
+#
+# 1. Lock-discipline source check: src/ must use the annotated types from
+#    common/synchronization.h (couchkv::Mutex, LockGuard, CondVar, ...)
+#    instead of the naked std primitives, so Clang Thread Safety Analysis
+#    sees every acquisition. synchronization.h itself is the one allowed
+#    wrapper over the std types.
+# 2. Optional clang-format check (runs only when clang-format is installed).
+set -u
+cd "$(dirname "$0")/.."
+
+fail=0
+
+# --- 1. No naked std synchronization primitives in src/ ---------------------
+banned='std::mutex|std::shared_mutex|std::recursive_mutex|std::timed_mutex'
+banned+='|std::lock_guard|std::unique_lock|std::shared_lock|std::scoped_lock'
+banned+='|std::condition_variable'
+
+matches=$(grep -rnE "$banned" src/ \
+    --include='*.h' --include='*.cc' \
+    | grep -v 'src/common/synchronization.h' || true)
+if [[ -n "$matches" ]]; then
+  echo "error: naked std synchronization primitives in src/ — use the" >&2
+  echo "annotated types from common/synchronization.h instead:" >&2
+  echo "$matches" >&2
+  fail=1
+fi
+
+# --- 2. NO_THREAD_SAFETY_ANALYSIS must carry a justification ----------------
+# The escape hatch is allowed only with an adjacent comment explaining why
+# the analysis cannot see the invariant (grep for a comment on the same or
+# the preceding line).
+while IFS=: read -r file line _; do
+  [[ "$file" == src/common/synchronization.h ]] && continue
+  prev=$((line - 1))
+  context=$(sed -n "${prev},${line}p" "$file")
+  if ! grep -q '//' <<<"$context"; then
+    echo "error: $file:$line uses NO_THREAD_SAFETY_ANALYSIS without a" >&2
+    echo "justifying comment on the same or preceding line" >&2
+    fail=1
+  fi
+done < <(grep -rn 'NO_THREAD_SAFETY_ANALYSIS' src/ \
+    --include='*.h' --include='*.cc' \
+    | grep -v 'src/common/synchronization.h' || true)
+
+# --- 3. clang-format (advisory locally, enforced in CI) ---------------------
+if command -v clang-format >/dev/null 2>&1; then
+  unformatted=()
+  while IFS= read -r f; do
+    if ! clang-format --dry-run -Werror "$f" >/dev/null 2>&1; then
+      unformatted+=("$f")
+    fi
+  done < <(git ls-files 'src/**/*.h' 'src/**/*.cc' 'tests/*.cc' 'tests/*.h')
+  if [[ ${#unformatted[@]} -gt 0 ]]; then
+    echo "error: files not clang-format clean:" >&2
+    printf '  %s\n' "${unformatted[@]}" >&2
+    fail=1
+  fi
+else
+  echo "note: clang-format not installed; skipping format check"
+fi
+
+if [[ $fail -eq 0 ]]; then
+  echo "lint OK"
+fi
+exit $fail

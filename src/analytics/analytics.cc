@@ -28,7 +28,7 @@ using n1ql::SelectStatement;
 void ShadowDataset::ApplyMutation(const kv::Mutation& m) {
   Shard& shard = ShardFor(m.doc.key);
   {
-    std::unique_lock<std::shared_mutex> lock(shard.mu);
+    WriterLockGuard lock(shard.mu);
     if (m.doc.meta.deleted) {
       shard.docs.erase(m.doc.key);
     } else {
@@ -47,7 +47,7 @@ void ShadowDataset::ForEach(
     const std::function<void(const std::string&, const json::Value&)>& fn)
     const {
   for (const Shard& shard : shards_) {
-    std::shared_lock<std::shared_mutex> lock(shard.mu);
+    ReaderLockGuard lock(shard.mu);
     for (const auto& [id, doc] : shard.docs) {
       fn(id, doc);
     }
@@ -57,7 +57,7 @@ void ShadowDataset::ForEach(
 size_t ShadowDataset::num_docs() const {
   size_t n = 0;
   for (const Shard& shard : shards_) {
-    std::shared_lock<std::shared_mutex> lock(shard.mu);
+    ReaderLockGuard lock(shard.mu);
     n += shard.docs.size();
   }
   return n;
@@ -73,7 +73,7 @@ Status AnalyticsService::ConnectBucket(const std::string& bucket) {
   }
   auto ds = std::make_shared<ShadowDataset>(bucket);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     if (datasets_.count(bucket)) {
       return Status::KeyExists("bucket already connected: " + bucket);
     }
@@ -85,7 +85,7 @@ Status AnalyticsService::ConnectBucket(const std::string& bucket) {
 
 Status AnalyticsService::DisconnectBucket(const std::string& bucket) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     if (datasets_.erase(bucket) == 0) {
       return Status::NotFound("bucket not connected");
     }
@@ -130,7 +130,7 @@ void AnalyticsService::WireDataset(const std::string& bucket,
 void AnalyticsService::OnTopologyChange(const std::string& bucket) {
   std::shared_ptr<ShadowDataset> ds;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     auto it = datasets_.find(bucket);
     if (it == datasets_.end()) return;
     ds = it->second;
@@ -142,7 +142,7 @@ Status AnalyticsService::WaitCaughtUp(const std::string& bucket,
                                       uint64_t timeout_ms) {
   std::shared_ptr<ShadowDataset> ds;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     auto it = datasets_.find(bucket);
     if (it == datasets_.end()) return Status::NotFound("not connected");
     ds = it->second;
@@ -169,7 +169,7 @@ Status AnalyticsService::WaitCaughtUp(const std::string& bucket,
 
 const ShadowDataset* AnalyticsService::dataset(
     const std::string& bucket) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   auto it = datasets_.find(bucket);
   return it == datasets_.end() ? nullptr : it->second.get();
 }
@@ -232,7 +232,7 @@ StatusOr<AnalyticsResult> AnalyticsService::Query(
 
   auto find_dataset =
       [&](const std::string& name) -> StatusOr<std::shared_ptr<ShadowDataset>> {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     auto it = datasets_.find(name);
     if (it == datasets_.end()) {
       return Status::NotFound("bucket not connected to analytics: " + name);

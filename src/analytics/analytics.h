@@ -18,12 +18,11 @@
 #include <atomic>
 #include <map>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <vector>
 
 #include "cluster/cluster.h"
+#include "common/synchronization.h"
 #include "json/value.h"
 #include "n1ql/expr_eval.h"
 
@@ -57,8 +56,8 @@ class ShadowDataset {
  private:
   static constexpr size_t kShards = 16;
   struct Shard {
-    mutable std::shared_mutex mu;
-    std::map<std::string, json::Value> docs;
+    mutable SharedMutex mu;
+    std::map<std::string, json::Value> docs GUARDED_BY(mu);
   };
   Shard& ShardFor(const std::string& key) {
     return shards_[std::hash<std::string>{}(key) % kShards];
@@ -103,8 +102,9 @@ class AnalyticsService : public cluster::ClusterService,
   }
 
   cluster::Cluster* cluster_;
-  mutable std::mutex mu_;
-  std::map<std::string, std::shared_ptr<ShadowDataset>> datasets_;
+  mutable Mutex mu_;
+  std::map<std::string, std::shared_ptr<ShadowDataset>> datasets_
+      GUARDED_BY(mu_);
 };
 
 }  // namespace couchkv::analytics

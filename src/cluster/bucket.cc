@@ -45,7 +45,7 @@ Bucket::Bucket(BucketConfig config, NodeId node_id, storage::Env* env,
 
 Bucket::~Bucket() {
   stop_.store(true);
-  queue_cv_.notify_all();
+  queue_cv_.NotifyAll();
   if (flusher_.joinable()) flusher_.join();
   dispatcher_->RemoveProducer(producer_);
   // Deregister from exposition; scope_ keeps the metric storage alive for
@@ -71,7 +71,7 @@ std::string Bucket::VBucketFilePath(uint16_t vb) const {
 }
 
 Status Bucket::EnsureStorage(uint16_t vb) {
-  std::lock_guard<std::mutex> lock(storage_mu_);
+  LockGuard lock(storage_mu_);
   VBucket* v = vbuckets_[vb].get();
   if (v->file() != nullptr) return Status::OK();
   auto file_or =
@@ -96,12 +96,12 @@ void Bucket::EnqueueForPersistence(uint16_t vb, const kv::Document& doc) {
   QueueShard& shard = shards_[vb % kQueueShards];
   bool inserted;
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    LockGuard lock(shard.mu);
     // Later write supersedes earlier (dedup aggregation).
     inserted = shard.items.insert_or_assign({vb, doc.key}, doc).second;
   }
   if (inserted && queued_.fetch_add(1) == 0) {
-    queue_cv_.notify_one();
+    queue_cv_.NotifyOne();
   }
 }
 
@@ -110,12 +110,14 @@ void Bucket::FlusherLoop() {
     if (stop_hard_.load()) return;  // crash: abandon the queue
     std::map<std::pair<uint16_t, std::string>, kv::Document> batch;
     {
-      std::unique_lock<std::mutex> lock(queue_mu_);
-      // wait_for bounds the flush latency even if a notify is lost (the
+      UniqueLock lock(queue_mu_);
+      // The deadline bounds the flush latency even if a notify is lost (the
       // enqueue fast path deliberately avoids taking queue_mu_).
-      queue_cv_.wait_for(lock, std::chrono::milliseconds(1), [this] {
-        return stop_.load() || queued_.load() > 0;
-      });
+      auto deadline =
+          std::chrono::steady_clock::now() + std::chrono::milliseconds(1);
+      while (!stop_.load() && queued_.load() == 0) {
+        if (!queue_cv_.WaitUntil(lock, deadline)) break;
+      }
     }
     if (stop_hard_.load()) return;
     if (queued_.load() == 0) {
@@ -125,7 +127,7 @@ void Bucket::FlusherLoop() {
     flushing_.store(true);
     uint64_t flush_start_ns = Clock::Real()->NowNanos();
     for (QueueShard& shard : shards_) {
-      std::lock_guard<std::mutex> lock(shard.mu);
+      LockGuard lock(shard.mu);
       batch.merge(shard.items);
       shard.items.clear();
     }
@@ -165,11 +167,11 @@ void Bucket::FlusherLoop() {
     }
     flush_ns_->Record(Clock::Real()->NowNanos() - flush_start_ns);
     {
-      std::lock_guard<std::mutex> lock(queue_mu_);
+      LockGuard lock(queue_mu_);
       ++flush_epoch_;
       flushing_.store(false);
     }
-    flush_cv_.notify_all();
+    flush_cv_.NotifyAll();
   }
 }
 
@@ -196,19 +198,19 @@ StatusOr<uint64_t> Bucket::Warmup() {
 }
 
 void Bucket::FlushAll() {
-  std::unique_lock<std::mutex> lock(queue_mu_);
-  queue_cv_.notify_all();
-  flush_cv_.wait(lock, [this] {
-    return queued_.load() == 0 && !flushing_.load();
-  });
+  UniqueLock lock(queue_mu_);
+  queue_cv_.NotifyAll();
+  while (queued_.load() > 0 || flushing_.load()) {
+    flush_cv_.Wait(lock);
+  }
 }
 
 void Bucket::Kill() {
   stop_hard_.store(true);
   stop_.store(true);
-  queue_cv_.notify_all();
+  queue_cv_.NotifyAll();
   if (flusher_.joinable()) flusher_.join();
-  flush_cv_.notify_all();
+  flush_cv_.NotifyAll();
 }
 
 Status Bucket::RollbackVBucket(uint16_t vb) {
@@ -218,7 +220,7 @@ Status Bucket::RollbackVBucket(uint16_t vb) {
   // cannot resurrect the discarded state into the fresh file.
   {
     QueueShard& shard = shards_[vb % kQueueShards];
-    std::lock_guard<std::mutex> lock(shard.mu);
+    LockGuard lock(shard.mu);
     size_t purged = 0;
     for (auto it = shard.items.begin(); it != shard.items.end();) {
       if (it->first.first == vb) {
@@ -233,12 +235,12 @@ Status Bucket::RollbackVBucket(uint16_t vb) {
   // Let any in-flight flush batch (snapshotted before the purge) complete
   // so no flusher reference to the old VBucket object survives.
   {
-    std::unique_lock<std::mutex> lock(queue_mu_);
-    flush_cv_.wait(lock, [this] { return !flushing_.load(); });
+    UniqueLock lock(queue_mu_);
+    while (flushing_.load()) flush_cv_.Wait(lock);
   }
   std::string path = VBucketFilePath(vb);
   {
-    std::lock_guard<std::mutex> lock(storage_mu_);
+    LockGuard lock(storage_mu_);
     vbuckets_[vb] = MakeVBucket(vb);  // drops the hash table + file handle
     if (env_->Exists(path)) {
       COUCHKV_RETURN_IF_ERROR(env_->Remove(path));
@@ -250,11 +252,15 @@ Status Bucket::RollbackVBucket(uint16_t vb) {
 Status Bucket::WaitForPersistence(uint16_t vb, uint64_t seqno,
                                   uint64_t timeout_ms) {
   VBucket* v = vbuckets_[vb].get();
-  std::unique_lock<std::mutex> lock(queue_mu_);
-  queue_cv_.notify_all();
-  bool ok = flush_cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
-                               [&] { return v->persisted_seqno() >= seqno; });
-  return ok ? Status::OK() : Status::Timeout("persistence wait");
+  UniqueLock lock(queue_mu_);
+  queue_cv_.NotifyAll();
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(timeout_ms);
+  while (v->persisted_seqno() < seqno) {
+    if (!flush_cv_.WaitUntil(lock, deadline)) break;
+  }
+  return v->persisted_seqno() >= seqno ? Status::OK()
+                                       : Status::Timeout("persistence wait");
 }
 
 size_t Bucket::MaybeCompact() {

@@ -8,11 +8,9 @@
 #include <array>
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -21,6 +19,7 @@
 #include "cluster/vbucket.h"
 #include "common/clock.h"
 #include "common/status.h"
+#include "common/synchronization.h"
 #include "dcp/dcp.h"
 #include "stats/registry.h"
 #include "storage/env.h"
@@ -140,20 +139,21 @@ class Bucket {
   // writers on different partitions do not contend on one mutex.
   static constexpr size_t kQueueShards = 16;
   struct QueueShard {
-    std::mutex mu;
-    std::map<std::pair<uint16_t, std::string>, kv::Document> items;
+    Mutex mu;
+    std::map<std::pair<uint16_t, std::string>, kv::Document> items
+        GUARDED_BY(mu);
   };
   std::array<QueueShard, kQueueShards> shards_;
   std::atomic<uint64_t> queued_{0};    // total items across shards
 
-  mutable std::mutex queue_mu_;        // guards the flusher's cv + flags
-  std::condition_variable queue_cv_;
+  mutable Mutex queue_mu_;             // guards the flusher's cv + flags
+  CondVar queue_cv_;
   std::atomic<bool> flushing_{false};  // a batch is being written right now
-  uint64_t flush_epoch_ = 0;           // bumped after each flush batch
-  std::condition_variable flush_cv_;   // signaled after each commit
+  uint64_t flush_epoch_ GUARDED_BY(queue_mu_) = 0;  // bumped per flush batch
+  CondVar flush_cv_;                   // signaled after each commit
   std::atomic<bool> stop_{false};
   std::atomic<bool> stop_hard_{false};  // crash: exit without draining
-  std::mutex storage_mu_;              // serializes lazy CouchFile creation
+  Mutex storage_mu_;                   // serializes lazy CouchFile creation
   std::thread flusher_;
 };
 

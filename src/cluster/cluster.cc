@@ -24,7 +24,7 @@ Cluster::Cluster(ClusterOptions opts) : opts_(std::move(opts)) {
 }
 
 Cluster::~Cluster() {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   // Stop every node's DCP pump before destroying any node: replication
   // callbacks registered on node A deliver into node B's vBuckets, so no
   // pump thread may survive the first ~Node.
@@ -66,7 +66,7 @@ std::unique_ptr<storage::Env> Cluster::MakeNodeEnv(NodeId id) {
 }
 
 NodeId Cluster::AddNode(uint32_t services) {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   NodeId id = next_node_id_++;
   nodes_[id] =
       std::make_unique<Node>(id, services, opts_.clock, MakeNodeEnv(id));
@@ -74,13 +74,13 @@ NodeId Cluster::AddNode(uint32_t services) {
 }
 
 Node* Cluster::node(NodeId id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   auto it = nodes_.find(id);
   return it == nodes_.end() ? nullptr : it->second.get();
 }
 
 std::vector<NodeId> Cluster::node_ids() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   std::vector<NodeId> ids;
   ids.reserve(nodes_.size());
   for (const auto& [id, n] : nodes_) ids.push_back(id);
@@ -88,7 +88,7 @@ std::vector<NodeId> Cluster::node_ids() const {
 }
 
 std::vector<NodeId> Cluster::healthy_data_nodes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   std::vector<NodeId> ids;
   for (const auto& [id, n] : nodes_) {
     if (n->healthy() && n->HasService(kDataService)) ids.push_back(id);
@@ -97,7 +97,7 @@ std::vector<NodeId> Cluster::healthy_data_nodes() const {
 }
 
 NodeId Cluster::orchestrator() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   for (const auto& [id, n] : nodes_) {
     if (n->healthy()) return id;
   }
@@ -108,7 +108,7 @@ Status Cluster::CreateBucket(const BucketConfig& config) {
   std::vector<NodeId> data_nodes = healthy_data_nodes();
   if (data_nodes.empty()) return Status::Unsupported("no data nodes");
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     if (bucket_configs_.count(config.name)) {
       return Status::KeyExists("bucket exists");
     }
@@ -126,13 +126,13 @@ Status Cluster::CreateBucket(const BucketConfig& config) {
 
 std::shared_ptr<const ClusterMap> Cluster::map(
     const std::string& bucket) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   auto it = maps_.find(bucket);
   return it == maps_.end() ? nullptr : it->second;
 }
 
 std::vector<std::string> Cluster::bucket_names() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   std::vector<std::string> names;
   for (const auto& [name, cfg] : bucket_configs_) names.push_back(name);
   return names;
@@ -140,7 +140,7 @@ std::vector<std::string> Cluster::bucket_names() const {
 
 void Cluster::PublishMap(const std::string& bucket,
                          std::shared_ptr<const ClusterMap> map) {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   maps_[bucket] = std::move(map);
 }
 
@@ -227,7 +227,7 @@ void Cluster::SetupReplication(const std::string& bucket,
 void Cluster::NotifyServices(const std::string& bucket) {
   std::vector<std::shared_ptr<ClusterService>> services;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     for (auto& [name, s] : services_) services.push_back(s);
   }
   for (auto& s : services) s->OnTopologyChange(bucket);
@@ -280,7 +280,7 @@ Status Cluster::MoveVBucket(const std::string& bucket, uint16_t vb,
     dst_vb->set_state(VBucketState::kActive);
   });
   src->producer()->RemoveStream(stream_id);
-  ++total_moves_;
+  total_moves_.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
 
@@ -292,7 +292,7 @@ Status Cluster::Rebalance() {
     BucketConfig config;
     std::shared_ptr<const ClusterMap> old_map;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      LockGuard lock(mu_);
       config = bucket_configs_[bucket];
       old_map = maps_[bucket];
     }
@@ -405,7 +405,7 @@ Status Cluster::RestartNode(NodeId id) {
   n->Boot();
   std::map<std::string, BucketConfig> configs;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     configs = bucket_configs_;
   }
   for (const auto& [name, config] : configs) {
@@ -523,12 +523,12 @@ Status Cluster::WaitForDurability(const std::string& bucket, uint16_t vb,
 
 void Cluster::RegisterService(const std::string& name,
                               std::shared_ptr<ClusterService> service) {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   services_[name] = std::move(service);
 }
 
 ClusterService* Cluster::FindService(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   auto it = services_.find(name);
   return it == services_.end() ? nullptr : it->second.get();
 }

@@ -18,6 +18,7 @@
 #include "cluster/vbucket_map.h"
 #include "common/clock.h"
 #include "common/status.h"
+#include "common/synchronization.h"
 #include "net/transport.h"
 
 namespace couchkv::cluster {
@@ -120,7 +121,9 @@ class Cluster {
   Clock* clock() const { return opts_.clock; }
 
   // Total number of vBucket moves performed by Rebalance() calls.
-  uint64_t total_vbucket_moves() const { return total_moves_; }
+  uint64_t total_vbucket_moves() const {
+    return total_moves_.load(std::memory_order_relaxed);
+  }
 
  private:
   std::unique_ptr<storage::Env> MakeNodeEnv(NodeId id);
@@ -139,13 +142,16 @@ class Cluster {
   net::DirectTransport direct_transport_;
   std::atomic<net::Transport*> transport_{&direct_transport_};
 
-  mutable std::mutex mu_;
-  std::map<NodeId, std::unique_ptr<Node>> nodes_;
-  NodeId next_node_id_ = 0;
-  std::map<std::string, BucketConfig> bucket_configs_;
-  std::map<std::string, std::shared_ptr<const ClusterMap>> maps_;
-  std::map<std::string, std::shared_ptr<ClusterService>> services_;
-  uint64_t total_moves_ = 0;
+  mutable Mutex mu_;
+  std::map<NodeId, std::unique_ptr<Node>> nodes_ GUARDED_BY(mu_);
+  NodeId next_node_id_ GUARDED_BY(mu_) = 0;
+  std::map<std::string, BucketConfig> bucket_configs_ GUARDED_BY(mu_);
+  std::map<std::string, std::shared_ptr<const ClusterMap>> maps_
+      GUARDED_BY(mu_);
+  std::map<std::string, std::shared_ptr<ClusterService>> services_
+      GUARDED_BY(mu_);
+  // Atomic so total_vbucket_moves() stays a lock-free accessor.
+  std::atomic<uint64_t> total_moves_{0};
 };
 
 }  // namespace couchkv::cluster

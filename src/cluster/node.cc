@@ -20,7 +20,7 @@ Node::~Node() {
   // Buckets must go before the dispatcher: their destructors unregister
   // producers.
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     buckets_.clear();
   }
   dispatcher_->Stop();
@@ -33,13 +33,13 @@ void Node::Crash() {
   // Stop the pump thread before freeing buckets: stream callbacks and
   // backfills on this dispatcher touch bucket state.
   dispatcher_->Stop();
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   for (auto& [name, b] : buckets_) b->Kill();
   buckets_.clear();
 }
 
 void Node::Boot() {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   buckets_.clear();
   dispatcher_ = std::make_unique<dcp::Dispatcher>();
   boots_->Add();
@@ -49,7 +49,7 @@ Status Node::CreateBucket(const BucketConfig& config) {
   if (!HasService(kDataService)) {
     return Status::Unsupported("node runs no data service");
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   if (buckets_.count(config.name)) {
     return Status::KeyExists("bucket exists: " + config.name);
   }
@@ -59,7 +59,7 @@ Status Node::CreateBucket(const BucketConfig& config) {
 }
 
 std::shared_ptr<Bucket> Node::bucket(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   auto it = buckets_.find(name);
   return it == buckets_.end() ? nullptr : it->second;
 }
@@ -144,7 +144,7 @@ StatusOr<stats::Snapshot> Node::Stats(const std::string& group) {
   // Pin buckets so a concurrent crash cannot free them mid-scrape.
   std::vector<std::shared_ptr<Bucket>> pinned;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     pinned.reserve(buckets_.size());
     for (auto& [name, b] : buckets_) pinned.push_back(b);
   }

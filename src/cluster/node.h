@@ -15,6 +15,7 @@
 #include "cluster/types.h"
 #include "common/clock.h"
 #include "common/status.h"
+#include "common/synchronization.h"
 #include "dcp/dcp.h"
 #include "stats/registry.h"
 #include "storage/env.h"
@@ -107,8 +108,8 @@ class Node {
   stats::Counter* stat_scrapes_ = nullptr;
   stats::Counter* boots_ = nullptr;
 
-  mutable std::mutex mu_;
-  std::map<std::string, std::shared_ptr<Bucket>> buckets_;
+  mutable Mutex mu_;
+  std::map<std::string, std::shared_ptr<Bucket>> buckets_ GUARDED_BY(mu_);
 };
 
 }  // namespace couchkv::cluster

@@ -32,7 +32,7 @@ kv::Document VBucket::MakeDoc(std::string_view key, std::string_view value,
 
 StatusOr<kv::GetResult> VBucket::Get(std::string_view key) {
   trace::Span span("kv.get", inst_.get_ns);
-  std::lock_guard<std::mutex> lock(op_mu_);
+  LockGuard lock(op_mu_);
   span.Phase("dispatch");
   COUCHKV_RETURN_IF_ERROR(CheckActive());
   if (inst_.ops_get != nullptr) inst_.ops_get->Add();
@@ -56,7 +56,7 @@ StatusOr<kv::DocMeta> VBucket::Set(std::string_view key,
                                    std::string_view value, uint32_t flags,
                                    uint32_t expiry, uint64_t cas) {
   trace::Span span("kv.set", inst_.mutate_ns);
-  std::lock_guard<std::mutex> lock(op_mu_);
+  LockGuard lock(op_mu_);
   span.Phase("dispatch");
   COUCHKV_RETURN_IF_ERROR(CheckActive());
   if (inst_.ops_mutate != nullptr) inst_.ops_mutate->Add();
@@ -73,7 +73,7 @@ StatusOr<kv::DocMeta> VBucket::Add(std::string_view key,
                                    std::string_view value, uint32_t flags,
                                    uint32_t expiry) {
   trace::Span span("kv.add", inst_.mutate_ns);
-  std::lock_guard<std::mutex> lock(op_mu_);
+  LockGuard lock(op_mu_);
   span.Phase("dispatch");
   COUCHKV_RETURN_IF_ERROR(CheckActive());
   if (inst_.ops_mutate != nullptr) inst_.ops_mutate->Add();
@@ -90,7 +90,7 @@ StatusOr<kv::DocMeta> VBucket::Replace(std::string_view key,
                                        std::string_view value, uint32_t flags,
                                        uint32_t expiry, uint64_t cas) {
   trace::Span span("kv.replace", inst_.mutate_ns);
-  std::lock_guard<std::mutex> lock(op_mu_);
+  LockGuard lock(op_mu_);
   span.Phase("dispatch");
   COUCHKV_RETURN_IF_ERROR(CheckActive());
   if (inst_.ops_mutate != nullptr) inst_.ops_mutate->Add();
@@ -105,7 +105,7 @@ StatusOr<kv::DocMeta> VBucket::Replace(std::string_view key,
 
 StatusOr<kv::DocMeta> VBucket::Remove(std::string_view key, uint64_t cas) {
   trace::Span span("kv.remove", inst_.mutate_ns);
-  std::lock_guard<std::mutex> lock(op_mu_);
+  LockGuard lock(op_mu_);
   span.Phase("dispatch");
   COUCHKV_RETURN_IF_ERROR(CheckActive());
   if (inst_.ops_mutate != nullptr) inst_.ops_mutate->Add();
@@ -121,7 +121,7 @@ StatusOr<kv::DocMeta> VBucket::Remove(std::string_view key, uint64_t cas) {
 StatusOr<kv::GetResult> VBucket::GetAndLock(std::string_view key,
                                             uint64_t lock_ms) {
   trace::Span span("kv.getl", inst_.get_ns);
-  std::lock_guard<std::mutex> lock(op_mu_);
+  LockGuard lock(op_mu_);
   COUCHKV_RETURN_IF_ERROR(CheckActive());
   if (inst_.ops_get != nullptr) inst_.ops_get->Add();
   auto r = ht_.GetAndLock(key, lock_ms);
@@ -138,14 +138,14 @@ StatusOr<kv::GetResult> VBucket::GetAndLock(std::string_view key,
 }
 
 Status VBucket::Unlock(std::string_view key, uint64_t cas) {
-  std::lock_guard<std::mutex> lock(op_mu_);
+  LockGuard lock(op_mu_);
   COUCHKV_RETURN_IF_ERROR(CheckActive());
   return ht_.Unlock(key, cas);
 }
 
 StatusOr<kv::DocMeta> VBucket::Touch(std::string_view key, uint32_t expiry) {
   trace::Span span("kv.touch", inst_.mutate_ns);
-  std::lock_guard<std::mutex> lock(op_mu_);
+  LockGuard lock(op_mu_);
   COUCHKV_RETURN_IF_ERROR(CheckActive());
   if (inst_.ops_mutate != nullptr) inst_.ops_mutate->Add();
   auto meta = ht_.Touch(key, expiry);
@@ -158,7 +158,7 @@ StatusOr<kv::DocMeta> VBucket::Touch(std::string_view key, uint32_t expiry) {
 }
 
 Status VBucket::ApplyXdcr(const kv::Document& doc) {
-  std::lock_guard<std::mutex> lock(op_mu_);
+  LockGuard lock(op_mu_);
   COUCHKV_RETURN_IF_ERROR(CheckActive());
   auto meta = ht_.SetWithMeta(doc);
   if (!meta.ok()) return meta.status();
@@ -169,7 +169,7 @@ Status VBucket::ApplyXdcr(const kv::Document& doc) {
 }
 
 void VBucket::ApplyReplicated(const kv::Document& doc) {
-  std::lock_guard<std::mutex> lock(op_mu_);
+  LockGuard lock(op_mu_);
   ht_.ApplyRemote(doc);
   Emit(doc);
 }

@@ -11,11 +11,11 @@
 #include <atomic>
 #include <functional>
 #include <memory>
-#include <mutex>
 
 #include "cluster/types.h"
 #include "common/clock.h"
 #include "common/status.h"
+#include "common/synchronization.h"
 #include "kv/hash_table.h"
 #include "stats/registry.h"
 #include "storage/couch_file.h"
@@ -59,39 +59,55 @@ class VBucket {
     state_.store(s, std::memory_order_release);
   }
 
-  void set_sink(MutationSink sink) { sink_ = std::move(sink); }
-  void set_file(std::shared_ptr<storage::CouchFile> file) {
+  void set_sink(MutationSink sink) EXCLUDES(op_mu_) {
+    LockGuard lock(op_mu_);
+    sink_ = std::move(sink);
+  }
+  void set_file(std::shared_ptr<storage::CouchFile> file) EXCLUDES(op_mu_) {
+    LockGuard lock(op_mu_);
     file_ = std::move(file);
   }
-  storage::CouchFile* file() const { return file_.get(); }
+  // The pointer read is locked (the flusher races EnsureStorage here), but
+  // the returned file may be used lock-free: file_ only ever transitions
+  // null -> non-null and the CouchFile is internally synchronized.
+  storage::CouchFile* file() const EXCLUDES(op_mu_) {
+    LockGuard lock(op_mu_);
+    return file_.get();
+  }
   kv::HashTable& hash_table() { return ht_; }
   const kv::HashTable& hash_table() const { return ht_; }
 
   // --- Front-end (active-state) operations ---
   // All return NotMyVBucket unless the vBucket is active.
 
-  StatusOr<kv::GetResult> Get(std::string_view key);
+  StatusOr<kv::GetResult> Get(std::string_view key) EXCLUDES(op_mu_);
   StatusOr<kv::DocMeta> Set(std::string_view key, std::string_view value,
-                            uint32_t flags, uint32_t expiry, uint64_t cas);
+                            uint32_t flags, uint32_t expiry, uint64_t cas)
+      EXCLUDES(op_mu_);
   StatusOr<kv::DocMeta> Add(std::string_view key, std::string_view value,
-                            uint32_t flags, uint32_t expiry);
+                            uint32_t flags, uint32_t expiry)
+      EXCLUDES(op_mu_);
   StatusOr<kv::DocMeta> Replace(std::string_view key, std::string_view value,
-                                uint32_t flags, uint32_t expiry, uint64_t cas);
-  StatusOr<kv::DocMeta> Remove(std::string_view key, uint64_t cas);
-  StatusOr<kv::GetResult> GetAndLock(std::string_view key, uint64_t lock_ms);
-  Status Unlock(std::string_view key, uint64_t cas);
-  StatusOr<kv::DocMeta> Touch(std::string_view key, uint32_t expiry);
+                                uint32_t flags, uint32_t expiry, uint64_t cas)
+      EXCLUDES(op_mu_);
+  StatusOr<kv::DocMeta> Remove(std::string_view key, uint64_t cas)
+      EXCLUDES(op_mu_);
+  StatusOr<kv::GetResult> GetAndLock(std::string_view key, uint64_t lock_ms)
+      EXCLUDES(op_mu_);
+  Status Unlock(std::string_view key, uint64_t cas) EXCLUDES(op_mu_);
+  StatusOr<kv::DocMeta> Touch(std::string_view key, uint32_t expiry)
+      EXCLUDES(op_mu_);
 
   // --- Replication-state operations ---
 
   // Applies a mutation received over DCP (replica / rebalance apply path).
   // Feeds the sink so the mutation persists and re-streams.
-  void ApplyReplicated(const kv::Document& doc);
+  void ApplyReplicated(const kv::Document& doc) EXCLUDES(op_mu_);
 
   // Applies a document arriving over XDCR, running conflict resolution
   // (paper §4.6.1). Returns KeyExists if the local version wins. Allowed in
   // active state only.
-  Status ApplyXdcr(const kv::Document& doc);
+  Status ApplyXdcr(const kv::Document& doc) EXCLUDES(op_mu_);
 
   // --- Common ---
   uint64_t high_seqno() const { return ht_.high_seqno(); }
@@ -99,14 +115,14 @@ class VBucket {
 
   // Runs `fn` with the op lock held — used for the atomic rebalance
   // switchover (paper §4.3.1).
-  void WithOpLock(const std::function<void()>& fn) {
-    std::lock_guard<std::mutex> lock(op_mu_);
+  void WithOpLock(const std::function<void()>& fn) EXCLUDES(op_mu_) {
+    LockGuard lock(op_mu_);
     fn();
   }
 
  private:
-  Status CheckActive() const;  // caller must hold op_mu_
-  void Emit(const kv::Document& doc) {
+  Status CheckActive() const REQUIRES(op_mu_);
+  void Emit(const kv::Document& doc) REQUIRES(op_mu_) {
     if (sink_) sink_(doc);
   }
   // Builds the Document for a just-applied mutation so it can be emitted.
@@ -115,11 +131,11 @@ class VBucket {
 
   const uint16_t id_;
   OpInstruments inst_;  // null members = reporting disabled
-  mutable std::mutex op_mu_;
+  mutable Mutex op_mu_;
   std::atomic<VBucketState> state_;
-  kv::HashTable ht_;
-  std::shared_ptr<storage::CouchFile> file_;
-  MutationSink sink_;
+  kv::HashTable ht_;  // internally synchronized
+  std::shared_ptr<storage::CouchFile> file_ GUARDED_BY(op_mu_);
+  MutationSink sink_ GUARDED_BY(op_mu_);
 };
 
 }  // namespace couchkv::cluster

@@ -2,12 +2,15 @@
 
 #include <atomic>
 #include <cstdio>
-#include <mutex>
+
+#include "common/synchronization.h"
 
 namespace couchkv {
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
-std::mutex g_mu;
+// Serializes the fprintf so concurrent log lines do not interleave; stderr
+// itself is the guarded resource, so there is no GUARDED_BY field.
+Mutex g_mu;
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -27,7 +30,7 @@ LogLevel GetLogLevel() { return g_level.load(std::memory_order_relaxed); }
 namespace internal_log {
 void Emit(LogLevel level, const std::string& msg) {
   if (level < GetLogLevel()) return;
-  std::lock_guard<std::mutex> lock(g_mu);
+  LockGuard lock(g_mu);
   std::fprintf(stderr, "[%s] %s\n", LevelName(level), msg.c_str());
 }
 }  // namespace internal_log

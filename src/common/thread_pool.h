@@ -4,12 +4,12 @@
 #ifndef COUCHKV_COMMON_THREAD_POOL_H_
 #define COUCHKV_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/synchronization.h"
 
 namespace couchkv {
 
@@ -22,22 +22,23 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   // Enqueue a task. Safe from any thread, including pool workers.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) EXCLUDES(mu_);
 
   // Block until every task submitted so far has finished.
-  void Wait();
+  void Wait() EXCLUDES(mu_);
 
   size_t num_threads() const { return threads_.size(); }
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() EXCLUDES(mu_);
+  bool Idle() const REQUIRES(mu_) { return queue_.empty() && active_ == 0; }
 
-  std::mutex mu_;
-  std::condition_variable cv_;        // wakes workers
-  std::condition_variable idle_cv_;   // wakes Wait()
-  std::deque<std::function<void()>> queue_;
-  size_t active_ = 0;
-  bool stop_ = false;
+  Mutex mu_;
+  CondVar cv_;       // wakes workers
+  CondVar idle_cv_;  // wakes Wait()
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
+  size_t active_ GUARDED_BY(mu_) = 0;
+  bool stop_ GUARDED_BY(mu_) = false;
   std::vector<std::thread> threads_;
 };
 

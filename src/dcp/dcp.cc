@@ -11,7 +11,7 @@ namespace couchkv::dcp {
 // ---------------------------------------------------------------------------
 
 void ChangeLog::Append(kv::Document doc) {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   if (doc.meta.seqno > high_seqno_) high_seqno_ = doc.meta.seqno;
   items_.push_back(std::move(doc));
   while (items_.size() > max_items_) items_.pop_front();
@@ -19,8 +19,8 @@ void ChangeLog::Append(kv::Document doc) {
 
 uint64_t ChangeLog::ReadSince(uint64_t since, size_t max,
                               std::vector<kv::Document>* out) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  uint64_t start = items_.empty() ? high_seqno_ + 1 : items_.front().meta.seqno;
+  LockGuard lock(mu_);
+  uint64_t start = StartSeqno();
   // Binary search would need random access; the deque provides it.
   size_t lo = 0, hi = items_.size();
   while (lo < hi) {
@@ -38,17 +38,17 @@ uint64_t ChangeLog::ReadSince(uint64_t since, size_t max,
 }
 
 uint64_t ChangeLog::high_seqno() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   return high_seqno_;
 }
 
 uint64_t ChangeLog::start_seqno() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return items_.empty() ? high_seqno_ + 1 : items_.front().meta.seqno;
+  LockGuard lock(mu_);
+  return StartSeqno();
 }
 
 size_t ChangeLog::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   return items_.size();
 }
 
@@ -89,10 +89,9 @@ StatusOr<uint64_t> Producer::AddStream(const std::string& name,
   auto stream = std::make_shared<Stream>();
   stream->name = name;
   stream->vbucket = vbucket;
-  stream->next_seqno = from_seqno + 1;
+  stream->next_seqno.store(from_seqno + 1, std::memory_order_relaxed);
   stream->fn = std::move(fn);
-  stream->backfill_done = false;
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   stream->id = next_stream_id_++;
   streams_[stream->id] = stream;
   return stream->id;
@@ -101,7 +100,7 @@ StatusOr<uint64_t> Producer::AddStream(const std::string& name,
 void Producer::RemoveStream(uint64_t stream_id) {
   std::shared_ptr<Stream> victim;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     auto it = streams_.find(stream_id);
     if (it == streams_.end()) return;
     victim = it->second;
@@ -109,14 +108,14 @@ void Producer::RemoveStream(uint64_t stream_id) {
   }
   // Barrier: wait out any in-flight delivery and mark the stream closed so
   // a pumper that snapshotted it before the erase skips it.
-  std::lock_guard<std::mutex> delivery_lock(victim->delivery_mu);
+  LockGuard delivery_lock(victim->delivery_mu);
   victim->closed = true;
 }
 
 void Producer::RemoveStreamsNamed(const std::string& name) {
   std::vector<std::shared_ptr<Stream>> victims;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     for (auto it = streams_.begin(); it != streams_.end();) {
       if (it->second->name == name) {
         victims.push_back(it->second);
@@ -127,9 +126,87 @@ void Producer::RemoveStreamsNamed(const std::string& name) {
     }
   }
   for (auto& victim : victims) {
-    std::lock_guard<std::mutex> delivery_lock(victim->delivery_mu);
+    LockGuard delivery_lock(victim->delivery_mu);
     victim->closed = true;
   }
+}
+
+bool Producer::BackfillStream(Stream& s, uint64_t window_start,
+                              bool* delivered) {
+  // The in-memory window no longer covers this stream's start point:
+  // backfill the gap from the storage engine (paper: DCP "backfill").
+  bool stalled = false;
+  if (backfill_) {
+    uint64_t delivered_up_to = s.next_seqno.load(std::memory_order_relaxed) - 1;
+    Status st =
+        backfill_(s.vbucket, delivered_up_to, [&](const kv::Mutation& m) {
+          if (stalled) return Status::OK();  // skip; retry next pump
+          uint64_t next = s.next_seqno.load(std::memory_order_relaxed);
+          if (m.doc.meta.seqno >= next && m.doc.meta.seqno < window_start) {
+            Status delivery = s.fn(m);
+            if (!delivery.ok()) {
+              stalled = true;
+              return delivery;
+            }
+            if (m.doc.meta.seqno + 1 > next) {
+              s.next_seqno.store(m.doc.meta.seqno + 1,
+                                 std::memory_order_relaxed);
+            }
+            *delivered = true;
+            if (counters_.items_delivered != nullptr) {
+              counters_.items_delivered->Add();
+              counters_.backfill_items->Add();
+            }
+          }
+          return Status::OK();
+        });
+    if (!st.ok()) {
+      LOG_WARN << "DCP backfill failed for vb " << s.vbucket << ": "
+               << st.ToString();
+    }
+  }
+  // Whether or not storage had everything, resume from the window — unless a
+  // delivery stalled, in which case the backfill resumes from the first
+  // undelivered seqno on a later pump.
+  if (!stalled &&
+      s.next_seqno.load(std::memory_order_relaxed) < window_start) {
+    s.next_seqno.store(window_start, std::memory_order_relaxed);
+  }
+  return !stalled;
+}
+
+bool Producer::PumpStream(Stream& s, size_t batch_per_stream) {
+  bool delivered = false;
+  ChangeLog& log = *logs_[s.vbucket];
+
+  if (!s.backfill_done) {
+    uint64_t window_start = log.start_seqno();
+    if (s.next_seqno.load(std::memory_order_relaxed) < window_start) {
+      if (!BackfillStream(s, window_start, &delivered)) return delivered;
+    }
+    s.backfill_done = true;
+  }
+
+  std::vector<kv::Document> batch;
+  log.ReadSince(s.next_seqno.load(std::memory_order_relaxed) - 1,
+                batch_per_stream, &batch);
+  for (kv::Document& doc : batch) {
+    // Skip already-delivered seqnos.
+    if (doc.meta.seqno < s.next_seqno.load(std::memory_order_relaxed)) {
+      continue;
+    }
+    kv::Mutation m;
+    m.vbucket = s.vbucket;
+    m.doc = std::move(doc);
+    // Advance only after a successful delivery: a failed (dropped /
+    // partitioned) delivery stalls the stream so the mutation is retried
+    // rather than lost.
+    if (!s.fn(m).ok()) break;
+    s.next_seqno.store(m.doc.meta.seqno + 1, std::memory_order_relaxed);
+    delivered = true;
+    if (counters_.items_delivered != nullptr) counters_.items_delivered->Add();
+  }
+  return delivered;
 }
 
 bool Producer::PumpOnce(size_t batch_per_stream) {
@@ -137,77 +214,16 @@ bool Producer::PumpOnce(size_t batch_per_stream) {
   // callbacks may add/remove streams.
   std::vector<std::shared_ptr<Stream>> snapshot;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     snapshot.reserve(streams_.size());
     for (auto& [id, s] : streams_) snapshot.push_back(s);
   }
 
   bool delivered = false;
   for (auto& s : snapshot) {
-    std::lock_guard<std::mutex> delivery_lock(s->delivery_mu);
+    LockGuard delivery_lock(s->delivery_mu);
     if (s->closed) continue;
-    ChangeLog& log = *logs_[s->vbucket];
-
-    if (!s->backfill_done) {
-      uint64_t window_start = log.start_seqno();
-      bool stalled = false;
-      if (s->next_seqno < window_start) {
-        // The in-memory window no longer covers this stream's start point:
-        // backfill the gap from the storage engine (paper: DCP "backfill").
-        if (backfill_) {
-          uint64_t delivered_up_to = s->next_seqno - 1;
-          Status st = backfill_(
-              s->vbucket, delivered_up_to, [&](const kv::Mutation& m) {
-                if (stalled) return Status::OK();  // skip; retry next pump
-                if (m.doc.meta.seqno >= s->next_seqno &&
-                    m.doc.meta.seqno < window_start) {
-                  Status delivery = s->fn(m);
-                  if (!delivery.ok()) {
-                    stalled = true;
-                    return delivery;
-                  }
-                  if (m.doc.meta.seqno + 1 > s->next_seqno) {
-                    s->next_seqno = m.doc.meta.seqno + 1;
-                  }
-                  delivered = true;
-                  if (counters_.items_delivered != nullptr) {
-                    counters_.items_delivered->Add();
-                    counters_.backfill_items->Add();
-                  }
-                }
-                return Status::OK();
-              });
-          if (!st.ok()) {
-            LOG_WARN << "DCP backfill failed for vb " << s->vbucket << ": "
-                     << st.ToString();
-          }
-        }
-        // Whether or not storage had everything, resume from the window —
-        // unless a delivery stalled, in which case the backfill resumes
-        // from the first undelivered seqno on a later pump.
-        if (!stalled && s->next_seqno < window_start) {
-          s->next_seqno = window_start;
-        }
-      }
-      if (stalled) continue;
-      s->backfill_done = true;
-    }
-
-    std::vector<kv::Document> batch;
-    log.ReadSince(s->next_seqno - 1, batch_per_stream, &batch);
-    for (kv::Document& doc : batch) {
-      if (doc.meta.seqno < s->next_seqno) continue;  // already delivered
-      kv::Mutation m;
-      m.vbucket = s->vbucket;
-      m.doc = std::move(doc);
-      // Advance only after a successful delivery: a failed (dropped /
-      // partitioned) delivery stalls the stream so the mutation is retried
-      // rather than lost.
-      if (!s->fn(m).ok()) break;
-      s->next_seqno = m.doc.meta.seqno + 1;
-      delivered = true;
-      if (counters_.items_delivered != nullptr) counters_.items_delivered->Add();
-    }
+    if (PumpStream(*s, batch_per_stream)) delivered = true;
   }
   return delivered;
 }
@@ -219,13 +235,13 @@ void Producer::Drain() {
 
 uint64_t Producer::StreamSeqno(const std::string& name,
                                uint16_t vbucket) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   uint64_t result = UINT64_MAX;
   bool found = false;
   for (const auto& [id, s] : streams_) {
     if (s->name == name && s->vbucket == vbucket) {
       found = true;
-      uint64_t acked = s->next_seqno - 1;
+      uint64_t acked = s->next_seqno.load(std::memory_order_relaxed) - 1;
       if (acked < result) result = acked;
     }
   }
@@ -237,11 +253,11 @@ uint64_t Producer::high_seqno(uint16_t vbucket) const {
 }
 
 uint64_t Producer::TotalBacklog() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   uint64_t backlog = 0;
   for (const auto& [id, s] : streams_) {
     uint64_t high = logs_[s->vbucket]->high_seqno();
-    uint64_t acked = s->next_seqno - 1;
+    uint64_t acked = s->next_seqno.load(std::memory_order_relaxed) - 1;
     if (high > acked) backlog += high - acked;
   }
   return backlog;
@@ -257,15 +273,15 @@ Dispatcher::~Dispatcher() { Stop(); }
 
 void Dispatcher::AddProducer(std::shared_ptr<Producer> producer) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     producers_.push_back(std::move(producer));
     work_.store(true, std::memory_order_release);
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 void Dispatcher::RemoveProducer(const std::shared_ptr<Producer>& producer) {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   std::erase(producers_, producer);
 }
 
@@ -273,14 +289,16 @@ void Dispatcher::Notify() {
   // Fast path: a wakeup is already pending, nothing to do. This keeps the
   // per-write cost of notifying DCP to one atomic exchange.
   if (work_.exchange(true, std::memory_order_acq_rel)) return;
-  std::lock_guard<std::mutex> lock(mu_);
-  cv_.notify_all();
+  // Taking the mutex pairs with the waiter's predicate check: the Loop
+  // either sees work_==true before sleeping or is woken by this notify.
+  { LockGuard lock(mu_); }
+  cv_.NotifyAll();
 }
 
 void Dispatcher::Quiesce() {
   std::vector<std::shared_ptr<Producer>> snapshot;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     snapshot = producers_;
   }
   bool progress = true;
@@ -294,11 +312,11 @@ void Dispatcher::Quiesce() {
 
 void Dispatcher::Stop() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     if (stop_) return;
     stop_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   if (thread_.joinable()) thread_.join();
 }
 
@@ -306,10 +324,12 @@ void Dispatcher::Loop() {
   for (;;) {
     std::vector<std::shared_ptr<Producer>> snapshot;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait_for(lock, std::chrono::milliseconds(5), [this] {
-        return work_.load(std::memory_order_acquire) || stop_;
-      });
+      UniqueLock lock(mu_);
+      auto deadline =
+          std::chrono::steady_clock::now() + std::chrono::milliseconds(5);
+      while (!work_.load(std::memory_order_acquire) && !stop_) {
+        if (!cv_.WaitUntil(lock, deadline)) break;  // poll tick
+      }
       if (stop_) return;
       work_.store(false, std::memory_order_release);
       snapshot = producers_;
@@ -321,7 +341,7 @@ void Dispatcher::Loop() {
         if (p->PumpOnce()) progress = true;
       }
       {
-        std::lock_guard<std::mutex> lock(mu_);
+        LockGuard lock(mu_);
         if (stop_) return;
       }
     }

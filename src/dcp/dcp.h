@@ -14,18 +14,17 @@
 #define COUCHKV_DCP_DCP_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/status.h"
+#include "common/synchronization.h"
 #include "kv/doc.h"
 #include "stats/registry.h"
 
@@ -73,9 +72,13 @@ class ChangeLog {
   size_t size() const;
 
  private:
-  mutable std::mutex mu_;
-  std::deque<kv::Document> items_;
-  uint64_t high_seqno_ = 0;
+  uint64_t StartSeqno() const REQUIRES(mu_) {
+    return items_.empty() ? high_seqno_ + 1 : items_.front().meta.seqno;
+  }
+
+  mutable Mutex mu_;
+  std::deque<kv::Document> items_ GUARDED_BY(mu_);
+  uint64_t high_seqno_ GUARDED_BY(mu_) = 0;
   size_t max_items_;
 };
 
@@ -128,29 +131,42 @@ class Producer {
 
  private:
   struct Stream {
-    uint64_t id;
+    // id/name/vbucket/fn are set before the stream is published into
+    // streams_ and immutable afterwards.
+    uint64_t id = 0;
     std::string name;
-    uint16_t vbucket;
-    uint64_t next_seqno;  // first seqno not yet delivered
+    uint16_t vbucket = 0;
     MutationFn fn;
-    bool backfill_done;
+    // First seqno not yet delivered. Atomic because pumpers advance it under
+    // delivery_mu while StreamSeqno/TotalBacklog read it under the map lock
+    // mu_ — two different capabilities, so neither mutex alone orders the
+    // accesses.
+    std::atomic<uint64_t> next_seqno{1};
     // Serializes delivery: the dispatcher thread and synchronous pumpers
     // (Quiesce, rebalance movers) may call PumpOnce concurrently.
-    std::mutex delivery_mu;
-    // Set (under delivery_mu) when the stream is removed; a pumper that
-    // snapshotted the stream before removal skips it. This is what makes
-    // RemoveStream* a barrier.
-    bool closed = false;
+    Mutex delivery_mu;
+    bool backfill_done GUARDED_BY(delivery_mu) = false;
+    // Set when the stream is removed; a pumper that snapshotted the stream
+    // before removal skips it. This is what makes RemoveStream* a barrier.
+    bool closed GUARDED_BY(delivery_mu) = false;
   };
+
+  // Delivers to one stream; returns true if any mutation went through.
+  bool PumpStream(Stream& s, size_t batch_per_stream)
+      REQUIRES(s.delivery_mu);
+  // Serves the below-window gap from storage. Returns false if a delivery
+  // stalled (retry on a later pump).
+  bool BackfillStream(Stream& s, uint64_t window_start, bool* delivered)
+      REQUIRES(s.delivery_mu);
 
   uint16_t num_vbuckets_;
   BackfillFn backfill_;
   DcpCounters counters_;  // null members = reporting disabled
   std::vector<std::unique_ptr<ChangeLog>> logs_;
 
-  mutable std::mutex mu_;  // guards streams_ map (not delivery)
-  std::map<uint64_t, std::shared_ptr<Stream>> streams_;
-  uint64_t next_stream_id_ = 1;
+  mutable Mutex mu_;  // guards streams_ map (not delivery)
+  std::map<uint64_t, std::shared_ptr<Stream>> streams_ GUARDED_BY(mu_);
+  uint64_t next_stream_id_ GUARDED_BY(mu_) = 1;
 };
 
 // Background thread that keeps a set of producers pumped. One per node.
@@ -173,13 +189,13 @@ class Dispatcher {
  private:
   void Loop();
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::vector<std::shared_ptr<Producer>> producers_;
+  Mutex mu_;
+  CondVar cv_;
+  std::vector<std::shared_ptr<Producer>> producers_ GUARDED_BY(mu_);
   // work_ is atomic so Notify() can elide the mutex+notify when a wakeup is
   // already pending — Notify is called on every front-end write.
   std::atomic<bool> work_{false};
-  bool stop_ = false;
+  bool stop_ GUARDED_BY(mu_) = false;
   std::thread thread_;
 };
 

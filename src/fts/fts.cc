@@ -61,7 +61,7 @@ std::string ExtractText(const json::Value& doc,
 // ---------------------------------------------------------------------------
 
 void InvertedIndex::ApplyMutation(const kv::Mutation& m) {
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  WriterLockGuard lock(mu_);
   // Remove the document's previous postings.
   auto prev = doc_terms_.find(m.doc.key);
   if (prev != doc_terms_.end()) {
@@ -117,7 +117,7 @@ void InvertedIndex::CollectTermDocs(const std::string& term,
 std::vector<SearchHit> InvertedIndex::Search(const std::string& query,
                                              QueryMode mode,
                                              size_t limit) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderLockGuard lock(mu_);
   // Keep '*' during analysis by splitting ourselves.
   std::vector<std::string> raw_terms;
   {
@@ -188,12 +188,12 @@ std::vector<SearchHit> InvertedIndex::Search(const std::string& query,
 }
 
 size_t InvertedIndex::num_terms() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderLockGuard lock(mu_);
   return terms_.size();
 }
 
 size_t InvertedIndex::num_docs() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderLockGuard lock(mu_);
   return doc_terms_.size();
 }
 
@@ -210,7 +210,7 @@ Status SearchService::CreateIndex(FtsIndexDefinition def) {
   }
   auto index = std::make_shared<InvertedIndex>(def);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     auto& per_bucket = indexes_[def.bucket];
     if (per_bucket.count(def.name)) {
       return Status::KeyExists("fts index exists: " + def.name);
@@ -225,7 +225,7 @@ Status SearchService::DropIndex(const std::string& bucket,
                                 const std::string& name) {
   std::shared_ptr<InvertedIndex> index;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     auto bit = indexes_.find(bucket);
     if (bit == indexes_.end()) return Status::NotFound("no such fts index");
     auto it = bit->second.find(name);
@@ -275,7 +275,7 @@ void SearchService::WireIndex(const std::string& bucket,
 void SearchService::OnTopologyChange(const std::string& bucket) {
   std::vector<std::shared_ptr<InvertedIndex>> affected;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     auto bit = indexes_.find(bucket);
     if (bit == indexes_.end()) return;
     for (auto& [name, idx] : bit->second) affected.push_back(idx);
@@ -310,7 +310,7 @@ StatusOr<std::vector<SearchHit>> SearchService::Search(
     const std::string& query, QueryMode mode, size_t limit, bool consistent) {
   std::shared_ptr<InvertedIndex> index;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     auto bit = indexes_.find(bucket);
     if (bit == indexes_.end()) return Status::NotFound("no such fts index");
     auto it = bit->second.find(name);
@@ -325,7 +325,7 @@ StatusOr<std::vector<SearchHit>> SearchService::Search(
 
 const InvertedIndex* SearchService::index(const std::string& bucket,
                                           const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   auto bit = indexes_.find(bucket);
   if (bit == indexes_.end()) return nullptr;
   auto it = bit->second.find(name);

@@ -13,13 +13,12 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "cluster/cluster.h"
+#include "common/synchronization.h"
 #include "json/value.h"
 
 namespace couchkv::fts {
@@ -77,13 +76,16 @@ class InvertedIndex {
 
   // Docs matching one term (expanding a trailing-'*' prefix).
   void CollectTermDocs(const std::string& term,
-                       std::map<std::string, Posting>* out) const;
+                       std::map<std::string, Posting>* out) const
+      REQUIRES_SHARED(mu_);
 
   FtsIndexDefinition def_;
-  mutable std::shared_mutex mu_;
+  mutable SharedMutex mu_;
   // term -> doc_id -> posting. std::map for ordered prefix expansion.
-  std::map<std::string, std::unordered_map<std::string, Posting>> terms_;
-  std::unordered_map<std::string, std::vector<std::string>> doc_terms_;
+  std::map<std::string, std::unordered_map<std::string, Posting>> terms_
+      GUARDED_BY(mu_);
+  std::unordered_map<std::string, std::vector<std::string>> doc_terms_
+      GUARDED_BY(mu_);
   std::array<std::atomic<uint64_t>, cluster::kNumVBuckets> processed_{};
 };
 
@@ -124,9 +126,9 @@ class SearchService : public cluster::ClusterService,
   }
 
   cluster::Cluster* cluster_;
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   std::map<std::string, std::map<std::string, std::shared_ptr<InvertedIndex>>>
-      indexes_;
+      indexes_ GUARDED_BY(mu_);
 };
 
 }  // namespace couchkv::fts

@@ -85,7 +85,7 @@ Status IndexService::CreateIndex(IndexDefinition def) {
   }
 
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     auto& per_bucket = indexes_[def.bucket];
     if (per_bucket.count(def.name)) {
       return Status::KeyExists("index exists: " + def.name);
@@ -100,7 +100,7 @@ Status IndexService::DropIndex(const std::string& bucket,
                                const std::string& name) {
   std::shared_ptr<IndexState> state;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     auto bit = indexes_.find(bucket);
     if (bit == indexes_.end()) return Status::NotFound("no such index");
     auto it = bit->second.find(name);
@@ -118,7 +118,7 @@ Status IndexService::DropIndex(const std::string& bucket,
 
 std::vector<IndexDefinition> IndexService::ListIndexes(
     const std::string& bucket) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   std::vector<IndexDefinition> out;
   auto bit = indexes_.find(bucket);
   if (bit == indexes_.end()) return out;
@@ -128,7 +128,7 @@ std::vector<IndexDefinition> IndexService::ListIndexes(
 
 StatusOr<IndexDefinition> IndexService::GetIndex(
     const std::string& bucket, const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   auto bit = indexes_.find(bucket);
   if (bit != indexes_.end()) {
     auto it = bit->second.find(name);
@@ -211,7 +211,7 @@ void IndexService::WireIndex(const std::string& bucket,
 void IndexService::OnTopologyChange(const std::string& bucket) {
   std::vector<std::shared_ptr<IndexState>> states;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     auto bit = indexes_.find(bucket);
     if (bit == indexes_.end()) return;
     for (auto& [name, st] : bit->second) states.push_back(st);
@@ -232,7 +232,7 @@ Status IndexService::WaitUntilCaughtUp(const std::string& bucket,
                                        uint64_t timeout_ms) {
   std::shared_ptr<IndexState> state;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     auto bit = indexes_.find(bucket);
     if (bit == indexes_.end()) return Status::NotFound("no such index");
     auto it = bit->second.find(name);
@@ -277,7 +277,7 @@ StatusOr<std::vector<IndexEntry>> IndexService::Scan(
     size_t limit, ScanConsistency consistency) {
   std::shared_ptr<IndexState> state;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     auto bit = indexes_.find(bucket);
     if (bit == indexes_.end()) return Status::NotFound("no such index");
     auto it = bit->second.find(name);
@@ -327,7 +327,7 @@ StatusOr<std::vector<IndexEntry>> IndexService::Scan(
 IndexStats IndexService::Stats(const std::string& bucket,
                                const std::string& name) const {
   IndexStats stats;
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   auto bit = indexes_.find(bucket);
   if (bit == indexes_.end()) return stats;
   auto it = bit->second.find(name);

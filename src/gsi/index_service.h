@@ -8,11 +8,11 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "cluster/cluster.h"
+#include "common/synchronization.h"
 #include "gsi/index_defs.h"
 #include "gsi/indexer.h"
 #include "stats/registry.h"
@@ -106,11 +106,11 @@ class IndexService : public cluster::ClusterService,
   stats::Counter* scan_retries_ = nullptr;
   Histogram* scan_ns_ = nullptr;
 
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   // bucket -> index name -> state. Values are shared_ptr so scans can run
   // without holding mu_.
   std::map<std::string, std::map<std::string, std::shared_ptr<IndexState>>>
-      indexes_;
+      indexes_ GUARDED_BY(mu_);
 };
 
 }  // namespace couchkv::gsi

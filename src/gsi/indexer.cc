@@ -33,7 +33,7 @@ void IndexPartition::LogApply(const KeyVersion& kv) {
 }
 
 void IndexPartition::Apply(const KeyVersion& kv) {
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  WriterLockGuard lock(mu_);
   // Remove whatever this partition currently holds for the document.
   auto prev = back_.find(kv.doc_id);
   if (prev != back_.end()) {
@@ -57,7 +57,7 @@ void IndexPartition::Apply(const KeyVersion& kv) {
 
 std::vector<IndexEntry> IndexPartition::Scan(const ScanRange& range,
                                              size_t limit) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderLockGuard lock(mu_);
   std::vector<IndexEntry> out;
   auto it = tree_.begin();
   if (range.lo.has_value()) {
@@ -80,7 +80,7 @@ std::vector<IndexEntry> IndexPartition::Scan(const ScanRange& range,
 }
 
 size_t IndexPartition::num_entries() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderLockGuard lock(mu_);
   return tree_.size();
 }
 

@@ -14,13 +14,13 @@
 #include <map>
 #include <memory>
 #include <set>
-#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "cluster/types.h"
 #include "common/status.h"
+#include "common/synchronization.h"
 #include "gsi/index_defs.h"
 #include "storage/env.h"
 
@@ -68,19 +68,20 @@ class IndexPartition {
     }
   };
 
-  void LogApply(const KeyVersion& kv);
+  void LogApply(const KeyVersion& kv) REQUIRES(mu_);
 
   IndexDefinition def_;
   uint32_t partition_id_;
-  std::unique_ptr<storage::File> log_;
+  std::unique_ptr<storage::File> log_;  // written only by LogApply
 
-  mutable std::shared_mutex mu_;
-  std::map<TreeKey, uint16_t> tree_;  // value: owning vbucket
+  mutable SharedMutex mu_;
+  std::map<TreeKey, uint16_t> tree_ GUARDED_BY(mu_);  // value: owning vbucket
   // Back-index: doc_id -> keys currently indexed here (for removal).
-  std::unordered_map<std::string, std::vector<json::Value>> back_;
+  std::unordered_map<std::string, std::vector<json::Value>> back_
+      GUARDED_BY(mu_);
   std::array<std::atomic<uint64_t>, cluster::kNumVBuckets> processed_{};
   std::atomic<uint64_t> disk_bytes_{0};
-  uint64_t applies_since_sync_ = 0;
+  uint64_t applies_since_sync_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace couchkv::gsi

@@ -52,8 +52,27 @@ void HashTable::AccountRemove(const std::string& key, const StoredValue& sv) {
   mem_used_.fetch_sub(EntryFootprint(key, sv));
 }
 
+HashTable::Map::iterator HashTable::FindLive(std::string_view key) {
+  auto it = map_.find(std::string(key));
+  if (it == map_.end() || it->second.meta.deleted || IsExpired(it->second)) {
+    return map_.end();
+  }
+  return it;
+}
+
+GetResult HashTable::MakeGetResult(Map::iterator it) {
+  StoredValue& sv = it->second;
+  sv.referenced = true;
+  GetResult r;
+  r.doc.key = it->first;
+  r.doc.meta = sv.meta;
+  r.doc.value = sv.value;
+  r.resident = sv.resident;
+  return r;
+}
+
 StatusOr<GetResult> HashTable::Get(std::string_view key) {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   auto it = map_.find(std::string(key));
   if (it == map_.end()) {
     c_.misses->Add();
@@ -69,16 +88,10 @@ StatusOr<GetResult> HashTable::Get(std::string_view key) {
     c_.misses->Add();
     return Status::NotFound();
   }
-  sv.referenced = true;
   // A non-resident entry is a cache miss in the paper's sense: metadata is
   // here but the value must be read back from disk.
   (sv.resident ? c_.hits : c_.misses)->Add();
-  GetResult r;
-  r.doc.key = it->first;
-  r.doc.meta = sv.meta;
-  r.doc.value = sv.value;
-  r.resident = sv.resident;
-  return r;
+  return MakeGetResult(it);
 }
 
 StatusOr<DocMeta> HashTable::Mutate(std::string_view key,
@@ -86,7 +99,7 @@ StatusOr<DocMeta> HashTable::Mutate(std::string_view key,
                                     uint32_t expiry, uint64_t cas,
                                     bool require_absent, bool require_present,
                                     bool deletion) {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   std::string k(key);
   auto it = map_.find(k);
   bool live = it != map_.end() && !it->second.meta.deleted &&
@@ -176,11 +189,9 @@ StatusOr<DocMeta> HashTable::Remove(std::string_view key, uint64_t cas) {
 
 StatusOr<GetResult> HashTable::GetAndLock(std::string_view key,
                                           uint64_t lock_ms) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = map_.find(std::string(key));
-  if (it == map_.end() || it->second.meta.deleted || IsExpired(it->second)) {
-    return Status::NotFound();
-  }
+  LockGuard lock(mu_);
+  auto it = FindLive(key);
+  if (it == map_.end()) return Status::NotFound();
   StoredValue& sv = it->second;
   if (IsLockedNow(sv)) {
     c_.lock_conflicts->Add();
@@ -189,17 +200,11 @@ StatusOr<GetResult> HashTable::GetAndLock(std::string_view key,
   // Locking changes the CAS so that pre-lock CAS holders cannot mutate.
   sv.meta.cas = NextCas();
   sv.locked_until_ns = clock_->NowNanos() + lock_ms * 1000000ULL;
-  sv.referenced = true;
-  GetResult r;
-  r.doc.key = it->first;
-  r.doc.meta = sv.meta;
-  r.doc.value = sv.value;
-  r.resident = sv.resident;
-  return r;
+  return MakeGetResult(it);
 }
 
 Status HashTable::Unlock(std::string_view key, uint64_t cas) {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   auto it = map_.find(std::string(key));
   if (it == map_.end() || it->second.meta.deleted) return Status::NotFound();
   StoredValue& sv = it->second;
@@ -210,11 +215,9 @@ Status HashTable::Unlock(std::string_view key, uint64_t cas) {
 }
 
 StatusOr<DocMeta> HashTable::Touch(std::string_view key, uint32_t expiry) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = map_.find(std::string(key));
-  if (it == map_.end() || it->second.meta.deleted || IsExpired(it->second)) {
-    return Status::NotFound();
-  }
+  LockGuard lock(mu_);
+  auto it = FindLive(key);
+  if (it == map_.end()) return Status::NotFound();
   StoredValue& sv = it->second;
   if (IsLockedNow(sv)) {
     c_.lock_conflicts->Add();
@@ -227,7 +230,7 @@ StatusOr<DocMeta> HashTable::Touch(std::string_view key, uint32_t expiry) {
 }
 
 void HashTable::Restore(const Document& doc) {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   auto it = map_.find(doc.key);
   if (it != map_.end()) {
     StoredValue& sv = it->second;
@@ -259,7 +262,7 @@ void HashTable::Restore(const Document& doc) {
 }
 
 void HashTable::MarkClean(std::string_view key, uint64_t seqno) {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   auto it = map_.find(std::string(key));
   if (it != map_.end() && it->second.meta.seqno == seqno) {
     it->second.dirty = false;
@@ -270,7 +273,7 @@ void HashTable::MarkClean(std::string_view key, uint64_t seqno) {
 }
 
 StatusOr<DocMeta> HashTable::SetWithMeta(const Document& doc) {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   auto it = map_.find(doc.key);
   if (it != map_.end()) {
     const DocMeta& local = it->second.meta;
@@ -302,7 +305,7 @@ StatusOr<DocMeta> HashTable::SetWithMeta(const Document& doc) {
 }
 
 void HashTable::ApplyRemote(const Document& doc) {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   auto it = map_.find(doc.key);
   if (it != map_.end()) {
     AccountRemove(it->first, it->second);
@@ -329,7 +332,7 @@ void HashTable::ApplyRemote(const Document& doc) {
 }
 
 uint64_t HashTable::EvictTo(uint64_t target_bytes) {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   uint64_t reclaimed = 0;
   // Two NRU passes: first evict unreferenced clean values, then clear
   // reference bits so a subsequent pass can make progress.
@@ -365,7 +368,7 @@ uint64_t HashTable::EvictTo(uint64_t target_bytes) {
 }
 
 uint64_t HashTable::Purge(uint64_t purge_before_seqno) {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   uint64_t purged = 0;
   for (auto it = map_.begin(); it != map_.end();) {
     StoredValue& sv = it->second;
@@ -386,7 +389,7 @@ uint64_t HashTable::Purge(uint64_t purge_before_seqno) {
 
 void HashTable::ForEach(
     const std::function<void(const Document&, bool resident)>& fn) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   for (const auto& [key, sv] : map_) {
     if (sv.meta.deleted || IsExpired(sv)) continue;
     Document doc;
@@ -398,7 +401,7 @@ void HashTable::ForEach(
 }
 
 HashTableStats HashTable::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   HashTableStats s;
   for (const auto& [key, sv] : map_) {
     (void)key;

@@ -8,7 +8,6 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -16,6 +15,7 @@
 
 #include "common/clock.h"
 #include "common/status.h"
+#include "common/synchronization.h"
 #include "kv/doc.h"
 #include "stats/registry.h"
 
@@ -98,72 +98,75 @@ class HashTable {
   // Fetches a document. NotFound for absent/expired/tombstoned keys. If the
   // value has been evicted, result.resident is false and doc.value is empty;
   // the caller (VBucket) re-reads from storage.
-  StatusOr<GetResult> Get(std::string_view key);
+  StatusOr<GetResult> Get(std::string_view key) EXCLUDES(mu_);
 
   // Unconditional upsert. cas==0 creates-or-replaces; cas!=0 requires match
   // (KeyExists on mismatch — the paper's optimistic-locking path, §3.1.1).
   // Returns the new metadata.
   StatusOr<DocMeta> Set(std::string_view key, std::string_view value,
-                        uint32_t flags, uint32_t expiry, uint64_t cas);
+                        uint32_t flags, uint32_t expiry, uint64_t cas)
+      EXCLUDES(mu_);
 
   // Insert-only; KeyExists if the key is live.
   StatusOr<DocMeta> Add(std::string_view key, std::string_view value,
-                        uint32_t flags, uint32_t expiry);
+                        uint32_t flags, uint32_t expiry) EXCLUDES(mu_);
 
   // Replace-only; NotFound if the key is absent.
   StatusOr<DocMeta> Replace(std::string_view key, std::string_view value,
-                            uint32_t flags, uint32_t expiry, uint64_t cas);
+                            uint32_t flags, uint32_t expiry, uint64_t cas)
+      EXCLUDES(mu_);
 
   // Deletes (writes a tombstone so the deletion flows through DCP).
-  StatusOr<DocMeta> Remove(std::string_view key, uint64_t cas);
+  StatusOr<DocMeta> Remove(std::string_view key, uint64_t cas) EXCLUDES(mu_);
 
   // GETL: fetch and hard-lock for `lock_ms` (auto-released on timeout to
   // avoid deadlocks, §3.1.1). While locked, mutations without the lock CAS
   // fail with Locked.
-  StatusOr<GetResult> GetAndLock(std::string_view key, uint64_t lock_ms);
+  StatusOr<GetResult> GetAndLock(std::string_view key, uint64_t lock_ms)
+      EXCLUDES(mu_);
 
   // Releases a GETL lock; requires the CAS returned by GetAndLock.
-  Status Unlock(std::string_view key, uint64_t cas);
+  Status Unlock(std::string_view key, uint64_t cas) EXCLUDES(mu_);
 
   // Updates expiry only.
-  StatusOr<DocMeta> Touch(std::string_view key, uint32_t expiry);
+  StatusOr<DocMeta> Touch(std::string_view key, uint32_t expiry) EXCLUDES(mu_);
 
   // --- Back-end operations ---
 
   // Loads a document from storage (warmup or non-resident read-through).
   // Never bumps seqno; keeps the entry clean.
-  void Restore(const Document& doc);
+  void Restore(const Document& doc) EXCLUDES(mu_);
 
   // Marks a key clean after the flusher persisted seqno `seqno`. No-op if
   // the entry was mutated again in the meantime.
-  void MarkClean(std::string_view key, uint64_t seqno);
+  void MarkClean(std::string_view key, uint64_t seqno) EXCLUDES(mu_);
 
   // Applies a replicated/DCP mutation as-is (no new seqno generated); used
   // by replica vBuckets.
-  void ApplyRemote(const Document& doc);
+  void ApplyRemote(const Document& doc) EXCLUDES(mu_);
 
   // XDCR target apply with conflict resolution (paper §4.6.1): the incoming
   // document wins if it has more updates (higher revno), with the CAS as
   // the metadata tiebreaker. On a win the value and conflict metadata are
   // taken from the remote doc but a NEW local seqno is assigned. Returns
   // the new meta, or KeyExists when the local document wins.
-  StatusOr<DocMeta> SetWithMeta(const Document& doc);
+  StatusOr<DocMeta> SetWithMeta(const Document& doc) EXCLUDES(mu_);
 
   // Evicts clean resident values until mem_used <= target_bytes or nothing
   // more can be evicted. Returns bytes reclaimed.
-  uint64_t EvictTo(uint64_t target_bytes);
+  uint64_t EvictTo(uint64_t target_bytes) EXCLUDES(mu_);
 
   // Removes expired entries and (policy permitting) tombstones older than
   // `purge_before_seqno`. Returns number purged.
-  uint64_t Purge(uint64_t purge_before_seqno);
+  uint64_t Purge(uint64_t purge_before_seqno) EXCLUDES(mu_);
 
   // Iterates over all live (non-deleted, non-expired) documents. Values of
   // non-resident entries are delivered empty; `resident` tells the caller.
-  void ForEach(
-      const std::function<void(const Document&, bool resident)>& fn) const;
+  void ForEach(const std::function<void(const Document&, bool resident)>& fn)
+      const EXCLUDES(mu_);
 
   // --- Introspection ---
-  HashTableStats stats() const;
+  HashTableStats stats() const EXCLUDES(mu_);
   uint64_t high_seqno() const { return high_seqno_.load(); }
   uint64_t mem_used() const { return mem_used_.load(); }
 
@@ -173,20 +176,32 @@ class HashTable {
 
  private:
   struct LockedEntry;
+  using Map = std::unordered_map<std::string, StoredValue>;
 
   uint64_t NextCas();
   uint64_t NextSeqno() { return high_seqno_.fetch_add(1) + 1; }
-  bool IsExpired(const StoredValue& sv) const;
-  bool IsLockedNow(const StoredValue& sv) const;
-  void AccountAdd(const std::string& key, const StoredValue& sv);
-  void AccountRemove(const std::string& key, const StoredValue& sv);
+  // The entry helpers receive references into map_, so they require mu_ even
+  // though they never touch the map directly.
+  bool IsExpired(const StoredValue& sv) const REQUIRES(mu_);
+  bool IsLockedNow(const StoredValue& sv) const REQUIRES(mu_);
+  void AccountAdd(const std::string& key, const StoredValue& sv)
+      REQUIRES(mu_);
+  void AccountRemove(const std::string& key, const StoredValue& sv)
+      REQUIRES(mu_);
   static size_t EntryFootprint(const std::string& key, const StoredValue& sv);
+
+  // Looks up `key` and returns map_.end() for absent, tombstoned, or
+  // expired entries — the shared preamble of Get/GetAndLock/Touch.
+  Map::iterator FindLive(std::string_view key) REQUIRES(mu_);
+
+  // Fills a GetResult from a live entry and marks it referenced.
+  GetResult MakeGetResult(Map::iterator it) REQUIRES(mu_);
 
   // Core mutation path shared by Set/Add/Replace/Remove.
   StatusOr<DocMeta> Mutate(std::string_view key, std::string_view value,
                            uint32_t flags, uint32_t expiry, uint64_t cas,
                            bool require_absent, bool require_present,
-                           bool deletion);
+                           bool deletion) EXCLUDES(mu_);
 
   Clock* clock_;
   EvictionPolicy policy_;
@@ -196,8 +211,8 @@ class HashTable {
   std::shared_ptr<stats::Scope> own_scope_;
   CacheCounters c_;
 
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, StoredValue> map_;
+  mutable Mutex mu_;
+  Map map_ GUARDED_BY(mu_);
 
   std::atomic<uint64_t> high_seqno_{0};
   std::atomic<uint64_t> persisted_seqno_{0};

@@ -37,7 +37,7 @@ QueryService::QueryService(cluster::Cluster* cluster,
 }
 
 client::SmartClient* QueryService::ClientFor(const std::string& bucket) {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   auto it = clients_.find(bucket);
   if (it == clients_.end()) {
     it = clients_
@@ -149,18 +149,18 @@ StatusOr<std::vector<QueryService::ExecRow>> QueryService::FetchRows(
   } else {
     // Per-call completion latch: the pool is shared across concurrent
     // queries, so waiting for global pool idleness would stall under load.
-    std::mutex done_mu;
-    std::condition_variable done_cv;
+    Mutex done_mu;
+    CondVar done_cv;
     size_t outstanding = ids.size();
     for (size_t i = 0; i < ids.size(); ++i) {
       pool_.Submit([&, i] {
         fetch_one(i);
-        std::lock_guard<std::mutex> lock(done_mu);
-        if (--outstanding == 0) done_cv.notify_all();
+        LockGuard lock(done_mu);
+        if (--outstanding == 0) done_cv.NotifyAll();
       });
     }
-    std::unique_lock<std::mutex> lock(done_mu);
-    done_cv.wait(lock, [&] { return outstanding == 0; });
+    UniqueLock lock(done_mu);
+    while (outstanding > 0) done_cv.Wait(lock);
   }
   metrics->docs_fetched += fetched.load();
   std::vector<ExecRow> rows;
@@ -632,7 +632,7 @@ StatusOr<QueryResult> QueryService::ExecCreateIndex(
           "PRIMARY INDEX USING VIEW is not supported; use GSI");
     }
     COUCHKV_RETURN_IF_ERROR(views_->CreateView(stmt.keyspace, def));
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     view_indexes_[stmt.keyspace + "." + stmt.name] = stmt.name;
     return QueryResult{};
   }
@@ -675,7 +675,7 @@ StatusOr<QueryResult> QueryService::ExecCreateIndex(
 StatusOr<QueryResult> QueryService::ExecDropIndex(
     const DropIndexStatement& stmt) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     auto it = view_indexes_.find(stmt.keyspace + "." + stmt.name);
     if (it != view_indexes_.end()) {
       Status st = views_->DropView(stmt.keyspace, it->second);

@@ -7,12 +7,12 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "client/smart_client.h"
 #include "cluster/cluster.h"
+#include "common/synchronization.h"
 #include "common/thread_pool.h"
 #include "gsi/index_service.h"
 #include "n1ql/ast.h"
@@ -113,10 +113,12 @@ class QueryService {
   Histogram* query_ns_ = nullptr;
   Histogram* fetch_ns_ = nullptr;
 
-  std::mutex mu_;
-  std::map<std::string, std::unique_ptr<client::SmartClient>> clients_;
+  Mutex mu_;
+  std::map<std::string, std::unique_ptr<client::SmartClient>> clients_
+      GUARDED_BY(mu_);
   // Indexes created USING VIEW (paper §3.3.1), tracked for DROP INDEX.
-  std::map<std::string, std::string> view_indexes_;  // "bucket.name" -> view
+  // "bucket.name" -> view
+  std::map<std::string, std::string> view_indexes_ GUARDED_BY(mu_);
 };
 
 }  // namespace couchkv::n1ql

@@ -44,56 +44,56 @@ std::string Endpoint::ToString() const {
 }
 
 void FaultyTransport::SetDefaultFaults(const LinkFaults& faults) {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   default_faults_ = faults;
 }
 
 void FaultyTransport::SetClientFaults(const LinkFaults& faults) {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   client_faults_ = faults;
   have_client_faults_ = true;
 }
 
 void FaultyTransport::SetLinkFaults(const Endpoint& src, const Endpoint& dst,
                                     const LinkFaults& faults) {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   link_faults_[{src, dst}] = faults;
 }
 
 void FaultyTransport::Block(const Endpoint& src, const Endpoint& dst) {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   blocked_links_.insert({src, dst});
 }
 
 void FaultyTransport::Unblock(const Endpoint& src, const Endpoint& dst) {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   blocked_links_.erase({src, dst});
 }
 
 void FaultyTransport::PartitionPair(const Endpoint& a, const Endpoint& b) {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   blocked_links_.insert({a, b});
   blocked_links_.insert({b, a});
 }
 
 void FaultyTransport::IsolateNode(uint32_t node_id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   isolated_nodes_.insert(node_id);
 }
 
 void FaultyTransport::HealNode(uint32_t node_id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   isolated_nodes_.erase(node_id);
 }
 
 void FaultyTransport::HealAll() {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   blocked_links_.clear();
   isolated_nodes_.clear();
 }
 
 void FaultyTransport::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   blocked_links_.clear();
   isolated_nodes_.clear();
   link_faults_.clear();
@@ -104,7 +104,7 @@ void FaultyTransport::Reset() {
 }
 
 void FaultyTransport::SetNodeSlowdown(uint32_t node_id, uint64_t extra_us) {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   if (extra_us == 0) {
     slow_nodes_.erase(node_id);
   } else {
@@ -151,7 +151,7 @@ void FaultyTransport::Record(LinkState& state, const std::string& decision) {
 
 Status FaultyTransport::Admit(const Endpoint& src, const Endpoint& dst,
                               uint64_t* sleep_us) {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   LinkKey key{src, dst};
   LinkState& state = StateFor(key);
 
@@ -215,12 +215,12 @@ Status FaultyTransport::Reply(const Endpoint& src, const Endpoint& dst) {
 }
 
 TransportStats FaultyTransport::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   return stats_;
 }
 
 uint64_t FaultyTransport::ScheduleFingerprint() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   // Summation makes the combination order-independent across links while
   // each term stays order-dependent within its link.
   uint64_t fp = 0;
@@ -232,7 +232,7 @@ uint64_t FaultyTransport::ScheduleFingerprint() const {
 
 std::vector<std::string> FaultyTransport::Schedule(const Endpoint& src,
                                                    const Endpoint& dst) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   auto it = links_.find({src, dst});
   if (it == links_.end()) return {};
   return it->second->log;

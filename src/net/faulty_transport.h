@@ -15,13 +15,13 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <string>
 #include <vector>
 
 #include "common/random.h"
 #include "common/status.h"
+#include "common/synchronization.h"
 #include "net/transport.h"
 
 namespace couchkv::net {
@@ -107,25 +107,26 @@ class FaultyTransport : public Transport {
   // Decides the fate of one message traveling src -> dst. Returns OK or the
   // fault status; sets *sleep_us to any injected latency (applied by the
   // caller outside the lock).
-  Status Admit(const Endpoint& src, const Endpoint& dst, uint64_t* sleep_us);
+  Status Admit(const Endpoint& src, const Endpoint& dst, uint64_t* sleep_us)
+      EXCLUDES(mu_);
 
-  LinkState& StateFor(const LinkKey& key);          // holds mu_
-  const LinkFaults& FaultsFor(const LinkKey& key) const;  // holds mu_
-  bool Blocked(const Endpoint& src, const Endpoint& dst) const;
-  void Record(LinkState& state, const std::string& decision);
+  LinkState& StateFor(const LinkKey& key) REQUIRES(mu_);
+  const LinkFaults& FaultsFor(const LinkKey& key) const REQUIRES(mu_);
+  bool Blocked(const Endpoint& src, const Endpoint& dst) const REQUIRES(mu_);
+  void Record(LinkState& state, const std::string& decision) REQUIRES(mu_);
 
   const uint64_t seed_;
 
-  mutable std::mutex mu_;
-  LinkFaults default_faults_;
-  LinkFaults client_faults_;
-  bool have_client_faults_ = false;
-  std::map<LinkKey, LinkFaults> link_faults_;
-  std::set<LinkKey> blocked_links_;
-  std::set<uint32_t> isolated_nodes_;
-  std::map<uint32_t, uint64_t> slow_nodes_;
-  std::map<LinkKey, std::unique_ptr<LinkState>> links_;
-  TransportStats stats_;
+  mutable Mutex mu_;
+  LinkFaults default_faults_ GUARDED_BY(mu_);
+  LinkFaults client_faults_ GUARDED_BY(mu_);
+  bool have_client_faults_ GUARDED_BY(mu_) = false;
+  std::map<LinkKey, LinkFaults> link_faults_ GUARDED_BY(mu_);
+  std::set<LinkKey> blocked_links_ GUARDED_BY(mu_);
+  std::set<uint32_t> isolated_nodes_ GUARDED_BY(mu_);
+  std::map<uint32_t, uint64_t> slow_nodes_ GUARDED_BY(mu_);
+  std::map<LinkKey, std::unique_ptr<LinkState>> links_ GUARDED_BY(mu_);
+  TransportStats stats_ GUARDED_BY(mu_);
 };
 
 }  // namespace couchkv::net

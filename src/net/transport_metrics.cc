@@ -33,7 +33,7 @@ TransportMetrics::NodeCounters* TransportMetrics::SlotFor(const Endpoint& src,
   if (id >= kMaxNodes) return nullptr;
   NodeCounters* slot = slots_[id].load(std::memory_order_acquire);
   if (slot != nullptr) return slot;
-  std::lock_guard<std::mutex> lock(publish_mu_);
+  LockGuard lock(publish_mu_);
   slot = slots_[id].load(std::memory_order_acquire);
   if (slot != nullptr) return slot;
   auto* fresh = new NodeCounters();  // leaked with the process-wide scope

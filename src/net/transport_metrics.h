@@ -9,8 +9,8 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 
+#include "common/synchronization.h"
 #include "net/transport.h"
 #include "stats/registry.h"
 
@@ -46,7 +46,9 @@ class TransportMetrics {
   stats::Counter* dropped_;
   stats::Counter* blocked_;
   stats::Counter* injected_latency_us_;
-  std::mutex publish_mu_;
+  // Serializes slot publication only; slots_ itself is atomic so readers
+  // stay lock-free (the CAS-publish pattern documented above).
+  Mutex publish_mu_;
   std::atomic<NodeCounters*> slots_[kMaxNodes] = {};
 };
 

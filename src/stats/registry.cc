@@ -69,24 +69,24 @@ void AppendF(std::string* out, const char* fmt, ...) {
 }  // namespace
 
 Counter* Scope::GetCounter(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   return GetOrCreate(counters_, name,
                      [] { return std::make_unique<Counter>(); });
 }
 
 Gauge* Scope::GetGauge(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   return GetOrCreate(gauges_, name, [] { return std::make_unique<Gauge>(); });
 }
 
 Histogram* Scope::GetHistogram(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   return GetOrCreate(histograms_, name,
                      [] { return std::make_unique<Histogram>(); });
 }
 
 void Scope::Collect(Snapshot* out, std::string_view group) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   auto emit = [&](const std::string& metric) -> MetricValue* {
     std::string full = name_.empty() ? metric : name_ + "." + metric;
     if (!group.empty() && !MatchesGroup(full, group)) return nullptr;
@@ -118,7 +118,7 @@ Registry& Registry::Global() {
 }
 
 std::shared_ptr<Scope> Registry::GetScope(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   auto it = scopes_.find(name);
   if (it == scopes_.end()) {
     it = scopes_.emplace(name, std::make_shared<Scope>(name)).first;
@@ -127,12 +127,12 @@ std::shared_ptr<Scope> Registry::GetScope(const std::string& name) {
 }
 
 void Registry::DropScope(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   scopes_.erase(name);
 }
 
 bool Registry::HasScope(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   return scopes_.count(name) > 0;
 }
 
@@ -141,7 +141,7 @@ Snapshot Registry::Collect(std::string_view group) const {
   // walking (and locking) individual scopes.
   std::vector<std::shared_ptr<Scope>> scopes;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     scopes.reserve(scopes_.size());
     for (const auto& [_, s] : scopes_) scopes.push_back(s);
   }

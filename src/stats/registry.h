@@ -19,12 +19,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "common/histogram.h"
+#include "common/synchronization.h"
 
 namespace couchkv::stats {
 
@@ -89,10 +89,13 @@ class Scope {
 
  private:
   const std::string name_;
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  mutable Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
+      GUARDED_BY(mu_);
 };
 
 class Registry {
@@ -119,8 +122,8 @@ class Registry {
   std::string DebugString(std::string_view group = {}) const;
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::shared_ptr<Scope>> scopes_;
+  mutable Mutex mu_;
+  std::map<std::string, std::shared_ptr<Scope>> scopes_ GUARDED_BY(mu_);
 };
 
 // True when `name` belongs to stats group `group`: the group appears as a

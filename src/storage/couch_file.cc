@@ -71,7 +71,7 @@ StatusOr<std::unique_ptr<CouchFile>> CouchFile::Open(
 }
 
 Status CouchFile::Recover() {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   uint64_t size = file_->Size();
   uint64_t pos = 0;
   uint64_t last_commit_end = 0;
@@ -171,7 +171,7 @@ Status CouchFile::AppendDoc(const kv::Document& doc, uint64_t* offset,
 }
 
 Status CouchFile::SaveDocs(const std::vector<kv::Document>& docs) {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   for (const kv::Document& doc : docs) {
     uint64_t offset;
     uint32_t size;
@@ -188,7 +188,7 @@ Status CouchFile::SaveDocs(const std::vector<kv::Document>& docs) {
 }
 
 Status CouchFile::Commit() {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   uint64_t start_ns = Clock::Real()->NowNanos();
   std::string payload;
   PutU64(&payload, high_seqno_);
@@ -208,10 +208,10 @@ Status CouchFile::Commit() {
   return Status::OK();
 }
 
-StatusOr<kv::Document> CouchFile::ReadDocAt(uint64_t offset,
-                                            uint32_t size) const {
+StatusOr<kv::Document> CouchFile::ReadDocAt(const File& file, uint64_t offset,
+                                            uint32_t size) {
   std::string record;
-  COUCHKV_RETURN_IF_ERROR(file_->Read(offset, size, &record));
+  COUCHKV_RETURN_IF_ERROR(file.Read(offset, size, &record));
   Decoder dec(record);
   uint8_t type;
   uint32_t payload_len, crc;
@@ -235,22 +235,28 @@ StatusOr<kv::Document> CouchFile::ReadDocAt(uint64_t offset,
 
 StatusOr<kv::Document> CouchFile::Get(std::string_view key) const {
   IndexEntry e;
+  std::shared_ptr<File> pin;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     auto it = by_id_.find(std::string(key));
     if (it == by_id_.end() || it->second.deleted) return Status::NotFound();
     e = it->second;
+    pin = file_;
   }
-  return ReadDocAt(e.offset, e.record_size);
+  return ReadDocAt(*pin, e.offset, e.record_size);
 }
 
 Status CouchFile::ChangesSince(
     uint64_t since_seqno,
     const std::function<void(const kv::Document&)>& fn) const {
-  // Snapshot the (seqno, offset) list under the lock, then read outside it.
+  // Snapshot the (seqno, offset) list and pin the file under the lock, then
+  // read outside it (the pin keeps the snapshot valid across a concurrent
+  // Compact() swap).
   std::vector<std::pair<uint64_t, uint32_t>> locations;  // offset, size
+  std::shared_ptr<File> pin;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
+    pin = file_;
     for (auto it = by_seqno_.upper_bound(since_seqno); it != by_seqno_.end();
          ++it) {
       auto id_it = by_id_.find(it->second);
@@ -259,7 +265,7 @@ Status CouchFile::ChangesSince(
     }
   }
   for (auto [offset, size] : locations) {
-    auto doc_or = ReadDocAt(offset, size);
+    auto doc_or = ReadDocAt(*pin, offset, size);
     if (!doc_or.ok()) return doc_or.status();
     fn(doc_or.value());
   }
@@ -269,8 +275,10 @@ Status CouchFile::ChangesSince(
 Status CouchFile::ForEachLive(
     const std::function<void(const kv::Document&)>& fn) const {
   std::vector<std::pair<uint64_t, uint32_t>> locations;
+  std::shared_ptr<File> pin;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
+    pin = file_;
     locations.reserve(by_id_.size());
     for (const auto& [key, e] : by_id_) {
       (void)key;
@@ -278,7 +286,7 @@ Status CouchFile::ForEachLive(
     }
   }
   for (auto [offset, size] : locations) {
-    auto doc_or = ReadDocAt(offset, size);
+    auto doc_or = ReadDocAt(*pin, offset, size);
     if (!doc_or.ok()) return doc_or.status();
     fn(doc_or.value());
   }
@@ -288,12 +296,12 @@ Status CouchFile::ForEachLive(
 Status CouchFile::Compact(uint64_t purge_before_seqno) {
   // Online in couchstore; here compaction holds the file lock, which is the
   // same observable behaviour at our timescales (writes stall briefly).
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   std::string tmp_path = path_ + ".compact";
   env_->Remove(tmp_path);
   auto tmp_or = env_->Open(tmp_path);
   if (!tmp_or.ok()) return tmp_or.status();
-  std::unique_ptr<File> tmp = std::move(tmp_or).value();
+  std::shared_ptr<File> tmp = std::move(tmp_or).value();
 
   std::unordered_map<std::string, IndexEntry> new_by_id;
   std::map<uint64_t, std::string> new_by_seqno;
@@ -302,7 +310,7 @@ Status CouchFile::Compact(uint64_t purge_before_seqno) {
   for (const auto& [key, e] : by_id_) {
     // Tombstones older than the purge seqno are dropped for good.
     if (e.deleted && e.seqno < purge_before_seqno) continue;
-    auto doc_or = ReadDocAt(e.offset, e.record_size);
+    auto doc_or = ReadDocAt(*file_, e.offset, e.record_size);
     if (!doc_or.ok()) return doc_or.status();
     std::string payload;
     EncodeDocPayload(doc_or.value(), &payload);
@@ -347,7 +355,7 @@ Status CouchFile::Compact(uint64_t purge_before_seqno) {
 }
 
 double CouchFile::Fragmentation() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   uint64_t size = file_->Size();
   if (size == 0) return 0.0;
   uint64_t live = live_bytes_;
@@ -356,12 +364,12 @@ double CouchFile::Fragmentation() const {
 }
 
 uint64_t CouchFile::high_seqno() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   return high_seqno_;
 }
 
 CouchFileStats CouchFile::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   CouchFileStats s;
   s.file_size = file_->Size();
   s.live_bytes = live_bytes_;

@@ -16,12 +16,12 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
+#include "common/synchronization.h"
 #include "kv/doc.h"
 #include "stats/registry.h"
 #include "storage/env.h"
@@ -61,35 +61,37 @@ class CouchFile {
 
   // Appends a batch of documents (deletes travel as meta.deleted). Not
   // durable until Commit().
-  Status SaveDocs(const std::vector<kv::Document>& docs);
+  Status SaveDocs(const std::vector<kv::Document>& docs) EXCLUDES(mu_);
 
   // Appends a commit record and syncs. Everything saved so far becomes
   // recoverable.
-  Status Commit();
+  Status Commit() EXCLUDES(mu_);
 
   // Point lookup of the latest committed-or-pending version.
-  StatusOr<kv::Document> Get(std::string_view key) const;
+  StatusOr<kv::Document> Get(std::string_view key) const EXCLUDES(mu_);
 
   // Streams documents with seqno > since, in seqno order (DCP backfill).
   // Only the latest version of each key is retained, matching DCP's
   // key-deduplicated snapshot semantics.
   Status ChangesSince(uint64_t since_seqno,
-                      const std::function<void(const kv::Document&)>& fn) const;
+                      const std::function<void(const kv::Document&)>& fn) const
+      EXCLUDES(mu_);
 
   // Iterates all live (non-deleted) documents, arbitrary order.
-  Status ForEachLive(const std::function<void(const kv::Document&)>& fn) const;
+  Status ForEachLive(const std::function<void(const kv::Document&)>& fn) const
+      EXCLUDES(mu_);
 
   // Rewrites live documents into a fresh file and atomically swaps it in,
   // dropping stale versions and (optionally) tombstones below
   // `purge_before_seqno`.
-  Status Compact(uint64_t purge_before_seqno = 0);
+  Status Compact(uint64_t purge_before_seqno = 0) EXCLUDES(mu_);
 
   // Fraction of the file occupied by stale data, 0..1. The compactor daemon
   // fires when this exceeds the configured threshold.
-  double Fragmentation() const;
+  double Fragmentation() const EXCLUDES(mu_);
 
-  uint64_t high_seqno() const;
-  CouchFileStats stats() const;
+  uint64_t high_seqno() const EXCLUDES(mu_);
+  CouchFileStats stats() const EXCLUDES(mu_);
   const std::string& path() const { return path_; }
 
  private:
@@ -100,31 +102,40 @@ class CouchFile {
     bool deleted = false;
   };
 
-  CouchFile(Env* env, std::string path, std::unique_ptr<File> file,
+  CouchFile(Env* env, std::string path, std::shared_ptr<File> file,
             const StorageCounters* counters)
       : env_(env),
         path_(std::move(path)),
         file_(std::move(file)),
         counters_(counters != nullptr ? *counters : StorageCounters{}) {}
 
-  Status Recover();
-  Status AppendDoc(const kv::Document& doc, uint64_t* offset, uint32_t* size);
-  StatusOr<kv::Document> ReadDocAt(uint64_t offset, uint32_t size) const;
-  void IndexDoc(const std::string& key, const IndexEntry& e);
+  Status Recover() EXCLUDES(mu_);
+  Status AppendDoc(const kv::Document& doc, uint64_t* offset, uint32_t* size)
+      REQUIRES(mu_);
+  // Reads and decodes one doc record from `file` — which must be a pin
+  // obtained from file_ under mu_ (or a compaction temp file), so the read
+  // itself can run lock-free against the immutable pinned contents.
+  static StatusOr<kv::Document> ReadDocAt(const File& file, uint64_t offset,
+                                          uint32_t size);
+  void IndexDoc(const std::string& key, const IndexEntry& e) REQUIRES(mu_);
 
   Env* env_;
   std::string path_;
-  std::unique_ptr<File> file_;
   StorageCounters counters_;  // null members = reporting disabled
 
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, IndexEntry> by_id_;
-  std::map<uint64_t, std::string> by_seqno_;  // seqno -> key
-  uint64_t high_seqno_ = 0;
-  uint64_t committed_size_ = 0;  // file size at last commit (recovery point)
-  uint64_t live_bytes_ = 0;
-  uint64_t num_commits_ = 0;
-  uint64_t num_compactions_ = 0;
+  mutable Mutex mu_;
+  // Readers pin the current file under mu_ and read outside it; Compact()
+  // swaps in the rewritten file under mu_, and the pin keeps the old
+  // (immutable, already-indexed) contents alive for in-flight readers.
+  std::shared_ptr<File> file_ GUARDED_BY(mu_);
+  std::unordered_map<std::string, IndexEntry> by_id_ GUARDED_BY(mu_);
+  std::map<uint64_t, std::string> by_seqno_ GUARDED_BY(mu_);  // seqno -> key
+  uint64_t high_seqno_ GUARDED_BY(mu_) = 0;
+  // File size at last commit (recovery point).
+  uint64_t committed_size_ GUARDED_BY(mu_) = 0;
+  uint64_t live_bytes_ GUARDED_BY(mu_) = 0;
+  uint64_t num_commits_ GUARDED_BY(mu_) = 0;
+  uint64_t num_compactions_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace couchkv::storage

@@ -8,8 +8,9 @@
 #include <chrono>
 #include <cstring>
 #include <map>
-#include <mutex>
 #include <thread>
+
+#include "common/synchronization.h"
 
 namespace couchkv::storage {
 
@@ -27,7 +28,7 @@ class PosixFile : public File {
   }
 
   StatusOr<uint64_t> Append(std::string_view data) override {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     uint64_t off = size_;
     const char* p = data.data();
     size_t left = data.size();
@@ -64,7 +65,7 @@ class PosixFile : public File {
   }
 
   uint64_t Size() const override {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     return size_;
   }
 
@@ -77,7 +78,7 @@ class PosixFile : public File {
   }
 
   Status Truncate(uint64_t size) override {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     if (::ftruncate(fd_, static_cast<off_t>(size)) != 0) {
       return Status::IOError(std::string("ftruncate: ") +
                              std::strerror(errno));
@@ -88,8 +89,8 @@ class PosixFile : public File {
 
  private:
   int fd_;
-  mutable std::mutex mu_;
-  uint64_t size_;
+  mutable couchkv::Mutex mu_;
+  uint64_t size_ GUARDED_BY(mu_);
 };
 
 class PosixEnvImpl : public Env {
@@ -133,9 +134,9 @@ class PosixEnvImpl : public Env {
 // ---------------------------------------------------------------------------
 
 struct MemFileData {
-  std::mutex mu;
-  std::string contents;
-  uint64_t sync_delay_us = 0;
+  couchkv::Mutex mu;
+  std::string contents GUARDED_BY(mu);
+  uint64_t sync_delay_us = 0;  // immutable after construction
 };
 
 class MemFile : public File {
@@ -144,14 +145,14 @@ class MemFile : public File {
       : data_(std::move(data)) {}
 
   StatusOr<uint64_t> Append(std::string_view data) override {
-    std::lock_guard<std::mutex> lock(data_->mu);
+    LockGuard lock(data_->mu);
     uint64_t off = data_->contents.size();
     data_->contents.append(data);
     return off;
   }
 
   Status Read(uint64_t offset, size_t n, std::string* out) const override {
-    std::lock_guard<std::mutex> lock(data_->mu);
+    LockGuard lock(data_->mu);
     if (offset + n > data_->contents.size()) {
       return Status::IOError("read past EOF");
     }
@@ -160,7 +161,7 @@ class MemFile : public File {
   }
 
   uint64_t Size() const override {
-    std::lock_guard<std::mutex> lock(data_->mu);
+    LockGuard lock(data_->mu);
     return data_->contents.size();
   }
 
@@ -173,7 +174,7 @@ class MemFile : public File {
   }
 
   Status Truncate(uint64_t size) override {
-    std::lock_guard<std::mutex> lock(data_->mu);
+    LockGuard lock(data_->mu);
     if (size < data_->contents.size()) data_->contents.resize(size);
     return Status::OK();
   }
@@ -188,7 +189,7 @@ class MemEnvImpl : public Env {
       : sync_delay_us_(sync_delay_us) {}
 
   StatusOr<std::unique_ptr<File>> Open(const std::string& path) override {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     auto& slot = files_[path];
     if (!slot) {
       slot = std::make_shared<MemFileData>();
@@ -198,18 +199,18 @@ class MemEnvImpl : public Env {
   }
 
   bool Exists(const std::string& path) const override {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     return files_.count(path) > 0;
   }
 
   Status Remove(const std::string& path) override {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     files_.erase(path);
     return Status::OK();
   }
 
   Status Rename(const std::string& from, const std::string& to) override {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     auto it = files_.find(from);
     if (it == files_.end()) return Status::NotFound("rename source " + from);
     files_[to] = it->second;
@@ -219,8 +220,8 @@ class MemEnvImpl : public Env {
 
  private:
   uint64_t sync_delay_us_;
-  mutable std::mutex mu_;
-  std::map<std::string, std::shared_ptr<MemFileData>> files_;
+  mutable couchkv::Mutex mu_;
+  std::map<std::string, std::shared_ptr<MemFileData>> files_ GUARDED_BY(mu_);
 };
 
 }  // namespace

@@ -12,7 +12,7 @@ Status ViewEngine::CreateView(const std::string& bucket, ViewDefinition def) {
   if (!map) return Status::NotFound("no such bucket: " + bucket);
   ViewState* state = nullptr;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     auto& per_bucket = views_[bucket];
     if (per_bucket.count(def.name)) {
       return Status::KeyExists("view exists: " + def.name);
@@ -33,7 +33,7 @@ Status ViewEngine::CreateView(const std::string& bucket, ViewDefinition def) {
 
 Status ViewEngine::DropView(const std::string& bucket,
                             const std::string& view) {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   auto bit = views_.find(bucket);
   if (bit == views_.end() || !bit->second.count(view)) {
     return Status::NotFound("no such view");
@@ -56,7 +56,7 @@ void ViewEngine::WireView(const std::string& bucket, ViewState* state) {
   // local index: views are co-located with the data (paper §3.3.1).
   std::map<cluster::NodeId, std::shared_ptr<ViewIndex>> indexes;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     for (cluster::NodeId id : cluster_->node_ids()) {
       cluster::Node* n = cluster_->node(id);
       if (n != nullptr && n->HasService(cluster::kDataService) &&
@@ -97,7 +97,7 @@ void ViewEngine::WireView(const std::string& bucket, ViewState* state) {
 void ViewEngine::OnTopologyChange(const std::string& bucket) {
   std::vector<ViewState*> states;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     auto bit = views_.find(bucket);
     if (bit == views_.end()) return;
     for (auto& [name, st] : bit->second) states.push_back(&st);
@@ -118,7 +118,7 @@ Status ViewEngine::WaitForIndexer(const std::string& bucket, ViewState* state,
   };
   std::map<cluster::NodeId, std::shared_ptr<ViewIndex>> indexes;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     indexes = state->indexes;
   }
   std::vector<Target> targets;
@@ -156,7 +156,7 @@ StatusOr<ViewResult> ViewEngine::Query(const std::string& bucket,
   trace::Span span("views.query", query_ns_);
   ViewState* state = nullptr;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     auto bit = views_.find(bucket);
     if (bit == views_.end()) return Status::NotFound("no such bucket");
     auto vit = bit->second.find(view);
@@ -171,7 +171,7 @@ StatusOr<ViewResult> ViewEngine::Query(const std::string& bucket,
   // Scatter: scan each node's local index. Gather: merge in collation order.
   std::map<cluster::NodeId, std::shared_ptr<ViewIndex>> indexes;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     indexes = state->indexes;
   }
   std::vector<ViewRow> merged;
@@ -248,7 +248,7 @@ StatusOr<ViewResult> ViewEngine::Query(const std::string& bucket,
 
 size_t ViewEngine::TotalRows(const std::string& bucket,
                              const std::string& view) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   auto bit = views_.find(bucket);
   if (bit == views_.end()) return 0;
   auto vit = bit->second.find(view);

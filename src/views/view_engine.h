@@ -6,11 +6,11 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "cluster/cluster.h"
+#include "common/synchronization.h"
 #include "stats/registry.h"
 #include "views/view_index.h"
 
@@ -70,8 +70,8 @@ class ViewEngine : public cluster::ClusterService,
   };
 
   // (Re)wires the DCP streams + active-vBucket sets for one view according
-  // to the current cluster map. Caller must NOT hold mu_.
-  void WireView(const std::string& bucket, ViewState* state);
+  // to the current cluster map.
+  void WireView(const std::string& bucket, ViewState* state) EXCLUDES(mu_);
 
   // Blocks until every index covers the data high-seqnos captured at entry.
   Status WaitForIndexer(const std::string& bucket, ViewState* state,
@@ -89,9 +89,10 @@ class ViewEngine : public cluster::ClusterService,
   stats::Counter* queries_ = nullptr;
   Histogram* query_ns_ = nullptr;
 
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   // bucket -> view name -> state
-  std::map<std::string, std::map<std::string, ViewState>> views_;
+  std::map<std::string, std::map<std::string, ViewState>> views_
+      GUARDED_BY(mu_);
 };
 
 }  // namespace couchkv::views

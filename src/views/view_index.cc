@@ -5,7 +5,7 @@
 namespace couchkv::views {
 
 void ViewIndex::ApplyMutation(const kv::Mutation& m) {
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  WriterLockGuard lock(mu_);
   // Drop the document's previous row.
   auto prev = doc_keys_.find(m.doc.key);
   if (prev != doc_keys_.end()) {
@@ -26,17 +26,17 @@ void ViewIndex::ApplyMutation(const kv::Mutation& m) {
 }
 
 void ViewIndex::SetVBucketActive(uint16_t vb, bool active) {
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  WriterLockGuard lock(mu_);
   active_vbs_[vb] = active;
 }
 
 bool ViewIndex::IsVBucketActive(uint16_t vb) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderLockGuard lock(mu_);
   return active_vbs_[vb];
 }
 
 size_t ViewIndex::row_count() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderLockGuard lock(mu_);
   return rows_.size();
 }
 
@@ -59,7 +59,7 @@ void ViewIndex::CollectRange(const json::Value* lo, const json::Value* hi,
 }
 
 std::vector<ViewRow> ViewIndex::Scan(const ViewQueryOptions& opts) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderLockGuard lock(mu_);
   std::vector<ViewRow> out;
   if (opts.key.has_value()) {
     CollectRange(&*opts.key, &*opts.key, /*inclusive_end=*/true, &out);

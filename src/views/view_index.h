@@ -11,12 +11,12 @@
 #include <bitset>
 #include <map>
 #include <optional>
-#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "cluster/types.h"
+#include "common/synchronization.h"
 #include "kv/doc.h"
 #include "views/view.h"
 
@@ -77,14 +77,15 @@ class ViewIndex {
   };
 
   void CollectRange(const json::Value* lo, const json::Value* hi,
-                    bool inclusive_end, std::vector<ViewRow>* out) const;
+                    bool inclusive_end, std::vector<ViewRow>* out) const
+      REQUIRES_SHARED(mu_);
 
   ViewDefinition def_;
-  mutable std::shared_mutex mu_;
-  std::map<RowKey, RowValue> rows_;
+  mutable SharedMutex mu_;
+  std::map<RowKey, RowValue> rows_ GUARDED_BY(mu_);
   // doc_id -> currently indexed key (to remove stale entries on update).
-  std::unordered_map<std::string, json::Value> doc_keys_;
-  std::bitset<cluster::kNumVBuckets> active_vbs_;
+  std::unordered_map<std::string, json::Value> doc_keys_ GUARDED_BY(mu_);
+  std::bitset<cluster::kNumVBuckets> active_vbs_ GUARDED_BY(mu_);
   std::array<std::atomic<uint64_t>, cluster::kNumVBuckets> processed_{};
 };
 

@@ -71,6 +71,10 @@ class XdcrLink : public cluster::ClusterService,
 
   // Registry-backed link counters, resolved by Start() into the scope
   // "xdcr.<service_name>" — null (reporting disabled) before Start().
+  // The link owns no mutex: these pointers are written by Start() strictly
+  // before Wire() registers the DCP streams whose callbacks read them (the
+  // producer's stream-map lock publishes the writes), and the counters
+  // themselves are internally atomic.
   std::shared_ptr<stats::Scope> stats_scope_;
   stats::Counter* docs_sent_ = nullptr;
   stats::Counter* docs_filtered_ = nullptr;

@@ -1,5 +1,13 @@
 // Unit tests for the object-managed cache: CAS semantics, GETL locks, TTL,
 // eviction, seqno generation, memory accounting.
+#include <array>
+#include <atomic>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "common/clock.h"
@@ -309,6 +317,171 @@ TEST_F(HashTableTest, ForEachSkipsTombstonesAndExpired) {
     ++count;
   });
   EXPECT_EQ(count, 1);
+}
+
+// --- Concurrency (ctest label: kv) ---
+//
+// The hash table is the innermost shared structure in the data path; these
+// tests hammer it from real threads so the TSan/ASan CI jobs exercise the
+// lock discipline the annotations promise.
+
+TEST_F(HashTableTest, GetlContentionSingleHolder) {
+  // N threads race GETL on one key. The lock is a hard mutual exclusion:
+  // at most one holder at a time, everyone else sees IsLocked (§3.1.1).
+  ht_.Set("k", "0", 0, 0, 0);
+  constexpr int kThreads = 8;
+  constexpr int kAcquisitionsPerThread = 50;
+
+  std::atomic<int> holders{0};
+  std::atomic<int> total_acquired{0};
+  std::atomic<bool> violation{false};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      int acquired = 0;
+      while (acquired < kAcquisitionsPerThread) {
+        auto locked = ht_.GetAndLock("k", 15000);
+        if (!locked.ok()) {
+          // The only acceptable contention outcome is "someone else holds
+          // the lock"; anything else is a bug.
+          if (!locked.status().IsLocked()) violation.store(true);
+          std::this_thread::yield();
+          continue;
+        }
+        if (holders.fetch_add(1) != 0) violation.store(true);
+        // Critical section: mutate with the lock CAS (which releases) or
+        // plain Unlock, alternating to cover both release paths.
+        holders.fetch_sub(1);
+        if (acquired % 2 == 0) {
+          auto w = ht_.Set("k", std::to_string(t), 0, 0,
+                           locked->doc.meta.cas);
+          if (!w.ok()) violation.store(true);
+        } else {
+          if (!ht_.Unlock("k", locked->doc.meta.cas).ok()) {
+            violation.store(true);
+          }
+        }
+        ++acquired;
+        total_acquired.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  EXPECT_FALSE(violation.load());
+  EXPECT_EQ(total_acquired.load(), kThreads * kAcquisitionsPerThread);
+  // All locks were released, so an outsider can lock and write again.
+  auto final_lock = ht_.GetAndLock("k", 15000);
+  ASSERT_TRUE(final_lock.ok());
+  EXPECT_TRUE(ht_.Set("k", "done", 0, 0, final_lock->doc.meta.cas).ok());
+  EXPECT_EQ(ht_.Get("k")->doc.value, "done");
+}
+
+TEST_F(HashTableTest, CasUnderConcurrentEviction) {
+  // Optimistic writers (read-CAS-write loops) race a flusher/pager thread
+  // that persists values to a shadow "disk" map and then evicts them.
+  // Writers restore evicted values read-through style. Every CAS failure
+  // must be one of the defined outcomes, every successful CAS must count
+  // exactly once, and a restore must never resurrect a stale value
+  // (Restore is seqno-checked, so a racing mutation wins).
+  constexpr int kWriters = 4;
+  constexpr int kIncrementsPerWriter = 50;
+  constexpr int kKeys = 4;
+  auto key_name = [](int k) { return "k" + std::to_string(k); };
+  for (int k = 0; k < kKeys; ++k) {
+    ht_.Set(key_name(k), "0", 0, 0, 0);
+  }
+
+  // Shadow of what the flusher has persisted, keyed by document key. The
+  // per-doc seqno decides whether a disk copy may be restored.
+  std::mutex disk_mu;
+  std::map<std::string, Document> disk;
+
+  std::atomic<bool> stop_pager{false};
+  std::atomic<bool> violation{false};
+
+  std::thread pager([&] {
+    while (!stop_pager.load()) {
+      for (int k = 0; k < kKeys; ++k) {
+        auto r = ht_.Get(key_name(k));
+        if (!r.ok() || !r->resident) continue;
+        // Persist-then-clean, as the real flusher does. MarkClean no-ops
+        // if a writer raced past this seqno, so only values that made it
+        // to "disk" ever become evictable.
+        {
+          std::lock_guard<std::mutex> lock(disk_mu);
+          disk[r->doc.key] = r->doc;
+        }
+        ht_.MarkClean(r->doc.key, r->doc.meta.seqno);
+      }
+      ht_.EvictTo(0);
+      std::this_thread::yield();
+    }
+  });
+
+  std::vector<std::thread> writers;
+  writers.reserve(kWriters);
+  std::array<std::atomic<int>, kKeys> per_key_increments{};
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      int done = 0;
+      while (done < kIncrementsPerWriter) {
+        int ki = (w + done) % kKeys;
+        std::string key = key_name(ki);
+        auto r = ht_.Get(key);
+        if (!r.ok()) {
+          violation.store(true);
+          break;
+        }
+        if (!r->resident) {
+          // Read-through: page the persisted copy back in. The seqno guard
+          // (ours and Restore's own) rejects stale disk copies.
+          std::lock_guard<std::mutex> lock(disk_mu);
+          auto it = disk.find(key);
+          if (it != disk.end() &&
+              it->second.meta.seqno == r->doc.meta.seqno) {
+            ht_.Restore(it->second);
+          }
+          continue;
+        }
+        int cur = std::stoi(r->doc.value);
+        auto s = ht_.Set(key, std::to_string(cur + 1), 0, 0,
+                         r->doc.meta.cas);
+        if (s.ok()) {
+          per_key_increments[ki].fetch_add(1);
+          ++done;
+        } else if (!s.status().IsKeyExists() && !s.status().IsLocked() &&
+                   !s.status().IsNotFound()) {
+          violation.store(true);
+          break;
+        }
+        std::this_thread::yield();
+      }
+    });
+  }
+  for (auto& th : writers) th.join();
+  stop_pager.store(true);
+  pager.join();
+
+  EXPECT_FALSE(violation.load());
+  // Each key's final value equals the number of CAS successes on it: no
+  // lost updates, no double counting, even with eviction racing the reads.
+  for (int k = 0; k < kKeys; ++k) {
+    std::string key = key_name(k);
+    auto r = ht_.Get(key);
+    ASSERT_TRUE(r.ok()) << key;
+    if (!r->resident) {
+      // Evicted at the finish line: the persisted copy is the truth.
+      std::lock_guard<std::mutex> lock(disk_mu);
+      ASSERT_TRUE(disk.count(key)) << key;
+      ASSERT_EQ(disk[key].meta.seqno, r->doc.meta.seqno) << key;
+      ht_.Restore(disk[key]);
+      r = ht_.Get(key);
+      ASSERT_TRUE(r.ok() && r->resident) << key;
+    }
+    EXPECT_EQ(std::stoi(r->doc.value), per_key_increments[k].load()) << key;
+  }
 }
 
 }  // namespace
