@@ -146,17 +146,22 @@ void Bucket::FlusherLoop() {
         return;  // crash between per-vBucket batches
       }
       VBucket* v = vbuckets_[vb].get();
-      if (v->file() == nullptr) {
+      // One locked pointer read per vBucket; the cached raw pointer stays
+      // valid for the SaveDocs/Commit sequence (file_ only ever transitions
+      // null -> non-null).
+      storage::CouchFile* file = v->file();
+      if (file == nullptr) {
         if (!EnsureStorage(vb).ok()) continue;
+        file = v->file();
       }
-      Status st = v->file()->SaveDocs(docs);
+      Status st = file->SaveDocs(docs);
       if (stop_hard_.load()) {
         // Crash between the batch write and its commit record: the torn
         // tail is discarded by recovery on the next open.
         flushing_.store(false);
         return;
       }
-      if (st.ok()) st = v->file()->Commit();
+      if (st.ok()) st = file->Commit();
       if (!st.ok()) {
         LOG_ERROR << "flush failed for vb " << vb << ": " << st.ToString();
         continue;
@@ -313,8 +318,8 @@ void Bucket::UpdateScrapeGauges() {
   uint64_t items = 0, non_resident = 0;
   for (const auto& v : vbuckets_) {
     if (v->state() == VBucketState::kDead) continue;
-    if (v->file() != nullptr) {
-      double f = v->file()->Fragmentation();
+    if (storage::CouchFile* file = v->file(); file != nullptr) {
+      double f = file->Fragmentation();
       if (f > worst_frag) worst_frag = f;
     }
     auto hs = v->hash_table().stats();

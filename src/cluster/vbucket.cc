@@ -42,8 +42,9 @@ StatusOr<kv::GetResult> VBucket::Get(std::string_view key) {
   if (!r->resident) {
     // Read-through: the value was evicted; fetch it from the append-only
     // store and restore it into the cache (paper §4.3.3).
-    if (file_ == nullptr) return Status::Internal("non-resident, no storage");
-    auto doc_or = file_->Get(key);
+    storage::CouchFile* f = file();
+    if (f == nullptr) return Status::Internal("non-resident, no storage");
+    auto doc_or = f->Get(key);
     if (!doc_or.ok()) return doc_or.status();
     ht_.Restore(doc_or.value());
     span.Phase("disk");
@@ -126,12 +127,15 @@ StatusOr<kv::GetResult> VBucket::GetAndLock(std::string_view key,
   if (inst_.ops_get != nullptr) inst_.ops_get->Add();
   auto r = ht_.GetAndLock(key, lock_ms);
   if (!r.ok()) return r;
-  if (!r->resident && file_ != nullptr) {
-    auto doc_or = file_->Get(key);
-    if (doc_or.ok()) {
-      ht_.Restore(doc_or.value());
-      r->doc.value = doc_or.value().value;
-      r->resident = true;
+  if (!r->resident) {
+    storage::CouchFile* f = file();
+    if (f != nullptr) {
+      auto doc_or = f->Get(key);
+      if (doc_or.ok()) {
+        ht_.Restore(doc_or.value());
+        r->doc.value = doc_or.value().value;
+        r->resident = true;
+      }
     }
   }
   return r;

@@ -47,8 +47,8 @@ class VBucket {
           const OpInstruments* instruments = nullptr,
           const kv::CacheCounters* cache_counters = nullptr)
       : id_(id),
-        state_(state),
         inst_(instruments != nullptr ? *instruments : OpInstruments{}),
+        state_(state),
         ht_(clock, eviction, cache_counters) {}
 
   uint16_t id() const { return id_; }
@@ -63,15 +63,18 @@ class VBucket {
     LockGuard lock(op_mu_);
     sink_ = std::move(sink);
   }
-  void set_file(std::shared_ptr<storage::CouchFile> file) EXCLUDES(op_mu_) {
-    LockGuard lock(op_mu_);
+  void set_file(std::shared_ptr<storage::CouchFile> file) EXCLUDES(file_mu_) {
+    LockGuard lock(file_mu_);
     file_ = std::move(file);
   }
   // The pointer read is locked (the flusher races EnsureStorage here), but
   // the returned file may be used lock-free: file_ only ever transitions
-  // null -> non-null and the CouchFile is internally synchronized.
-  storage::CouchFile* file() const EXCLUDES(op_mu_) {
-    LockGuard lock(op_mu_);
+  // null -> non-null and the CouchFile is internally synchronized. file_ sits
+  // under its own leaf mutex — NOT op_mu_ — because DCP backfill reads it
+  // while the rebalance switchover pumps the producer inside WithOpLock;
+  // routing it through op_mu_ would self-deadlock that path.
+  storage::CouchFile* file() const EXCLUDES(file_mu_) {
+    LockGuard lock(file_mu_);
     return file_.get();
   }
   kv::HashTable& hash_table() { return ht_; }
@@ -132,9 +135,13 @@ class VBucket {
   const uint16_t id_;
   OpInstruments inst_;  // null members = reporting disabled
   mutable Mutex op_mu_;
+  // Leaf lock under op_mu_: guards only the file pointer, held only for the
+  // accessor-sized critical sections above, so file() stays callable from
+  // code running inside WithOpLock (DCP backfill during rebalance).
+  mutable Mutex file_mu_ ACQUIRED_AFTER(op_mu_);
   std::atomic<VBucketState> state_;
   kv::HashTable ht_;  // internally synchronized
-  std::shared_ptr<storage::CouchFile> file_ GUARDED_BY(op_mu_);
+  std::shared_ptr<storage::CouchFile> file_ GUARDED_BY(file_mu_);
   MutationSink sink_ GUARDED_BY(op_mu_);
 };
 

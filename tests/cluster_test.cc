@@ -7,6 +7,7 @@
 
 #include "client/smart_client.h"
 #include "cluster/cluster.h"
+#include "cluster/vbucket.h"
 #include "cluster/vbucket_map.h"
 #include "net/faulty_transport.h"
 
@@ -49,6 +50,22 @@ TEST(VBucketMapTest, ThreeReplicasDistinctNodes) {
     owners.insert(e.active);
     EXPECT_EQ(owners.size(), 4u);
   }
+}
+
+// --- VBucket ---
+
+// Regression: the rebalance switchover drains the last deltas by pumping the
+// DCP producer inside WithOpLock, and the producer's backfill callback reads
+// the stream's vBucket file via file(). file() must therefore never acquire
+// op_mu_ — an earlier rewrite routed it through the op lock and the
+// switchover self-deadlocked whenever a stream still needed backfill. With
+// the pointer on its own leaf lock this returns; before, it hung forever.
+TEST(VBucketTest, FileIsReadableWhileOpLockHeld) {
+  VBucket vb(0, VBucketState::kActive, Clock::Real(),
+             kv::EvictionPolicy::kValueOnly);
+  storage::CouchFile* seen = reinterpret_cast<storage::CouchFile*>(1);
+  vb.WithOpLock([&] { seen = vb.file(); });
+  EXPECT_EQ(seen, nullptr);  // no file attached; the point is it returned
 }
 
 // --- Cluster fixture ---
