@@ -43,13 +43,14 @@ int main() {
       std::make_shared<analytics::AnalyticsService>(bed.cluster.get());
   analytics->Attach();
   if (!analytics->ConnectBucket("bucket").ok()) return 1;
-  analytics->WaitCaughtUp("bucket", 300000);
+  MustOk(analytics->WaitCaughtUp("bucket", 300000), "analytics catch-up");
   auto st = bed.queries->Execute("CREATE PRIMARY INDEX ON `bucket` USING GSI");
   if (!st.ok()) {
     std::fprintf(stderr, "%s\n", st.status().ToString().c_str());
     return 1;
   }
-  bed.gsi->WaitUntilCaughtUp("bucket", "#primary", 300000);
+  MustOk(bed.gsi->WaitUntilCaughtUp("bucket", "#primary", 300000),
+         "gsi catch-up");
 
   const std::string heavy =
       "SELECT field0, COUNT(*) AS n, MIN(field1) AS lo "

@@ -31,6 +31,25 @@ inline uint64_t Scaled(uint64_t base) {
   return v < 1 ? 1 : static_cast<uint64_t>(v);
 }
 
+// Bench setup failures invalidate the measurement, so they abort loudly
+// rather than being dropped (Status is [[nodiscard]] everywhere).
+inline void MustOk(const Status& st, const char* what) {
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s failed: %s\n", what, st.ToString().c_str());
+    std::abort();
+  }
+}
+
+template <typename T>
+T MustOk(StatusOr<T> v, const char* what) {
+  if (!v.ok()) {
+    std::fprintf(stderr, "%s failed: %s\n", what,
+                 v.status().ToString().c_str());
+    std::abort();
+  }
+  return *std::move(v);
+}
+
 // A ready-to-use cluster with all services attached, mirroring the paper's
 // §10.1 setup ("data, index and query services running on all nodes").
 struct TestBed {
@@ -83,7 +102,9 @@ inline void LoadRecords(cluster::Cluster* cluster, const std::string& bucket,
       for (;;) {
         uint64_t i = next.fetch_add(1);
         if (i >= count) break;
-        client.Upsert(ycsb::Workload::KeyFor(i), workload.GenerateValue());
+        MustOk(client.Upsert(ycsb::Workload::KeyFor(i),
+                             workload.GenerateValue()),
+               "bulk-load upsert");
       }
     });
   }

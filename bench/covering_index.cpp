@@ -19,7 +19,8 @@ int main() {
     std::fprintf(stderr, "%s\n", st.status().ToString().c_str());
     return 1;
   }
-  bed.gsi->WaitUntilCaughtUp("bucket", "by_f0", 120000);
+  MustOk(bed.gsi->WaitUntilCaughtUp("bucket", "by_f0", 120000),
+         "gsi catch-up");
 
   struct Variant {
     const char* name;

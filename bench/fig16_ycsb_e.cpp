@@ -25,7 +25,8 @@ int main() {
     std::fprintf(stderr, "%s\n", st.status().ToString().c_str());
     return 1;
   }
-  bed.gsi->WaitUntilCaughtUp("bucket", "#primary", 120000);
+  MustOk(bed.gsi->WaitUntilCaughtUp("bucket", "#primary", 120000),
+         "gsi catch-up");
 
   PrintHeader("Figure 16: YCSB workload E range-query throughput vs threads",
               "clients x threads | total threads | queries/sec | scan p95 (us)");

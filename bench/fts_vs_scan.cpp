@@ -34,7 +34,8 @@ int main() {
       }
       json::Value doc = json::Value::MakeObject();
       doc["text"] = json::Value::Str(text);
-      client.UpsertJson(ycsb::Workload::KeyFor(i), doc);
+      MustOk(client.UpsertJson(ycsb::Workload::KeyFor(i), doc),
+             "corpus upsert");
     }
   }
   auto fts = std::make_shared<fts::SearchService>(bed.cluster.get());
@@ -48,7 +49,8 @@ int main() {
     std::fprintf(stderr, "%s\n", st.status().ToString().c_str());
     return 1;
   }
-  bed.gsi->WaitUntilCaughtUp("bucket", "#primary", 300000);
+  MustOk(bed.gsi->WaitUntilCaughtUp("bucket", "#primary", 300000),
+         "gsi catch-up");
   // Warm the FTS index fully before timing.
   (void)fts->Search("bucket", "text_idx", Word(0), fts::QueryMode::kAllTerms,
                     1, /*consistent=*/true);

@@ -24,7 +24,8 @@ int main() {
       std::fprintf(stderr, "%s\n", st.status().ToString().c_str());
       return 1;
     }
-    bed.gsi->WaitUntilCaughtUp("bucket", "#primary", 120000);
+    MustOk(bed.gsi->WaitUntilCaughtUp("bucket", "#primary", 120000),
+           "gsi catch-up");
 
     Histogram keyscan, primary;
     for (uint64_t i = 0; i < kQueries; ++i) {

@@ -4,6 +4,8 @@
 // figures are built from.
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+
 #include "cluster/vbucket_map.h"
 #include "common/random.h"
 #include "dcp/dcp.h"
@@ -64,7 +66,7 @@ void BM_HashTableGet(benchmark::State& state) {
   kv::HashTable ht;
   std::string value(128, 'v');
   for (int i = 0; i < 10000; ++i) {
-    ht.Set("key" + std::to_string(i), value, 0, 0, 0);
+    if (!ht.Set("key" + std::to_string(i), value, 0, 0, 0).ok()) std::abort();
   }
   uint64_t i = 0;
   for (auto _ : state) {
@@ -95,10 +97,15 @@ BENCHMARK(BM_CouchFileAppend)->Arg(128)->Arg(1024)->Arg(8192);
 void BM_DcpPumpThroughput(benchmark::State& state) {
   dcp::Producer producer(1, nullptr);
   uint64_t delivered = 0;
-  producer.AddStream("bench", 0, 0, [&](const kv::Mutation&) {
-    ++delivered;
-    return Status::OK();
-  });
+  if (!producer
+           .AddStream("bench", 0, 0,
+                      [&](const kv::Mutation&) {
+                        ++delivered;
+                        return Status::OK();
+                      })
+           .ok()) {
+    std::abort();
+  }
   uint64_t seqno = 0;
   kv::Document doc;
   doc.value.assign(128, 'x');

@@ -31,16 +31,16 @@ int main() {
       doc.key = "key" + std::to_string(rng.Uniform(distinct_keys));
       doc.value = value;
       doc.meta.seqno = ++seqno;
-      file->SaveDocs({doc});
+      if (!file->SaveDocs({doc}).ok()) std::abort();
       logical_bytes += value_size;
       if (i % 64 == 0) {
-        file->Commit();
+        if (!file->Commit().ok()) std::abort();
         if (file->Fragmentation() > threshold) {
-          file->Compact();
+          if (!file->Compact().ok()) std::abort();
         }
       }
     }
-    file->Commit();
+    if (!file->Commit().ok()) std::abort();
     auto stats = file->stats();
     // Write amplification ~ bytes the engine wrote / logical bytes; the
     // compactor re-writes live data each run.

@@ -24,7 +24,9 @@ int main() {
   {
     views::ViewQueryOptions warm;
     warm.limit = 1;
-    bed.views->Query("bucket", "by_field0", warm, views::Staleness::kFalse);
+    MustOk(bed.views->Query("bucket", "by_field0", warm,
+                            views::Staleness::kFalse),
+           "view warm-up query");
   }
 
   std::atomic<bool> stop{false};
@@ -37,8 +39,10 @@ int main() {
     ycsb::Workload workload(cfg, 11, &dummy);
     uint64_t i = 0;
     while (!stop.load(std::memory_order_relaxed)) {
-      client.Upsert(ycsb::Workload::KeyFor(i++ % records),
-                    workload.GenerateValue());
+      // justified: background pressure writer; a transient refusal (e.g.
+      // TempFail backpressure) only slows the churn this bench wants.
+      (void)client.Upsert(ycsb::Workload::KeyFor(i++ % records),
+                          workload.GenerateValue());
     }
   });
 

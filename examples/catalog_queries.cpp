@@ -7,9 +7,11 @@
 
 #include "client/smart_client.h"
 #include "cluster/cluster.h"
+#include "examples/example_util.h"
 #include "n1ql/query_service.h"
 
 using namespace couchkv;
+using examples::MustOk;
 
 namespace {
 void Show(const char* title, const StatusOr<n1ql::QueryResult>& r) {
@@ -41,32 +43,41 @@ int main() {
 
   // A bucket holds documents of different shapes (schema flexibility):
   // products, and customers with embedded order-id arrays.
-  client.Upsert("sku::couch", R"({"doc_type":"product","name":"Couch",
+  MustOk(client.Upsert("sku::couch", R"({"doc_type":"product","name":"Couch",
       "price":499, "categories":["furniture","living-room"],
-      "stock":{"sf":3,"ny":9}})");
-  client.Upsert("sku::lamp", R"({"doc_type":"product","name":"Lamp",
+      "stock":{"sf":3,"ny":9}})"),
+         "upsert sku::couch");
+  MustOk(client.Upsert("sku::lamp", R"({"doc_type":"product","name":"Lamp",
       "price":49, "categories":["lighting","living-room"],
-      "stock":{"sf":12,"ny":0}})");
-  client.Upsert("sku::desk", R"({"doc_type":"product","name":"Desk",
+      "stock":{"sf":12,"ny":0}})"),
+         "upsert sku::lamp");
+  MustOk(client.Upsert("sku::desk", R"({"doc_type":"product","name":"Desk",
       "price":199, "categories":["furniture","office"],
-      "stock":{"sf":1,"ny":4}})");
-  client.Upsert("order::1001",
-                R"({"doc_type":"order","sku":"sku::couch","qty":1})");
-  client.Upsert("order::1002",
-                R"({"doc_type":"order","sku":"sku::lamp","qty":3})");
-  client.Upsert("cust::carol", R"({"doc_type":"customer","name":"Carol",
-      "order_ids":["order::1001","order::1002"]})");
+      "stock":{"sf":1,"ny":4}})"),
+         "upsert sku::desk");
+  MustOk(client.Upsert("order::1001",
+                       R"({"doc_type":"order","sku":"sku::couch","qty":1})"),
+         "upsert order::1001");
+  MustOk(client.Upsert("order::1002",
+                       R"({"doc_type":"order","sku":"sku::lamp","qty":3})"),
+         "upsert order::1002");
+  MustOk(client.Upsert("cust::carol", R"({"doc_type":"customer","name":"Carol",
+      "order_ids":["order::1001","order::1002"]})"),
+         "upsert cust::carol");
 
   n1ql::QueryOptions opts;
   opts.consistency = gsi::ScanConsistency::kRequestPlus;
 
   // Indexes: a primary index, a price index (range queries), and a partial
   // index over in-stock SF products only (§3.3.4).
-  q.Execute("CREATE PRIMARY INDEX ON catalog USING GSI");
-  q.Execute("CREATE INDEX by_price ON catalog(price) USING GSI");
-  q.Execute(
-      "CREATE INDEX sf_stocked ON catalog(price) WHERE stock.sf > 0 "
-      "USING GSI");
+  MustOk(q.Execute("CREATE PRIMARY INDEX ON catalog USING GSI"),
+         "create primary index");
+  MustOk(q.Execute("CREATE INDEX by_price ON catalog(price) USING GSI"),
+         "create by_price index");
+  MustOk(q.Execute(
+             "CREATE INDEX sf_stocked ON catalog(price) WHERE stock.sf > 0 "
+             "USING GSI"),
+         "create sf_stocked index");
 
   Show("products under $200 (IndexScan on by_price)",
        q.Execute("SELECT name, price FROM catalog "
@@ -109,7 +120,7 @@ int main() {
   price_stats.map.key_paths = {"doc_type"};
   price_stats.map.value_path = "price";
   price_stats.reduce = views::ReduceFn::kStats;
-  views->CreateView("catalog", price_stats);
+  MustOk(views->CreateView("catalog", price_stats), "create price_stats view");
   views::ViewQueryOptions vopts;
   auto stats = views->Query("catalog", "price_stats", vopts,
                             views::Staleness::kFalse);
@@ -118,7 +129,8 @@ int main() {
 
   // On-the-fly update: a price change is immediately queryable with
   // request_plus consistency.
-  q.Execute("UPDATE catalog USE KEYS 'sku::lamp' SET price = 39");
+  MustOk(q.Execute("UPDATE catalog USE KEYS 'sku::lamp' SET price = 39"),
+         "update lamp price");
   Show("after UPDATE, lamp price",
        q.Execute("SELECT name, price FROM catalog USE KEYS 'sku::lamp'",
                  opts));

@@ -1,0 +1,35 @@
+// Shared helper for the example programs: every couchkv call returns a
+// [[nodiscard]] Status/StatusOr, and the examples model the intended idiom —
+// nothing is silently dropped. MustOk keeps the happy path linear while
+// still aborting loudly (with the failing step named) on any error.
+#ifndef COUCHKV_EXAMPLES_EXAMPLE_UTIL_H_
+#define COUCHKV_EXAMPLES_EXAMPLE_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+#include "common/status.h"
+
+namespace couchkv::examples {
+
+inline void MustOk(const Status& st, const char* what) {
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s failed: %s\n", what, st.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+template <typename T>
+T MustOk(StatusOr<T> v, const char* what) {
+  if (!v.ok()) {
+    std::fprintf(stderr, "%s failed: %s\n", what,
+                 v.status().ToString().c_str());
+    std::exit(1);
+  }
+  return *std::move(v);
+}
+
+}  // namespace couchkv::examples
+
+#endif  // COUCHKV_EXAMPLES_EXAMPLE_UTIL_H_

@@ -5,9 +5,11 @@
 
 #include "client/smart_client.h"
 #include "cluster/cluster.h"
+#include "examples/example_util.h"
 #include "fts/fts.h"
 
 using namespace couchkv;
+using examples::MustOk;
 
 namespace {
 void Show(const char* title, const StatusOr<std::vector<fts::SearchHit>>& r) {
@@ -31,14 +33,18 @@ int main() {
   if (!cluster.CreateBucket(config).ok()) return 1;
   client::SmartClient client(&cluster, "reviews");
 
-  client.Upsert("rev::1", R"({"product":"couch","stars":5,
-      "text":"Incredibly comfortable couch, perfect for long evenings"})");
-  client.Upsert("rev::2", R"({"product":"couch","stars":2,
-      "text":"The couch springs squeak and the fabric pills quickly"})");
-  client.Upsert("rev::3", R"({"product":"desk","stars":4,
-      "text":"Solid desk, comfortable height, easy assembly"})");
-  client.Upsert("rev::4", R"({"product":"lamp","stars":5,
-      "text":"Warm light, perfect for long reading evenings"})");
+  MustOk(client.Upsert("rev::1", R"({"product":"couch","stars":5,
+      "text":"Incredibly comfortable couch, perfect for long evenings"})"),
+         "upsert rev::1");
+  MustOk(client.Upsert("rev::2", R"({"product":"couch","stars":2,
+      "text":"The couch springs squeak and the fabric pills quickly"})"),
+         "upsert rev::2");
+  MustOk(client.Upsert("rev::3", R"({"product":"desk","stars":4,
+      "text":"Solid desk, comfortable height, easy assembly"})"),
+         "upsert rev::3");
+  MustOk(client.Upsert("rev::4", R"({"product":"lamp","stars":5,
+      "text":"Warm light, perfect for long reading evenings"})"),
+         "upsert rev::4");
 
   auto fts = std::make_shared<fts::SearchService>(&cluster);
   fts->Attach();
@@ -69,8 +75,9 @@ int main() {
                    fts::QueryMode::kPhrase, 10, true));
 
   // The index follows mutations (DCP): update a review and search again.
-  client.Upsert("rev::2", R"({"product":"couch","stars":4,
-      "text":"After the fix, the couch is actually comfortable"})");
+  MustOk(client.Upsert("rev::2", R"({"product":"couch","stars":4,
+      "text":"After the fix, the couch is actually comfortable"})"),
+         "upsert rev::2");
   Show("term after live update: comfortable",
        fts->Search("reviews", "review_text", "comfortable",
                    fts::QueryMode::kAllTerms, 10, true));

@@ -5,9 +5,11 @@
 
 #include "client/smart_client.h"
 #include "cluster/cluster.h"
+#include "examples/example_util.h"
 #include "n1ql/query_service.h"
 
 using namespace couchkv;
+using examples::MustOk;
 
 int main() {
   // 1. A cluster of three nodes, all running data + index + query services.
@@ -29,19 +31,24 @@ int main() {
   // 3. Key-value access path: the smart client hashes each key to its
   //    vBucket and talks straight to the owning node (Figure 5).
   client::SmartClient client(&cluster, "travel");
-  client.Upsert("airline::1",
-                R"({"name":"Couch Air","country":"US","fleet":12})");
-  client.Upsert("airline::2",
-                R"({"name":"Nickel Jet","country":"FR","fleet":5})");
-  client.Upsert("airline::3",
-                R"({"name":"JSON Wings","country":"US","fleet":31})");
+  MustOk(client.Upsert("airline::1",
+                       R"({"name":"Couch Air","country":"US","fleet":12})"),
+         "upsert airline::1");
+  MustOk(client.Upsert("airline::2",
+                       R"({"name":"Nickel Jet","country":"FR","fleet":5})"),
+         "upsert airline::2");
+  MustOk(client.Upsert("airline::3",
+                       R"({"name":"JSON Wings","country":"US","fleet":31})"),
+         "upsert airline::3");
 
   auto doc = client.Get("airline::1");
   std::printf("GET airline::1 -> %s (cas=%llu)\n", doc->value.c_str(),
               static_cast<unsigned long long>(doc->cas));
 
   // 4. Query access path: create a GSI index, then run N1QL.
-  queries.Execute("CREATE INDEX by_country ON travel(country) USING GSI");
+  MustOk(queries.Execute(
+             "CREATE INDEX by_country ON travel(country) USING GSI"),
+         "create by_country index");
 
   n1ql::QueryOptions opts;
   opts.consistency = gsi::ScanConsistency::kRequestPlus;  // read-your-writes

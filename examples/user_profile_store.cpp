@@ -9,8 +9,10 @@
 
 #include "client/smart_client.h"
 #include "cluster/cluster.h"
+#include "examples/example_util.h"
 
 using namespace couchkv;
+using examples::MustOk;
 
 int main() {
   cluster::Cluster cluster;
@@ -26,10 +28,13 @@ int main() {
   // write waits for a replica so a node crash cannot lose it.
   client::WriteOptions durable;
   durable.durability = cluster::Durability::Replicate(1);
-  client.Insert("user::alice",
-                R"({"name":"Alice","visits":0,"plan":"free"})", durable);
-  client.Insert("user::bob", R"({"name":"Bob","visits":0,"plan":"pro"})",
-                durable);
+  MustOk(client.Insert("user::alice",
+                       R"({"name":"Alice","visits":0,"plan":"free"})",
+                       durable),
+         "insert user::alice");
+  MustOk(client.Insert("user::bob",
+                       R"({"name":"Bob","visits":0,"plan":"pro"})", durable),
+         "insert user::bob");
   std::printf("created 2 profiles (replicated to 1 replica before ack)\n");
 
   // --- Optimistic concurrency: many sessions bump visit counters ---
@@ -68,20 +73,24 @@ int main() {
   }
   client::WriteOptions unlock_write;
   unlock_write.cas = locked->cas;
-  client.Replace("user::bob", bob.ToJson(), unlock_write);
+  MustOk(client.Replace("user::bob", bob.ToJson(), unlock_write),
+         "unlock-replace user::bob");
   std::printf("bob.plan upgraded under a hard lock\n");
 
   // --- TTL sessions ---
   uint32_t now = static_cast<uint32_t>(cluster.clock()->NowSeconds());
   client::WriteOptions session;
   session.expiry = now + 1800;  // 30-minute session token
-  client.Upsert("session::alice::web", R"({"user":"user::alice"})", session);
-  client.Touch("session::alice::web", now + 3600);  // sliding expiry
+  MustOk(client.Upsert("session::alice::web", R"({"user":"user::alice"})",
+                       session),
+         "store session token");
+  // Sliding expiry.
+  MustOk(client.Touch("session::alice::web", now + 3600), "touch session");
   std::printf("session token stored with sliding TTL\n");
 
   // --- Failover: kill a node, profiles stay available (§4.1.1, §4.3.1) ---
   cluster.Quiesce();  // let replication catch up
-  cluster.Failover(2);
+  MustOk(cluster.Failover(2), "failover node 2");
   auto after = client.GetJson("user::alice");
   std::printf("after failover of node 2: alice still readable, visits=%lld\n",
               static_cast<long long>(after->Field("visits").AsInt()));

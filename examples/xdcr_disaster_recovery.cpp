@@ -6,9 +6,11 @@
 
 #include "client/smart_client.h"
 #include "cluster/cluster.h"
+#include "examples/example_util.h"
 #include "xdcr/xdcr.h"
 
 using namespace couchkv;
+using examples::MustOk;
 
 namespace {
 void Settle(cluster::Cluster* a, cluster::Cluster* b) {
@@ -29,8 +31,8 @@ int main() {
   cluster::BucketConfig config;
   config.name = "accounts";
   config.num_replicas = 1;
-  east.CreateBucket(config);
-  west.CreateBucket(config);
+  MustOk(east.CreateBucket(config), "create east bucket");
+  MustOk(west.CreateBucket(config), "create west bucket");
   client::SmartClient east_client(&east, "accounts");
   client::SmartClient west_client(&west, "accounts");
 
@@ -41,15 +43,21 @@ int main() {
   spec.key_filter_regex = "^acct:";
   auto east_to_west = std::make_shared<xdcr::XdcrLink>(&east, &west, spec);
   auto west_to_east = std::make_shared<xdcr::XdcrLink>(&west, &east, spec);
-  east_to_west->Start("xdcr-east-west");
-  west_to_east->Start("xdcr-west-east");
+  MustOk(east_to_west->Start("xdcr-east-west"), "start east->west link");
+  MustOk(west_to_east->Start("xdcr-west-east"), "start west->east link");
 
   // Normal operation: each datacenter serves its local users.
   for (int i = 0; i < 20; ++i) {
-    east_client.Upsert("acct:e" + std::to_string(i), R"({"dc":"east"})");
-    west_client.Upsert("acct:w" + std::to_string(i), R"({"dc":"west"})");
+    MustOk(east_client.Upsert("acct:e" + std::to_string(i),
+                              R"({"dc":"east"})"),
+           "upsert east account");
+    MustOk(west_client.Upsert("acct:w" + std::to_string(i),
+                              R"({"dc":"west"})"),
+           "upsert west account");
   }
-  east_client.Upsert("cache:tmp", R"({"local_only":true})");  // not replicated
+  // Not replicated: filtered out by the key filter.
+  MustOk(east_client.Upsert("cache:tmp", R"({"local_only":true})"),
+         "upsert cache:tmp");
   Settle(&east, &west);
 
   std::printf("east sees west account: %s\n",
@@ -61,11 +69,19 @@ int main() {
 
   // Concurrent update of the same account in both datacenters: conflict
   // resolution picks the same winner everywhere (§4.6.1).
-  east_client.Upsert("acct:shared", R"({"balance":100,"updated_in":"east"})");
+  MustOk(east_client.Upsert("acct:shared",
+                            R"({"balance":100,"updated_in":"east"})"),
+         "seed acct:shared");
   Settle(&east, &west);
-  west_client.Upsert("acct:shared", R"({"balance":150,"updated_in":"west"})");
-  west_client.Upsert("acct:shared", R"({"balance":175,"updated_in":"west"})");
-  east_client.Upsert("acct:shared", R"({"balance":120,"updated_in":"east"})");
+  MustOk(west_client.Upsert("acct:shared",
+                            R"({"balance":150,"updated_in":"west"})"),
+         "west update 1");
+  MustOk(west_client.Upsert("acct:shared",
+                            R"({"balance":175,"updated_in":"west"})"),
+         "west update 2");
+  MustOk(east_client.Upsert("acct:shared",
+                            R"({"balance":120,"updated_in":"east"})"),
+         "east update");
   Settle(&east, &west);
   Settle(&east, &west);
   auto east_doc = east_client.GetJson("acct:shared");
@@ -85,9 +101,9 @@ int main() {
   // replica copies on the survivors), then failover again when the second
   // node dies. Without the rebalance the second failover would find
   // vBuckets with no replica left to promote.
-  east.Failover(1);
-  east.Rebalance();
-  east.Failover(2);
+  MustOk(east.Failover(1), "failover node 1");
+  MustOk(east.Rebalance(), "rebalance survivors");
+  MustOk(east.Failover(2), "failover node 2");
   std::printf("east after double failover, orchestrator=%u, acct:e7 %s\n",
               east.orchestrator(),
               east_client.Get("acct:e7").ok() ? "readable" : "LOST");

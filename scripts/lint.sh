@@ -6,7 +6,11 @@
 #    instead of the naked std primitives, so Clang Thread Safety Analysis
 #    sees every acquisition. synchronization.h itself is the one allowed
 #    wrapper over the std types.
-# 2. Optional clang-format check (runs only when clang-format is installed).
+# 2. Swallowed-error check: [[nodiscard]] + -Werror=unused-result make
+#    dropping a Status/StatusOr a compile error; the one sanctioned escape
+#    hatch is `(void)call(...)` with an adjacent `// justified:` comment.
+#    Any unjustified (void)-discarded call in src/ fails the lint.
+# 3. Optional clang-format check (runs only when clang-format is installed).
 set -u
 cd "$(dirname "$0")/.."
 
@@ -44,7 +48,37 @@ done < <(grep -rn 'NO_THREAD_SAFETY_ANALYSIS' src/ \
     --include='*.h' --include='*.cc' \
     | grep -v 'src/common/synchronization.h' || true)
 
-# --- 3. clang-format (advisory locally, enforced in CI) ---------------------
+# --- 3. (void)-discarded calls must carry a '// justified:' comment ---------
+# Matches `(void)` followed by a call (an opening paren before the line
+# ends); plain `(void)identifier;` unused-parameter silencing is not a
+# discard and is not flagged. static_cast<void>(...) is banned outright —
+# use the greppable `(void)` form so this check can see every discard.
+while IFS=: read -r file line _; do
+  # Accept the tag on the discard line itself or anywhere in the contiguous
+  # block of // comment lines immediately above it.
+  first=$((line - 8))
+  [[ $first -lt 1 ]] && first=1
+  context=$(sed -n "${first},${line}p" "$file" | tac \
+      | awk 'NR==1 {print; next} /^[[:space:]]*\/\// {print; next} {exit}')
+  if ! grep -q '// justified:' <<<"$context"; then
+    echo "error: $file:$line discards a call result with (void) but has no" >&2
+    echo "'// justified:' comment on the line or the comment block above it" >&2
+    echo "(error-path discipline: see DESIGN.md \"No silent drops\")" >&2
+    fail=1
+  fi
+done < <(grep -rnE '\(void\)[^;"]*\(' src/ \
+    --include='*.h' --include='*.cc' || true)
+
+matches=$(grep -rnE 'static_cast<void>' src/ \
+    --include='*.h' --include='*.cc' || true)
+if [[ -n "$matches" ]]; then
+  echo "error: static_cast<void> discard in src/ — spell deliberate" >&2
+  echo "discards as '(void)expr; // justified: ...' instead:" >&2
+  echo "$matches" >&2
+  fail=1
+fi
+
+# --- 4. clang-format (advisory locally, enforced in CI) ---------------------
 if command -v clang-format >/dev/null 2>&1; then
   unformatted=()
   while IFS= read -r f; do

@@ -1,5 +1,7 @@
 #include "cluster/bucket.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 
 namespace couchkv::cluster {
@@ -19,6 +21,8 @@ Bucket::Bucket(BucketConfig config, NodeId node_id, storage::Env* env,
   dcp_counters_ = dcp::DcpCounters::In(scope_.get());
   flush_batches_ = scope_->GetCounter("flusher.batches");
   flush_docs_ = scope_->GetCounter("flusher.batch_docs");
+  flush_fails_ = scope_->GetCounter("flusher.flush_fails");
+  flush_retries_ = scope_->GetCounter("flusher.flush_retries");
   flush_ns_ = scope_->GetHistogram("flusher.flush_ns");
 
   vbuckets_.reserve(kNumVBuckets);
@@ -35,7 +39,9 @@ Bucket::Bucket(BucketConfig config, NodeId node_id, storage::Env* env,
           kv::Mutation m;
           m.vbucket = vb;
           m.doc = doc;
-          fn(m);
+          // A failed delivery aborts the backfill scan; the producer's
+          // stall/retry logic decides what happens next.
+          return fn(m);
         });
       },
       &dcp_counters_);
@@ -57,6 +63,7 @@ std::unique_ptr<VBucket> Bucket::MakeVBucket(uint16_t vb) {
   auto v = std::make_unique<VBucket>(vb, VBucketState::kDead, clock_,
                                      config_.eviction, &op_inst_,
                                      &cache_counters_);
+  v->set_backpressure_flag(&backpressure_);
   v->set_sink([this, vb](const kv::Document& doc) {
     producer_->OnMutation(vb, doc);
     EnqueueForPersistence(vb, doc);
@@ -103,9 +110,41 @@ void Bucket::EnqueueForPersistence(uint16_t vb, const kv::Document& doc) {
   if (inserted && queued_.fetch_add(1) == 0) {
     queue_cv_.NotifyOne();
   }
+  UpdateBackpressure();
+}
+
+size_t Bucket::RequeueFailedBatch(uint16_t vb, std::vector<kv::Document>& docs) {
+  QueueShard& shard = shards_[vb % kQueueShards];
+  size_t requeued = 0;
+  {
+    LockGuard lock(shard.mu);
+    for (kv::Document& doc : docs) {
+      // try_emplace: if the key was re-enqueued by a front-end write while
+      // this batch was failing, that newer version wins; re-inserting the
+      // old one would persist stale data over it.
+      if (shard.items.try_emplace({vb, doc.key}, std::move(doc)).second) {
+        ++requeued;
+      }
+    }
+  }
+  if (requeued > 0) queued_.fetch_add(requeued);
+  flush_retries_->Add(requeued);
+  return requeued;
+}
+
+void Bucket::UpdateBackpressure() {
+  uint64_t limit = config_.disk_failure_tempfail_queue_depth;
+  bool want = limit > 0 && disk_unhealthy_.load(std::memory_order_acquire) &&
+              queued_.load(std::memory_order_acquire) >= limit;
+  backpressure_.store(want, std::memory_order_release);
 }
 
 void Bucket::FlusherLoop() {
+  // Retry backoff after a failed pass: doubles up to the cap, resets on a
+  // clean pass, so a dead disk is retried at a bounded rate instead of in a
+  // hot loop, and a transient fault converges quickly.
+  std::chrono::milliseconds backoff(0);
+  constexpr std::chrono::milliseconds kMaxBackoff(64);
   for (;;) {
     if (stop_hard_.load()) return;  // crash: abandon the queue
     std::map<std::pair<uint16_t, std::string>, kv::Document> batch;
@@ -113,10 +152,18 @@ void Bucket::FlusherLoop() {
       UniqueLock lock(queue_mu_);
       // The deadline bounds the flush latency even if a notify is lost (the
       // enqueue fast path deliberately avoids taking queue_mu_).
-      auto deadline =
-          std::chrono::steady_clock::now() + std::chrono::milliseconds(1);
+      auto deadline = std::chrono::steady_clock::now() +
+                      std::max(backoff, std::chrono::milliseconds(1));
       while (!stop_.load() && queued_.load() == 0) {
         if (!queue_cv_.WaitUntil(lock, deadline)) break;
+      }
+      if (backoff.count() > 0 && !stop_.load() && !stop_hard_.load()) {
+        // A failed pass re-enqueued its docs, so queued_ > 0 and the wait
+        // above returned immediately; honor the backoff before retrying.
+        while (std::chrono::steady_clock::now() < deadline &&
+               !stop_.load() && !stop_hard_.load()) {
+          if (!queue_cv_.WaitUntil(lock, deadline)) break;
+        }
       }
     }
     if (stop_hard_.load()) return;
@@ -140,6 +187,7 @@ void Bucket::FlusherLoop() {
     for (auto& [key, doc] : batch) {
       by_vb[key.first].push_back(std::move(doc));
     }
+    bool pass_failed = false;
     for (auto& [vb, docs] : by_vb) {
       if (stop_hard_.load()) {
         flushing_.store(false);
@@ -150,11 +198,12 @@ void Bucket::FlusherLoop() {
       // valid for the SaveDocs/Commit sequence (file_ only ever transitions
       // null -> non-null).
       storage::CouchFile* file = v->file();
+      Status st = Status::OK();
       if (file == nullptr) {
-        if (!EnsureStorage(vb).ok()) continue;
-        file = v->file();
+        st = EnsureStorage(vb);
+        if (st.ok()) file = v->file();
       }
-      Status st = file->SaveDocs(docs);
+      if (st.ok()) st = file->SaveDocs(docs);
       if (stop_hard_.load()) {
         // Crash between the batch write and its commit record: the torn
         // tail is discarded by recovery on the next open.
@@ -163,13 +212,30 @@ void Bucket::FlusherLoop() {
       }
       if (st.ok()) st = file->Commit();
       if (!st.ok()) {
-        LOG_ERROR << "flush failed for vb " << vb << ": " << st.ToString();
+        // Acknowledged-from-memory writes must not be dropped on a disk
+        // fault: put the batch back on the queue (newer enqueued versions
+        // win) so the flusher retries until the disk recovers, and flag the
+        // disk unhealthy so the front end sheds write load once the queue
+        // passes the TempFail threshold. PersistTo waiters keep waiting —
+        // they time out honestly instead of acking an unpersisted write.
+        flush_fails_->Add();
+        size_t requeued = RequeueFailedBatch(vb, docs);
+        pass_failed = true;
+        LOG_WARN << "flush failed for vb " << vb << ": " << st.ToString()
+                 << "; re-enqueued " << requeued << "/" << docs.size()
+                 << " docs for retry";
         continue;
       }
       for (const kv::Document& doc : docs) {
         v->hash_table().MarkClean(doc.key, doc.meta.seqno);
       }
     }
+    disk_unhealthy_.store(pass_failed, std::memory_order_release);
+    UpdateBackpressure();
+    backoff = pass_failed
+                  ? std::min(std::max(backoff * 2, std::chrono::milliseconds(1)),
+                             kMaxBackoff)
+                  : std::chrono::milliseconds(0);
     flush_ns_->Record(Clock::Real()->NowNanos() - flush_start_ns);
     {
       LockGuard lock(queue_mu_);
@@ -182,9 +248,10 @@ void Bucket::FlusherLoop() {
 
 StatusOr<uint64_t> Bucket::Warmup() {
   uint64_t loaded = 0;
-  for (auto& v : vbuckets_) {
+  for (uint16_t vb = 0; vb < kNumVBuckets; ++vb) {
+    VBucket* v = vbuckets_[vb].get();
     if (v->state() == VBucketState::kDead) continue;
-    COUCHKV_RETURN_IF_ERROR(EnsureStorage(v->id()));
+    COUCHKV_RETURN_IF_ERROR(EnsureStorage(vb));
     // ChangesSince streams in seqno order, which both Restore and the DCP
     // change log require.
     Status st = v->file()->ChangesSince(0, [&](const kv::Document& doc) {
@@ -194,9 +261,20 @@ StatusOr<uint64_t> Bucket::Warmup() {
       }
       // Re-seed the DCP change log so consumers attaching later can stream
       // history without a storage backfill.
-      producer_->OnMutation(v->id(), doc);
+      producer_->OnMutation(vb, doc);
+      return Status::OK();
     });
-    if (!st.ok()) return st;
+    if (!st.ok()) {
+      // Corruption mid-scan: a partially-warmed partition would serve a
+      // stale subset of its documents as if complete. Discard the
+      // half-loaded vBucket (state resets to dead) and propagate, so the
+      // caller aborts the node bring-up instead of half-serving.
+      {
+        LockGuard lock(storage_mu_);
+        vbuckets_[vb] = MakeVBucket(vb);
+      }
+      return st;
+    }
   }
   dispatcher_->Notify();
   return loaded;

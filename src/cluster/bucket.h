@@ -64,7 +64,9 @@ class Bucket {
   // Warmup (node restart): repopulates the hash tables of all non-dead
   // vBuckets from their storage files, restoring seqno high-water marks.
   // Couchbase performs exactly this scan when a node rejoins. Returns the
-  // number of documents loaded.
+  // number of documents loaded. On a scan failure (corruption past the last
+  // good commit) the half-loaded vBucket is discarded and the error
+  // propagates — a partially-warmed partition must never serve reads.
   StatusOr<uint64_t> Warmup();
 
   // Blocks until `seqno` of vBucket `vb` is persisted locally, or timeout.
@@ -104,8 +106,23 @@ class Bucket {
   // Test hook: the disk write queue depth.
   size_t disk_queue_depth() const;
 
+  // True while front-end mutations are rejected with TempFail because the
+  // flusher cannot drain the queue (see BucketConfig::
+  // disk_failure_tempfail_queue_depth).
+  bool backpressure_active() const {
+    return backpressure_.load(std::memory_order_acquire);
+  }
+
  private:
   void FlusherLoop();
+  // Puts a failed flush batch back on the disk write queue, preserving
+  // seqnos. A doc is NOT requeued if a newer version of the same key was
+  // enqueued in the meantime (the newer write supersedes it). Returns the
+  // number of docs requeued.
+  size_t RequeueFailedBatch(uint16_t vb, std::vector<kv::Document>& docs);
+  // Recomputes the TempFail backpressure flag from the disk-unhealthy state
+  // and the current queue depth.
+  void UpdateBackpressure();
   std::unique_ptr<VBucket> MakeVBucket(uint16_t vb);
   void EnqueueForPersistence(uint16_t vb, const kv::Document& doc);
   std::string VBucketFilePath(uint16_t vb) const;
@@ -127,6 +144,8 @@ class Bucket {
   dcp::DcpCounters dcp_counters_;
   stats::Counter* flush_batches_ = nullptr;
   stats::Counter* flush_docs_ = nullptr;
+  stats::Counter* flush_fails_ = nullptr;    // SaveDocs/Commit failures
+  stats::Counter* flush_retries_ = nullptr;  // docs re-enqueued after failure
   Histogram* flush_ns_ = nullptr;
 
   std::vector<std::unique_ptr<VBucket>> vbuckets_;
@@ -153,6 +172,11 @@ class Bucket {
   CondVar flush_cv_;                   // signaled after each commit
   std::atomic<bool> stop_{false};
   std::atomic<bool> stop_hard_{false};  // crash: exit without draining
+  // Disk-failure state: set when a flush batch fails (the batch was
+  // re-enqueued), cleared when a full pass commits cleanly. Feeds the
+  // TempFail backpressure flag the vBuckets read on the mutation path.
+  std::atomic<bool> disk_unhealthy_{false};
+  std::atomic<bool> backpressure_{false};
   Mutex storage_mu_;                   // serializes lazy CouchFile creation
   std::thread flusher_;
 };

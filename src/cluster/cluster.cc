@@ -34,7 +34,10 @@ Cluster::~Cluster() {
 
 std::unique_ptr<storage::Env> Cluster::MakeNodeEnv(NodeId id) {
   if (!opts_.use_posix) {
-    return storage::Env::NewMemEnv(opts_.simulated_fsync_us);
+    std::unique_ptr<storage::Env> env =
+        storage::Env::NewMemEnv(opts_.simulated_fsync_us);
+    if (opts_.wrap_node_env) env = opts_.wrap_node_env(id, std::move(env));
+    return env;
   }
   // Give each node a directory, simulating its private disk.
   std::string dir = opts_.data_dir + "/node" + std::to_string(id);
@@ -62,7 +65,9 @@ std::unique_ptr<storage::Env> Cluster::MakeNodeEnv(NodeId id) {
    private:
     std::string prefix_;
   };
-  return std::make_unique<PrefixEnv>(dir);
+  std::unique_ptr<storage::Env> env = std::make_unique<PrefixEnv>(dir);
+  if (opts_.wrap_node_env) env = opts_.wrap_node_env(id, std::move(env));
+  return env;
 }
 
 NodeId Cluster::AddNode(uint32_t services) {
@@ -480,7 +485,13 @@ Status Cluster::WaitForDurability(const std::string& bucket, uint16_t vb,
     if (an != nullptr) {
       std::shared_ptr<Bucket> b = an->bucket(bucket);
       if (b != nullptr) {
-        (void)b->WaitForPersistence(vb, seqno, dur.timeout_ms);
+        Status wait = b->WaitForPersistence(vb, seqno, dur.timeout_ms);
+        // A Timeout here (e.g. the flusher is stalled on a failing disk) is
+        // NOT success: fall through to the observe loop, which re-reads
+        // persisted_seqno and enforces the deadline itself — the ack can
+        // only come from an actual persisted_seqno advance. Any other error
+        // is a routing/topology failure the caller must see.
+        if (!wait.ok() && !wait.IsTimeout()) return wait;
       }
     }
   }

@@ -8,6 +8,7 @@
 #define COUCHKV_CLUSTER_CLUSTER_H_
 
 #include <atomic>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -40,6 +41,14 @@ struct ClusterOptions {
   // Simulated fsync latency for in-memory node disks (0 = free). Stands in
   // for real disk sync cost when benchmarking durability/persistence.
   uint64_t simulated_fsync_us = 0;
+  // Test hook: wraps the Env a new node gets as its private disk (e.g. in a
+  // storage::FaultyEnv) before the node boots. Receives the node id and the
+  // env built per the options above; returns the env to install. The
+  // wrapper IS the node's disk from then on — it survives
+  // CrashNode/RestartNode, so warmup recovers through it too.
+  std::function<std::unique_ptr<storage::Env>(NodeId,
+                                              std::unique_ptr<storage::Env>)>
+      wrap_node_env;
 };
 
 class Cluster {

@@ -21,6 +21,16 @@ Status VBucket::CheckActive() const {
   return Status::OK();
 }
 
+Status VBucket::CheckWritable() const {
+  COUCHKV_RETURN_IF_ERROR(CheckActive());
+  if (backpressure_ != nullptr &&
+      backpressure_->load(std::memory_order_acquire)) {
+    return Status::TempFail("disk write queue not draining (vbucket " +
+                            std::to_string(id_) + ")");
+  }
+  return Status::OK();
+}
+
 kv::Document VBucket::MakeDoc(std::string_view key, std::string_view value,
                               const kv::DocMeta& meta) const {
   kv::Document doc;
@@ -59,7 +69,7 @@ StatusOr<kv::DocMeta> VBucket::Set(std::string_view key,
   trace::Span span("kv.set", inst_.mutate_ns);
   LockGuard lock(op_mu_);
   span.Phase("dispatch");
-  COUCHKV_RETURN_IF_ERROR(CheckActive());
+  COUCHKV_RETURN_IF_ERROR(CheckWritable());
   if (inst_.ops_mutate != nullptr) inst_.ops_mutate->Add();
   auto meta = ht_.Set(key, value, flags, expiry, cas);
   span.Phase("cache");
@@ -76,7 +86,7 @@ StatusOr<kv::DocMeta> VBucket::Add(std::string_view key,
   trace::Span span("kv.add", inst_.mutate_ns);
   LockGuard lock(op_mu_);
   span.Phase("dispatch");
-  COUCHKV_RETURN_IF_ERROR(CheckActive());
+  COUCHKV_RETURN_IF_ERROR(CheckWritable());
   if (inst_.ops_mutate != nullptr) inst_.ops_mutate->Add();
   auto meta = ht_.Add(key, value, flags, expiry);
   span.Phase("cache");
@@ -93,7 +103,7 @@ StatusOr<kv::DocMeta> VBucket::Replace(std::string_view key,
   trace::Span span("kv.replace", inst_.mutate_ns);
   LockGuard lock(op_mu_);
   span.Phase("dispatch");
-  COUCHKV_RETURN_IF_ERROR(CheckActive());
+  COUCHKV_RETURN_IF_ERROR(CheckWritable());
   if (inst_.ops_mutate != nullptr) inst_.ops_mutate->Add();
   auto meta = ht_.Replace(key, value, flags, expiry, cas);
   span.Phase("cache");
@@ -108,7 +118,7 @@ StatusOr<kv::DocMeta> VBucket::Remove(std::string_view key, uint64_t cas) {
   trace::Span span("kv.remove", inst_.mutate_ns);
   LockGuard lock(op_mu_);
   span.Phase("dispatch");
-  COUCHKV_RETURN_IF_ERROR(CheckActive());
+  COUCHKV_RETURN_IF_ERROR(CheckWritable());
   if (inst_.ops_mutate != nullptr) inst_.ops_mutate->Add();
   auto meta = ht_.Remove(key, cas);
   span.Phase("cache");
@@ -150,7 +160,7 @@ Status VBucket::Unlock(std::string_view key, uint64_t cas) {
 StatusOr<kv::DocMeta> VBucket::Touch(std::string_view key, uint32_t expiry) {
   trace::Span span("kv.touch", inst_.mutate_ns);
   LockGuard lock(op_mu_);
-  COUCHKV_RETURN_IF_ERROR(CheckActive());
+  COUCHKV_RETURN_IF_ERROR(CheckWritable());
   if (inst_.ops_mutate != nullptr) inst_.ops_mutate->Add();
   auto meta = ht_.Touch(key, expiry);
   if (meta.ok()) {

@@ -63,6 +63,13 @@ class VBucket {
     LockGuard lock(op_mu_);
     sink_ = std::move(sink);
   }
+  // Wires the bucket's disk-failure backpressure flag: while `flag` is true,
+  // front-end mutations fail with TempFail before touching the cache (the
+  // paper's §3.1.1 temporary-failure condition — the client backs off and
+  // retries). Reads are unaffected. `flag` must outlive the vBucket.
+  void set_backpressure_flag(const std::atomic<bool>* flag) {
+    backpressure_ = flag;
+  }
   void set_file(std::shared_ptr<storage::CouchFile> file) EXCLUDES(file_mu_) {
     LockGuard lock(file_mu_);
     file_ = std::move(file);
@@ -125,6 +132,10 @@ class VBucket {
 
  private:
   Status CheckActive() const REQUIRES(op_mu_);
+  // CheckActive + disk-failure backpressure; gate for every front-end
+  // mutation (Set/Add/Replace/Remove/Touch). Replication applies bypass it:
+  // refusing those would stall DCP, not shed load.
+  Status CheckWritable() const REQUIRES(op_mu_);
   void Emit(const kv::Document& doc) REQUIRES(op_mu_) {
     if (sink_) sink_(doc);
   }
@@ -140,6 +151,8 @@ class VBucket {
   // code running inside WithOpLock (DCP backfill during rebalance).
   mutable Mutex file_mu_ ACQUIRED_AFTER(op_mu_);
   std::atomic<VBucketState> state_;
+  // Bucket-owned disk-failure flag (null = no throttle); read-only here.
+  const std::atomic<bool>* backpressure_ = nullptr;
   kv::HashTable ht_;  // internally synchronized
   std::shared_ptr<storage::CouchFile> file_ GUARDED_BY(file_mu_);
   MutationSink sink_ GUARDED_BY(op_mu_);

@@ -36,7 +36,13 @@ enum class StatusCode {
 const char* StatusCodeName(StatusCode code);
 
 // A cheap value type carrying success or (code, message).
-class Status {
+//
+// [[nodiscard]] makes dropping a returned Status a compile error under
+// -Werror=unused-result (enforced on GCC and Clang, proven live by the
+// configure-time negative-compile check in tests/negative_compile/). A
+// deliberate discard must be spelled `(void)expr;` with an adjacent
+// `// justified:` comment — scripts/lint.sh rejects unjustified casts.
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string msg)
@@ -96,6 +102,8 @@ class Status {
   bool IsNotMyVBucket() const { return code_ == StatusCode::kNotMyVBucket; }
   bool IsTempFail() const { return code_ == StatusCode::kTempFail; }
   bool IsTimeout() const { return code_ == StatusCode::kTimeout; }
+  bool IsIOError() const { return code_ == StatusCode::kIOError; }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
 
   // "Ok" or "<CodeName>: <message>".
   std::string ToString() const;
@@ -111,7 +119,7 @@ class Status {
 
 // Holds either a value of T or an error Status. Never holds both.
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   StatusOr(Status s) : status_(std::move(s)) {  // NOLINT implicit
     assert(!status_.ok() && "StatusOr(Status) requires an error status");

@@ -1,6 +1,7 @@
 #include "gsi/indexer.h"
 
 #include "common/crc32.h"
+#include "common/logging.h"
 
 namespace couchkv::gsi {
 
@@ -25,10 +26,25 @@ void IndexPartition::LogApply(const KeyVersion& kv) {
   auto off = log_->Append(record);
   if (off.ok()) {
     disk_bytes_.fetch_add(record.size(), std::memory_order_relaxed);
+  } else {
+    log_append_failures_->Add();
+    LOG_WARN << "gsi partition " << partition_id_ << " log append failed: "
+             << off.status().ToString();
   }
   if (++applies_since_sync_ >= 64) {
-    applies_since_sync_ = 0;
-    (void)log_->Sync();
+    Status st = log_->Sync();
+    if (st.ok()) {
+      applies_since_sync_ = 0;
+    } else {
+      // Keep applies_since_sync_ saturated so the very next apply retries
+      // the sync instead of silently skipping another 64 applies' worth of
+      // durability.
+      applies_since_sync_ = 64;
+      sync_failures_.fetch_add(1, std::memory_order_relaxed);
+      log_sync_failures_->Add();
+      LOG_WARN << "gsi partition " << partition_id_ << " log sync failed: "
+               << st.ToString() << "; will retry on next apply";
+    }
   }
 }
 

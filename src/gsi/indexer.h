@@ -22,6 +22,7 @@
 #include "common/status.h"
 #include "common/synchronization.h"
 #include "gsi/index_defs.h"
+#include "stats/registry.h"
 #include "storage/env.h"
 
 namespace couchkv::gsi {
@@ -33,7 +34,11 @@ class IndexPartition {
                  std::unique_ptr<storage::File> log_file)
       : def_(std::move(def)),
         partition_id_(partition_id),
-        log_(std::move(log_file)) {}
+        log_(std::move(log_file)) {
+    stats_scope_ = stats::Registry::Global().GetScope("gsi");
+    log_append_failures_ = stats_scope_->GetCounter("log_append_failures");
+    log_sync_failures_ = stats_scope_->GetCounter("log_sync_failures");
+  }
 
   const IndexDefinition& definition() const { return def_; }
   uint32_t partition_id() const { return partition_id_; }
@@ -56,6 +61,7 @@ class IndexPartition {
 
   size_t num_entries() const;
   uint64_t disk_bytes_written() const { return disk_bytes_.load(); }
+  uint64_t log_sync_failures() const { return sync_failures_.load(); }
 
  private:
   struct TreeKey {
@@ -73,6 +79,14 @@ class IndexPartition {
   IndexDefinition def_;
   uint32_t partition_id_;
   std::unique_ptr<storage::File> log_;  // written only by LogApply
+
+  // Durability-path failure accounting (scope "gsi"): a dropped log write
+  // or fsync is never silent — it is counted, logged, and the sync retried
+  // on the next apply.
+  std::shared_ptr<stats::Scope> stats_scope_;
+  stats::Counter* log_append_failures_ = nullptr;
+  stats::Counter* log_sync_failures_ = nullptr;
+  std::atomic<uint64_t> sync_failures_{0};
 
   mutable SharedMutex mu_;
   std::map<TreeKey, uint16_t> tree_ GUARDED_BY(mu_);  // value: owning vbucket

@@ -32,21 +32,23 @@ inline void PutLengthPrefixed(std::string* out, std::string_view s) {
   out->append(s);
 }
 
-// Cursor-style decoder; all Get* return false on underflow.
+// Cursor-style decoder; all Get* return false on underflow. The results are
+// [[nodiscard]]: a skipped underflow check reads garbage from the previous
+// field, so ignoring one is a compile error.
 class Decoder {
  public:
   explicit Decoder(std::string_view data) : data_(data) {}
 
-  bool GetU8(uint8_t* v) {
+  [[nodiscard]] bool GetU8(uint8_t* v) {
     if (data_.size() < 1) return false;
     *v = static_cast<uint8_t>(data_[0]);
     data_.remove_prefix(1);
     return true;
   }
-  bool GetU16(uint16_t* v) { return GetFixed(v); }
-  bool GetU32(uint32_t* v) { return GetFixed(v); }
-  bool GetU64(uint64_t* v) { return GetFixed(v); }
-  bool GetLengthPrefixed(std::string* out) {
+  [[nodiscard]] bool GetU16(uint16_t* v) { return GetFixed(v); }
+  [[nodiscard]] bool GetU32(uint32_t* v) { return GetFixed(v); }
+  [[nodiscard]] bool GetU64(uint64_t* v) { return GetFixed(v); }
+  [[nodiscard]] bool GetLengthPrefixed(std::string* out) {
     uint32_t n;
     if (!GetU32(&n) || data_.size() < n) return false;
     out->assign(data_.data(), n);

@@ -54,6 +54,7 @@ StorageCounters StorageCounters::In(stats::Scope* scope) {
   c.bytes_appended = scope->GetCounter("storage.bytes_appended");
   c.commits = scope->GetCounter("storage.commits");
   c.compactions = scope->GetCounter("storage.compactions");
+  c.compaction_failures = scope->GetCounter("storage.compaction_failures");
   c.compaction_bytes_reclaimed =
       scope->GetCounter("storage.compaction_bytes_reclaimed");
   c.commit_ns = scope->GetHistogram("storage.commit_ns");
@@ -83,9 +84,12 @@ Status CouchFile::Recover() {
   uint64_t staged_high_seqno = 0;
 
   while (pos + kHeaderSize <= size) {
+    // Every read below is bounds-checked first, so a read that FAILS is a
+    // real I/O error (bad sector, injected fault) — not a torn tail — and
+    // must propagate. Truncating at an unreadable region would silently
+    // discard the committed data behind it.
     std::string header;
-    Status st = file_->Read(pos, kHeaderSize, &header);
-    if (!st.ok()) break;
+    COUCHKV_RETURN_IF_ERROR(file_->Read(pos, kHeaderSize, &header));
     Decoder dec(header);
     uint8_t type = 0;
     uint32_t payload_len = 0, crc = 0;
@@ -94,8 +98,9 @@ Status CouchFile::Recover() {
     }
     if (pos + kHeaderSize + payload_len > size) break;  // torn tail
     std::string payload;
-    st = file_->Read(pos + kHeaderSize, payload_len, &payload);
-    if (!st.ok() || Crc32(payload) != crc) break;  // corruption: stop here
+    COUCHKV_RETURN_IF_ERROR(file_->Read(pos + kHeaderSize, payload_len,
+                                        &payload));
+    if (Crc32(payload) != crc) break;  // torn/corrupt record: stop here
 
     if (type == kRecordDoc) {
       kv::Document doc;
@@ -248,7 +253,7 @@ StatusOr<kv::Document> CouchFile::Get(std::string_view key) const {
 
 Status CouchFile::ChangesSince(
     uint64_t since_seqno,
-    const std::function<void(const kv::Document&)>& fn) const {
+    const std::function<Status(const kv::Document&)>& fn) const {
   // Snapshot the (seqno, offset) list and pin the file under the lock, then
   // read outside it (the pin keeps the snapshot valid across a concurrent
   // Compact() swap).
@@ -267,13 +272,13 @@ Status CouchFile::ChangesSince(
   for (auto [offset, size] : locations) {
     auto doc_or = ReadDocAt(*pin, offset, size);
     if (!doc_or.ok()) return doc_or.status();
-    fn(doc_or.value());
+    COUCHKV_RETURN_IF_ERROR(fn(doc_or.value()));
   }
   return Status::OK();
 }
 
 Status CouchFile::ForEachLive(
-    const std::function<void(const kv::Document&)>& fn) const {
+    const std::function<Status(const kv::Document&)>& fn) const {
   std::vector<std::pair<uint64_t, uint32_t>> locations;
   std::shared_ptr<File> pin;
   {
@@ -288,7 +293,7 @@ Status CouchFile::ForEachLive(
   for (auto [offset, size] : locations) {
     auto doc_or = ReadDocAt(*pin, offset, size);
     if (!doc_or.ok()) return doc_or.status();
-    fn(doc_or.value());
+    COUCHKV_RETURN_IF_ERROR(fn(doc_or.value()));
   }
   return Status::OK();
 }
@@ -298,7 +303,26 @@ Status CouchFile::Compact(uint64_t purge_before_seqno) {
   // same observable behaviour at our timescales (writes stall briefly).
   LockGuard lock(mu_);
   std::string tmp_path = path_ + ".compact";
-  env_->Remove(tmp_path);
+  Status st = CompactLocked(purge_before_seqno, tmp_path);
+  if (!st.ok()) {
+    // The original file and in-memory index are untouched: CompactLocked
+    // mutates state only after every write into the temp file succeeded.
+    // Fragmentation() therefore still exceeds the trigger threshold and the
+    // next compactor sweep retries.
+    // justified: cleanup on an already-failing path; the compaction error
+    // is what the caller must see, and a leftover temp file is re-removed
+    // by the next attempt.
+    (void)env_->Remove(tmp_path);
+    if (counters_.compaction_failures != nullptr) {
+      counters_.compaction_failures->Add();
+    }
+  }
+  return st;
+}
+
+Status CouchFile::CompactLocked(uint64_t purge_before_seqno,
+                                const std::string& tmp_path) {
+  COUCHKV_RETURN_IF_ERROR(env_->Remove(tmp_path));
   auto tmp_or = env_->Open(tmp_path);
   if (!tmp_or.ok()) return tmp_or.status();
   std::shared_ptr<File> tmp = std::move(tmp_or).value();

@@ -35,6 +35,7 @@ struct StorageCounters {
   stats::Counter* bytes_appended = nullptr;  // incl. commit records
   stats::Counter* commits = nullptr;         // fsync'd commit records
   stats::Counter* compactions = nullptr;
+  stats::Counter* compaction_failures = nullptr;
   stats::Counter* compaction_bytes_reclaimed = nullptr;
   Histogram* commit_ns = nullptr;  // SaveDocs batch append + fsync latency
 
@@ -72,18 +73,24 @@ class CouchFile {
 
   // Streams documents with seqno > since, in seqno order (DCP backfill).
   // Only the latest version of each key is retained, matching DCP's
-  // key-deduplicated snapshot semantics.
-  Status ChangesSince(uint64_t since_seqno,
-                      const std::function<void(const kv::Document&)>& fn) const
+  // key-deduplicated snapshot semantics. A non-OK status from `fn` (e.g. a
+  // failed downstream delivery) stops the scan and propagates, so consumer
+  // errors are never swallowed mid-stream.
+  Status ChangesSince(
+      uint64_t since_seqno,
+      const std::function<Status(const kv::Document&)>& fn) const
       EXCLUDES(mu_);
 
-  // Iterates all live (non-deleted) documents, arbitrary order.
-  Status ForEachLive(const std::function<void(const kv::Document&)>& fn) const
-      EXCLUDES(mu_);
+  // Iterates all live (non-deleted) documents, arbitrary order. Stops and
+  // propagates on the first non-OK status from `fn`.
+  Status ForEachLive(const std::function<Status(const kv::Document&)>& fn)
+      const EXCLUDES(mu_);
 
   // Rewrites live documents into a fresh file and atomically swaps it in,
   // dropping stale versions and (optionally) tombstones below
-  // `purge_before_seqno`.
+  // `purge_before_seqno`. Failure is safe: the original file, index, and
+  // fragmentation stats are untouched (so the compaction trigger re-fires on
+  // the next sweep) and the temp file is cleaned up best-effort.
   Status Compact(uint64_t purge_before_seqno = 0) EXCLUDES(mu_);
 
   // Fraction of the file occupied by stale data, 0..1. The compactor daemon
@@ -106,10 +113,14 @@ class CouchFile {
             const StorageCounters* counters)
       : env_(env),
         path_(std::move(path)),
-        file_(std::move(file)),
-        counters_(counters != nullptr ? *counters : StorageCounters{}) {}
+        counters_(counters != nullptr ? *counters : StorageCounters{}),
+        file_(std::move(file)) {}
 
   Status Recover() EXCLUDES(mu_);
+  // Compact() body; on error the caller removes the temp file and counts
+  // the failure. Mutates members only after every write has succeeded.
+  Status CompactLocked(uint64_t purge_before_seqno, const std::string& tmp_path)
+      REQUIRES(mu_);
   Status AppendDoc(const kv::Document& doc, uint64_t* offset, uint32_t* size)
       REQUIRES(mu_);
   // Reads and decodes one doc record from `file` — which must be a pin

@@ -1,0 +1,217 @@
+#include "storage/faulty_env.h"
+
+#include <algorithm>
+
+namespace couchkv::storage {
+
+// Fault state shared by the env and every file it opened. All decisions are
+// made under one mutex with one RNG, so a given seed yields one injection
+// schedule per operation sequence regardless of which file the op hits.
+struct FaultyEnv::Shared {
+  explicit Shared(const FaultyEnvOptions& o) : opts(o), rng(o.seed) {}
+
+  FaultyEnvOptions opts;
+
+  mutable Mutex mu;
+  Rng rng GUARDED_BY(mu);
+  uint64_t fail_appends GUARDED_BY(mu) = 0;  // scheduled clean failures
+  bool tear_next GUARDED_BY(mu) = false;     // scheduled torn append
+  uint64_t tear_prefix GUARDED_BY(mu) = 0;
+  uint64_t fail_syncs GUARDED_BY(mu) = 0;
+  uint64_t fail_reads GUARDED_BY(mu) = 0;
+  FaultyEnvStats stats GUARDED_BY(mu);
+
+  std::atomic<bool> enabled{true};
+  std::atomic<uint64_t> bytes_appended{0};
+
+  // What an Append should do, decided before any bytes move.
+  struct AppendPlan {
+    bool fail = false;
+    // Valid when fail: bytes of the payload to write before erroring
+    // (0 = clean failure, >0 = torn write).
+    uint64_t prefix = 0;
+    const char* reason = "";
+  };
+
+  AppendPlan PlanAppend(size_t len) EXCLUDES(mu) {
+    LockGuard lock(mu);
+    AppendPlan plan;
+    if (fail_appends > 0) {
+      --fail_appends;
+      plan.fail = true;
+      plan.reason = "injected append failure (scheduled)";
+    } else if (tear_next) {
+      tear_next = false;
+      plan.fail = true;
+      plan.prefix = std::min<uint64_t>(tear_prefix, len);
+      plan.reason = "injected torn append (scheduled)";
+    } else if (enabled.load(std::memory_order_acquire)) {
+      if (opts.append_fail_prob > 0 &&
+          rng.NextDouble() < opts.append_fail_prob) {
+        plan.fail = true;
+        plan.reason = "injected append failure";
+      } else if (opts.append_torn_prob > 0 &&
+                 rng.NextDouble() < opts.append_torn_prob) {
+        plan.fail = true;
+        plan.prefix = len > 0 ? rng.Uniform(len) : 0;
+        plan.reason = "injected torn append";
+      }
+    }
+    // Disk-full applies even to ops the RNG spared: a short write of
+    // whatever still fits, like a real ENOSPC.
+    if (!plan.fail && opts.enospc_after_bytes > 0) {
+      uint64_t used = bytes_appended.load(std::memory_order_acquire);
+      if (used + len > opts.enospc_after_bytes) {
+        plan.fail = true;
+        plan.prefix =
+            opts.enospc_after_bytes > used ? opts.enospc_after_bytes - used : 0;
+        plan.reason = "injected disk full (no space)";
+      }
+    }
+    if (plan.fail) {
+      ++stats.appends_failed;
+      if (plan.prefix > 0) ++stats.appends_torn;
+    }
+    return plan;
+  }
+
+  bool PlanSyncFailure() EXCLUDES(mu) {
+    LockGuard lock(mu);
+    bool fail = false;
+    if (fail_syncs > 0) {
+      --fail_syncs;
+      fail = true;
+    } else if (enabled.load(std::memory_order_acquire) &&
+               opts.sync_fail_prob > 0 &&
+               rng.NextDouble() < opts.sync_fail_prob) {
+      fail = true;
+    }
+    if (fail) ++stats.syncs_failed;
+    return fail;
+  }
+
+  bool PlanReadFailure() EXCLUDES(mu) {
+    LockGuard lock(mu);
+    if (fail_reads == 0) return false;
+    --fail_reads;
+    ++stats.reads_failed;
+    return true;
+  }
+};
+
+class FaultyEnv::FaultyFile : public File {
+ public:
+  FaultyFile(std::unique_ptr<File> base, std::shared_ptr<Shared> shared)
+      : base_(std::move(base)), shared_(std::move(shared)) {}
+
+  StatusOr<uint64_t> Append(std::string_view data) override {
+    Shared::AppendPlan plan = shared_->PlanAppend(data.size());
+    if (plan.fail) {
+      if (plan.prefix > 0) {
+        // Torn write: a prefix reaches the file, then the error. If even
+        // the prefix write fails, the real error wins.
+        auto off = base_->Append(data.substr(0, plan.prefix));
+        if (!off.ok()) return off.status();
+        shared_->bytes_appended.fetch_add(plan.prefix,
+                                          std::memory_order_acq_rel);
+      }
+      return Status::IOError(plan.reason);
+    }
+    auto off = base_->Append(data);
+    if (off.ok()) {
+      shared_->bytes_appended.fetch_add(data.size(),
+                                        std::memory_order_acq_rel);
+    }
+    return off;
+  }
+
+  Status Read(uint64_t offset, size_t n, std::string* out) const override {
+    if (shared_->PlanReadFailure()) {
+      return Status::IOError("injected read failure (bad sector)");
+    }
+    return base_->Read(offset, n, out);
+  }
+
+  uint64_t Size() const override { return base_->Size(); }
+
+  Status Sync() override {
+    if (shared_->PlanSyncFailure()) {
+      // The underlying bytes stay put (they may well be in the page cache)
+      // but no durability barrier happened — callers must not treat the
+      // data as committed.
+      return Status::IOError("injected sync failure");
+    }
+    return base_->Sync();
+  }
+
+  Status Truncate(uint64_t size) override { return base_->Truncate(size); }
+
+ private:
+  std::unique_ptr<File> base_;
+  std::shared_ptr<Shared> shared_;
+};
+
+FaultyEnv::FaultyEnv(Env* base, FaultyEnvOptions opts)
+    : base_(base), shared_(std::make_shared<Shared>(opts)) {}
+
+FaultyEnv::FaultyEnv(std::unique_ptr<Env> base, FaultyEnvOptions opts)
+    : base_(base.get()),
+      owned_base_(std::move(base)),
+      shared_(std::make_shared<Shared>(opts)) {}
+
+FaultyEnv::~FaultyEnv() = default;
+
+StatusOr<std::unique_ptr<File>> FaultyEnv::Open(const std::string& path) {
+  auto base_or = base_->Open(path);
+  if (!base_or.ok()) return base_or.status();
+  return std::unique_ptr<File>(
+      new FaultyFile(std::move(base_or).value(), shared_));
+}
+
+bool FaultyEnv::Exists(const std::string& path) const {
+  return base_->Exists(path);
+}
+
+Status FaultyEnv::Remove(const std::string& path) {
+  return base_->Remove(path);
+}
+
+Status FaultyEnv::Rename(const std::string& from, const std::string& to) {
+  return base_->Rename(from, to);
+}
+
+void FaultyEnv::FailNextAppends(uint64_t n) {
+  LockGuard lock(shared_->mu);
+  shared_->fail_appends = n;
+}
+
+void FaultyEnv::TearNextAppend(uint64_t prefix_bytes) {
+  LockGuard lock(shared_->mu);
+  shared_->tear_next = true;
+  shared_->tear_prefix = prefix_bytes;
+}
+
+void FaultyEnv::FailNextSyncs(uint64_t n) {
+  LockGuard lock(shared_->mu);
+  shared_->fail_syncs = n;
+}
+
+void FaultyEnv::FailNextReads(uint64_t n) {
+  LockGuard lock(shared_->mu);
+  shared_->fail_reads = n;
+}
+
+void FaultyEnv::set_faults_enabled(bool enabled) {
+  shared_->enabled.store(enabled, std::memory_order_release);
+}
+
+FaultyEnvStats FaultyEnv::stats() const {
+  LockGuard lock(shared_->mu);
+  return shared_->stats;
+}
+
+uint64_t FaultyEnv::bytes_appended() const {
+  return shared_->bytes_appended.load(std::memory_order_acquire);
+}
+
+}  // namespace couchkv::storage

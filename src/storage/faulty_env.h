@@ -1,0 +1,108 @@
+// FaultyEnv: a deterministic, seeded, fault-injecting Env wrapper — the
+// storage-layer sibling of net::FaultyTransport. It proves the error paths
+// the [[nodiscard]] discipline surfaces actually work: tests drive
+// SaveDocs/Commit/Compact/Warmup through injected Append/Sync failures, torn
+// commit footers, and disk-full, then assert no acknowledged write is lost
+// and no committed state regresses.
+//
+// Fault injection is of two kinds, freely combinable:
+//   * Probabilistic: a seeded xorshift RNG fires faults at configured rates,
+//     deterministically for a given seed and operation sequence (torture
+//     runs are replayable from their seed alone).
+//   * Scheduled: one-shot "fail the next N Appends/Syncs" / "tear the next
+//     Append" triggers for precise unit tests.
+//
+// Injected Append failures can be TORN: a prefix of the data reaches the
+// underlying file before the error returns, exactly like a crash mid-write.
+// Recovery must discard the torn tail — tests assert it does.
+#ifndef COUCHKV_STORAGE_FAULTY_ENV_H_
+#define COUCHKV_STORAGE_FAULTY_ENV_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "common/synchronization.h"
+#include "storage/env.h"
+
+namespace couchkv::storage {
+
+struct FaultyEnvOptions {
+  uint64_t seed = 1;
+
+  // Probabilistic faults, evaluated per operation in [0, 1).
+  double append_fail_prob = 0.0;  // Append returns IOError, nothing written
+  double append_torn_prob = 0.0;  // Append writes a random prefix, then fails
+  double sync_fail_prob = 0.0;    // Sync returns IOError (no barrier)
+
+  // Disk-full: once total bytes appended across ALL files reaches this
+  // budget, every further Append fails with IOError("no space") after
+  // writing the bytes that still fit (short write, as a real ENOSPC does).
+  // 0 = unlimited.
+  uint64_t enospc_after_bytes = 0;
+};
+
+// Counters of what was actually injected (readable while tests run).
+struct FaultyEnvStats {
+  uint64_t appends_failed = 0;
+  uint64_t appends_torn = 0;  // subset of appends_failed with a prefix written
+  uint64_t syncs_failed = 0;
+  uint64_t reads_failed = 0;
+};
+
+class FaultyEnv : public Env {
+ public:
+  // `base` must outlive this Env. Files opened before construction are not
+  // wrapped; open everything through the FaultyEnv.
+  FaultyEnv(Env* base, FaultyEnvOptions opts);
+  // Owning variant, for injection points that hand the base env over (e.g.
+  // ClusterOptions::wrap_node_env — the node's disk becomes the faulty one).
+  FaultyEnv(std::unique_ptr<Env> base, FaultyEnvOptions opts);
+  ~FaultyEnv() override;
+
+  StatusOr<std::unique_ptr<File>> Open(const std::string& path) override;
+  bool Exists(const std::string& path) const override;
+  Status Remove(const std::string& path) override;
+  Status Rename(const std::string& from, const std::string& to) override;
+
+  // --- Scheduled one-shot faults (consumed in operation order) ---
+
+  // The next `n` Appends (across all wrapped files) fail cleanly: no bytes
+  // reach the underlying file.
+  void FailNextAppends(uint64_t n);
+  // The next Append is torn: exactly `prefix_bytes` of the data (clamped to
+  // the data size) reach the underlying file before IOError returns. Tearing
+  // a CouchFile commit record this way forges a torn commit footer.
+  void TearNextAppend(uint64_t prefix_bytes);
+  // The next `n` Syncs fail. The data may well be in the page cache — the
+  // wrapper intentionally leaves the underlying bytes in place — but no
+  // durability barrier happened.
+  void FailNextSyncs(uint64_t n);
+  // The next `n` Reads fail (bad sector / transient medium error). Recovery
+  // and warmup must PROPAGATE these — an unreadable region is not a torn
+  // tail, and truncating at it would discard committed data.
+  void FailNextReads(uint64_t n);
+
+  // Stops/starts probabilistic injection (scheduled faults still fire);
+  // lets a test heal the disk and watch the system converge.
+  void set_faults_enabled(bool enabled);
+
+  FaultyEnvStats stats() const;
+  uint64_t bytes_appended() const;
+
+ private:
+  class FaultyFile;
+  struct Shared;  // fault state shared with wrapped files (they may outlive
+                  // neither the env nor each other in a fixed order)
+
+  Env* base_;
+  std::unique_ptr<Env> owned_base_;  // set only by the owning constructor
+  std::shared_ptr<Shared> shared_;
+};
+
+}  // namespace couchkv::storage
+
+#endif  // COUCHKV_STORAGE_FAULTY_ENV_H_

@@ -62,7 +62,7 @@ TEST_F(SmartClientTest, OptimisticCasWorkflow) {
 }
 
 TEST_F(SmartClientTest, RemoveThenGetNotFound) {
-  client_->Upsert("k", "v");
+  ASSERT_TRUE(client_->Upsert("k", "v").ok());
   ASSERT_TRUE(client_->Remove("k").ok());
   EXPECT_TRUE(client_->Get("k").status().IsNotFound());
 }
@@ -90,7 +90,7 @@ TEST_F(SmartClientTest, DurabilityOptionsSucceed) {
 }
 
 TEST_F(SmartClientTest, LockWorkflow) {
-  client_->Upsert("k", "v");
+  ASSERT_TRUE(client_->Upsert("k", "v").ok());
   auto locked = client_->GetAndLock("k", 15000);
   ASSERT_TRUE(locked.ok());
   EXPECT_TRUE(client_->Upsert("k", "steal").status().IsLocked());
@@ -100,7 +100,7 @@ TEST_F(SmartClientTest, LockWorkflow) {
 }
 
 TEST_F(SmartClientTest, UnlockReleases) {
-  client_->Upsert("k", "v");
+  ASSERT_TRUE(client_->Upsert("k", "v").ok());
   auto locked = client_->GetAndLock("k", 15000);
   ASSERT_TRUE(client_->Unlock("k", locked->cas).ok());
   EXPECT_TRUE(client_->Upsert("k", "free").ok());
@@ -138,7 +138,7 @@ TEST_F(SmartClientTest, SurvivesFailover) {
 TEST_F(SmartClientTest, ConcurrentClientsNoLostUpdates) {
   // Each thread increments a counter field under CAS; the total must equal
   // the number of successful increments.
-  client_->Upsert("counter", R"({"n":0})");
+  ASSERT_TRUE(client_->Upsert("counter", R"({"n":0})").ok());
   constexpr int kThreads = 8;
   constexpr int kIncrPerThread = 50;
   std::vector<std::thread> threads;
@@ -166,7 +166,7 @@ TEST_F(SmartClientTest, ConcurrentClientsNoLostUpdates) {
 }
 
 TEST_F(SmartClientTest, SubdocLookupIn) {
-  client_->Upsert("doc", R"({"a":{"b":[10,20]},"name":"X"})");
+  ASSERT_TRUE(client_->Upsert("doc", R"({"a":{"b":[10,20]},"name":"X"})").ok());
   auto v = client_->LookupIn("doc", "a.b[1]");
   ASSERT_TRUE(v.ok());
   EXPECT_EQ(v->AsInt(), 20);
@@ -175,7 +175,7 @@ TEST_F(SmartClientTest, SubdocLookupIn) {
 }
 
 TEST_F(SmartClientTest, SubdocMutateIn) {
-  client_->Upsert("doc", R"({"profile":{"age":30}})");
+  ASSERT_TRUE(client_->Upsert("doc", R"({"profile":{"age":30}})").ok());
   ASSERT_TRUE(client_->MutateIn("doc", "profile.city",
                                 json::Value::Str("SF")).ok());
   ASSERT_TRUE(
@@ -186,7 +186,7 @@ TEST_F(SmartClientTest, SubdocMutateIn) {
 }
 
 TEST_F(SmartClientTest, SubdocRemoveIn) {
-  client_->Upsert("doc", R"({"keep":1,"drop":2})");
+  ASSERT_TRUE(client_->Upsert("doc", R"({"keep":1,"drop":2})").ok());
   ASSERT_TRUE(client_->RemoveIn("doc", "drop").ok());
   EXPECT_TRUE(client_->RemoveIn("doc", "drop").status().IsNotFound());
   auto round = client_->GetJson("doc");
@@ -195,7 +195,7 @@ TEST_F(SmartClientTest, SubdocRemoveIn) {
 }
 
 TEST_F(SmartClientTest, SubdocMutateInConcurrent) {
-  client_->Upsert("doc", R"({"counters":{}})");
+  ASSERT_TRUE(client_->Upsert("doc", R"({"counters":{}})").ok());
   std::vector<std::thread> threads;
   for (int t = 0; t < 4; ++t) {
     threads.emplace_back([&, t] {
@@ -240,7 +240,7 @@ TEST_F(SmartClientTest, IncrementConcurrentNoLostCounts) {
 }
 
 TEST_F(SmartClientTest, IncrementOnNonNumberFails) {
-  client_->Upsert("text", R"("hello")");
+  ASSERT_TRUE(client_->Upsert("text", R"("hello")").ok());
   EXPECT_FALSE(client_->Increment("text", 1).ok());
 }
 

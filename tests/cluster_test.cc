@@ -204,7 +204,7 @@ TEST_F(ClusterTest, FailoverPromotesReplicas) {
 }
 
 TEST_F(ClusterTest, FailedNodeRefusesRequests) {
-  cluster_.Failover(1);
+  ASSERT_TRUE(cluster_.Failover(1).ok());
   auto r = cluster_.node(1)->Get("default", 0, "k");
   EXPECT_TRUE(r.status().IsTempFail());
 }
@@ -253,7 +253,7 @@ TEST_F(ClusterTest, RebalanceKeepsReplicationWorking) {
 TEST_F(ClusterTest, MapVersionIncreasesOnTopologyChange) {
   uint64_t v0 = cluster_.map("default")->version;
   cluster_.AddNode();
-  cluster_.Rebalance();
+  ASSERT_TRUE(cluster_.Rebalance().ok());
   EXPECT_GT(cluster_.map("default")->version, v0);
 }
 

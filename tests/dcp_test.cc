@@ -69,10 +69,10 @@ TEST(ProducerTest, StreamFromMidpoint) {
   Producer p(1, nullptr);
   for (uint64_t i = 1; i <= 10; ++i) p.OnMutation(0, Doc("k", "v", i));
   std::vector<uint64_t> seen;
-  p.AddStream("mid", 0, 7, [&](const kv::Mutation& m) {
-    seen.push_back(m.doc.meta.seqno);
-    return Status::OK();
-  });
+  ASSERT_TRUE(p.AddStream("mid", 0, 7, [&](const kv::Mutation& m) {
+                 seen.push_back(m.doc.meta.seqno);
+                 return Status::OK();
+               }).ok());
   p.Drain();
   EXPECT_EQ(seen, (std::vector<uint64_t>{8, 9, 10}));
 }
@@ -80,16 +80,16 @@ TEST(ProducerTest, StreamFromMidpoint) {
 TEST(ProducerTest, MultipleConsumersIndependent) {
   Producer p(1, nullptr);
   int a = 0, b = 0;
-  p.AddStream("a", 0, 0, [&](const kv::Mutation&) {
-    ++a;
-    return Status::OK();
-  });
+  ASSERT_TRUE(p.AddStream("a", 0, 0, [&](const kv::Mutation&) {
+                 ++a;
+                 return Status::OK();
+               }).ok());
   p.OnMutation(0, Doc("k", "1", 1));
   p.Drain();
-  p.AddStream("b", 0, 0, [&](const kv::Mutation&) {
-    ++b;
-    return Status::OK();
-  });
+  ASSERT_TRUE(p.AddStream("b", 0, 0, [&](const kv::Mutation&) {
+                 ++b;
+                 return Status::OK();
+               }).ok());
   p.OnMutation(0, Doc("k", "2", 2));
   p.Drain();
   EXPECT_EQ(a, 2);
@@ -119,9 +119,11 @@ TEST(ProducerTest, RemoveStreamsNamed) {
     ++count;
     return Status::OK();
   };
-  p.AddStream("repl", 0, 0, counter);
-  p.AddStream("repl", 1, 0, counter);
-  p.AddStream("other", 0, 0, [](const kv::Mutation&) { return Status::OK(); });
+  ASSERT_TRUE(p.AddStream("repl", 0, 0, counter).ok());
+  ASSERT_TRUE(p.AddStream("repl", 1, 0, counter).ok());
+  ASSERT_TRUE(p.AddStream("other", 0, 0, [](const kv::Mutation&) {
+                 return Status::OK();
+               }).ok());
   p.RemoveStreamsNamed("repl");
   p.OnMutation(0, Doc("k", "1", 1));
   p.Drain();
@@ -130,7 +132,9 @@ TEST(ProducerTest, RemoveStreamsNamed) {
 
 TEST(ProducerTest, StreamSeqnoTracksAcks) {
   Producer p(1, nullptr);
-  p.AddStream("idx", 0, 0, [](const kv::Mutation&) { return Status::OK(); });
+  ASSERT_TRUE(p.AddStream("idx", 0, 0, [](const kv::Mutation&) {
+                 return Status::OK();
+               }).ok());
   EXPECT_EQ(p.StreamSeqno("idx", 0), 0u);
   p.OnMutation(0, Doc("k", "1", 1));
   p.OnMutation(0, Doc("k", "2", 2));
@@ -147,15 +151,15 @@ TEST(ProducerTest, BackfillFromStorageCoversTrimmedWindow) {
   for (uint64_t i = 1; i <= 100; ++i) {
     docs.push_back(Doc("key" + std::to_string(i), "v", i));
   }
-  cf->SaveDocs(docs);
-  cf->Commit();
+  ASSERT_TRUE(cf->SaveDocs(docs).ok());
+  ASSERT_TRUE(cf->Commit().ok());
 
   Producer p(1, [&](uint16_t vb, uint64_t since, const MutationFn& fn) {
     return cf->ChangesSince(since, [&](const kv::Document& d) {
       kv::Mutation m;
       m.vbucket = vb;
       m.doc = d;
-      fn(m);
+      return fn(m);
     });
   });
   // Tiny in-memory window: only the last few mutations are in the log.
@@ -165,10 +169,10 @@ TEST(ProducerTest, BackfillFromStorageCoversTrimmedWindow) {
     p.OnMutation(0, Doc("key" + std::to_string(i), "v", i));
   }
   std::vector<uint64_t> seen;
-  p.AddStream("warm", 0, 0, [&](const kv::Mutation& m) {
-    seen.push_back(m.doc.meta.seqno);
-    return Status::OK();
-  });
+  ASSERT_TRUE(p.AddStream("warm", 0, 0, [&](const kv::Mutation& m) {
+                 seen.push_back(m.doc.meta.seqno);
+                 return Status::OK();
+               }).ok());
   p.Drain();
   // Backfill supplies 1..94 from storage, the window supplies 95..100.
   ASSERT_EQ(seen.size(), 100u);
@@ -178,10 +182,10 @@ TEST(ProducerTest, BackfillFromStorageCoversTrimmedWindow) {
 TEST(DispatcherTest, DeliversAsynchronously) {
   auto p = std::make_shared<Producer>(1, nullptr);
   std::atomic<int> count{0};
-  p->AddStream("async", 0, 0, [&](const kv::Mutation&) {
-    count.fetch_add(1);
-    return Status::OK();
-  });
+  ASSERT_TRUE(p->AddStream("async", 0, 0, [&](const kv::Mutation&) {
+                 count.fetch_add(1);
+                 return Status::OK();
+               }).ok());
   Dispatcher d;
   d.AddProducer(p);
   for (uint64_t i = 1; i <= 50; ++i) {
@@ -199,10 +203,10 @@ TEST(DispatcherTest, DeliversAsynchronously) {
 TEST(DispatcherTest, QuiesceDrainsSynchronously) {
   auto p = std::make_shared<Producer>(1, nullptr);
   int count = 0;
-  p->AddStream("q", 0, 0, [&](const kv::Mutation&) {
-    ++count;
-    return Status::OK();
-  });
+  ASSERT_TRUE(p->AddStream("q", 0, 0, [&](const kv::Mutation&) {
+                 ++count;
+                 return Status::OK();
+               }).ok());
   Dispatcher d;
   d.AddProducer(p);
   d.Stop();  // kill the async thread; quiesce still works

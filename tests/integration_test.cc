@@ -91,7 +91,7 @@ TEST_F(IntegrationTest, DeleteDisappearsEverywhere) {
   ASSERT_TRUE(
       queries_->Execute("CREATE INDEX by_kind ON `default`(kind) USING GSI")
           .ok());
-  client_->Upsert("gone", R"({"kind":"temp"})");
+  ASSERT_TRUE(client_->Upsert("gone", R"({"kind":"temp"})").ok());
   ASSERT_TRUE(client_->Remove("gone").ok());
   n1ql::QueryOptions qopts;
   qopts.consistency = gsi::ScanConsistency::kRequestPlus;

@@ -90,13 +90,13 @@ TEST_F(HashTableTest, AddSucceedsAfterDelete) {
 
 TEST_F(HashTableTest, ReplaceRequiresExistence) {
   EXPECT_TRUE(ht_.Replace("k", "v", 0, 0, 0).status().IsNotFound());
-  ht_.Set("k", "v1", 0, 0, 0);
+  ASSERT_TRUE(ht_.Set("k", "v1", 0, 0, 0).ok());
   EXPECT_TRUE(ht_.Replace("k", "v2", 0, 0, 0).ok());
   EXPECT_EQ(ht_.Get("k")->doc.value, "v2");
 }
 
 TEST_F(HashTableTest, RemoveLeavesTombstoneWithSeqno) {
-  ht_.Set("k", "v", 0, 0, 0);
+  ASSERT_TRUE(ht_.Set("k", "v", 0, 0, 0).ok());
   auto meta = ht_.Remove("k", 0);
   ASSERT_TRUE(meta.ok());
   EXPECT_TRUE(meta->deleted);
@@ -111,14 +111,14 @@ TEST_F(HashTableTest, RemoveMissingIsNotFound) {
 
 TEST_F(HashTableTest, RemoveWithStaleCasFails) {
   auto m1 = ht_.Set("k", "v1", 0, 0, 0);
-  ht_.Set("k", "v2", 0, 0, 0);
+  ASSERT_TRUE(ht_.Set("k", "v2", 0, 0, 0).ok());
   EXPECT_TRUE(ht_.Remove("k", m1->cas).status().IsKeyExists());
 }
 
 // --- GETL hard locks (§3.1.1) ---
 
 TEST_F(HashTableTest, LockBlocksForeignWrites) {
-  ht_.Set("k", "v", 0, 0, 0);
+  ASSERT_TRUE(ht_.Set("k", "v", 0, 0, 0).ok());
   auto locked = ht_.GetAndLock("k", 15000);
   ASSERT_TRUE(locked.ok());
   // A writer without the lock CAS is refused.
@@ -133,7 +133,7 @@ TEST_F(HashTableTest, LockBlocksForeignWrites) {
 TEST_F(HashTableTest, LockExpiresAfterTimeout) {
   // "This lock will be released after a certain timeout to avoid
   // deadlocks" (§3.1.1).
-  ht_.Set("k", "v", 0, 0, 0);
+  ASSERT_TRUE(ht_.Set("k", "v", 0, 0, 0).ok());
   ASSERT_TRUE(ht_.GetAndLock("k", 15000).ok());
   EXPECT_TRUE(ht_.Set("k", "x", 0, 0, 0).status().IsLocked());
   clock_.AdvanceMillis(15001);
@@ -141,13 +141,13 @@ TEST_F(HashTableTest, LockExpiresAfterTimeout) {
 }
 
 TEST_F(HashTableTest, DoubleLockRefused) {
-  ht_.Set("k", "v", 0, 0, 0);
+  ASSERT_TRUE(ht_.Set("k", "v", 0, 0, 0).ok());
   ASSERT_TRUE(ht_.GetAndLock("k", 15000).ok());
   EXPECT_TRUE(ht_.GetAndLock("k", 15000).status().IsLocked());
 }
 
 TEST_F(HashTableTest, UnlockRequiresLockCas) {
-  ht_.Set("k", "v", 0, 0, 0);
+  ASSERT_TRUE(ht_.Set("k", "v", 0, 0, 0).ok());
   auto locked = ht_.GetAndLock("k", 15000);
   EXPECT_TRUE(ht_.Unlock("k", 1).IsLocked());
   EXPECT_TRUE(ht_.Unlock("k", locked->doc.meta.cas).ok());
@@ -166,7 +166,7 @@ TEST_F(HashTableTest, LockInvalidatesOldCas) {
 
 TEST_F(HashTableTest, ExpiryHidesDocument) {
   uint32_t now = static_cast<uint32_t>(clock_.NowSeconds());
-  ht_.Set("k", "v", 0, now + 10, 0);
+  ASSERT_TRUE(ht_.Set("k", "v", 0, now + 10, 0).ok());
   EXPECT_TRUE(ht_.Get("k").ok());
   clock_.AdvanceSeconds(11);
   EXPECT_TRUE(ht_.Get("k").status().IsNotFound());
@@ -174,7 +174,7 @@ TEST_F(HashTableTest, ExpiryHidesDocument) {
 
 TEST_F(HashTableTest, TouchExtendsExpiry) {
   uint32_t now = static_cast<uint32_t>(clock_.NowSeconds());
-  ht_.Set("k", "v", 0, now + 10, 0);
+  ASSERT_TRUE(ht_.Set("k", "v", 0, now + 10, 0).ok());
   clock_.AdvanceSeconds(8);
   ASSERT_TRUE(
       ht_.Touch("k", static_cast<uint32_t>(clock_.NowSeconds()) + 10).ok());
@@ -184,17 +184,17 @@ TEST_F(HashTableTest, TouchExtendsExpiry) {
 
 TEST_F(HashTableTest, SetOnExpiredKeyBehavesLikeInsert) {
   uint32_t now = static_cast<uint32_t>(clock_.NowSeconds());
-  ht_.Set("k", "v", 0, now + 1, 0);
+  ASSERT_TRUE(ht_.Set("k", "v", 0, now + 1, 0).ok());
   clock_.AdvanceSeconds(2);
   EXPECT_TRUE(ht_.Add("k", "v2", 0, 0).ok());
 }
 
 TEST_F(HashTableTest, PurgeDropsExpiredAndOldTombstones) {
   uint32_t now = static_cast<uint32_t>(clock_.NowSeconds());
-  ht_.Set("expired", "v", 0, now + 1, 0);
-  ht_.Set("deleted", "v", 0, 0, 0);
-  ht_.Remove("deleted", 0);
-  ht_.Set("live", "v", 0, 0, 0);
+  ASSERT_TRUE(ht_.Set("expired", "v", 0, now + 1, 0).ok());
+  ASSERT_TRUE(ht_.Set("deleted", "v", 0, 0, 0).ok());
+  ASSERT_TRUE(ht_.Remove("deleted", 0).ok());
+  ASSERT_TRUE(ht_.Set("live", "v", 0, 0, 0).ok());
   // Mark everything clean so purge may discard it.
   ht_.MarkClean("expired", 1);
   ht_.MarkClean("deleted", 3);
@@ -210,7 +210,7 @@ TEST_F(HashTableTest, PurgeDropsExpiredAndOldTombstones) {
 TEST_F(HashTableTest, EvictionKeepsMetadataByDefault) {
   for (int i = 0; i < 50; ++i) {
     std::string key = "k" + std::to_string(i);
-    ht_.Set(key, std::string(1000, 'x'), 0, 0, 0);
+    ASSERT_TRUE(ht_.Set(key, std::string(1000, 'x'), 0, 0, 0).ok());
     ht_.MarkClean(key, static_cast<uint64_t>(i + 1));  // persisted
   }
   uint64_t before = ht_.mem_used();
@@ -232,7 +232,8 @@ TEST_F(HashTableTest, EvictionKeepsMetadataByDefault) {
 }
 
 TEST_F(HashTableTest, DirtyValuesAreNotEvicted) {
-  ht_.Set("dirty", std::string(1000, 'x'), 0, 0, 0);  // never persisted
+  // Never persisted, so the value is dirty and pinned in memory.
+  ASSERT_TRUE(ht_.Set("dirty", std::string(1000, 'x'), 0, 0, 0).ok());
   ht_.EvictTo(0);
   auto r = ht_.Get("dirty");
   ASSERT_TRUE(r.ok());
@@ -243,7 +244,7 @@ TEST_F(HashTableTest, FullEvictionRemovesEntries) {
   HashTable full(&clock_, EvictionPolicy::kFull);
   for (int i = 0; i < 20; ++i) {
     std::string key = "k" + std::to_string(i);
-    full.Set(key, std::string(500, 'y'), 0, 0, 0);
+    ASSERT_TRUE(full.Set(key, std::string(500, 'y'), 0, 0, 0).ok());
     full.MarkClean(key, static_cast<uint64_t>(i + 1));
   }
   full.EvictTo(0);
@@ -251,7 +252,7 @@ TEST_F(HashTableTest, FullEvictionRemovesEntries) {
 }
 
 TEST_F(HashTableTest, RestoreFillsNonResidentValue) {
-  ht_.Set("k", std::string(100, 'z'), 0, 0, 0);
+  ASSERT_TRUE(ht_.Set("k", std::string(100, 'z'), 0, 0, 0).ok());
   ht_.MarkClean("k", 1);
   ht_.EvictTo(0);
   ht_.EvictTo(0);  // second pass clears reference bits then evicts
@@ -269,9 +270,9 @@ TEST_F(HashTableTest, RestoreFillsNonResidentValue) {
 
 TEST_F(HashTableTest, MemAccountingReturnsToBaseline) {
   uint64_t base = ht_.mem_used();
-  ht_.Set("k", std::string(4096, 'a'), 0, 0, 0);
+  ASSERT_TRUE(ht_.Set("k", std::string(4096, 'a'), 0, 0, 0).ok());
   EXPECT_GT(ht_.mem_used(), base + 4000);
-  ht_.Remove("k", 0);
+  ASSERT_TRUE(ht_.Remove("k", 0).ok());
   ht_.MarkClean("k", 2);
   ht_.Purge(100);
   EXPECT_EQ(ht_.mem_used(), base);
@@ -295,8 +296,8 @@ TEST_F(HashTableTest, ApplyRemotePreservesMetadata) {
 }
 
 TEST_F(HashTableTest, MarkCleanAdvancesPersistedSeqno) {
-  ht_.Set("a", "1", 0, 0, 0);
-  ht_.Set("b", "2", 0, 0, 0);
+  ASSERT_TRUE(ht_.Set("a", "1", 0, 0, 0).ok());
+  ASSERT_TRUE(ht_.Set("b", "2", 0, 0, 0).ok());
   EXPECT_EQ(ht_.persisted_seqno(), 0u);
   ht_.MarkClean("a", 1);
   EXPECT_EQ(ht_.persisted_seqno(), 1u);
@@ -306,10 +307,10 @@ TEST_F(HashTableTest, MarkCleanAdvancesPersistedSeqno) {
 
 TEST_F(HashTableTest, ForEachSkipsTombstonesAndExpired) {
   uint32_t now = static_cast<uint32_t>(clock_.NowSeconds());
-  ht_.Set("live", "v", 0, 0, 0);
-  ht_.Set("dead", "v", 0, 0, 0);
-  ht_.Remove("dead", 0);
-  ht_.Set("exp", "v", 0, now + 1, 0);
+  ASSERT_TRUE(ht_.Set("live", "v", 0, 0, 0).ok());
+  ASSERT_TRUE(ht_.Set("dead", "v", 0, 0, 0).ok());
+  ASSERT_TRUE(ht_.Remove("dead", 0).ok());
+  ASSERT_TRUE(ht_.Set("exp", "v", 0, now + 1, 0).ok());
   clock_.AdvanceSeconds(2);
   int count = 0;
   ht_.ForEach([&](const Document& doc, bool) {
@@ -328,7 +329,7 @@ TEST_F(HashTableTest, ForEachSkipsTombstonesAndExpired) {
 TEST_F(HashTableTest, GetlContentionSingleHolder) {
   // N threads race GETL on one key. The lock is a hard mutual exclusion:
   // at most one holder at a time, everyone else sees IsLocked (§3.1.1).
-  ht_.Set("k", "0", 0, 0, 0);
+  ASSERT_TRUE(ht_.Set("k", "0", 0, 0, 0).ok());
   constexpr int kThreads = 8;
   constexpr int kAcquisitionsPerThread = 50;
 
@@ -390,7 +391,7 @@ TEST_F(HashTableTest, CasUnderConcurrentEviction) {
   constexpr int kKeys = 4;
   auto key_name = [](int k) { return "k" + std::to_string(k); };
   for (int k = 0; k < kKeys; ++k) {
-    ht_.Set(key_name(k), "0", 0, 0, 0);
+    ASSERT_TRUE(ht_.Set(key_name(k), "0", 0, 0, 0).ok());
   }
 
   // Shadow of what the flusher has persisted, keyed by document key. The

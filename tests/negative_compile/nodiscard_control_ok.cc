@@ -1,0 +1,23 @@
+// Positive control for the nodiscard negative-compile harness: correct
+// error handling — every returned Status/StatusOr is consumed. This file
+// MUST compile under -Werror=unused-result; if it does not, the harness
+// itself is broken.
+#include "common/status.h"
+
+namespace {
+
+couchkv::Status DoWork() { return couchkv::Status::OK(); }
+
+couchkv::StatusOr<int> Compute() { return 42; }
+
+}  // namespace
+
+couchkv::Status NodiscardControlUse() {
+  COUCHKV_RETURN_IF_ERROR(DoWork());
+  auto v = Compute();
+  if (!v.ok()) return v.status();
+  // A deliberate discard with the documented escape hatch also compiles.
+  // justified: negative-compile control exercising the (void) idiom itself.
+  (void)DoWork();
+  return couchkv::Status::OK();
+}

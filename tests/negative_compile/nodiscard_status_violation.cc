@@ -1,0 +1,15 @@
+// Seeded error-discipline violation: drops a returned Status on the floor.
+// This file MUST FAIL to compile under -Werror=unused-result. If it
+// compiles, the [[nodiscard]] attribute on Status (or the -Werror flag) has
+// silently rotted and ignoring errors is no longer a compile failure.
+#include "common/status.h"
+
+namespace {
+
+couchkv::Status DoWork() { return couchkv::Status::IOError("disk on fire"); }
+
+}  // namespace
+
+void NodiscardStatusViolation() {
+  DoWork();  // error swallowed — the compiler must reject this
+}

@@ -1,0 +1,17 @@
+// Seeded error-discipline violation: drops a returned StatusOr<T> on the
+// floor. This file MUST FAIL to compile under -Werror=unused-result. If it
+// compiles, the [[nodiscard]] attribute on StatusOr (or the -Werror flag)
+// has silently rotted and ignoring errors is no longer a compile failure.
+#include "common/status.h"
+
+namespace {
+
+couchkv::StatusOr<int> Compute() {
+  return couchkv::Status::Corruption("bad checksum");
+}
+
+}  // namespace
+
+void NodiscardStatusOrViolation() {
+  Compute();  // value-or-error swallowed — the compiler must reject this
+}

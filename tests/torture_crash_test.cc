@@ -107,7 +107,10 @@ TEST_P(TortureCrashTest, CrashWithFaultyTransportStillRecovers) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, TortureCrashTest,
-                         ::testing::Values(1, 20260807, 0xc0ffee));
+                         ::testing::Values(1, 20260807, 0xc0ffee),
+                         [](const auto& info) {
+                           return "seed" + std::to_string(info.index);
+                         });
 
 }  // namespace
 }  // namespace couchkv

@@ -80,7 +80,10 @@ TEST_P(TortureDeterminismTest, DifferentSeedDifferentSchedule) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, TortureDeterminismTest,
-                         ::testing::Values(11, 4242, 0xabcdef));
+                         ::testing::Values(11, 4242, 0xabcdef),
+                         [](const auto& info) {
+                           return "seed" + std::to_string(info.index);
+                         });
 
 }  // namespace
 }  // namespace couchkv

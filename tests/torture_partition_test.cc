@@ -153,7 +153,10 @@ TEST_P(TorturePartitionTest, XdcrDeliversEverythingOverLossyLink) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, TorturePartitionTest,
-                         ::testing::Values(3, 777, 0xfeedface));
+                         ::testing::Values(3, 777, 0xfeedface),
+                         [](const auto& info) {
+                           return "seed" + std::to_string(info.index);
+                         });
 
 }  // namespace
 }  // namespace couchkv
