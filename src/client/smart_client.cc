@@ -13,19 +13,34 @@ namespace {
 std::atomic<uint32_t> next_client_id{1};
 }  // namespace
 
+uint64_t NextBackoffUs(const RetryPolicy& policy, uint64_t prev_us, Rng& rng) {
+  if (!policy.jitter) {
+    return std::min(prev_us * 2, policy.max_backoff_us);
+  }
+  // Decorrelated jitter: sleep = min(cap, uniform[base, prev * 3]). Spreads
+  // retry storms while still growing toward the cap on persistent failure.
+  uint64_t lo = policy.initial_backoff_us;
+  uint64_t hi = std::max(lo, prev_us * 3);
+  return std::min(rng.UniformRange(lo, hi), policy.max_backoff_us);
+}
+
 SmartClient::SmartClient(cluster::Cluster* cluster, std::string bucket,
                          RetryPolicy retry, uint32_t client_id)
     : cluster_(cluster),
       bucket_(std::move(bucket)),
       retry_(retry),
       endpoint_(net::Endpoint::Client(
-          client_id != 0 ? client_id : next_client_id.fetch_add(1))) {
+          client_id != 0 ? client_id : next_client_id.fetch_add(1))),
+      backoff_rng_(0x9e3779b97f4a7c15ULL ^
+                   (static_cast<uint64_t>(endpoint_.id) + 1) *
+                       0x2545f4914f6cdd1dULL) {
   stats_scope_ = stats::Registry::Global().GetScope("client");
   get_ns_ = stats_scope_->GetHistogram("get_ns");
   mutate_ns_ = stats_scope_->GetHistogram("mutate_ns");
   retries_ = stats_scope_->GetCounter("retries");
   op_errors_ = stats_scope_->GetCounter("op_errors");
   map_refreshes_ = stats_scope_->GetCounter("map_refreshes");
+  no_active_ = stats_scope_->GetCounter("no_active_fail_fast");
   RefreshMap();
 }
 
@@ -46,11 +61,26 @@ auto SmartClient::WithRouting(std::string_view key, Fn&& op)
       if (backoff_us > 0) {
         std::this_thread::sleep_for(std::chrono::microseconds(backoff_us));
       }
-      backoff_us = std::min(backoff_us * 2, retry_.max_backoff_us);
+      backoff_us = NextBackoffUs(retry_, backoff_us, backoff_rng_);
     }
     if (!map_) RefreshMap();
     if (!map_) return Status::NotFound("bucket has no cluster map");
     cluster::NodeId target = map_->ActiveFor(vb);
+    if (target == cluster::kNoNode) {
+      // Every copy of this vBucket was lost at failover. Refresh once in
+      // case a recovery just republished the map, then fail fast: no
+      // amount of retrying materializes an active, so burning the backoff
+      // budget only delays the caller's error handling.
+      RefreshMap();
+      if (map_) target = map_->ActiveFor(vb);
+      if (target == cluster::kNoNode) {
+        no_active_->Add();
+        op_errors_->Add();
+        return Status::TempFail("no active node for vbucket " +
+                                std::to_string(vb) +
+                                " (all copies failed over)");
+      }
+    }
     cluster::Node* n = cluster_->node(target);
     if (n == nullptr) {
       RefreshMap();

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "cluster/cluster.h"
+#include "common/random.h"
 #include "json/value.h"
 #include "net/transport.h"
 #include "stats/registry.h"
@@ -25,7 +26,16 @@ struct RetryPolicy {
   // Exponential backoff between attempts: initial, doubling, capped.
   uint64_t initial_backoff_us = 50;
   uint64_t max_backoff_us = 2000;
+  // Decorrelate the backoff (next = uniform[initial, prev*3], capped):
+  // deterministic doubling synchronizes every client's retry storm at the
+  // exact moment of a failover — all of them re-hit the cluster in phase.
+  bool jitter = true;
 };
+
+// The next sleep after one of `prev_us`: capped doubling when
+// `policy.jitter` is off, decorrelated jitter (AWS-style) when on. Exposed
+// for tests.
+uint64_t NextBackoffUs(const RetryPolicy& policy, uint64_t prev_us, Rng& rng);
 
 // Options for a single write.
 struct WriteOptions {
@@ -139,6 +149,9 @@ class SmartClient {
   std::string bucket_;
   RetryPolicy retry_;
   net::Endpoint endpoint_;
+  // Seeded from the endpoint id so two clients never share a jitter stream
+  // (and a given client's schedule is reproducible).
+  Rng backoff_rng_;
   std::shared_ptr<const cluster::ClusterMap> map_;
 
   // Client-side observability (scope "client", shared by all clients in the
@@ -149,6 +162,7 @@ class SmartClient {
   stats::Counter* retries_ = nullptr;
   stats::Counter* op_errors_ = nullptr;
   stats::Counter* map_refreshes_ = nullptr;
+  stats::Counter* no_active_ = nullptr;
 };
 
 }  // namespace couchkv::client

@@ -21,6 +21,15 @@ Cluster::Cluster(ClusterOptions opts) : opts_(std::move(opts)) {
   if (opts_.use_posix) {
     ::mkdir(opts_.data_dir.c_str(), 0755);
   }
+  scope_ = stats::Registry::Global().GetScope("cluster");
+  failover_manual_ = scope_->GetCounter("failover.manual_total");
+  failover_auto_ = scope_->GetCounter("failover.auto_total");
+  failover_vetoed_ = scope_->GetCounter("failover.vetoed");
+  recovery_delta_ = scope_->GetCounter("recovery.delta_total");
+  recovery_rollback_vbs_ = scope_->GetCounter("recovery.rollback_vbuckets");
+  recovery_resurrected_vbs_ =
+      scope_->GetCounter("recovery.resurrected_vbuckets");
+  promotion_lag_ = scope_->GetHistogram("failover.promotion_lag");
 }
 
 Cluster::~Cluster() {
@@ -99,6 +108,20 @@ std::vector<NodeId> Cluster::healthy_data_nodes() const {
     if (n->healthy() && n->HasService(kDataService)) ids.push_back(id);
   }
   return ids;
+}
+
+std::vector<NodeId> Cluster::member_ids() const {
+  LockGuard lock(mu_);
+  std::vector<NodeId> ids;
+  for (const auto& [id, n] : nodes_) {
+    if (!failed_over_.count(id)) ids.push_back(id);
+  }
+  return ids;
+}
+
+bool Cluster::failed_over(NodeId id) const {
+  LockGuard lock(mu_);
+  return failed_over_.count(id) != 0;
 }
 
 NodeId Cluster::orchestrator() const {
@@ -321,6 +344,24 @@ Status Cluster::Rebalance() {
       NodeId cur = working.entries[vb].active;
       NodeId want = target.entries[vb].active;
       if (cur == want) continue;
+      if (cur == kNoNode) {
+        // The partition's data was lost at failover (nothing to promote)
+        // and never recovered. There is nothing to move; re-own it empty so
+        // the keyspace becomes writable again instead of wedging the whole
+        // rebalance.
+        Node* dst_node = node(want);
+        std::shared_ptr<Bucket> dst =
+            dst_node != nullptr ? dst_node->bucket(bucket) : nullptr;
+        if (dst == nullptr) {
+          return Status::InvalidArgument("no destination for lost vb");
+        }
+        COUCHKV_RETURN_IF_ERROR(
+            dst->SetVBucketState(vb, VBucketState::kActive));
+        working.entries[vb].active = want;
+        working.version += 1;
+        PublishMap(bucket, std::make_shared<ClusterMap>(working));
+        continue;
+      }
       COUCHKV_RETURN_IF_ERROR(MoveVBucket(bucket, vb, cur, want));
       working.entries[vb].active = want;
       working.version += 1;
@@ -337,36 +378,108 @@ Status Cluster::Rebalance() {
   return Status::OK();
 }
 
-Status Cluster::Failover(NodeId id) {
+Status Cluster::Failover(NodeId id, FailoverMode mode) {
   Node* failed = node(id);
   if (failed == nullptr) return Status::NotFound("no such node");
+  {
+    LockGuard lock(mu_);
+    if (failed_over_.count(id)) {
+      return Status::InvalidArgument("node " + std::to_string(id) +
+                                     " is already failed over");
+    }
+  }
+  // A replica that survives the node is the freshest one the failed node
+  // was replicating to; its high seqno reads stay valid below because
+  // replication INTO it is stalled (its source is the node being removed).
+  auto best_replica = [&](const std::string& bucket, uint16_t vb,
+                          const VBucketEntry& e, uint64_t* high) {
+    NodeId promoted = kNoNode;
+    for (NodeId r : e.replicas) {
+      if (r == id) continue;
+      Node* rn = node(r);
+      if (rn == nullptr || !rn->healthy()) continue;
+      std::shared_ptr<Bucket> rb = rn->bucket(bucket);
+      if (rb == nullptr) continue;
+      uint64_t seq = rb->vbucket(vb)->high_seqno();
+      // Strict > keeps the tie-break on chain order, so equal-seqno
+      // promotions stay deterministic across runs.
+      if (promoted == kNoNode || seq > *high) {
+        promoted = r;
+        *high = seq;
+      }
+    }
+    return promoted;
+  };
+  // Auto-failover safety veto (paper §4.3.1: ns_server refuses an automatic
+  // failover that would lose data): probe the surgery read-only first, and
+  // abort before any state is touched if a partition would lose its last
+  // copy. Manual failover proceeds and records the loss (active = kNoNode).
+  if (mode == FailoverMode::kAuto) {
+    for (const std::string& bucket : bucket_names()) {
+      std::shared_ptr<const ClusterMap> old_map = map(bucket);
+      if (!old_map) continue;
+      for (uint16_t vb = 0; vb < kNumVBuckets; ++vb) {
+        const VBucketEntry& probe = old_map->entries[vb];
+        if (probe.active != id) continue;
+        uint64_t high = 0;
+        if (best_replica(bucket, vb, probe, &high) == kNoNode) {
+          failover_vetoed_->Add();
+          return Status::Aborted(
+              "auto-failover of node " + std::to_string(id) + " vetoed: vb " +
+              std::to_string(vb) + " of bucket " + bucket +
+              " would drop to zero copies");
+        }
+      }
+    }
+  }
   failed->set_healthy(false);
 
+  FailoverRecord record;
   for (const std::string& bucket : bucket_names()) {
     std::shared_ptr<const ClusterMap> old_map = map(bucket);
     if (!old_map) continue;
+    std::shared_ptr<Bucket> failed_bucket = failed->bucket(bucket);
+    std::vector<uint64_t>& safe = record.safe_seqno[bucket];
+    std::vector<bool>& hosted = record.hosted[bucket];
+    safe.assign(kNumVBuckets, 0);
+    hosted.assign(kNumVBuckets, false);
     ClusterMap next = *old_map;
     next.version += 1;
     for (uint16_t vb = 0; vb < kNumVBuckets; ++vb) {
       VBucketEntry& e = next.entries[vb];
+      hosted[vb] = e.active == id || std::find(e.replicas.begin(),
+                                               e.replicas.end(),
+                                               id) != e.replicas.end();
       // Remove the failed node from replica chains.
       std::erase(e.replicas, id);
-      if (e.active != id) continue;
-      // Promote the first healthy replica (paper §4.3.1: "It promotes to
-      // active status replica partitions associated with the server that
-      // went down").
-      NodeId promoted = kNoNode;
-      for (NodeId r : e.replicas) {
-        Node* rn = node(r);
-        if (rn != nullptr && rn->healthy()) {
-          promoted = r;
-          break;
-        }
+      if (e.active != id) {
+        // Active survives elsewhere; its current seqno bounds what a
+        // recovered copy of this vb may legitimately hold.
+        Node* an = node(e.active);
+        std::shared_ptr<Bucket> ab =
+            an != nullptr ? an->bucket(bucket) : nullptr;
+        if (ab != nullptr) safe[vb] = ab->vbucket(vb)->high_seqno();
+        continue;
       }
+      // Promote the most-caught-up healthy replica (paper §4.3.1 promotes
+      // replicas of the server that went down; picking the highest seqno
+      // closes the data-loss window chain-order promotion had, since an
+      // in-order DCP stream makes the freshest replica a superset of every
+      // other).
+      uint64_t promoted_high = 0;
+      NodeId promoted = best_replica(bucket, vb, e, &promoted_high);
       if (promoted == kNoNode) {
         LOG_ERROR << "vb " << vb << " lost: no replica to promote";
         e.active = kNoNode;
         continue;
+      }
+      safe[vb] = promoted_high;
+      // How far behind the promotion is. Only measurable while the failed
+      // node's memory is still around (partitioned, not crashed).
+      if (failed_bucket != nullptr) {
+        uint64_t failed_high = failed_bucket->vbucket(vb)->high_seqno();
+        promotion_lag_->Record(
+            failed_high > promoted_high ? failed_high - promoted_high : 0);
       }
       std::erase(e.replicas, promoted);
       e.active = promoted;
@@ -376,7 +489,124 @@ Status Cluster::Failover(NodeId id) {
     PublishMap(bucket, next_ptr);
     NotifyServices(bucket);
   }
+  {
+    LockGuard lock(mu_);
+    failed_over_[id] = std::move(record);
+  }
+  (mode == FailoverMode::kAuto ? failover_auto_ : failover_manual_)->Add();
   return Status::OK();
+}
+
+Status Cluster::RecoverNode(NodeId id) {
+  Node* n = node(id);
+  if (n == nullptr) return Status::NotFound("no such node");
+  FailoverRecord record;
+  {
+    LockGuard lock(mu_);
+    auto it = failed_over_.find(id);
+    if (it == failed_over_.end()) {
+      return Status::InvalidArgument("node " + std::to_string(id) +
+                                     " is not failed over");
+    }
+    record = it->second;
+  }
+  std::map<std::string, BucketConfig> configs;
+  {
+    LockGuard lock(mu_);
+    configs = bucket_configs_;
+  }
+  uint64_t rollbacks = 0;
+  uint64_t resurrected = 0;
+  std::map<std::string, std::shared_ptr<const ClusterMap>> interim_maps;
+  if (n->HasService(kDataService)) {
+    if (n->crashed()) {
+      // The process died: boot it and warm up exactly the vBuckets it
+      // hosted at failover from its surviving disk.
+      n->Boot();
+      for (const auto& [name, config] : configs) {
+        COUCHKV_RETURN_IF_ERROR(n->CreateBucket(config));
+        std::shared_ptr<Bucket> b = n->bucket(name);
+        auto hosted_it = record.hosted.find(name);
+        if (hosted_it == record.hosted.end()) continue;
+        for (uint16_t vb = 0; vb < kNumVBuckets; ++vb) {
+          if (!hosted_it->second[vb]) continue;
+          COUCHKV_RETURN_IF_ERROR(
+              b->SetVBucketState(vb, VBucketState::kReplica));
+        }
+        auto loaded = b->Warmup();
+        if (!loaded.ok()) return loaded.status();
+      }
+    } else {
+      // Alive (it was partitioned, not dead): demote any stale actives so
+      // clients holding a pre-failover map get NotMyVBucket, not a second
+      // master, once the node is marked healthy again below.
+      for (const auto& [name, config] : configs) {
+        std::shared_ptr<Bucket> b = n->bucket(name);
+        if (b == nullptr) continue;
+        for (uint16_t vb = 0; vb < kNumVBuckets; ++vb) {
+          if (b->vbucket(vb)->state() == VBucketState::kActive) {
+            COUCHKV_RETURN_IF_ERROR(
+                b->SetVBucketState(vb, VBucketState::kReplica));
+          }
+        }
+      }
+    }
+    // Delta-recovery map surgery: re-enter the node as an extra replica of
+    // every vBucket it still holds (SetupReplication resumes each stream
+    // from the replica's high seqno, so only the delta flows), after rolling
+    // back copies that diverged past the promotion point. Partitions that
+    // lost every copy at failover are resurrected from the recovered data.
+    for (const auto& [name, config] : configs) {
+      std::shared_ptr<Bucket> b = n->bucket(name);
+      std::shared_ptr<const ClusterMap> m = map(name);
+      if (b == nullptr || m == nullptr) continue;
+      const std::vector<uint64_t>& safe = record.safe_seqno[name];
+      const std::vector<bool>& hosted = record.hosted[name];
+      ClusterMap interim = *m;
+      interim.version += 1;
+      for (uint16_t vb = 0; vb < kNumVBuckets; ++vb) {
+        if (hosted.empty() || !hosted[vb]) continue;
+        VBucketEntry& e = interim.entries[vb];
+        if (e.active == kNoNode) {
+          // Every other copy is gone; the recovered one, whatever it holds,
+          // is the authoritative survivor.
+          e.active = id;
+          std::erase(e.replicas, id);
+          ++resurrected;
+          continue;
+        }
+        uint64_t local_high = b->vbucket(vb)->high_seqno();
+        if (local_high > (vb < safe.size() ? safe[vb] : 0)) {
+          // The copy ran past what the promoted active had at failover:
+          // its tail was never adopted and would collide with the new
+          // write stream. Drop and re-backfill from scratch.
+          COUCHKV_RETURN_IF_ERROR(b->RollbackVBucket(vb));
+          ++rollbacks;
+        }
+        if (e.active != id && std::find(e.replicas.begin(), e.replicas.end(),
+                                        id) == e.replicas.end()) {
+          e.replicas.push_back(id);
+        }
+      }
+      interim_maps[name] = std::make_shared<ClusterMap>(interim);
+    }
+  }
+  n->set_healthy(true);
+  {
+    LockGuard lock(mu_);
+    failed_over_.erase(id);
+  }
+  for (const auto& [name, interim] : interim_maps) {
+    ApplyMap(name, interim);
+    PublishMap(name, interim);
+    NotifyServices(name);
+  }
+  recovery_delta_->Add();
+  recovery_rollback_vbs_->Add(rollbacks);
+  recovery_resurrected_vbs_->Add(resurrected);
+  // Spread actives back onto the reintegrated node (and give resurrected
+  // partitions their replicas back).
+  return Rebalance();
 }
 
 Status Cluster::CrashNode(NodeId id) {

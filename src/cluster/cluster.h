@@ -21,6 +21,7 @@
 #include "common/status.h"
 #include "common/synchronization.h"
 #include "net/transport.h"
+#include "stats/registry.h"
 
 namespace couchkv::cluster {
 
@@ -51,6 +52,12 @@ struct ClusterOptions {
       wrap_node_env;
 };
 
+// Who asked for a failover. Auto-failover (the HealthMonitor orchestrator)
+// refuses to proceed when it would drop a vBucket to zero copies — the paper
+// only auto-fails-over when safe, leaving risky cases to the administrator.
+// Manual failover honors the admin's judgment and accepts the data loss.
+enum class FailoverMode { kManual, kAuto };
+
 class Cluster {
  public:
   explicit Cluster(ClusterOptions opts = {});
@@ -64,6 +71,11 @@ class Cluster {
   Node* node(NodeId id);
   std::vector<NodeId> node_ids() const;
   std::vector<NodeId> healthy_data_nodes() const;
+  // Nodes that are still cluster members: everything not failed over. A
+  // crashed or partitioned member stays in this set (and keeps its vote in
+  // the failure detector's quorum) until a failover removes it.
+  std::vector<NodeId> member_ids() const;
+  bool failed_over(NodeId id) const;
 
   // The elected orchestrator: lowest-id healthy node (paper §4.3.1 — on
   // orchestrator crash "they will elect a new orchestrator immediately").
@@ -80,8 +92,23 @@ class Cluster {
   // vBuckets, with an atomic per-partition switchover.
   Status Rebalance();
 
-  // Takes `id` out of service, promoting replica partitions to active.
-  Status Failover(NodeId id);
+  // Takes `id` out of service, promoting for each of its active partitions
+  // the healthy replica with the highest high_seqno (DCP delivers in order,
+  // so the most-caught-up replica holds a superset of every other replica —
+  // promoting it preserves all ReplicateTo-acked writes). A second call for
+  // the same node returns InvalidArgument. In kAuto mode the call is vetoed
+  // (Aborted, nothing mutated) when any vBucket would lose its last copy.
+  Status Failover(NodeId id, FailoverMode mode = FailoverMode::kManual);
+
+  // Reintegrates a failed-over node by delta recovery: divergent vBuckets
+  // (those whose high_seqno ran past what the promoted active had at
+  // failover time) are rolled back, everything else catches up via DCP from
+  // the current actives starting at its local high seqno; vBuckets whose
+  // active was lost entirely (active == kNoNode) are resurrected from the
+  // recovered node's copy. Ends with a Rebalance to spread actives back.
+  // The node may be crashed (it is booted and warmed up from disk first) or
+  // alive-but-partitioned (heal the partition before calling).
+  Status RecoverNode(NodeId id);
 
   // --- Crash / restart (torture testing) ---
   // Kills node `id` like a process crash: its in-memory hash tables, disk
@@ -135,6 +162,20 @@ class Cluster {
   }
 
  private:
+  // What Failover() learned about a node at the moment it was removed, kept
+  // until RecoverNode() reintegrates it.
+  struct FailoverRecord {
+    // bucket -> per-vBucket seqno the promoted active held at failover. A
+    // recovered copy at or below this seqno is a guaranteed prefix of the
+    // new active's history (DCP delivers in order) and may catch up by
+    // delta; above it, the copy holds writes the promotion discarded and
+    // must be rolled back.
+    std::map<std::string, std::vector<uint64_t>> safe_seqno;
+    // bucket -> per-vBucket bit: the node hosted a copy (active or replica)
+    // when it was failed over. Drives warmup state selection on recovery.
+    std::map<std::string, std::vector<bool>> hosted;
+  };
+
   std::unique_ptr<storage::Env> MakeNodeEnv(NodeId id);
   // Applies vBucket states + replication streams for `bucket` per `map`.
   void ApplyMap(const std::string& bucket,
@@ -159,8 +200,23 @@ class Cluster {
       GUARDED_BY(mu_);
   std::map<std::string, std::shared_ptr<ClusterService>> services_
       GUARDED_BY(mu_);
+  std::map<NodeId, FailoverRecord> failed_over_ GUARDED_BY(mu_);
   // Atomic so total_vbucket_moves() stays a lock-free accessor.
   std::atomic<uint64_t> total_moves_{0};
+
+  // Scope "cluster": failover/recovery counters the HealthMonitor tests and
+  // dashboards read.
+  std::shared_ptr<stats::Scope> scope_;
+  stats::Counter* failover_manual_ = nullptr;
+  stats::Counter* failover_auto_ = nullptr;
+  stats::Counter* failover_vetoed_ = nullptr;
+  stats::Counter* recovery_delta_ = nullptr;
+  stats::Counter* recovery_rollback_vbs_ = nullptr;
+  stats::Counter* recovery_resurrected_vbs_ = nullptr;
+  // Seqnos the failed node had seen but the promoted replica had not — the
+  // write window the failover gave up (0 whenever replication was caught
+  // up; unknowable, and skipped, when the failed node's memory is gone).
+  Histogram* promotion_lag_ = nullptr;
 };
 
 }  // namespace couchkv::cluster

@@ -29,6 +29,7 @@ Node::~Node() {
 
 void Node::Crash() {
   set_healthy(false);
+  crashed_.store(true, std::memory_order_release);
   scope_->GetGauge("node.healthy")->Set(0);
   // Stop the pump thread before freeing buckets: stream callbacks and
   // backfills on this dispatcher touch bucket state.
@@ -42,6 +43,7 @@ void Node::Boot() {
   LockGuard lock(mu_);
   buckets_.clear();
   dispatcher_ = std::make_unique<dcp::Dispatcher>();
+  crashed_.store(false, std::memory_order_release);
   boots_->Add();
 }
 

@@ -42,6 +42,12 @@ class Node {
   bool healthy() const { return healthy_.load(std::memory_order_acquire); }
   void set_healthy(bool h) { healthy_.store(h, std::memory_order_release); }
 
+  // True between Crash() and Boot(): the process is gone (buckets destroyed,
+  // dispatcher stopped), as opposed to an unhealthy-but-running node whose
+  // in-memory state survives. Recovery paths branch on this: a crashed node
+  // must warm up from its disk; a partitioned node still holds its data.
+  bool crashed() const { return crashed_.load(std::memory_order_acquire); }
+
   // Simulates a process crash: stops the DCP dispatcher, then destroys all
   // buckets hard (hash tables and the disk write queue are lost; the flusher
   // may be killed between writing a batch and committing it). The node's
@@ -104,6 +110,7 @@ class Node {
   std::unique_ptr<storage::Env> env_;
   std::unique_ptr<dcp::Dispatcher> dispatcher_;
   std::atomic<bool> healthy_{true};
+  std::atomic<bool> crashed_{false};
   std::shared_ptr<stats::Scope> scope_;  // "node.<id>"
   stats::Counter* stat_scrapes_ = nullptr;
   stats::Counter* boots_ = nullptr;

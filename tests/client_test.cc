@@ -2,6 +2,8 @@
 // locks, JSON helpers, and transparent re-routing across topology changes.
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <set>
 #include <thread>
 
 #include "client/smart_client.h"
@@ -247,6 +249,87 @@ TEST_F(SmartClientTest, IncrementOnNonNumberFails) {
 TEST_F(SmartClientTest, VBucketForIsStable) {
   EXPECT_EQ(client_->VBucketFor("abc"), client_->VBucketFor("abc"));
   EXPECT_LT(client_->VBucketFor("abc"), cluster::kNumVBuckets);
+}
+
+// --- Retry backoff policy ---
+
+TEST(SmartClientBackoffTest, DoublingWithoutJitterIsExactAndCapped) {
+  RetryPolicy p;
+  p.jitter = false;
+  p.initial_backoff_us = 50;
+  p.max_backoff_us = 300;
+  Rng rng(42);
+  EXPECT_EQ(NextBackoffUs(p, 50, rng), 100u);
+  EXPECT_EQ(NextBackoffUs(p, 100, rng), 200u);
+  EXPECT_EQ(NextBackoffUs(p, 200, rng), 300u);  // capped
+  EXPECT_EQ(NextBackoffUs(p, 300, rng), 300u);
+}
+
+TEST(SmartClientBackoffTest, DecorrelatedJitterStaysInBoundsAndVaries) {
+  RetryPolicy p;  // jitter defaults to on
+  ASSERT_TRUE(p.jitter);
+  p.initial_backoff_us = 50;
+  p.max_backoff_us = 2000;
+  Rng rng(42);
+  uint64_t prev = p.initial_backoff_us;
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 200; ++i) {
+    uint64_t next = NextBackoffUs(p, prev, rng);
+    ASSERT_GE(next, p.initial_backoff_us);
+    ASSERT_LE(next, p.max_backoff_us);
+    ASSERT_LE(next, std::max(p.initial_backoff_us, prev * 3));
+    seen.insert(next);
+    prev = next;
+  }
+  // Decorrelated: the sequence actually varies instead of locking into the
+  // deterministic doubling ladder that synchronizes client retry storms.
+  EXPECT_GT(seen.size(), 10u);
+}
+
+// --- Fail-fast when a vBucket has no active copy ---
+
+TEST(SmartClientNoActiveTest, OpsOnLostVBucketFailFastWithoutRetryBurn) {
+  cluster::Cluster cluster;
+  cluster.AddNode();
+  cluster.AddNode();
+  cluster::BucketConfig cfg;
+  cfg.name = "b";
+  cfg.num_replicas = 0;
+  ASSERT_TRUE(cluster.CreateBucket(cfg).ok());
+  // Manual failover of a node with zero replicas orphans its vBuckets.
+  ASSERT_TRUE(cluster.Failover(0, cluster::FailoverMode::kManual).ok());
+
+  auto map = cluster.map("b");
+  std::string lost, alive;
+  for (int i = 0; (lost.empty() || alive.empty()) && i < 10000; ++i) {
+    std::string cand = "key" + std::to_string(i);
+    if (map->ActiveFor(cluster::KeyToVBucket(cand)) == cluster::kNoNode) {
+      if (lost.empty()) lost = cand;
+    } else if (alive.empty()) {
+      alive = cand;
+    }
+  }
+  ASSERT_FALSE(lost.empty());
+  ASSERT_FALSE(alive.empty());
+
+  // With this policy a full retry burn would sleep ~63 * 5ms ≈ 315ms.
+  RetryPolicy slow;
+  slow.max_attempts = 64;
+  slow.initial_backoff_us = 5000;
+  slow.max_backoff_us = 5000;
+  SmartClient client(&cluster, "b", slow, /*client_id=*/700);
+  auto t0 = std::chrono::steady_clock::now();
+  auto r = client.Get(lost);
+  auto elapsed_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+  EXPECT_TRUE(r.status().IsTempFail()) << r.status().ToString();
+  EXPECT_NE(r.status().message().find("no active"), std::string::npos)
+      << r.status().ToString();
+  EXPECT_LT(elapsed_ms, 100);
+  // Keys whose vBucket still has an active are unaffected.
+  ASSERT_TRUE(client.Upsert(alive, "v").ok());
+  EXPECT_EQ(client.Get(alive)->value, "v");
 }
 
 }  // namespace

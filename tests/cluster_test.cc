@@ -7,12 +7,23 @@
 
 #include "client/smart_client.h"
 #include "cluster/cluster.h"
+#include "cluster/health_monitor.h"
 #include "cluster/vbucket.h"
 #include "cluster/vbucket_map.h"
+#include "common/clock.h"
 #include "net/faulty_transport.h"
+#include "stats/registry.h"
 
 namespace couchkv::cluster {
 namespace {
+
+// Current value of a counter in the process-wide "cluster" stats scope.
+// Tests compare deltas because the registry is shared across all tests in
+// this binary.
+uint64_t ClusterCounter(const std::string& name) {
+  return stats::Registry::Global().GetScope("cluster")->GetCounter(name)
+      ->Value();
+}
 
 // --- VBucketMap ---
 
@@ -409,6 +420,299 @@ TEST_F(ClusterTest, RebalanceUnderFaultyTransport) {
   }
   EXPECT_EQ(unreachable, 0);
   cluster_.set_transport(nullptr);
+}
+
+// --- Failover semantics (paper §4.3.1) ---
+
+TEST_F(ClusterTest, FailoverIsIdempotent) {
+  ASSERT_TRUE(cluster_.Failover(2).ok());
+  EXPECT_TRUE(cluster_.failed_over(2));
+  Status again = cluster_.Failover(2);
+  EXPECT_EQ(again.code(), StatusCode::kInvalidArgument) << again.ToString();
+  // The duplicate call changed nothing: still exactly one failed-over node.
+  EXPECT_TRUE(cluster_.failed_over(2));
+  EXPECT_EQ(cluster_.member_ids().size(), 3u);
+}
+
+TEST_F(ClusterTest, FailoverPromotesFreshestReplicaBySeqno) {
+  BucketConfig cfg;
+  cfg.name = "wide";
+  cfg.num_replicas = 2;
+  ASSERT_TRUE(cluster_.CreateBucket(cfg).ok());
+
+  const std::string key = "seqno-key";
+  uint16_t vb = KeyToVBucket(key);
+  NodeId active = cluster_.map("wide")->ActiveFor(vb);
+  std::vector<NodeId> replicas = cluster_.map("wide")->ReplicasFor(vb);
+  ASSERT_EQ(replicas.size(), 2u);
+
+  // Baseline write reaches both replicas over a clean network.
+  ASSERT_TRUE(cluster_.node(active)->Set("wide", vb, key, "v1", 0, 0, 0).ok());
+  cluster_.Quiesce();
+
+  // Stall replication to the chain-first replica only; the chain-second
+  // replica keeps receiving and ends up with the higher seqno.
+  net::FaultyTransport transport(7);
+  cluster_.set_transport(&transport);
+  transport.Block(net::Endpoint::Node(active),
+                  net::Endpoint::Node(replicas[0]));
+  StatusOr<kv::DocMeta> last = Status::NotFound("no write yet");
+  for (int i = 2; i <= 5; ++i) {
+    last = cluster_.node(active)->Set("wide", vb, key,
+                                      "v" + std::to_string(i), 0, 0, 0);
+    ASSERT_TRUE(last.ok());
+  }
+  ASSERT_TRUE(cluster_
+                  .WaitForDurability("wide", vb, last->seqno,
+                                     Durability::Replicate(1))
+                  .ok());
+
+  // Chain order would promote replicas[0] (stuck at v1). Seqno-aware
+  // promotion must pick the replica that actually holds the acked writes.
+  ASSERT_TRUE(cluster_.Failover(active).ok());
+  EXPECT_EQ(cluster_.map("wide")->ActiveFor(vb), replicas[1]);
+  auto r = cluster_.node(replicas[1])->Get("wide", vb, key);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->doc.value, "v5");
+
+  // Drain the catch-up replication before the transport goes out of scope:
+  // a DCP pump caught mid-Call must not outlive it.
+  transport.HealAll();
+  cluster_.Quiesce();
+  cluster_.set_transport(nullptr);
+}
+
+TEST_F(ClusterTest, AutoFailoverVetoedWhenLastCopyWouldVanish) {
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(Write("av" + std::to_string(i), "v").ok());
+  }
+  cluster_.Quiesce();
+  // First failover empties the replica chain of every vBucket the victim
+  // replicated: their new actives are now the last copies.
+  ASSERT_TRUE(cluster_.Failover(3).ok());
+  auto map = cluster_.map("default");
+  NodeId last_copy = kNoNode;
+  for (uint16_t vb = 0; vb < kNumVBuckets && last_copy == kNoNode; ++vb) {
+    const auto& e = map->entries[vb];
+    if (e.replicas.empty() && e.active != kNoNode) last_copy = e.active;
+  }
+  ASSERT_NE(last_copy, kNoNode);
+
+  uint64_t vetoed0 = ClusterCounter("failover.vetoed");
+  uint64_t version0 = map->version;
+  Status st = cluster_.Failover(last_copy, FailoverMode::kAuto);
+  EXPECT_EQ(st.code(), StatusCode::kAborted) << st.ToString();
+  EXPECT_EQ(ClusterCounter("failover.vetoed"), vetoed0 + 1);
+  // The veto left the cluster untouched: node still a healthy member, map
+  // unchanged.
+  EXPECT_FALSE(cluster_.failed_over(last_copy));
+  EXPECT_TRUE(cluster_.node(last_copy)->healthy());
+  EXPECT_EQ(cluster_.map("default")->version, version0);
+}
+
+TEST_F(ClusterTest, ManualFailoverToZeroCopiesThenRecoverNodeResurrects) {
+  for (int i = 0; i < 80; ++i) {
+    ASSERT_TRUE(Write("rz" + std::to_string(i), "val" + std::to_string(i))
+                    .ok());
+  }
+  cluster_.Quiesce();
+  ASSERT_TRUE(cluster_.Failover(3).ok());
+
+  // Find a key whose vBucket now has a single remaining copy.
+  auto map = cluster_.map("default");
+  std::string key;
+  uint16_t vb = 0;
+  NodeId owner = kNoNode;
+  for (int i = 0; i < 80 && owner == kNoNode; ++i) {
+    std::string cand = "rz" + std::to_string(i);
+    const auto& e = map->entries[KeyToVBucket(cand)];
+    if (e.replicas.empty() && e.active != kNoNode) {
+      key = cand;
+      vb = KeyToVBucket(cand);
+      owner = e.active;
+    }
+  }
+  ASSERT_NE(owner, kNoNode);
+
+  // Manual failover honors the admin's judgment and accepts the loss: the
+  // vBucket drops to zero copies.
+  ASSERT_TRUE(cluster_.Failover(owner, FailoverMode::kManual).ok());
+  EXPECT_EQ(cluster_.map("default")->ActiveFor(vb), kNoNode);
+
+  // Delta recovery resurrects the orphaned vBucket with its data intact —
+  // the failed-over node never lost its copy.
+  ASSERT_TRUE(cluster_.RecoverNode(owner).ok());
+  EXPECT_FALSE(cluster_.failed_over(owner));
+  cluster_.Quiesce();
+  EXPECT_NE(cluster_.map("default")->ActiveFor(vb), kNoNode);
+  auto r = Read(key);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->doc.value, "val" + key.substr(2));
+}
+
+TEST_F(ClusterTest, OrchestratorAdvancesWhenLowestNodeFailsOver) {
+  ASSERT_EQ(cluster_.orchestrator(), 0u);
+  ASSERT_TRUE(cluster_.Failover(0).ok());
+  // The next-lowest healthy member takes over master services.
+  EXPECT_EQ(cluster_.orchestrator(), 1u);
+  EXPECT_EQ(cluster_.map("default")->CountActive(0), 0u);
+  // Cluster services keep working under the new orchestrator: client
+  // traffic routes and a topology change still succeeds.
+  client::SmartClient client(&cluster_, "default", {}, /*client_id=*/501);
+  for (int i = 0; i < 20; ++i) {
+    std::string k = "orch" + std::to_string(i);
+    ASSERT_TRUE(client.Upsert(k, "v" + std::to_string(i)).ok());
+    auto g = client.Get(k);
+    ASSERT_TRUE(g.ok()) << g.status().ToString();
+    EXPECT_EQ(g->value, "v" + std::to_string(i));
+  }
+  ASSERT_TRUE(cluster_.Rebalance().ok());
+}
+
+// --- Delta node recovery (paper §4.3.1) ---
+
+TEST_F(ClusterTest, RecoverNodeRejectsInvalidTargets) {
+  EXPECT_TRUE(cluster_.RecoverNode(99).IsNotFound());
+  Status st = cluster_.RecoverNode(1);  // healthy member, not failed over
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument) << st.ToString();
+}
+
+TEST_F(ClusterTest, DeltaRecoveryReintegratesFailedOverNode) {
+  for (int i = 0; i < 150; ++i) {
+    ASSERT_TRUE(Write("pre" + std::to_string(i), "v" + std::to_string(i))
+                    .ok());
+  }
+  cluster_.Quiesce();
+  uint64_t delta0 = ClusterCounter("recovery.delta_total");
+  uint64_t rollbacks0 = ClusterCounter("recovery.rollback_vbuckets");
+
+  ASSERT_TRUE(cluster_.Failover(2).ok());
+  // The cluster keeps taking writes while node 2 is out.
+  for (int i = 0; i < 150; ++i) {
+    ASSERT_TRUE(Write("post" + std::to_string(i), "w" + std::to_string(i))
+                    .ok());
+  }
+  cluster_.Quiesce();
+
+  ASSERT_TRUE(cluster_.RecoverNode(2).ok());
+  EXPECT_FALSE(cluster_.failed_over(2));
+  EXPECT_EQ(ClusterCounter("recovery.delta_total"), delta0 + 1);
+  // The failover was quiesced, so nothing on node 2 diverged: recovery is
+  // pure delta catch-up, no vBucket rollback.
+  EXPECT_EQ(ClusterCounter("recovery.rollback_vbuckets"), rollbacks0);
+  cluster_.Quiesce();
+
+  // Rebalance (run by RecoverNode) handed active vBuckets back to node 2,
+  // and every write — before and during the outage — is still readable.
+  EXPECT_GT(cluster_.map("default")->CountActive(2), 0u);
+  for (int i = 0; i < 150; ++i) {
+    auto pre = Read("pre" + std::to_string(i));
+    ASSERT_TRUE(pre.ok()) << "pre" << i << ": " << pre.status().ToString();
+    EXPECT_EQ(pre->doc.value, "v" + std::to_string(i));
+    auto post = Read("post" + std::to_string(i));
+    ASSERT_TRUE(post.ok()) << "post" << i << ": "
+                           << post.status().ToString();
+    EXPECT_EQ(post->doc.value, "w" + std::to_string(i));
+  }
+}
+
+// --- HealthMonitor detector + orchestration, on a manual clock ---
+
+class HealthMonitorTest : public ::testing::Test {
+ protected:
+  HealthMonitorTest()
+      : clock_(1'000'000'000ULL), transport_(/*seed=*/99), cluster_(Opts()) {}
+
+  ClusterOptions Opts() {
+    ClusterOptions o;
+    o.clock = &clock_;
+    return o;
+  }
+
+  void SetUp() override {
+    for (int i = 0; i < 5; ++i) cluster_.AddNode();
+    BucketConfig cfg;
+    cfg.name = "default";
+    cfg.num_replicas = 2;
+    ASSERT_TRUE(cluster_.CreateBucket(cfg).ok());
+    cluster_.set_transport(&transport_);
+  }
+
+  void TearDown() override { cluster_.set_transport(nullptr); }
+
+  ManualClock clock_;
+  net::FaultyTransport transport_;
+  Cluster cluster_;
+};
+
+TEST_F(HealthMonitorTest, DetectorConfirmsDownExactlyAtTimeout) {
+  HealthMonitorOptions opts;
+  opts.auto_failover_timeout_ms = 500;
+  opts.auto_failover_enabled = false;  // detector only
+  HealthMonitor monitor(&cluster_, opts);
+  monitor.TickOnce();
+  EXPECT_EQ(monitor.Opinion(0, 4), PeerHealth::kHealthy);
+
+  transport_.IsolateNode(4);
+  monitor.TickOnce();  // failing, but not yet for auto_failover_timeout_ms
+  EXPECT_EQ(monitor.Opinion(0, 4), PeerHealth::kSuspect);
+  clock_.AdvanceMillis(499);
+  monitor.TickOnce();
+  EXPECT_EQ(monitor.Opinion(0, 4), PeerHealth::kSuspect);
+  clock_.AdvanceMillis(1);
+  monitor.TickOnce();
+  EXPECT_EQ(monitor.Opinion(0, 4), PeerHealth::kConfirmedDown);
+
+  // One successful round fully clears the verdict — there is no sticky
+  // failure state a flapping link could accumulate.
+  transport_.HealNode(4);
+  monitor.TickOnce();
+  EXPECT_EQ(monitor.Opinion(0, 4), PeerHealth::kHealthy);
+  EXPECT_FALSE(cluster_.failed_over(4));
+}
+
+TEST_F(HealthMonitorTest, QuorumConfirmationTriggersAutoFailover) {
+  HealthMonitorOptions opts;
+  opts.auto_failover_timeout_ms = 300;
+  HealthMonitor monitor(&cluster_, opts);
+  monitor.TickOnce();
+
+  transport_.IsolateNode(4);
+  monitor.TickOnce();
+  ASSERT_FALSE(cluster_.failed_over(4));  // suspect is not enough
+  clock_.AdvanceMillis(300);
+  monitor.TickOnce();
+  EXPECT_TRUE(cluster_.failed_over(4));
+  EXPECT_EQ(monitor.failovers_executed(), 1);
+  EXPECT_EQ(cluster_.map("default")->CountActive(4), 0u);
+}
+
+TEST_F(HealthMonitorTest, FailoverBudgetStopsCascadesUntilReset) {
+  HealthMonitorOptions opts;
+  opts.auto_failover_timeout_ms = 200;
+  opts.max_auto_failovers = 1;
+  HealthMonitor monitor(&cluster_, opts);
+  monitor.TickOnce();
+
+  transport_.IsolateNode(4);
+  clock_.AdvanceMillis(200);
+  monitor.TickOnce();
+  ASSERT_TRUE(cluster_.failed_over(4));
+
+  // A second node dies, but the budget is spent: the monitor confirms it
+  // down yet refuses to act until an operator resets the budget.
+  transport_.IsolateNode(3);
+  clock_.AdvanceMillis(400);
+  monitor.TickOnce();
+  monitor.TickOnce();
+  EXPECT_EQ(monitor.Opinion(0, 3), PeerHealth::kConfirmedDown);
+  EXPECT_FALSE(cluster_.failed_over(3));
+  EXPECT_EQ(monitor.failovers_executed(), 1);
+
+  monitor.ResetFailoverBudget();
+  monitor.TickOnce();
+  EXPECT_TRUE(cluster_.failed_over(3));
+  EXPECT_EQ(monitor.failovers_executed(), 2);
 }
 
 }  // namespace

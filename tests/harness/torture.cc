@@ -61,16 +61,28 @@ void TortureDriver::RunClient(int client_index) {
     std::string key = KeyName(client_index, k);
     if (rng.NextDouble() < opts_.write_fraction) {
       ++writes;
-      bool durable = opts_.persist_every > 0 && writes % opts_.persist_every == 0;
+      bool durable =
+          opts_.persist_every > 0 && writes % opts_.persist_every == 0;
+      bool replicated =
+          opts_.durable_every > 0 && writes % opts_.durable_every == 0;
       WriteRecord rec;
       rec.value = "v-" + std::to_string(client_index) + "-" +
                   std::to_string(op) + "-" + std::to_string(writes);
       client::WriteOptions wo;
       if (durable) wo.durability = cluster::Durability::Persist(1);
+      if (replicated) {
+        // Survives failover: the ack proves a replica AND the active's disk
+        // had the write, and seqno-aware promotion keeps the freshest
+        // replica.
+        wo.durability.replicate_to = 1;
+        wo.durability.persist_to = 1;
+        wo.durability.timeout_ms = opts_.durability_timeout_ms;
+      }
       auto r = client.Upsert(key, rec.value, wo);
       if (r.ok()) {
         rec.acked = true;
-        rec.persist_acked = durable;
+        rec.persist_acked = durable || replicated;
+        rec.replicate_acked = replicated;
       } else {
         // TempFail after retry exhaustion, a durability Timeout (the write
         // may have landed but its ack leg was lost or replication lagged),
@@ -107,7 +119,16 @@ std::string TortureDriver::StatsDump() const {
 
 int TortureDriver::AnchorIndex(const std::vector<WriteRecord>& h) const {
   for (int i = static_cast<int>(h.size()) - 1; i >= 0; --i) {
-    if (crash_occurred_ ? h[i].persist_acked : h[i].acked) return i;
+    // Each fault the test injected weakens the guarantee the anchor may
+    // rely on: a crash voids memory-only acks (a persisted write survives
+    // the restart); a failover voids everything that lived only on the
+    // failed node — including its disk — so only a replicate-acked write
+    // (provably present on a surviving replica, which seqno-aware
+    // promotion preserves) is guaranteed.
+    bool anchored = h[i].acked;
+    if (crash_occurred_) anchored = anchored && h[i].persist_acked;
+    if (failover_occurred_) anchored = anchored && h[i].replicate_acked;
+    if (anchored) return i;
   }
   return -1;
 }

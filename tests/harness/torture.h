@@ -39,6 +39,11 @@ struct TortureOptions {
   // Every Nth write per client requests persist_to=1 durability; those
   // writes must survive even a node crash.
   int persist_every = 8;
+  // Every Nth write per client requests replicate_to=1 AND persist_to=1
+  // (with durability_timeout_ms); those writes must survive even a
+  // failover, since an acked copy provably reached a replica. 0 disables.
+  int durable_every = 0;
+  uint64_t durability_timeout_ms = 2500;
   // Transport endpoint ids for the workers are base_client_id, +1, ... so
   // fault schedules are reproducible across runs with the same seed.
   uint32_t base_client_id = 1000;
@@ -50,6 +55,7 @@ struct WriteRecord {
   std::string value;
   bool acked = false;          // client saw OK
   bool persist_acked = false;  // acked with persist_to >= 1
+  bool replicate_acked = false;  // acked with replicate_to >= 1
   bool in_doubt = false;       // failed ambiguously: may or may not be there
 };
 
@@ -65,6 +71,13 @@ class TortureDriver {
   // Tells the harness a node crash happened during the workload, weakening
   // the durability floor to persist-acked writes.
   void NoteCrash() { crash_occurred_ = true; }
+
+  // Tells the harness a failover happened (or may happen) during the
+  // workload: a plain memory-acked write to the failed node is then
+  // legitimately lost, so the floor weakens to writes that were acked with
+  // replicate_to or persist_to durability (those provably exist on a
+  // surviving copy; seqno-aware promotion keeps them).
+  void NoteFailover() { failover_occurred_ = true; }
 
   // Drains all async machinery (DCP + flushers) so the invariant checks
   // observe a settled cluster. Heal partitions first.
@@ -97,6 +110,7 @@ class TortureDriver {
   std::string bucket_;
   TortureOptions opts_;
   bool crash_occurred_ = false;
+  bool failover_occurred_ = false;
   // Registry snapshot taken at construction; failures print the delta.
   stats::Snapshot start_stats_;
   // key -> its write history. Written by exactly one worker thread during
