@@ -8,6 +8,7 @@ set -eu
 BENCH_DIR="$1"
 OUT_DIR="$2"
 JSON_CHECK="$3"
+LOADGEN="${4:-}"
 
 mkdir -p "$OUT_DIR"
 rm -f "$OUT_DIR"/BENCH_*.json
@@ -32,6 +33,18 @@ for b in "$BENCH_DIR"/*; do
     status=1
   fi
 done
+
+# Short wire run: the external load generator drives real TCP traffic for a
+# couple of seconds and must emit parseable JSON like any other bench.
+if [ -n "$LOADGEN" ]; then
+  echo "== bench_smoke: loadgen (wire)"
+  if ! "$LOADGEN" --threads 2 --duration-s 2 --keys 2000 \
+      --name wire_smoke > "$OUT_DIR/loadgen.out" 2>&1; then
+    echo "bench_smoke: loadgen FAILED; tail of output:"
+    tail -20 "$OUT_DIR/loadgen.out"
+    status=1
+  fi
+fi
 
 # At least one bench must have emitted machine-readable results, and every
 # emitted file must parse. The glob stays unexpanded when no file matched;

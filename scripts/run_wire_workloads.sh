@@ -1,0 +1,78 @@
+#!/bin/sh
+# Runs the wire-serving workload suite and validates the emitted JSON:
+#
+#   1. closed-loop zipfian and uniform sweeps (in-process cluster, but all
+#      measured traffic crosses real TCP sockets via WireClient)
+#   2. an open-loop run at a fixed target rate (coordinated-omission
+#      resistant latency: measured from scheduled send time)
+#   3. an external-process run: couchkv_server in its own process, loadgen
+#      attached over --connect, then the server is killed -9 mid-suite and a
+#      second loadgen run must fail cleanly (errors, not hangs/crashes)
+#
+#   run_wire_workloads.sh <build-dir> <out-dir>
+#
+# Duration per run is COUCHKV_WIRE_DURATION seconds (default 5; CI smoke
+# uses 2). BENCH_wire_*.json land in <out-dir> and must parse.
+set -eu
+
+BUILD_DIR="$1"
+OUT_DIR="$2"
+LOADGEN="$BUILD_DIR/tools/loadgen"
+SERVER="$BUILD_DIR/tools/couchkv_server"
+JSON_CHECK="$BUILD_DIR/bench/json_check"
+DURATION="${COUCHKV_WIRE_DURATION:-5}"
+
+mkdir -p "$OUT_DIR"
+rm -f "$OUT_DIR"/BENCH_wire_*.json
+COUCHKV_BENCH_JSON_DIR="$OUT_DIR"
+export COUCHKV_BENCH_JSON_DIR
+
+echo "== wire workload: closed loop, zipfian"
+"$LOADGEN" --threads 4 --duration-s "$DURATION" --keys 20000 \
+  --dist zipfian --read-pct 80 --name wire_closed_zipfian
+
+echo "== wire workload: closed loop, uniform"
+"$LOADGEN" --threads 4 --duration-s "$DURATION" --keys 20000 \
+  --dist uniform --read-pct 50 --name wire_closed_uniform
+
+echo "== wire workload: open loop @ 20k ops/s"
+"$LOADGEN" --threads 4 --duration-s "$DURATION" --keys 20000 \
+  --target-ops 20000 --name wire_open_20k
+
+echo "== wire workload: external server process"
+SERVER_OUT="$OUT_DIR/couchkv_server.out"
+"$SERVER" --nodes 3 > "$SERVER_OUT" 2>&1 &
+SERVER_PID=$!
+# trap keeps the server from outliving a failed run.
+trap 'kill -9 "$SERVER_PID" 2>/dev/null || true' EXIT
+i=0
+until grep -q '^READY$' "$SERVER_OUT" 2>/dev/null; do
+  i=$((i + 1))
+  if [ "$i" -gt 100 ]; then
+    echo "run_wire_workloads: server never became READY" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+PORTS="$(sed -n 's/^WIRE node=[0-9]* port=//p' "$SERVER_OUT" | paste -sd, -)"
+"$LOADGEN" --connect "$PORTS" --threads 2 --duration-s "$DURATION" \
+  --keys 10000 --name wire_external
+
+echo "== wire workload: kill -9 the server, client must fail cleanly"
+kill -9 "$SERVER_PID"
+wait "$SERVER_PID" 2>/dev/null || true
+trap - EXIT
+# Every op errors (connection refused), but the generator must terminate on
+# schedule and still emit valid JSON — no hang, no crash.
+"$LOADGEN" --connect "$PORTS" --threads 1 --duration-s 1 --keys 100 \
+  --no-preload --name wire_after_kill
+KILLED_OPS="$(sed -n 's/.*"achieved_ops_s":\([0-9.]*\).*/\1/p' \
+  "$OUT_DIR/BENCH_wire_after_kill.json")"
+case "$KILLED_OPS" in
+  0|0.*) ;;
+  *) echo "run_wire_workloads: ops flowed to a dead server ($KILLED_OPS)" >&2
+     exit 1 ;;
+esac
+
+"$JSON_CHECK" "$OUT_DIR"/BENCH_wire_*.json
+echo "run_wire_workloads: OK"

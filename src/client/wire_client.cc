@@ -1,0 +1,467 @@
+#include "client/wire_client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "cluster/vbucket_map.h"
+#include "json/value.h"
+
+namespace couchkv::client {
+
+namespace wire = net::wire;
+
+namespace {
+
+// Client-side opaque source, process-wide: responses are correlated per
+// connection, the counter only needs to not repeat quickly.
+std::atomic<uint32_t> g_next_opaque{1};
+
+bool SendAll(int fd, const char* data, size_t n) {
+  size_t off = 0;
+  while (off < n) {
+    ssize_t w = ::send(fd, data + off, n - off, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (w == 0) return false;
+    off += static_cast<size_t>(w);
+  }
+  return true;
+}
+
+int ConnectPort(uint16_t port, uint64_t timeout_ms) {
+  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return -1;
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(timeout_ms / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((timeout_ms % 1000) * 1000);
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+// Reads exactly one response frame from `fd` into `out` through `decoder`.
+Status ReadFrame(int fd, wire::FrameDecoder* decoder, wire::Message* out) {
+  char buf[4096];
+  for (;;) {
+    Status err = Status::OK();
+    auto r = decoder->Next(out, &err);
+    if (r == wire::FrameDecoder::Result::kFrame) return Status::OK();
+    if (r == wire::FrameDecoder::Result::kError) return err;
+    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      return Status::TempFail("wire client: read timed out");
+    }
+    if (n <= 0) return Status::TempFail("wire client: connection closed");
+    decoder->Feed(std::string_view(buf, static_cast<size_t>(n)));
+  }
+}
+
+}  // namespace
+
+StatusOr<wire::Message> RawRoundTrip(uint16_t port, const wire::Message& req,
+                                     uint64_t timeout_ms) {
+  auto resps = RawPipeline(port, {req}, timeout_ms);
+  if (!resps.ok()) return resps.status();
+  return std::move((*resps)[0]);
+}
+
+StatusOr<std::vector<wire::Message>> RawPipeline(
+    uint16_t port, const std::vector<wire::Message>& reqs,
+    uint64_t timeout_ms) {
+  if (port == 0) return Status::TempFail("wire client: no listener");
+  std::string bytes;
+  for (const wire::Message& req : reqs) {
+    COUCHKV_RETURN_IF_ERROR(wire::Encode(req, &bytes));
+  }
+  int fd = ConnectPort(port, timeout_ms);
+  if (fd < 0) {
+    return Status::TempFail(std::string("wire client: connect 127.0.0.1:") +
+                            std::to_string(port) + ": " +
+                            std::strerror(errno));
+  }
+  Status st = Status::OK();
+  std::vector<wire::Message> resps;
+  if (!SendAll(fd, bytes.data(), bytes.size())) {
+    st = Status::TempFail("wire client: send failed");
+  } else {
+    wire::FrameDecoder decoder(wire::kMagicResponse);
+    resps.resize(reqs.size());
+    for (wire::Message& resp : resps) {
+      st = ReadFrame(fd, &decoder, &resp);
+      if (!st.ok()) break;
+    }
+  }
+  ::close(fd);
+  if (!st.ok()) return st;
+  return resps;
+}
+
+WireClient::WireClient(std::vector<uint16_t> bootstrap_ports,
+                       std::string bucket, RetryPolicy retry)
+    : bucket_(std::move(bucket)),
+      retry_(retry),
+      bootstrap_ports_(std::move(bootstrap_ports)),
+      // Seed from the opaque counter so concurrent clients never share a
+      // jitter stream.
+      backoff_rng_(0x5bd1e995u + g_next_opaque.fetch_add(1)) {}
+
+WireClient::~WireClient() { DropConnections(); }
+
+void WireClient::DropConnections() {
+  LockGuard lock(mu_);
+  for (auto& [id, fd] : conns_) {
+    if (fd >= 0) ::close(fd);
+  }
+  conns_.clear();
+}
+
+uint16_t WireClient::num_vbuckets() const {
+  LockGuard lock(mu_);
+  return routing_.num_vbuckets;
+}
+
+uint16_t WireClient::port_of(uint32_t node_id) const {
+  LockGuard lock(mu_);
+  auto it = routing_.ports.find(node_id);
+  return it == routing_.ports.end() ? 0 : it->second;
+}
+
+Status WireClient::RefreshMap() {
+  // Candidate ports: everything the current map names, then the bootstrap
+  // list. Any one live node can serve the map.
+  std::vector<uint16_t> candidates;
+  {
+    LockGuard lock(mu_);
+    for (auto& [id, port] : routing_.ports) {
+      if (port != 0) candidates.push_back(port);
+    }
+  }
+  candidates.insert(candidates.end(), bootstrap_ports_.begin(),
+                    bootstrap_ports_.end());
+  Status last = Status::TempFail("wire client: no bootstrap ports");
+  for (uint16_t port : candidates) {
+    wire::Message req = wire::Message::Req(wire::Opcode::kGetClusterMap);
+    req.key = bucket_;
+    auto resp = RawRoundTrip(port, req);
+    if (!resp.ok()) {
+      last = resp.status();
+      continue;
+    }
+    if (resp->status != wire::kSuccess) {
+      last = wire::StatusFromWire(resp->status, resp->value);
+      continue;
+    }
+    auto doc = json::Parse(resp->value);
+    if (!doc.ok()) {
+      last = doc.status();
+      continue;
+    }
+    if (!doc->Field("num_vbuckets").is_number() ||
+        !doc->Field("nodes").is_array() || !doc->Field("active").is_array()) {
+      last = Status::ParseError("wire client: malformed cluster map");
+      continue;
+    }
+    Routing fresh;
+    if (doc->Field("map_version").is_number()) {
+      fresh.map_version =
+          static_cast<uint64_t>(doc->Field("map_version").AsInt());
+    }
+    fresh.num_vbuckets =
+        static_cast<uint16_t>(doc->Field("num_vbuckets").AsInt());
+    if (fresh.num_vbuckets == 0) {
+      last = Status::ParseError("wire client: map with zero vbuckets");
+      continue;
+    }
+    for (const json::Value& n : doc->Field("nodes").AsArray()) {
+      if (!n.Field("id").is_number() || !n.Field("port").is_number()) continue;
+      fresh.ports[static_cast<uint32_t>(n.Field("id").AsInt())] =
+          static_cast<uint16_t>(n.Field("port").AsInt());
+    }
+    const json::Value::Array& active = doc->Field("active").AsArray();
+    fresh.active.reserve(active.size());
+    for (const json::Value& a : active) {
+      int64_t id = a.is_number() ? a.AsInt() : -1;
+      fresh.active.push_back(id < 0 ? UINT32_MAX
+                                    : static_cast<uint32_t>(id));
+    }
+    if (fresh.active.size() != fresh.num_vbuckets) {
+      last = Status::ParseError("wire client: truncated active list");
+      continue;
+    }
+    LockGuard lock(mu_);
+    // Connections to nodes whose port moved are stale; drop them so the
+    // next op reconnects to the new listener.
+    for (auto it = conns_.begin(); it != conns_.end();) {
+      auto p = fresh.ports.find(it->first);
+      auto old = routing_.ports.find(it->first);
+      bool moved = p == fresh.ports.end() || old == routing_.ports.end() ||
+                   p->second != old->second;
+      if (moved) {
+        if (it->second >= 0) ::close(it->second);
+        it = conns_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    routing_ = std::move(fresh);
+    return Status::OK();
+  }
+  return last;
+}
+
+Status WireClient::Exchange(uint32_t node_id, const wire::Message& req,
+                            wire::Message* resp) {
+  std::string bytes;
+  COUCHKV_RETURN_IF_ERROR(wire::Encode(req, &bytes));
+  LockGuard lock(mu_);
+  auto pit = routing_.ports.find(node_id);
+  if (pit == routing_.ports.end() || pit->second == 0) {
+    return Status::TempFail("wire client: node " + std::to_string(node_id) +
+                            " has no known listener");
+  }
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    auto cit = conns_.find(node_id);
+    bool fresh_conn = false;
+    if (cit == conns_.end()) {
+      int fd = ConnectPort(pit->second, 5000);
+      if (fd < 0) {
+        return Status::TempFail(
+            std::string("wire client: connect 127.0.0.1:") +
+            std::to_string(pit->second) + ": " + std::strerror(errno));
+      }
+      cit = conns_.emplace(node_id, fd).first;
+      fresh_conn = true;
+    }
+    Status st = Status::OK();
+    if (!SendAll(cit->second, bytes.data(), bytes.size())) {
+      st = Status::TempFail("wire client: send failed");
+    } else {
+      wire::FrameDecoder decoder(wire::kMagicResponse);
+      st = ReadFrame(cit->second, &decoder, resp);
+      if (st.ok() && resp->opaque != req.opaque) {
+        st = Status::TempFail("wire client: opaque mismatch");
+      }
+    }
+    if (st.ok()) return Status::OK();
+    ::close(cit->second);
+    conns_.erase(cit);
+    // A pooled connection may have died while idle (its node restarted);
+    // one retry on a fresh connection. A fresh connection's failure is
+    // real.
+    if (fresh_conn) return st;
+  }
+  return Status::Internal("unreachable");
+}
+
+Status WireClient::Dispatch(std::string_view key, wire::Message req,
+                            wire::Message* resp, uint16_t* vb_out) {
+  req.opaque = g_next_opaque.fetch_add(1, std::memory_order_relaxed);
+  uint64_t backoff_us = 0;
+  Status last = Status::OK();
+  for (int attempt = 0; attempt < retry_.max_attempts; ++attempt) {
+    if (attempt > 0) {
+      backoff_us = NextBackoffUs(retry_, backoff_us, backoff_rng_);
+      std::this_thread::sleep_for(std::chrono::microseconds(backoff_us));
+    }
+    uint32_t node_id = UINT32_MAX;
+    uint16_t vb = 0;
+    {
+      LockGuard lock(mu_);
+      if (routing_.num_vbuckets != 0) {
+        vb = cluster::KeyToVBucket(key, routing_.num_vbuckets);
+        node_id = routing_.active[vb];
+      }
+    }
+    if (node_id == UINT32_MAX) {
+      // No map yet, or the vBucket has no active copy. Refresh; if the map
+      // still names no active, fail fast — a dead partition does not heal
+      // within a retry loop (mirrors SmartClient).
+      Status st = RefreshMap();
+      if (!st.ok()) {
+        last = st;
+        continue;
+      }
+      LockGuard lock(mu_);
+      vb = cluster::KeyToVBucket(key, routing_.num_vbuckets);
+      if (routing_.active[vb] == UINT32_MAX) {
+        return Status::TempFail("wire client: vbucket " + std::to_string(vb) +
+                                " has no active node");
+      }
+      node_id = routing_.active[vb];
+    }
+    req.vbucket = vb;
+    *vb_out = vb;
+    Status st = Exchange(node_id, req, resp);
+    if (!st.ok()) {
+      // Transport-level failure: the node may be down or rebooted onto a
+      // new port. Re-learn and retry.
+      last = st;
+      // justified: refresh is best-effort inside the retry loop; the next
+      // iteration surfaces persistent failure through `last`.
+      (void)RefreshMap();
+      continue;
+    }
+    if (resp->status == wire::kNotMyVBucketErr ||
+        resp->status == wire::kTempFailErr) {
+      last = wire::StatusFromWire(resp->status, resp->value);
+      // justified: same best-effort refresh as above.
+      (void)RefreshMap();
+      continue;
+    }
+    return Status::OK();
+  }
+  return last.ok() ? Status::TempFail("wire client: retries exhausted") : last;
+}
+
+StatusOr<GetReply> WireClient::Get(std::string_view key) {
+  wire::Message req = wire::Message::Req(wire::Opcode::kGet);
+  req.key = key;
+  wire::Message resp;
+  uint16_t vb = 0;
+  COUCHKV_RETURN_IF_ERROR(Dispatch(key, std::move(req), &resp, &vb));
+  if (resp.status != wire::kSuccess) {
+    return wire::StatusFromWire(resp.status, resp.value);
+  }
+  GetReply out;
+  out.key = key;
+  out.value = std::move(resp.value);
+  out.cas = resp.cas;
+  // justified: a success GET always carries flags extras; tolerate their
+  // absence (flags stay 0) rather than failing a fetched value.
+  (void)wire::GetU32BE(resp.extras, 0, &out.flags);
+  return out;
+}
+
+StatusOr<MutateReply> WireClient::Mutate(wire::Opcode op, std::string_view key,
+                                         std::string_view value,
+                                         const WriteOptions& opts) {
+  wire::Message req = wire::Message::Req(op);
+  req.key = key;
+  req.value = value;
+  req.cas = opts.cas;
+  wire::PutMutationExtras(&req.extras, opts.flags, opts.expiry);
+  wire::Message resp;
+  uint16_t vb = 0;
+  COUCHKV_RETURN_IF_ERROR(Dispatch(key, std::move(req), &resp, &vb));
+  if (resp.status != wire::kSuccess) {
+    return wire::StatusFromWire(resp.status, resp.value);
+  }
+  MutateReply out;
+  out.cas = resp.cas;
+  out.vbucket = vb;
+  // justified: mutation responses without seqno extras leave seqno 0.
+  (void)wire::GetU64BE(resp.extras, 0, &out.seqno);
+  return out;
+}
+
+StatusOr<MutateReply> WireClient::Upsert(std::string_view key,
+                                         std::string_view value,
+                                         const WriteOptions& opts) {
+  return Mutate(wire::Opcode::kSet, key, value, opts);
+}
+
+StatusOr<MutateReply> WireClient::Insert(std::string_view key,
+                                         std::string_view value,
+                                         const WriteOptions& opts) {
+  return Mutate(wire::Opcode::kAdd, key, value, opts);
+}
+
+StatusOr<MutateReply> WireClient::Replace(std::string_view key,
+                                          std::string_view value,
+                                          const WriteOptions& opts) {
+  return Mutate(wire::Opcode::kReplace, key, value, opts);
+}
+
+StatusOr<MutateReply> WireClient::Remove(std::string_view key, uint64_t cas) {
+  wire::Message req = wire::Message::Req(wire::Opcode::kDelete);
+  req.key = key;
+  req.cas = cas;
+  wire::Message resp;
+  uint16_t vb = 0;
+  COUCHKV_RETURN_IF_ERROR(Dispatch(key, std::move(req), &resp, &vb));
+  if (resp.status != wire::kSuccess) {
+    return wire::StatusFromWire(resp.status, resp.value);
+  }
+  MutateReply out;
+  out.cas = resp.cas;
+  out.vbucket = vb;
+  // justified: see Mutate.
+  (void)wire::GetU64BE(resp.extras, 0, &out.seqno);
+  return out;
+}
+
+StatusOr<GetReply> WireClient::GetAndLock(std::string_view key,
+                                          uint64_t lock_ms) {
+  wire::Message req = wire::Message::Req(wire::Opcode::kGetLocked);
+  req.key = key;
+  wire::PutU32BE(&req.extras, static_cast<uint32_t>(lock_ms));
+  wire::Message resp;
+  uint16_t vb = 0;
+  COUCHKV_RETURN_IF_ERROR(Dispatch(key, std::move(req), &resp, &vb));
+  if (resp.status != wire::kSuccess) {
+    return wire::StatusFromWire(resp.status, resp.value);
+  }
+  GetReply out;
+  out.key = key;
+  out.value = std::move(resp.value);
+  out.cas = resp.cas;
+  // justified: see Get.
+  (void)wire::GetU32BE(resp.extras, 0, &out.flags);
+  return out;
+}
+
+Status WireClient::Unlock(std::string_view key, uint64_t cas) {
+  wire::Message req = wire::Message::Req(wire::Opcode::kUnlockKey);
+  req.key = key;
+  req.cas = cas;
+  wire::Message resp;
+  uint16_t vb = 0;
+  COUCHKV_RETURN_IF_ERROR(Dispatch(key, std::move(req), &resp, &vb));
+  return wire::StatusFromWire(resp.status, resp.value);
+}
+
+Status WireClient::Touch(std::string_view key, uint32_t expiry) {
+  wire::Message req = wire::Message::Req(wire::Opcode::kTouch);
+  req.key = key;
+  wire::PutU32BE(&req.extras, expiry);
+  wire::Message resp;
+  uint16_t vb = 0;
+  COUCHKV_RETURN_IF_ERROR(Dispatch(key, std::move(req), &resp, &vb));
+  return wire::StatusFromWire(resp.status, resp.value);
+}
+
+StatusOr<std::string> WireClient::StatsFor(std::string_view key,
+                                           const std::string& group) {
+  wire::Message req = wire::Message::Req(wire::Opcode::kStat);
+  req.key = group;
+  wire::Message resp;
+  uint16_t vb = 0;
+  COUCHKV_RETURN_IF_ERROR(Dispatch(key, std::move(req), &resp, &vb));
+  if (resp.status != wire::kSuccess) {
+    return wire::StatusFromWire(resp.status, resp.value);
+  }
+  return std::move(resp.value);
+}
+
+}  // namespace couchkv::client

@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <thread>
 
+#include "cluster/wire_service.h"
 #include "common/logging.h"
 
 namespace couchkv::cluster {
@@ -33,6 +34,10 @@ Cluster::Cluster(ClusterOptions opts) : opts_(std::move(opts)) {
 }
 
 Cluster::~Cluster() {
+  // Wire listeners first, and strictly before mu_ is taken: their handler
+  // threads call back into node()/map(), which lock mu_ — stopping them
+  // while holding it would deadlock the join.
+  StopWireServers();
   LockGuard lock(mu_);
   // Stop every node's DCP pump before destroying any node: replication
   // callbacks registered on node A deliver into node B's vBuckets, so no
@@ -604,6 +609,9 @@ Status Cluster::RecoverNode(NodeId id) {
   recovery_delta_->Add();
   recovery_rollback_vbs_->Add(rollbacks);
   recovery_resurrected_vbs_->Add(resurrected);
+  // A recovered-from-crash node needs its listener back (fresh port); an
+  // alive-but-partitioned one still has its listener and this is a no-op.
+  COUCHKV_RETURN_IF_ERROR(n->RestartWireServer());
   // Spread actives back onto the reintegrated node (and give resurrected
   // partitions their replicas back).
   return Rebalance();
@@ -692,12 +700,51 @@ Status Cluster::RestartNode(NodeId id) {
     }
   }
   n->set_healthy(true);
+  // Back on the wire: a fresh ephemeral port (never the old one), which
+  // clients rediscover through the resolver on their next hop.
+  COUCHKV_RETURN_IF_ERROR(n->RestartWireServer());
   for (const auto& [name, config] : configs) {
     std::shared_ptr<const ClusterMap> m = map(name);
     if (m) ApplyMap(name, m);
     NotifyServices(name);
   }
   return Status::OK();
+}
+
+Status Cluster::StartWireServers(const std::string& bucket) {
+  std::vector<std::pair<NodeId, Node*>> nodes;
+  {
+    LockGuard lock(mu_);
+    for (auto& [id, n] : nodes_) nodes.emplace_back(id, n.get());
+  }
+  // Start outside mu_: each Start() spawns an accept thread whose
+  // connections immediately call node()/map() through the handler.
+  for (auto& [id, n] : nodes) {
+    WireService service(this, id, bucket);
+    COUCHKV_RETURN_IF_ERROR(n->StartWireServer(
+        [service](const net::wire::Message& req) mutable {
+          return service.Handle(req);
+        }));
+  }
+  return Status::OK();
+}
+
+void Cluster::StopWireServers() {
+  std::vector<Node*> nodes;
+  {
+    LockGuard lock(mu_);
+    for (auto& [id, n] : nodes_) nodes.push_back(n.get());
+  }
+  for (Node* n : nodes) n->StopWireServer();
+}
+
+uint16_t Cluster::wire_port(NodeId id) {
+  Node* n = node(id);
+  return n != nullptr ? n->wire_port() : 0;
+}
+
+net::SocketTransport::PortResolver Cluster::WirePortResolver() {
+  return [this](uint32_t node_id) { return wire_port(node_id); };
 }
 
 Status Cluster::WaitForDurability(const std::string& bucket, uint16_t vb,

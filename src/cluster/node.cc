@@ -17,6 +17,9 @@ Node::Node(NodeId id, uint32_t services, Clock* clock,
 }
 
 Node::~Node() {
+  // The wire listener goes first: its connection threads dispatch into
+  // bucket state.
+  StopWireServer();
   // Buckets must go before the dispatcher: their destructors unregister
   // producers.
   {
@@ -31,6 +34,10 @@ void Node::Crash() {
   set_healthy(false);
   crashed_.store(true, std::memory_order_release);
   scope_->GetGauge("node.healthy")->Set(0);
+  // Kill the wire listener before anything else: a crashed process has no
+  // sockets, and the connection threads must be joined before the buckets
+  // they dispatch into are destroyed.
+  StopWireServer();
   // Stop the pump thread before freeing buckets: stream callbacks and
   // backfills on this dispatcher touch bucket state.
   dispatcher_->Stop();
@@ -138,6 +145,46 @@ StatusOr<kv::DocMeta> Node::Touch(const std::string& bucket, uint16_t vb,
   auto b = Route(bucket, vb);
   if (!b.ok()) return b.status();
   return (*b)->vbucket(vb)->Touch(key, expiry);
+}
+
+Status Node::StartWireServer(net::TcpServer::Handler handler) {
+  LockGuard lock(wire_mu_);
+  if (wire_server_ != nullptr) {
+    return Status::InvalidArgument("wire server already running");
+  }
+  wire_handler_ = std::move(handler);
+  auto server = std::make_unique<net::TcpServer>(wire_handler_);
+  COUCHKV_RETURN_IF_ERROR(server->Start());
+  wire_port_.store(server->port(), std::memory_order_release);
+  wire_server_ = std::move(server);
+  return Status::OK();
+}
+
+Status Node::RestartWireServer() {
+  LockGuard lock(wire_mu_);
+  // No handler = wire serving was never enabled; already running = the node
+  // was partitioned, not crashed, and its listener survived. Both are fine.
+  if (wire_handler_ == nullptr || wire_server_ != nullptr) {
+    return Status::OK();
+  }
+  auto server = std::make_unique<net::TcpServer>(wire_handler_);
+  COUCHKV_RETURN_IF_ERROR(server->Start());
+  wire_port_.store(server->port(), std::memory_order_release);
+  wire_server_ = std::move(server);
+  return Status::OK();
+}
+
+void Node::StopWireServer() {
+  std::unique_ptr<net::TcpServer> server;
+  {
+    LockGuard lock(wire_mu_);
+    server = std::move(wire_server_);
+    wire_port_.store(0, std::memory_order_release);
+  }
+  // Stop (and join connection threads) outside wire_mu_: handlers may call
+  // back into this node, and keeping the lock across the join invites
+  // ordering bugs if a handler ever needs wire state.
+  if (server != nullptr) server->Stop();
 }
 
 StatusOr<stats::Snapshot> Node::Stats(const std::string& group) {

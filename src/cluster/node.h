@@ -17,6 +17,7 @@
 #include "common/status.h"
 #include "common/synchronization.h"
 #include "dcp/dcp.h"
+#include "net/tcp_server.h"
 #include "stats/registry.h"
 #include "storage/env.h"
 
@@ -90,6 +91,25 @@ class Node {
   StatusOr<kv::DocMeta> Touch(const std::string& bucket, uint16_t vb,
                               std::string_view key, uint32_t expiry);
 
+  // --- Wire front-end (TCP listener for the binary protocol) ---
+  // Starts a TCP listener on an ephemeral 127.0.0.1 port serving `handler`.
+  // The handler is retained so RestartWireServer() can bring the listener
+  // back after a crash/boot cycle (on a fresh port — ephemeral ports are
+  // never reused deliberately). InvalidArgument if already listening.
+  Status StartWireServer(net::TcpServer::Handler handler);
+  // Re-starts the listener with the retained handler; OK (no-op) when no
+  // handler was ever installed or the listener is still up.
+  Status RestartWireServer();
+  // Stops the listener and joins its threads. Idempotent. Crash() calls
+  // this first — connection threads dispatch into bucket state, so they
+  // must be gone before the buckets are.
+  void StopWireServer();
+  // The listener's current port; 0 when not listening. Lock-free: resolvers
+  // call this on every hop.
+  uint16_t wire_port() const {
+    return wire_port_.load(std::memory_order_acquire);
+  }
+
   // The memcached-style STATS [group] admin op (paper §3.1.2): scrapes this
   // node's scope, every hosted bucket's scope (refreshing their gauges
   // first), and this node's slice of the transport scope. `group` filters by
@@ -117,6 +137,14 @@ class Node {
 
   mutable Mutex mu_;
   std::map<std::string, std::shared_ptr<Bucket>> buckets_ GUARDED_BY(mu_);
+
+  // Wire listener state. Separate mutex: StopWireServer() joins connection
+  // threads, and those threads take mu_ through the KV entry points — a
+  // single lock would deadlock Crash().
+  mutable Mutex wire_mu_;
+  std::unique_ptr<net::TcpServer> wire_server_ GUARDED_BY(wire_mu_);
+  net::TcpServer::Handler wire_handler_ GUARDED_BY(wire_mu_);
+  std::atomic<uint16_t> wire_port_{0};
 };
 
 }  // namespace couchkv::cluster

@@ -1,0 +1,214 @@
+#include "cluster/wire_service.h"
+
+#include <utility>
+
+#include "json/value.h"
+#include "stats/registry.h"
+
+namespace couchkv::cluster {
+
+namespace wire = net::wire;
+
+namespace {
+
+// A response carrying only a status (and its human-readable cause in the
+// value, the way memcached ships error text bodies).
+wire::Message ErrorResp(const wire::Message& req, const Status& st) {
+  wire::Message resp = wire::Message::Resp(req, wire::WireStatusFor(st.code()));
+  resp.value = st.ToString();
+  return resp;
+}
+
+void PackMeta(const kv::DocMeta& meta, wire::Message* resp) {
+  resp->cas = meta.cas;
+  wire::PutU64BE(&resp->extras, meta.seqno);
+}
+
+}  // namespace
+
+WireService::WireService(Cluster* cluster, NodeId node_id, std::string bucket)
+    : cluster_(cluster), node_id_(node_id), bucket_(std::move(bucket)) {}
+
+wire::Message WireService::Handle(const wire::Message& req) {
+  switch (static_cast<wire::Opcode>(req.opcode)) {
+    case wire::Opcode::kNoop: {
+      // The SocketTransport heartbeat: an unhealthy-but-listening node must
+      // answer TempFail so admission legs fail exactly like they would
+      // against a dead process, just with a crisper error.
+      Node* n = cluster_->node(node_id_);
+      if (n == nullptr || !n->healthy()) {
+        return ErrorResp(req, Status::TempFail("node is down"));
+      }
+      return wire::Message::Resp(req, wire::kSuccess);
+    }
+    case wire::Opcode::kGet:
+      return HandleGet(req, /*lock=*/false);
+    case wire::Opcode::kGetLocked:
+      return HandleGet(req, /*lock=*/true);
+    case wire::Opcode::kSet:
+    case wire::Opcode::kAdd:
+    case wire::Opcode::kReplace:
+      return HandleMutation(req);
+    case wire::Opcode::kDelete:
+      return HandleDelete(req);
+    case wire::Opcode::kUnlockKey:
+      return HandleUnlock(req);
+    case wire::Opcode::kTouch:
+      return HandleTouch(req);
+    case wire::Opcode::kStat:
+      return HandleStat(req);
+    case wire::Opcode::kGetClusterMap:
+      return HandleClusterMap(req);
+  }
+  wire::Message resp = wire::Message::Resp(req, wire::kUnknownCommand);
+  resp.value = "unknown opcode";
+  return resp;
+}
+
+wire::Message WireService::HandleGet(const wire::Message& req, bool lock) {
+  Node* n = cluster_->node(node_id_);
+  if (n == nullptr) return ErrorResp(req, Status::TempFail("node is gone"));
+  if (req.key.empty()) {
+    return ErrorResp(req, Status::InvalidArgument("GET requires a key"));
+  }
+  StatusOr<kv::GetResult> r = [&]() -> StatusOr<kv::GetResult> {
+    if (!lock) {
+      if (!req.extras.empty()) {
+        return Status::InvalidArgument("GET takes no extras");
+      }
+      return n->Get(bucket_, req.vbucket, req.key);
+    }
+    uint32_t lock_ms = 0;
+    if (!wire::GetU32BE(req.extras, 0, &lock_ms) || req.extras.size() != 4) {
+      return Status::InvalidArgument("GETL requires 4-byte lock duration");
+    }
+    return n->GetAndLock(bucket_, req.vbucket, req.key, lock_ms);
+  }();
+  if (!r.ok()) return ErrorResp(req, r.status());
+  wire::Message resp = wire::Message::Resp(req, wire::kSuccess);
+  resp.cas = r->doc.meta.cas;
+  wire::PutU32BE(&resp.extras, r->doc.meta.flags);
+  resp.value = r->doc.value;
+  return resp;
+}
+
+wire::Message WireService::HandleMutation(const wire::Message& req) {
+  Node* n = cluster_->node(node_id_);
+  if (n == nullptr) return ErrorResp(req, Status::TempFail("node is gone"));
+  uint32_t flags = 0;
+  uint32_t expiry = 0;
+  if (!wire::GetMutationExtras(req.extras, &flags, &expiry)) {
+    return ErrorResp(
+        req, Status::InvalidArgument("mutation requires 8-byte extras"));
+  }
+  if (req.key.empty()) {
+    return ErrorResp(req, Status::InvalidArgument("mutation requires a key"));
+  }
+  StatusOr<kv::DocMeta> r = [&]() -> StatusOr<kv::DocMeta> {
+    switch (static_cast<wire::Opcode>(req.opcode)) {
+      case wire::Opcode::kSet:
+        return n->Set(bucket_, req.vbucket, req.key, req.value, flags, expiry,
+                      req.cas);
+      case wire::Opcode::kAdd:
+        if (req.cas != 0) {
+          return Status::InvalidArgument("ADD takes no cas");
+        }
+        return n->Add(bucket_, req.vbucket, req.key, req.value, flags, expiry);
+      case wire::Opcode::kReplace:
+        return n->Replace(bucket_, req.vbucket, req.key, req.value, flags,
+                          expiry, req.cas);
+      default:
+        return Status::Internal("non-mutation opcode in HandleMutation");
+    }
+  }();
+  if (!r.ok()) return ErrorResp(req, r.status());
+  wire::Message resp = wire::Message::Resp(req, wire::kSuccess);
+  PackMeta(*r, &resp);
+  return resp;
+}
+
+wire::Message WireService::HandleDelete(const wire::Message& req) {
+  Node* n = cluster_->node(node_id_);
+  if (n == nullptr) return ErrorResp(req, Status::TempFail("node is gone"));
+  if (req.key.empty() || !req.extras.empty()) {
+    return ErrorResp(req,
+                     Status::InvalidArgument("DELETE takes a key, no extras"));
+  }
+  StatusOr<kv::DocMeta> r = n->Remove(bucket_, req.vbucket, req.key, req.cas);
+  if (!r.ok()) return ErrorResp(req, r.status());
+  wire::Message resp = wire::Message::Resp(req, wire::kSuccess);
+  PackMeta(*r, &resp);
+  return resp;
+}
+
+wire::Message WireService::HandleUnlock(const wire::Message& req) {
+  Node* n = cluster_->node(node_id_);
+  if (n == nullptr) return ErrorResp(req, Status::TempFail("node is gone"));
+  if (req.key.empty() || req.cas == 0) {
+    return ErrorResp(
+        req, Status::InvalidArgument("UNLOCK requires a key and the lock cas"));
+  }
+  Status st = n->Unlock(bucket_, req.vbucket, req.key, req.cas);
+  if (!st.ok()) return ErrorResp(req, st);
+  return wire::Message::Resp(req, wire::kSuccess);
+}
+
+wire::Message WireService::HandleTouch(const wire::Message& req) {
+  Node* n = cluster_->node(node_id_);
+  if (n == nullptr) return ErrorResp(req, Status::TempFail("node is gone"));
+  uint32_t expiry = 0;
+  if (req.key.empty() || req.extras.size() != 4 ||
+      !wire::GetU32BE(req.extras, 0, &expiry)) {
+    return ErrorResp(
+        req, Status::InvalidArgument("TOUCH requires a key and 4-byte expiry"));
+  }
+  StatusOr<kv::DocMeta> r = n->Touch(bucket_, req.vbucket, req.key, expiry);
+  if (!r.ok()) return ErrorResp(req, r.status());
+  wire::Message resp = wire::Message::Resp(req, wire::kSuccess);
+  PackMeta(*r, &resp);
+  return resp;
+}
+
+wire::Message WireService::HandleStat(const wire::Message& req) {
+  Node* n = cluster_->node(node_id_);
+  if (n == nullptr) return ErrorResp(req, Status::TempFail("node is gone"));
+  StatusOr<stats::Snapshot> snap = n->Stats(req.key);
+  if (!snap.ok()) return ErrorResp(req, snap.status());
+  wire::Message resp = wire::Message::Resp(req, wire::kSuccess);
+  resp.value = stats::ToJson(*snap);
+  return resp;
+}
+
+wire::Message WireService::HandleClusterMap(const wire::Message& req) {
+  const std::string& bucket = req.key.empty() ? bucket_ : req.key;
+  std::shared_ptr<const ClusterMap> map = cluster_->map(bucket);
+  if (map == nullptr) {
+    return ErrorResp(req, Status::NotFound("no such bucket: " + bucket));
+  }
+  json::Value::Object doc;
+  doc["bucket"] = json::Value::Str(bucket);
+  doc["num_vbuckets"] = json::Value::Int(kNumVBuckets);
+  doc["map_version"] = json::Value::Int(static_cast<int64_t>(map->version));
+  json::Value::Array nodes;
+  for (NodeId id : cluster_->node_ids()) {
+    json::Value::Object entry;
+    entry["id"] = json::Value::Int(id);
+    entry["port"] = json::Value::Int(cluster_->wire_port(id));
+    nodes.push_back(json::Value::MakeObject(std::move(entry)));
+  }
+  doc["nodes"] = json::Value::MakeArray(std::move(nodes));
+  json::Value::Array active;
+  active.reserve(map->entries.size());
+  for (const VBucketEntry& e : map->entries) {
+    // kNoNode serializes as -1: JSON numbers are doubles and UINT32_MAX
+    // would silently round.
+    active.push_back(json::Value::Int(
+        e.active == kNoNode ? -1 : static_cast<int64_t>(e.active)));
+  }
+  doc["active"] = json::Value::MakeArray(std::move(active));
+  wire::Message resp = wire::Message::Resp(req, wire::kSuccess);
+  resp.value = json::Value::MakeObject(std::move(doc)).ToJson();
+  return resp;
+}
+
+}  // namespace couchkv::cluster

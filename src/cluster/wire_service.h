@@ -1,0 +1,56 @@
+// The per-node wire front-end: maps each decoded binary-protocol request to
+// the node's KV API and packs the result back into a response frame. One
+// WireService instance backs one node's TcpServer; it is stateless beyond
+// the cluster/node pointers, so handler threads need no synchronization of
+// their own (the Node API is already thread-safe).
+//
+// Extras layouts (all big-endian, mirroring the memcached binary protocol):
+//   SET/ADD/REPLACE request ... 8 bytes: flags u32, expiry u32
+//   mutation response ......... 8 bytes: seqno u64
+//   GET/GETL response ......... 4 bytes: flags u32
+//   GETL request .............. 4 bytes: lock duration ms u32
+//   TOUCH request ............. 4 bytes: expiry u32
+// STAT carries the group filter in the key and returns the snapshot as a
+// JSON object in the value. GET_CLUSTER_MAP carries the bucket name in the
+// key and returns the routing document described in DESIGN.md.
+#ifndef COUCHKV_CLUSTER_WIRE_SERVICE_H_
+#define COUCHKV_CLUSTER_WIRE_SERVICE_H_
+
+#include <string>
+
+#include "cluster/cluster.h"
+#include "net/wire/wire.h"
+
+namespace couchkv::cluster {
+
+class WireService {
+ public:
+  // `cluster` must outlive the service; `node_id` names the node this
+  // service fronts (its ops execute there, NMVB and all). `bucket` is the
+  // bucket this listener serves — one listener serves one bucket, the way a
+  // classic memcached port maps to one bucket (GET_CLUSTER_MAP with an
+  // empty key resolves to it).
+  WireService(Cluster* cluster, NodeId node_id, std::string bucket);
+
+  // The TcpServer handler: one request frame in, one response frame out.
+  // Never throws and never blocks indefinitely; unknown opcodes come back
+  // as kUnknownCommand rather than dropping the connection.
+  net::wire::Message Handle(const net::wire::Message& req);
+
+ private:
+  net::wire::Message HandleGet(const net::wire::Message& req, bool lock);
+  net::wire::Message HandleMutation(const net::wire::Message& req);
+  net::wire::Message HandleDelete(const net::wire::Message& req);
+  net::wire::Message HandleUnlock(const net::wire::Message& req);
+  net::wire::Message HandleTouch(const net::wire::Message& req);
+  net::wire::Message HandleStat(const net::wire::Message& req);
+  net::wire::Message HandleClusterMap(const net::wire::Message& req);
+
+  Cluster* cluster_;
+  const NodeId node_id_;
+  const std::string bucket_;
+};
+
+}  // namespace couchkv::cluster
+
+#endif  // COUCHKV_CLUSTER_WIRE_SERVICE_H_

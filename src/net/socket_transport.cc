@@ -1,0 +1,218 @@
+#include "net/socket_transport.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace couchkv::net {
+
+namespace {
+
+bool SendAll(int fd, const char* data, size_t n) {
+  size_t off = 0;
+  while (off < n) {
+    ssize_t w = ::send(fd, data + off, n - off, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (w == 0) return false;
+    off += static_cast<size_t>(w);
+  }
+  return true;
+}
+
+}  // namespace
+
+SocketTransport::SocketTransport(PortResolver resolver,
+                                 Transport* fault_filter, Options opts)
+    : resolver_(std::move(resolver)), fault_filter_(fault_filter),
+      opts_(opts) {
+  scope_ = stats::Registry::Global().GetScope("wire");
+  stat_hops_ = scope_->GetCounter("transport.hops");
+  stat_hop_failures_ = scope_->GetCounter("transport.hop_failures");
+  stat_reconnects_ = scope_->GetCounter("transport.reconnects");
+}
+
+SocketTransport::~SocketTransport() { DropConnections(); }
+
+void SocketTransport::DropConnections() {
+  std::map<std::pair<Endpoint, uint32_t>, std::shared_ptr<Conn>> conns;
+  {
+    LockGuard lock(mu_);
+    conns.swap(conns_);
+  }
+  for (auto& [key, conn] : conns) {
+    LockGuard lock(conn->mu);
+    if (conn->fd >= 0) {
+      ::shutdown(conn->fd, SHUT_RDWR);
+      ::close(conn->fd);
+      conn->fd = -1;
+    }
+  }
+}
+
+Status SocketTransport::Request(const Endpoint& src, const Endpoint& dst) {
+  if (fault_filter_ != nullptr) {
+    COUCHKV_RETURN_IF_ERROR(fault_filter_->Request(src, dst));
+  }
+  // The request leg executes on dst; that is the process whose listener
+  // must answer. Legs not aimed at a node (client -> service calls) have no
+  // socket to cross and pass through.
+  if (!dst.is_node()) return Status::OK();
+  return Hop(src, dst.id);
+}
+
+Status SocketTransport::Reply(const Endpoint& src, const Endpoint& dst) {
+  if (fault_filter_ != nullptr) {
+    COUCHKV_RETURN_IF_ERROR(fault_filter_->Reply(src, dst));
+  }
+  // The reply leg travels back over the same connection the request used
+  // (src is often a client with no listener of its own), so the hop target
+  // is again the executing node: a node that died between executing the op
+  // and replying is detected here, producing the classic ambiguous-outcome
+  // failure retry layers must absorb.
+  if (!dst.is_node()) return Status::OK();
+  return Hop(src, dst.id);
+}
+
+Status SocketTransport::Hop(const Endpoint& src, uint32_t node_id) {
+  stat_hops_->Add();
+  std::shared_ptr<Conn> pinned;
+  {
+    LockGuard lock(mu_);
+    auto& slot = conns_[{src, node_id}];
+    if (slot == nullptr) slot = std::make_shared<Conn>();
+    pinned = slot;
+  }
+  Conn* conn = pinned.get();
+  LockGuard lock(conn->mu);
+  uint16_t port = resolver_ != nullptr ? resolver_(node_id) : 0;
+  if (port == 0) {
+    if (conn->fd >= 0) {
+      ::close(conn->fd);
+      conn->fd = -1;
+    }
+    stat_hop_failures_->Add();
+    return Status::TempFail("wire: node " + std::to_string(node_id) +
+                            " has no listener");
+  }
+  // A pooled fd connected to a stale port (the node rebooted onto a fresh
+  // ephemeral one) is useless; drop it before trying.
+  if (conn->fd >= 0 && conn->port != port) {
+    ::close(conn->fd);
+    conn->fd = -1;
+  }
+  bool had_conn = conn->fd >= 0;
+  if (!had_conn) {
+    Status st = ConnectLocked(conn, port);
+    if (!st.ok()) {
+      stat_hop_failures_->Add();
+      return st;
+    }
+  }
+  Status st = RoundTrip(conn, node_id);
+  if (st.ok() || !had_conn) {
+    if (!st.ok()) stat_hop_failures_->Add();
+    return st;
+  }
+  // The pooled connection died under us (listener restarted, peer crashed
+  // after we enqueued). One reconnect attempt against the freshly resolved
+  // port; a second failure is a real unreachable node.
+  ::close(conn->fd);
+  conn->fd = -1;
+  reconnects_.fetch_add(1, std::memory_order_relaxed);
+  stat_reconnects_->Add();
+  port = resolver_ != nullptr ? resolver_(node_id) : 0;
+  if (port == 0) {
+    stat_hop_failures_->Add();
+    return Status::TempFail("wire: node " + std::to_string(node_id) +
+                            " has no listener");
+  }
+  Status rc = ConnectLocked(conn, port);
+  if (!rc.ok()) {
+    stat_hop_failures_->Add();
+    return rc;
+  }
+  st = RoundTrip(conn, node_id);
+  if (!st.ok()) stat_hop_failures_->Add();
+  return st;
+}
+
+Status SocketTransport::ConnectLocked(Conn* conn, uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return Status::TempFail(std::string("wire: socket: ") +
+                            std::strerror(errno));
+  }
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(opts_.recv_timeout_ms / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((opts_.recv_timeout_ms % 1000) * 1000);
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status st = Status::TempFail(std::string("wire: connect 127.0.0.1:") +
+                                 std::to_string(port) + ": " +
+                                 std::strerror(errno));
+    ::close(fd);
+    return st;
+  }
+  conn->fd = fd;
+  conn->port = port;
+  return Status::OK();
+}
+
+Status SocketTransport::RoundTrip(Conn* conn, uint32_t node_id) {
+  wire::Message req = wire::Message::Req(wire::Opcode::kNoop);
+  req.opaque = next_opaque_.fetch_add(1, std::memory_order_relaxed);
+  std::string bytes;
+  COUCHKV_RETURN_IF_ERROR(wire::Encode(req, &bytes));
+  if (!SendAll(conn->fd, bytes.data(), bytes.size())) {
+    return Status::TempFail("wire: send to node " + std::to_string(node_id) +
+                            " failed");
+  }
+  wire::FrameDecoder decoder(wire::kMagicResponse);
+  char buf[4096];
+  for (;;) {
+    wire::Message resp;
+    Status err = Status::OK();
+    auto r = decoder.Next(&resp, &err);
+    if (r == wire::FrameDecoder::Result::kFrame) {
+      if (resp.opaque != req.opaque) {
+        return Status::TempFail("wire: response/opaque mismatch from node " +
+                                std::to_string(node_id));
+      }
+      round_trips_.fetch_add(1, std::memory_order_relaxed);
+      if (resp.status == wire::kSuccess) return Status::OK();
+      // An unhealthy-but-listening node answers its NOOPs with TempFail;
+      // propagate whatever the wire said.
+      return wire::StatusFromWire(
+          resp.status, "wire: node " + std::to_string(node_id) + ": " +
+                           resp.value);
+    }
+    if (r == wire::FrameDecoder::Result::kError) return err;
+    ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      return Status::TempFail("wire: node " + std::to_string(node_id) +
+                              " timed out");
+    }
+    if (n <= 0) {
+      return Status::TempFail("wire: connection to node " +
+                              std::to_string(node_id) + " closed");
+    }
+    decoder.Feed(std::string_view(buf, static_cast<size_t>(n)));
+  }
+}
+
+}  // namespace couchkv::net

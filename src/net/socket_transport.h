@@ -1,0 +1,110 @@
+// A Transport whose admission legs are real TCP round-trips: every message
+// leg admitted for a node crosses the kernel as a framed NOOP to that
+// node's wire listener, so "the node is reachable" stops being an
+// in-process flag and becomes what it is in production — a connect(2) and a
+// request/response on a socket. SmartClient, the torture harness, DCP
+// replication and the benches run unmodified on top: a crashed node's
+// listener is gone, so its links fail with TempFail exactly like any other
+// transient transport fault, and a rebooted node is rediscovered through
+// the resolver (its fresh ephemeral port) on the next hop.
+//
+// An optional fault filter (typically net::FaultyTransport) is consulted
+// first on every leg: the filter decides the message's fate with its
+// deterministic per-link schedule, and only admitted messages touch the
+// socket. That composition lets the seeded partition/crash torture suites
+// keep their fault schedules while all surviving traffic flows over real
+// connections.
+#ifndef COUCHKV_NET_SOCKET_TRANSPORT_H_
+#define COUCHKV_NET_SOCKET_TRANSPORT_H_
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <memory>
+#include <utility>
+
+#include "common/status.h"
+#include "common/synchronization.h"
+#include "net/transport.h"
+#include "net/wire/wire.h"
+#include "stats/registry.h"
+
+namespace couchkv::net {
+
+struct SocketTransportOptions {
+  // Bound on one NOOP round-trip; a peer that accepts but never answers
+  // surfaces as TempFail instead of a hang.
+  uint64_t recv_timeout_ms = 5000;
+};
+
+class SocketTransport : public Transport {
+ public:
+  // Maps a node id to its current wire port (0 = no listener: crashed or
+  // never started). Queried on every hop, never cached across failures, so
+  // a node that rebooted onto a fresh ephemeral port is found again.
+  using PortResolver = std::function<uint16_t(uint32_t node_id)>;
+  using Options = SocketTransportOptions;
+
+  explicit SocketTransport(PortResolver resolver,
+                           Transport* fault_filter = nullptr,
+                           Options opts = {});
+  ~SocketTransport() override;
+
+  SocketTransport(const SocketTransport&) = delete;
+  SocketTransport& operator=(const SocketTransport&) = delete;
+
+  Status Request(const Endpoint& src, const Endpoint& dst) override;
+  Status Reply(const Endpoint& src, const Endpoint& dst) override;
+
+  // Closes every pooled connection (they re-establish lazily). Tests use
+  // this to force the reconnect path.
+  void DropConnections();
+
+  // Completed socket round-trips (exposed for tests: proof that traffic
+  // actually crossed the wire).
+  uint64_t round_trips() const {
+    return round_trips_.load(std::memory_order_relaxed);
+  }
+  uint64_t reconnects() const {
+    return reconnects_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  // One pooled connection, keyed by (caller endpoint, node id) so each
+  // logical link owns a socket — concurrent callers on different links
+  // never serialize on one fd.
+  struct Conn {
+    Mutex mu;
+    int fd GUARDED_BY(mu) = -1;
+    uint16_t port GUARDED_BY(mu) = 0;  // port fd was connected to
+  };
+
+  // Runs one framed NOOP round-trip src -> node(dst). TempFail on any
+  // socket-level failure after one reconnect attempt.
+  Status Hop(const Endpoint& src, uint32_t node_id);
+  // Sends the NOOP and reads the response on conn (conn->mu held).
+  Status RoundTrip(Conn* conn, uint32_t node_id) REQUIRES(conn->mu);
+  Status ConnectLocked(Conn* conn, uint16_t port) REQUIRES(conn->mu);
+
+  PortResolver resolver_;
+  Transport* fault_filter_;  // may be null; not owned
+  Options opts_;
+
+  Mutex mu_;
+  std::map<std::pair<Endpoint, uint32_t>, std::shared_ptr<Conn>> conns_
+      GUARDED_BY(mu_);
+
+  std::atomic<uint32_t> next_opaque_{1};
+  std::atomic<uint64_t> round_trips_{0};
+  std::atomic<uint64_t> reconnects_{0};
+
+  // Scope "wire": client-side leg counters.
+  std::shared_ptr<stats::Scope> scope_;
+  stats::Counter* stat_hops_ = nullptr;
+  stats::Counter* stat_hop_failures_ = nullptr;
+  stats::Counter* stat_reconnects_ = nullptr;
+};
+
+}  // namespace couchkv::net
+
+#endif  // COUCHKV_NET_SOCKET_TRANSPORT_H_

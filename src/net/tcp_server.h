@@ -1,0 +1,116 @@
+// A per-node TCP front-end speaking the binary wire protocol: accepts
+// connections on 127.0.0.1, reads frames through wire::FrameDecoder (so
+// partial reads and pipelined multi-op buffers are handled by the pure
+// codec), dispatches each request to a handler, and writes the responses
+// back in request order.
+//
+// Port policy: servers bind port 0 (kernel-assigned) unless a caller
+// explicitly asks otherwise, and SO_REUSEADDR is deliberately NOT set — a
+// double-bind must fail loudly instead of being masked into a latent "two
+// listeners, one port" flake (tests assert this).
+#ifndef COUCHKV_NET_TCP_SERVER_H_
+#define COUCHKV_NET_TCP_SERVER_H_
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "common/synchronization.h"
+#include "net/wire/wire.h"
+#include "stats/registry.h"
+
+namespace couchkv::net {
+
+struct TcpServerOptions {
+  // 0 = kernel-assigned ephemeral port (the default everywhere; fixed
+  // ports collide across parallel test binaries). Read the result from
+  // port() after Start().
+  uint16_t port = 0;
+  int backlog = 128;
+  uint32_t max_frame_body = wire::kMaxBodyLen;
+};
+
+class TcpServer {
+ public:
+  // Maps one decoded request to its response. Runs on the connection's
+  // thread; must be thread-safe across connections.
+  using Handler = std::function<wire::Message(const wire::Message&)>;
+  using Options = TcpServerOptions;
+
+  explicit TcpServer(Handler handler, Options opts = {});
+  ~TcpServer();
+
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  // Binds 127.0.0.1:<opts.port>, listens, and spawns the accept loop.
+  // IOError when the port is taken (no SO_REUSEADDR to paper over it).
+  Status Start();
+
+  // Closes the listener and every open connection, then joins all threads.
+  // Idempotent. In-flight handler calls complete; blocked reads are woken
+  // by shutdown(2).
+  void Stop();
+
+  // The bound port, valid after a successful Start(); 0 otherwise.
+  uint16_t port() const { return port_.load(std::memory_order_acquire); }
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  // Lifetime totals (exposed for tests; also mirrored into the "wire"
+  // stats scope).
+  uint64_t connections_accepted() const {
+    return accepted_total_.load(std::memory_order_relaxed);
+  }
+  uint64_t frames_served() const {
+    return frames_total_.load(std::memory_order_relaxed);
+  }
+  uint64_t protocol_errors() const {
+    return protocol_errors_total_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Conn {
+    int fd = -1;
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
+  void AcceptLoop();
+  void ConnLoop(Conn* conn);
+  // Joins and drops finished connections (called from the accept loop so a
+  // long-lived server does not accumulate dead thread objects).
+  void ReapFinished() EXCLUDES(mu_);
+
+  Handler handler_;
+  Options opts_;
+
+  std::atomic<uint16_t> port_{0};
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  // Atomic: Stop() retires the fd while AcceptLoop is reading it.
+  std::atomic<int> listen_fd_{-1};
+  std::thread accept_thread_;
+
+  Mutex mu_;
+  std::vector<std::unique_ptr<Conn>> conns_ GUARDED_BY(mu_);
+
+  std::atomic<uint64_t> accepted_total_{0};
+  std::atomic<uint64_t> frames_total_{0};
+  std::atomic<uint64_t> protocol_errors_total_{0};
+
+  // Scope "wire": server-side traffic counters shared by every listener in
+  // the process.
+  std::shared_ptr<stats::Scope> scope_;
+  stats::Counter* stat_accepted_ = nullptr;
+  stats::Counter* stat_frames_ = nullptr;
+  stats::Counter* stat_protocol_errors_ = nullptr;
+  stats::Counter* stat_bytes_in_ = nullptr;
+  stats::Counter* stat_bytes_out_ = nullptr;
+};
+
+}  // namespace couchkv::net
+
+#endif  // COUCHKV_NET_TCP_SERVER_H_

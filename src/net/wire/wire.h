@@ -1,0 +1,186 @@
+// The memcached-style binary wire protocol (paper §3.1: the data service
+// speaks "the memcached binary protocol" to clients). This module is the
+// pure half of the wire stack: byte layout, opcode and status tables, an
+// encoder, and an incremental frame decoder. It performs no I/O — buffers
+// in, messages out — so every parsing decision is unit-testable and
+// fuzzable without a socket (tests/wire_protocol_test.cc,
+// tests/wire_malformed_test.cc).
+//
+// Frame layout (24-byte header, all multi-byte fields big-endian, matching
+// memcached's binary protocol):
+//
+//   offset  size  request            response
+//   0       1     magic 0x80         magic 0x81
+//   1       1     opcode             opcode (echoed)
+//   2       2     key length         key length
+//   4       1     extras length      extras length
+//   5       1     data type (0)      data type (0)
+//   6       2     vbucket id         status
+//   8       4     total body length  total body length
+//   12      4     opaque             opaque (echoed)
+//   16      8     cas                cas
+//   24      ...   extras, key, value
+//
+// total body length = extras length + key length + value length. A decoder
+// rejects (never crashes on) any violation: wrong magic, nonzero data type,
+// body longer than kMaxBodyLen, or extras+key exceeding the body.
+#ifndef COUCHKV_NET_WIRE_WIRE_H_
+#define COUCHKV_NET_WIRE_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace couchkv::net::wire {
+
+constexpr uint8_t kMagicRequest = 0x80;
+constexpr uint8_t kMagicResponse = 0x81;
+constexpr size_t kHeaderSize = 24;
+
+// Upper bound on total body length (extras + key + value). Couchbase caps
+// values at 20 MiB; anything larger in a header is a protocol error, which
+// keeps a malicious length field from making the decoder buffer gigabytes.
+constexpr uint32_t kMaxBodyLen = 20u << 20;
+
+// Largest key the protocol admits (memcached's limit).
+constexpr size_t kMaxKeyLen = 250;
+
+// Opcodes. Values follow memcached / Couchbase data protocol numbering
+// where an equivalent command exists.
+enum class Opcode : uint8_t {
+  kGet = 0x00,
+  kSet = 0x01,
+  kAdd = 0x02,
+  kReplace = 0x03,
+  kDelete = 0x04,
+  kNoop = 0x0a,
+  kStat = 0x10,
+  kTouch = 0x1c,
+  kGetLocked = 0x94,   // GETL: pessimistic lock (paper §3.1.1)
+  kUnlockKey = 0x95,
+  kGetClusterMap = 0xb5,  // vBucket map + node wire ports, JSON body
+};
+
+bool IsKnownOpcode(uint8_t op);
+const char* OpcodeName(uint8_t op);
+
+// Response status codes (the 2-byte field at offset 6). Values follow
+// memcached's binary-protocol status table where one exists; the long tail
+// of the couchkv Status taxonomy extends it above 0x0086.
+enum WireStatus : uint16_t {
+  kSuccess = 0x0000,
+  kKeyNotFound = 0x0001,
+  kKeyExistsErr = 0x0002,
+  kInvalidArguments = 0x0004,
+  kNotStored = 0x0005,
+  kNotMyVBucketErr = 0x0007,
+  kLockedErr = 0x0009,
+  kUnknownCommand = 0x0081,
+  kUnsupportedErr = 0x0083,
+  kInternalError = 0x0084,
+  kTempFailErr = 0x0086,
+  kTimeoutErr = 0x0088,
+  kIOErrorErr = 0x0089,
+  kCorruptionErr = 0x008a,
+  kAbortedErr = 0x008b,
+  kParseErrorErr = 0x008c,
+  kPlanErrorErr = 0x008d,
+};
+
+// Status taxonomy <-> wire status. Every StatusCode has a distinct wire
+// value, so StatusFromWire(WireStatusFor(code)) == code — the round-trip
+// property tests/wire_protocol_test.cc asserts for the whole enum.
+uint16_t WireStatusFor(StatusCode code);
+// `message` becomes the Status message (error responses carry the message
+// text as their value). Unknown wire values map to kInternal.
+Status StatusFromWire(uint16_t status, std::string message);
+
+// One decoded frame, request or response (layout is shared; the magic byte
+// selects which interpretation of the field at offset 6 applies).
+struct Message {
+  uint8_t magic = kMagicRequest;
+  uint8_t opcode = 0;
+  uint16_t vbucket = 0;  // requests only
+  uint16_t status = 0;   // responses only
+  uint32_t opaque = 0;
+  uint64_t cas = 0;
+  std::string extras;
+  std::string key;
+  std::string value;
+
+  bool is_request() const { return magic == kMagicRequest; }
+
+  static Message Req(Opcode op) {
+    Message m;
+    m.magic = kMagicRequest;
+    m.opcode = static_cast<uint8_t>(op);
+    return m;
+  }
+  static Message Resp(const Message& req, uint16_t st) {
+    Message m;
+    m.magic = kMagicResponse;
+    m.opcode = req.opcode;
+    m.status = st;
+    m.opaque = req.opaque;
+    return m;
+  }
+};
+
+// Appends the framed message to `out`. InvalidArgument when a field exceeds
+// the protocol's limits (key > 64 KiB, extras > 255 B, body > kMaxBodyLen).
+Status Encode(const Message& m, std::string* out);
+
+// --- Big-endian field helpers (for extras payloads) ---
+void PutU32BE(std::string* out, uint32_t v);
+void PutU64BE(std::string* out, uint64_t v);
+bool GetU32BE(std::string_view in, size_t offset, uint32_t* v);
+bool GetU64BE(std::string_view in, size_t offset, uint64_t* v);
+
+// Extras layouts used by the KV opcodes:
+//   SET/ADD/REPLACE request ... 8 B: flags u32, expiry u32
+//   mutation response ......... 8 B: seqno u64 (cas travels in the header)
+//   GET/GETL response ......... 4 B: flags u32
+//   GETL request .............. 4 B: lock duration ms u32
+//   TOUCH request ............. 4 B: expiry u32
+void PutMutationExtras(std::string* extras, uint32_t flags, uint32_t expiry);
+bool GetMutationExtras(std::string_view extras, uint32_t* flags,
+                       uint32_t* expiry);
+
+// Incremental frame decoder: feed it raw bytes as they arrive off a socket
+// (in any fragmentation — single bytes, half headers, many pipelined frames
+// per read) and pull complete messages out. A protocol violation is
+// returned as kError with a diagnosis; the decoder is then poisoned (every
+// later Next also errors) because resynchronizing inside a byte stream with
+// corrupt lengths is guesswork — the connection must be closed.
+class FrameDecoder {
+ public:
+  enum class Result { kNeedMore, kFrame, kError };
+
+  // `expected_magic`: kMagicRequest on the server side, kMagicResponse on
+  // the client side. A frame with the other magic is a protocol error.
+  explicit FrameDecoder(uint8_t expected_magic,
+                        uint32_t max_body = kMaxBodyLen)
+      : expected_magic_(expected_magic), max_body_(max_body) {}
+
+  void Feed(std::string_view bytes) { buf_.append(bytes); }
+
+  // Extracts the next complete frame into *out. On kError, *error holds the
+  // diagnosis (InvalidArgument / ParseError).
+  Result Next(Message* out, Status* error);
+
+  size_t buffered() const { return buf_.size(); }
+  bool poisoned() const { return poisoned_; }
+
+ private:
+  const uint8_t expected_magic_;
+  const uint32_t max_body_;
+  std::string buf_;
+  size_t pos_ = 0;  // consumed prefix of buf_, compacted lazily
+  bool poisoned_ = false;
+};
+
+}  // namespace couchkv::net::wire
+
+#endif  // COUCHKV_NET_WIRE_WIRE_H_

@@ -1,0 +1,184 @@
+// Socket-level torture: the crash / partition / failover scenarios from the
+// existing torture suites, replayed with every admitted transport leg
+// crossing a real TCP connection (net::SocketTransport against each node's
+// wire listener). The durability and convergence invariants must hold over
+// actual sockets — reconnects, kernel buffering, ephemeral-port reassignment
+// after a restart and all — and each test proves traffic really crossed the
+// wire via the transport's round-trip counter. Seeds are reduced relative
+// to the in-process suites: every leg costs a kernel round-trip.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "cluster/cluster.h"
+#include "harness/torture.h"
+#include "net/faulty_transport.h"
+#include "net/socket_transport.h"
+
+namespace couchkv {
+namespace {
+
+class TortureWireTest : public ::testing::TestWithParam<uint64_t> {};
+
+// The crash-torture scenario over sockets: kill a node mid-workload (its
+// listener dies with it), restart it onto a FRESH ephemeral port, and
+// require every persist-acked write back. The port resolver is queried per
+// hop, so recovery hinges on re-resolution actually working.
+TEST_P(TortureWireTest, PersistAckedWritesSurviveCrashOverSockets) {
+  const uint64_t seed = GetParam();
+  cluster::Cluster cluster;
+  for (int i = 0; i < 3; ++i) cluster.AddNode();
+  cluster::BucketConfig cfg;
+  cfg.name = "default";
+  cfg.num_replicas = 1;
+  ASSERT_TRUE(cluster.CreateBucket(cfg).ok());
+  ASSERT_TRUE(cluster.StartWireServers("default").ok());
+
+  net::SocketTransport transport(cluster.WirePortResolver());
+  cluster.set_transport(&transport);
+
+  harness::TortureOptions opts;
+  opts.seed = seed;
+  opts.num_clients = 3;
+  opts.ops_per_client = 80;
+  opts.keys_per_client = 12;
+  opts.write_fraction = 0.9;
+  opts.persist_every = 4;
+  harness::TortureDriver driver(&cluster, "default", opts);
+
+  std::thread crasher([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    ASSERT_TRUE(cluster.CrashNode(0).ok());
+    driver.NoteCrash();
+  });
+  driver.Run();
+  crasher.join();
+
+  // While down, the node's resolver entry is 0 ("no listener"): ops to it
+  // failed at connect, exactly like a dead process on a real network.
+  ASSERT_TRUE(cluster.RestartNode(0).ok());
+  EXPECT_NE(cluster.wire_port(0), 0);
+  driver.Settle();
+
+  EXPECT_TRUE(driver.CheckAckedWritesDurable());
+  EXPECT_TRUE(driver.CheckReplicaConvergence());
+  EXPECT_TRUE(driver.CheckAllKeysReachable());
+  // Proof the workload crossed the kernel, not an in-process shortcut.
+  EXPECT_GT(transport.round_trips(), 0u);
+  cluster.set_transport(nullptr);
+}
+
+// The partition scenario over sockets, with FaultyTransport composed as the
+// admission filter: its seeded schedule decides each leg's fate first, and
+// only admitted legs touch a socket — the deterministic fault model and the
+// real wire coexist.
+TEST_P(TortureWireTest, IsolatedNodeCatchesUpAfterHealOverSockets) {
+  const uint64_t seed = GetParam();
+  cluster::Cluster cluster;
+  for (int i = 0; i < 3; ++i) cluster.AddNode();
+  cluster::BucketConfig cfg;
+  cfg.name = "default";
+  cfg.num_replicas = 1;
+  ASSERT_TRUE(cluster.CreateBucket(cfg).ok());
+  ASSERT_TRUE(cluster.StartWireServers("default").ok());
+
+  net::FaultyTransport faults(seed);
+  net::LinkFaults lossy;
+  lossy.drop = 0.02;
+  lossy.max_latency_us = 30;
+  faults.SetDefaultFaults(lossy);
+  net::SocketTransport transport(cluster.WirePortResolver(), &faults);
+  cluster.set_transport(&transport);
+
+  harness::TortureOptions opts;
+  opts.seed = seed;
+  opts.num_clients = 3;
+  opts.ops_per_client = 60;
+  opts.keys_per_client = 12;
+  opts.persist_every = 0;
+  harness::TortureDriver driver(&cluster, "default", opts);
+
+  // Cut node 2 off from node-to-node traffic only: clients still reach it
+  // over their sockets, but replication in and out of it stalls until the
+  // heal.
+  faults.Block(net::Endpoint::Node(0), net::Endpoint::Node(2));
+  faults.Block(net::Endpoint::Node(1), net::Endpoint::Node(2));
+  faults.Block(net::Endpoint::Node(2), net::Endpoint::Node(0));
+  faults.Block(net::Endpoint::Node(2), net::Endpoint::Node(1));
+  driver.Run();
+  EXPECT_GT(faults.stats().blocked, 0u);
+
+  // Checks observe a fault-free (but still socket-backed) network.
+  faults.Reset();
+  driver.Settle();
+
+  EXPECT_TRUE(driver.CheckAckedWritesDurable());
+  EXPECT_TRUE(driver.CheckReplicaConvergence());
+  EXPECT_TRUE(driver.CheckAllKeysReachable());
+  EXPECT_GT(transport.round_trips(), 0u);
+  cluster.set_transport(nullptr);
+}
+
+// Crash + manual failover + delta recovery, all over sockets: the failed
+// node leaves the map, is rebooted and reintegrated by RecoverNode — which
+// must also bring its wire listener back (on a fresh port) or the recovered
+// actives would be unreachable for every later leg.
+TEST_P(TortureWireTest, FailoverThenRecoverNodeConvergesOverSockets) {
+  const uint64_t seed = GetParam();
+  cluster::Cluster cluster;
+  for (int i = 0; i < 3; ++i) cluster.AddNode();
+  cluster::BucketConfig cfg;
+  cfg.name = "default";
+  cfg.num_replicas = 1;
+  ASSERT_TRUE(cluster.CreateBucket(cfg).ok());
+  ASSERT_TRUE(cluster.StartWireServers("default").ok());
+
+  net::SocketTransport transport(cluster.WirePortResolver());
+  cluster.set_transport(&transport);
+
+  harness::TortureOptions opts;
+  opts.seed = seed;
+  opts.num_clients = 3;
+  opts.ops_per_client = 70;
+  opts.keys_per_client = 12;
+  opts.persist_every = 0;
+  opts.durable_every = 4;  // replicate-acked writes are the survival floor
+  opts.durability_timeout_ms = 500;
+  harness::TortureDriver driver(&cluster, "default", opts);
+  driver.NoteCrash();
+  driver.NoteFailover();
+
+  std::thread failer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    ASSERT_TRUE(cluster.CrashNode(1).ok());
+    ASSERT_TRUE(cluster.Failover(1).ok());
+  });
+  driver.Run();
+  failer.join();
+
+  ASSERT_TRUE(cluster.RecoverNode(1).ok());
+  EXPECT_NE(cluster.wire_port(1), 0);  // the listener came back with it
+  driver.Settle();
+
+  // The node is a full member again: the recovery rebalance gave it
+  // actives, and they are being served over its fresh listener.
+  auto m = cluster.map("default");
+  ASSERT_NE(m, nullptr);
+  EXPECT_GT(m->CountActive(1), 0u);
+  EXPECT_TRUE(driver.CheckAckedWritesDurable());
+  EXPECT_TRUE(driver.CheckReplicaConvergence());
+  EXPECT_TRUE(driver.CheckAllKeysReachable());
+  EXPECT_GT(transport.round_trips(), 0u);
+  cluster.set_transport(nullptr);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TortureWireTest,
+                         ::testing::Values(1, 20260808),
+                         [](const auto& info) {
+                           return "seed" + std::to_string(info.index);
+                         });
+
+}  // namespace
+}  // namespace couchkv
