@@ -78,7 +78,25 @@ if [[ -n "$matches" ]]; then
   fail=1
 fi
 
-# --- 4. clang-format (advisory locally, enforced in CI) ---------------------
+# --- 4. Every wire opcode must register a stats counter ---------------------
+# TcpServer derives its per-opcode counter names ("wire.ops.<NAME>") from
+# IsKnownOpcode + OpcodeName, both switch statements in wire.cc. An opcode
+# added to the enum without both cases silently lands in ops.UNKNOWN, so a
+# new opcode must appear in at least two `case Opcode::k<Name>:` labels in
+# wire.cc (the IsKnownOpcode membership and the OpcodeName name).
+while IFS= read -r op; do
+  count=$(grep -cE "case Opcode::${op}:" src/net/wire/wire.cc || true)
+  if [[ "$count" -lt 2 ]]; then
+    echo "error: wire opcode ${op} is declared in wire.h but appears in" >&2
+    echo "only ${count} 'case Opcode::${op}:' label(s) in wire.cc — it must" >&2
+    echo "be in both IsKnownOpcode and OpcodeName so the per-opcode wire" >&2
+    echo "stats counter (wire.ops.<NAME>) gets registered" >&2
+    fail=1
+  fi
+done < <(sed -n '/^enum class Opcode/,/^};/p' src/net/wire/wire.h \
+    | grep -oE '^  k[A-Za-z0-9]+' | tr -d ' ')
+
+# --- 5. clang-format (advisory locally, enforced in CI) ---------------------
 if command -v clang-format >/dev/null 2>&1; then
   unformatted=()
   while IFS= read -r f; do

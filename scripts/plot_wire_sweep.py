@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Render the run_wire_sweep.sh output as a table and gnuplot-ready data.
+
+Reads every BENCH_wire_sweep_n<N>_c<C>.json in the given directory and
+writes:
+
+  wire_sweep.txt   human-readable table (also printed to stdout)
+  wire_sweep.dat   gnuplot data: one indexed block per node count, rows
+                   "<threads> <ops_s> <client_p99_us> <server_p99_us>"
+  wire_sweep.png   throughput-vs-connections plot, one curve per node
+                   count (only when gnuplot is installed; stdlib-only
+                   otherwise)
+
+The client p99 is the loadgen-measured read latency; the server p99 is
+the server-reported in-process duration carried back in the framed
+response extras, so (client - server) at a glance is network + queueing.
+"""
+import glob
+import json
+import os
+import re
+import shutil
+import subprocess
+import sys
+
+
+def main():
+    out_dir = sys.argv[1] if len(sys.argv) > 1 else "."
+    points = {}  # (nodes, threads) -> row dict
+    for path in glob.glob(os.path.join(out_dir, "BENCH_wire_sweep_*.json")):
+        m = re.search(r"BENCH_wire_sweep_n(\d+)_c(\d+)\.json$", path)
+        if not m:
+            continue
+        with open(path) as f:
+            doc = json.load(f)
+        rows = doc.get("rows", [])
+        if rows:
+            points[(int(m.group(1)), int(m.group(2)))] = rows[0]
+    if not points:
+        print("plot_wire_sweep: no BENCH_wire_sweep_*.json in", out_dir)
+        return 1
+
+    def p99(row, section):
+        return float(row.get(section, {}).get("p99_us", 0.0))
+
+    header = (f"{'nodes':>5} {'conns':>5} {'ops/s':>10} "
+              f"{'cli_p99_us':>10} {'srv_p99_us':>10} {'net_p99_us':>10}")
+    lines = [header, "-" * len(header)]
+    nodes_list = sorted({n for n, _ in points})
+    dat_blocks = []
+    for nodes in nodes_list:
+        block = [f'# nodes={nodes}']
+        for (n, threads) in sorted(points):
+            if n != nodes:
+                continue
+            row = points[(n, threads)]
+            ops = float(row.get("achieved_ops_s", 0.0))
+            cli, srv, net = p99(row, "read"), p99(row, "read_server"), \
+                p99(row, "read_net")
+            lines.append(f"{nodes:>5} {threads:>5} {ops:>10.0f} "
+                         f"{cli:>10.1f} {srv:>10.1f} {net:>10.1f}")
+        for (n, threads) in sorted(points):
+            if n == nodes:
+                row = points[(n, threads)]
+                block.append(f"{threads} {row.get('achieved_ops_s', 0.0):.1f} "
+                             f"{p99(row, 'read'):.1f} "
+                             f"{p99(row, 'read_server'):.1f}")
+        dat_blocks.append("\n".join(block))
+
+    table = "\n".join(lines) + "\n"
+    print(table, end="")
+    with open(os.path.join(out_dir, "wire_sweep.txt"), "w") as f:
+        f.write(table)
+    dat_path = os.path.join(out_dir, "wire_sweep.dat")
+    with open(dat_path, "w") as f:
+        f.write("\n\n\n".join(dat_blocks) + "\n")
+
+    if shutil.which("gnuplot"):
+        png = os.path.join(out_dir, "wire_sweep.png")
+        curves = ", ".join(
+            f"'{dat_path}' index {i} using 1:2 with linespoints "
+            f"title 'nodes={n}'" for i, n in enumerate(nodes_list))
+        script = (f"set terminal png size 900,600\nset output '{png}'\n"
+                  "set title 'wire throughput vs client connections'\n"
+                  "set xlabel 'loadgen threads (connections per node)'\n"
+                  "set ylabel 'ops/s'\nset key left top\nset grid\n"
+                  f"plot {curves}\n")
+        subprocess.run(["gnuplot"], input=script.encode(), check=True)
+        print("plot_wire_sweep: wrote", png)
+    else:
+        print("plot_wire_sweep: gnuplot not installed; wrote table + .dat only")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

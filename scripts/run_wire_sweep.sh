@@ -1,0 +1,76 @@
+#!/bin/sh
+# Wire-serving capacity sweep: server parallelism x client connections.
+#
+# For every point in (server nodes) x (loadgen threads), boots a fresh
+# external couchkv_server process, drives it over real TCP with loadgen,
+# and emits one BENCH_wire_sweep_n<N>_c<C>.json per point into <out-dir>.
+# Each loadgen thread owns one WireClient (one TCP connection per node it
+# talks to), so the thread axis is the connection-count axis; the node
+# axis is the server-side parallelism axis (one TcpServer listener +
+# engine per node; TcpServer itself is thread-per-connection).
+#
+#   run_wire_sweep.sh <build-dir> <out-dir>
+#
+# Env knobs:
+#   COUCHKV_WIRE_DURATION   seconds per point (default 5; CI smoke uses 2)
+#   COUCHKV_SWEEP_NODES     server node counts   (default "1 2 3")
+#   COUCHKV_SWEEP_THREADS   loadgen thread counts (default "1 2 4 8")
+#
+# Afterwards scripts/plot_wire_sweep.py renders the sweep as a table +
+# gnuplot-ready .dat (and a .png when gnuplot is installed).
+set -eu
+
+BUILD_DIR="$1"
+OUT_DIR="$2"
+LOADGEN="$BUILD_DIR/tools/loadgen"
+SERVER="$BUILD_DIR/tools/couchkv_server"
+JSON_CHECK="$BUILD_DIR/bench/json_check"
+DURATION="${COUCHKV_WIRE_DURATION:-5}"
+NODES_LIST="${COUCHKV_SWEEP_NODES:-1 2 3}"
+THREADS_LIST="${COUCHKV_SWEEP_THREADS:-1 2 4 8}"
+
+mkdir -p "$OUT_DIR"
+rm -f "$OUT_DIR"/BENCH_wire_sweep_*.json
+COUCHKV_BENCH_JSON_DIR="$OUT_DIR"
+export COUCHKV_BENCH_JSON_DIR
+
+SERVER_PID=""
+trap 'if [ -n "$SERVER_PID" ]; then kill -9 "$SERVER_PID" 2>/dev/null || true; fi' EXIT
+
+for NODES in $NODES_LIST; do
+  echo "== wire sweep: booting external server, nodes=$NODES"
+  SERVER_OUT="$OUT_DIR/couchkv_server_n${NODES}.out"
+  "$SERVER" --nodes "$NODES" > "$SERVER_OUT" 2>&1 &
+  SERVER_PID=$!
+  i=0
+  until grep -q '^READY$' "$SERVER_OUT" 2>/dev/null; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+      echo "run_wire_sweep: server (nodes=$NODES) never became READY" >&2
+      exit 1
+    fi
+    sleep 0.1
+  done
+  PORTS="$(sed -n 's/^WIRE node=[0-9]* port=//p' "$SERVER_OUT" | paste -sd, -)"
+
+  for THREADS in $THREADS_LIST; do
+    echo "== wire sweep: nodes=$NODES threads=$THREADS"
+    "$LOADGEN" --connect "$PORTS" --threads "$THREADS" \
+      --duration-s "$DURATION" --keys 20000 --dist zipfian --read-pct 80 \
+      --name "wire_sweep_n${NODES}_c${THREADS}"
+  done
+
+  kill -9 "$SERVER_PID" 2>/dev/null || true
+  wait "$SERVER_PID" 2>/dev/null || true
+  SERVER_PID=""
+done
+trap - EXIT
+
+"$JSON_CHECK" "$OUT_DIR"/BENCH_wire_sweep_*.json
+
+if command -v python3 >/dev/null 2>&1; then
+  python3 "$(dirname "$0")/plot_wire_sweep.py" "$OUT_DIR"
+else
+  echo "run_wire_sweep: python3 not found; skipping plot"
+fi
+echo "run_wire_sweep: OK"

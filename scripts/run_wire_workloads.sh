@@ -58,6 +58,24 @@ PORTS="$(sed -n 's/^WIRE node=[0-9]* port=//p' "$SERVER_OUT" | paste -sd, -)"
 "$LOADGEN" --connect "$PORTS" --threads 2 --duration-s "$DURATION" \
   --keys 10000 --name wire_external
 
+echo "== wire workload: couchkv_top smoke against the live server"
+TOP="$BUILD_DIR/tools/couchkv_top"
+TOP_OUT="$OUT_DIR/couchkv_top.out"
+"$TOP" --connect "$PORTS" --interval-ms 200 --count 2 --raw > "$TOP_OUT"
+# Every node must have answered with a parsed stats line (no "unreachable")
+# and a raw flight-recorder dump.
+if grep -q 'unreachable' "$TOP_OUT"; then
+  echo "run_wire_workloads: couchkv_top saw unreachable nodes" >&2
+  cat "$TOP_OUT" >&2
+  exit 1
+fi
+RAW_LINES="$(grep -c '^  raw\[' "$TOP_OUT" || true)"
+if [ "$RAW_LINES" -lt 3 ]; then
+  echo "run_wire_workloads: couchkv_top raw dumps missing ($RAW_LINES)" >&2
+  cat "$TOP_OUT" >&2
+  exit 1
+fi
+
 echo "== wire workload: kill -9 the server, client must fail cleanly"
 kill -9 "$SERVER_PID"
 wait "$SERVER_PID" 2>/dev/null || true

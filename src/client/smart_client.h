@@ -45,12 +45,25 @@ struct WriteOptions {
   cluster::Durability durability;  // default: memory-ack only
 };
 
+// Server-reported timing for one op, parsed from the response's
+// server-duration framed extra. All zeros when the server did not report
+// (classic frames, or the in-process SmartClient which has no wire).
+struct ServerTiming {
+  uint64_t trace_id = 0;  // trace this op ran under (0 = untraced)
+  uint32_t total_us = 0;
+  uint32_t dispatch_us = 0;
+  uint32_t engine_us = 0;
+  uint32_t replicate_us = 0;
+  uint32_t persist_us = 0;
+};
+
 // A fetched document plus its metadata.
 struct GetReply {
   std::string key;
   std::string value;  // raw JSON text
   uint64_t cas = 0;
   uint32_t flags = 0;
+  ServerTiming server;
 };
 
 // Result of a successful mutation.
@@ -58,6 +71,7 @@ struct MutateReply {
   uint64_t cas = 0;
   uint64_t seqno = 0;
   uint16_t vbucket = 0;
+  ServerTiming server;
 };
 
 // One node's contribution to a cluster-wide STATS scatter/gather. A node

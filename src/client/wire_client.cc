@@ -59,6 +59,23 @@ int ConnectPort(uint16_t port, uint64_t timeout_ms) {
   return fd;
 }
 
+// Parses the server-duration framed extra (if any) out of a response; the
+// trace id is the one the client itself attached (the frame does not echo
+// it back).
+ServerTiming TimingFromResp(const wire::Message& resp, uint64_t trace_id) {
+  ServerTiming out;
+  out.trace_id = trace_id;
+  wire::ServerDuration sd;
+  if (wire::GetServerDurationFrame(resp.framing, &sd)) {
+    out.total_us = sd.total_us;
+    out.dispatch_us = sd.dispatch_us;
+    out.engine_us = sd.engine_us;
+    out.replicate_us = sd.replicate_us;
+    out.persist_us = sd.persist_us;
+  }
+  return out;
+}
+
 // Reads exactly one response frame from `fd` into `out` through `decoder`.
 Status ReadFrame(int fd, wire::FrameDecoder* decoder, wire::Message* out) {
   char buf[4096];
@@ -118,13 +135,21 @@ StatusOr<std::vector<wire::Message>> RawPipeline(
 }
 
 WireClient::WireClient(std::vector<uint16_t> bootstrap_ports,
-                       std::string bucket, RetryPolicy retry)
+                       std::string bucket, RetryPolicy retry,
+                       uint64_t trace_seed)
     : bucket_(std::move(bucket)),
       retry_(retry),
       bootstrap_ports_(std::move(bootstrap_ports)),
       // Seed from the opaque counter so concurrent clients never share a
       // jitter stream.
-      backoff_rng_(0x5bd1e995u + g_next_opaque.fetch_add(1)) {}
+      backoff_rng_(0x5bd1e995u + g_next_opaque.fetch_add(1)),
+      // Trace ids count up from the seed; an auto seed spreads clients far
+      // apart (golden-ratio mix of the process-wide counter) so their
+      // sequences cannot collide in practice.
+      next_trace_id_(trace_seed != 0
+                         ? trace_seed
+                         : 0x9e3779b97f4a7c15ull *
+                               (g_next_opaque.fetch_add(1) + 0x100)) {}
 
 WireClient::~WireClient() { DropConnections(); }
 
@@ -275,8 +300,21 @@ Status WireClient::Exchange(uint32_t node_id, const wire::Message& req,
 }
 
 Status WireClient::Dispatch(std::string_view key, wire::Message req,
-                            wire::Message* resp, uint16_t* vb_out) {
+                            wire::Message* resp, uint16_t* vb_out,
+                            uint64_t* trace_out) {
   req.opaque = g_next_opaque.fetch_add(1, std::memory_order_relaxed);
+  // One trace id for the whole dispatch: every retry (NMVB redirect, port
+  // re-learn) is a leg of the same logical op and lands in the flight
+  // recorder under the same id. Attaching the frame makes the request a
+  // flex frame, which is also what asks the server for a duration report.
+  uint64_t trace_id = next_trace_id_.fetch_add(1, std::memory_order_relaxed);
+  if (trace_id == 0) {
+    trace_id = next_trace_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+  wire::TraceFrame tf;
+  tf.trace_id = trace_id;
+  wire::PutTraceFrame(&req.framing, tf);
+  if (trace_out != nullptr) *trace_out = trace_id;
   uint64_t backoff_us = 0;
   Status last = Status::OK();
   for (int attempt = 0; attempt < retry_.max_attempts; ++attempt) {
@@ -339,7 +377,8 @@ StatusOr<GetReply> WireClient::Get(std::string_view key) {
   req.key = key;
   wire::Message resp;
   uint16_t vb = 0;
-  COUCHKV_RETURN_IF_ERROR(Dispatch(key, std::move(req), &resp, &vb));
+  uint64_t trace = 0;
+  COUCHKV_RETURN_IF_ERROR(Dispatch(key, std::move(req), &resp, &vb, &trace));
   if (resp.status != wire::kSuccess) {
     return wire::StatusFromWire(resp.status, resp.value);
   }
@@ -347,6 +386,7 @@ StatusOr<GetReply> WireClient::Get(std::string_view key) {
   out.key = key;
   out.value = std::move(resp.value);
   out.cas = resp.cas;
+  out.server = TimingFromResp(resp, trace);
   // justified: a success GET always carries flags extras; tolerate their
   // absence (flags stay 0) rather than failing a fetched value.
   (void)wire::GetU32BE(resp.extras, 0, &out.flags);
@@ -361,15 +401,28 @@ StatusOr<MutateReply> WireClient::Mutate(wire::Opcode op, std::string_view key,
   req.value = value;
   req.cas = opts.cas;
   wire::PutMutationExtras(&req.extras, opts.flags, opts.expiry);
+  const cluster::Durability& dur = opts.durability;
+  if (dur.replicate_to > 0 || dur.persist_to > 0) {
+    wire::DurabilityFrame df;
+    df.replicate_to = static_cast<uint8_t>(
+        dur.replicate_to > UINT8_MAX ? UINT8_MAX : dur.replicate_to);
+    df.persist_to = static_cast<uint8_t>(
+        dur.persist_to > UINT8_MAX ? UINT8_MAX : dur.persist_to);
+    df.timeout_ms = static_cast<uint32_t>(
+        dur.timeout_ms > UINT32_MAX ? UINT32_MAX : dur.timeout_ms);
+    wire::PutDurabilityFrame(&req.framing, df);
+  }
   wire::Message resp;
   uint16_t vb = 0;
-  COUCHKV_RETURN_IF_ERROR(Dispatch(key, std::move(req), &resp, &vb));
+  uint64_t trace = 0;
+  COUCHKV_RETURN_IF_ERROR(Dispatch(key, std::move(req), &resp, &vb, &trace));
   if (resp.status != wire::kSuccess) {
     return wire::StatusFromWire(resp.status, resp.value);
   }
   MutateReply out;
   out.cas = resp.cas;
   out.vbucket = vb;
+  out.server = TimingFromResp(resp, trace);
   // justified: mutation responses without seqno extras leave seqno 0.
   (void)wire::GetU64BE(resp.extras, 0, &out.seqno);
   return out;
@@ -393,19 +446,32 @@ StatusOr<MutateReply> WireClient::Replace(std::string_view key,
   return Mutate(wire::Opcode::kReplace, key, value, opts);
 }
 
-StatusOr<MutateReply> WireClient::Remove(std::string_view key, uint64_t cas) {
+StatusOr<MutateReply> WireClient::Remove(std::string_view key, uint64_t cas,
+                                         const cluster::Durability& dur) {
   wire::Message req = wire::Message::Req(wire::Opcode::kDelete);
   req.key = key;
   req.cas = cas;
+  if (dur.replicate_to > 0 || dur.persist_to > 0) {
+    wire::DurabilityFrame df;
+    df.replicate_to = static_cast<uint8_t>(
+        dur.replicate_to > UINT8_MAX ? UINT8_MAX : dur.replicate_to);
+    df.persist_to = static_cast<uint8_t>(
+        dur.persist_to > UINT8_MAX ? UINT8_MAX : dur.persist_to);
+    df.timeout_ms = static_cast<uint32_t>(
+        dur.timeout_ms > UINT32_MAX ? UINT32_MAX : dur.timeout_ms);
+    wire::PutDurabilityFrame(&req.framing, df);
+  }
   wire::Message resp;
   uint16_t vb = 0;
-  COUCHKV_RETURN_IF_ERROR(Dispatch(key, std::move(req), &resp, &vb));
+  uint64_t trace = 0;
+  COUCHKV_RETURN_IF_ERROR(Dispatch(key, std::move(req), &resp, &vb, &trace));
   if (resp.status != wire::kSuccess) {
     return wire::StatusFromWire(resp.status, resp.value);
   }
   MutateReply out;
   out.cas = resp.cas;
   out.vbucket = vb;
+  out.server = TimingFromResp(resp, trace);
   // justified: see Mutate.
   (void)wire::GetU64BE(resp.extras, 0, &out.seqno);
   return out;
@@ -418,7 +484,8 @@ StatusOr<GetReply> WireClient::GetAndLock(std::string_view key,
   wire::PutU32BE(&req.extras, static_cast<uint32_t>(lock_ms));
   wire::Message resp;
   uint16_t vb = 0;
-  COUCHKV_RETURN_IF_ERROR(Dispatch(key, std::move(req), &resp, &vb));
+  uint64_t trace = 0;
+  COUCHKV_RETURN_IF_ERROR(Dispatch(key, std::move(req), &resp, &vb, &trace));
   if (resp.status != wire::kSuccess) {
     return wire::StatusFromWire(resp.status, resp.value);
   }
@@ -426,6 +493,7 @@ StatusOr<GetReply> WireClient::GetAndLock(std::string_view key,
   out.key = key;
   out.value = std::move(resp.value);
   out.cas = resp.cas;
+  out.server = TimingFromResp(resp, trace);
   // justified: see Get.
   (void)wire::GetU32BE(resp.extras, 0, &out.flags);
   return out;
@@ -455,6 +523,19 @@ StatusOr<std::string> WireClient::StatsFor(std::string_view key,
                                            const std::string& group) {
   wire::Message req = wire::Message::Req(wire::Opcode::kStat);
   req.key = group;
+  wire::Message resp;
+  uint16_t vb = 0;
+  COUCHKV_RETURN_IF_ERROR(Dispatch(key, std::move(req), &resp, &vb));
+  if (resp.status != wire::kSuccess) {
+    return wire::StatusFromWire(resp.status, resp.value);
+  }
+  return std::move(resp.value);
+}
+
+StatusOr<std::string> WireClient::ObserveTraceFor(std::string_view key,
+                                                  uint64_t trace_id) {
+  wire::Message req = wire::Message::Req(wire::Opcode::kObserveTrace);
+  if (trace_id != 0) req.key = std::to_string(trace_id);
   wire::Message resp;
   uint16_t vb = 0;
   COUCHKV_RETURN_IF_ERROR(Dispatch(key, std::move(req), &resp, &vb));

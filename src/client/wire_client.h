@@ -14,6 +14,7 @@
 #ifndef COUCHKV_CLIENT_WIRE_CLIENT_H_
 #define COUCHKV_CLIENT_WIRE_CLIENT_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <string>
@@ -46,15 +47,22 @@ class WireClient {
  public:
   // `bootstrap_ports` are listener ports to try (in order) for the first
   // cluster-map fetch; one live node is enough — the map names the rest.
+  // `trace_seed` seeds the client's trace-id sequence; 0 picks a random
+  // per-client base. Every dispatched op carries a trace-context framed
+  // extra (one trace id per op, stable across its retries — an NMVB
+  // redirect joins the same trace), so pass an explicit seed when a test
+  // needs bit-identical flight-recorder dumps run after run.
   WireClient(std::vector<uint16_t> bootstrap_ports, std::string bucket,
-             RetryPolicy retry = {});
+             RetryPolicy retry = {}, uint64_t trace_seed = 0);
   ~WireClient();
 
   WireClient(const WireClient&) = delete;
   WireClient& operator=(const WireClient&) = delete;
 
-  // KV API over the wire. Durability options are not carried by the
-  // protocol (WriteOptions::durability is ignored here).
+  // KV API over the wire. WriteOptions::durability rides a durability
+  // framed extra: the server blocks the response until the requirement
+  // holds (or times out), and the reply's `server` timing attributes the
+  // wait to its replicate/persist phases.
   StatusOr<GetReply> Get(std::string_view key);
   StatusOr<MutateReply> Upsert(std::string_view key, std::string_view value,
                                const WriteOptions& opts = {});
@@ -62,7 +70,8 @@ class WireClient {
                                const WriteOptions& opts = {});
   StatusOr<MutateReply> Replace(std::string_view key, std::string_view value,
                                 const WriteOptions& opts = {});
-  StatusOr<MutateReply> Remove(std::string_view key, uint64_t cas = 0);
+  StatusOr<MutateReply> Remove(std::string_view key, uint64_t cas = 0,
+                               const cluster::Durability& dur = {});
   StatusOr<GetReply> GetAndLock(std::string_view key, uint64_t lock_ms);
   Status Unlock(std::string_view key, uint64_t cas);
   Status Touch(std::string_view key, uint32_t expiry);
@@ -70,6 +79,10 @@ class WireClient {
   // JSON snapshot text.
   StatusOr<std::string> StatsFor(std::string_view key,
                                  const std::string& group = "");
+  // OBSERVE_TRACE against the node hosting `key`'s vBucket: that node's
+  // flight-recorder dump as JSON, optionally filtered to one trace id.
+  StatusOr<std::string> ObserveTraceFor(std::string_view key,
+                                        uint64_t trace_id = 0);
 
   // Fetches a fresh cluster map immediately (ops do this lazily on demand).
   Status RefreshMap();
@@ -100,9 +113,10 @@ class WireClient {
   // Routes one request by key: resolves the vBucket's active node, runs
   // Exchange, and handles refresh/retry per the policy. On success the
   // response (any wire status) lands in `resp` with the vbucket used in
-  // `vb_out`.
+  // `vb_out` and the trace id the op ran under in `trace_out` (optional).
   Status Dispatch(std::string_view key, net::wire::Message req,
-                  net::wire::Message* resp, uint16_t* vb_out);
+                  net::wire::Message* resp, uint16_t* vb_out,
+                  uint64_t* trace_out = nullptr);
   StatusOr<MutateReply> Mutate(net::wire::Opcode op, std::string_view key,
                                std::string_view value,
                                const WriteOptions& opts);
@@ -111,6 +125,7 @@ class WireClient {
   const RetryPolicy retry_;
   const std::vector<uint16_t> bootstrap_ports_;
   Rng backoff_rng_;
+  std::atomic<uint64_t> next_trace_id_;
 
   mutable Mutex mu_;
   Routing routing_ GUARDED_BY(mu_);

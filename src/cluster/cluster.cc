@@ -722,8 +722,9 @@ Status Cluster::StartWireServers(const std::string& bucket) {
   for (auto& [id, n] : nodes) {
     WireService service(this, id, bucket);
     COUCHKV_RETURN_IF_ERROR(n->StartWireServer(
-        [service](const net::wire::Message& req) mutable {
-          return service.Handle(req);
+        [service](const net::wire::Message& req,
+                  const net::RequestContext& ctx) mutable {
+          return service.Handle(req, ctx);
         }));
   }
   return Status::OK();

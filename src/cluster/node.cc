@@ -41,6 +41,9 @@ void Node::Crash() {
   // Stop the pump thread before freeing buckets: stream callbacks and
   // backfills on this dispatcher touch bucket state.
   dispatcher_->Stop();
+  // A crashed process loses its flight recorder with the rest of its
+  // memory; a rebooted node starts recording from an empty ring.
+  flight_recorder_.Clear();
   LockGuard lock(mu_);
   for (auto& [name, b] : buckets_) b->Kill();
   buckets_.clear();
@@ -153,7 +156,9 @@ Status Node::StartWireServer(net::TcpServer::Handler handler) {
     return Status::InvalidArgument("wire server already running");
   }
   wire_handler_ = std::move(handler);
-  auto server = std::make_unique<net::TcpServer>(wire_handler_);
+  net::TcpServerOptions opts;
+  opts.clock = clock_;  // receive stamps share the node's time base
+  auto server = std::make_unique<net::TcpServer>(wire_handler_, opts);
   COUCHKV_RETURN_IF_ERROR(server->Start());
   wire_port_.store(server->port(), std::memory_order_release);
   wire_server_ = std::move(server);
@@ -167,7 +172,9 @@ Status Node::RestartWireServer() {
   if (wire_handler_ == nullptr || wire_server_ != nullptr) {
     return Status::OK();
   }
-  auto server = std::make_unique<net::TcpServer>(wire_handler_);
+  net::TcpServerOptions opts;
+  opts.clock = clock_;
+  auto server = std::make_unique<net::TcpServer>(wire_handler_, opts);
   COUCHKV_RETURN_IF_ERROR(server->Start());
   wire_port_.store(server->port(), std::memory_order_release);
   wire_server_ = std::move(server);
@@ -203,6 +210,10 @@ StatusOr<stats::Snapshot> Node::Stats(const std::string& group) {
     b->stats_scope()->Collect(&out, group);
   }
   scope_->Collect(&out, group);
+  // The process-wide wire scope: listener byte/frame/per-opcode counters
+  // (every in-process TcpServer shares it, so an external poller sees the
+  // process total — the per-node phase histograms live in scope_ above).
+  stats::Registry::Global().GetScope("wire")->Collect(&out, group);
   // This node's slice of the process-wide transport scope: the metrics
   // keyed by destination node carry our id.
   stats::Snapshot transport;

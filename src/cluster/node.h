@@ -18,6 +18,7 @@
 #include "common/synchronization.h"
 #include "dcp/dcp.h"
 #include "net/tcp_server.h"
+#include "stats/flight_recorder.h"
 #include "stats/registry.h"
 #include "storage/env.h"
 
@@ -69,6 +70,13 @@ class Node {
   dcp::Dispatcher* dispatcher() { return dispatcher_.get(); }
   storage::Env* env() { return env_.get(); }
   Clock* clock() { return clock_; }
+  // This node's stats scope ("node.<id>"): the wire front-end registers its
+  // per-node histograms here so Stats(group="wire") exposes them.
+  stats::Scope* stats_scope() { return scope_.get(); }
+  // The per-node flight recorder (last N completed wire ops + in-flight
+  // table); always present, recorded into by the wire service. Crash()
+  // clears it — a dead process would have lost its ring.
+  stats::FlightRecorder* flight_recorder() { return &flight_recorder_; }
 
   // --- Data service (KV API) entry points; the smart client calls these ---
   StatusOr<kv::GetResult> Get(const std::string& bucket, uint16_t vb,
@@ -134,6 +142,7 @@ class Node {
   std::shared_ptr<stats::Scope> scope_;  // "node.<id>"
   stats::Counter* stat_scrapes_ = nullptr;
   stats::Counter* boots_ = nullptr;
+  stats::FlightRecorder flight_recorder_;
 
   mutable Mutex mu_;
   std::map<std::string, std::shared_ptr<Bucket>> buckets_ GUARDED_BY(mu_);

@@ -1,9 +1,15 @@
 #include "cluster/wire_service.h"
 
+#include <cstdlib>
+#include <sstream>
 #include <utility>
 
+#include "common/crc32.h"
+#include "common/logging.h"
 #include "json/value.h"
+#include "stats/flight_recorder.h"
 #include "stats/registry.h"
+#include "stats/trace.h"
 
 namespace couchkv::cluster {
 
@@ -24,12 +30,175 @@ void PackMeta(const kv::DocMeta& meta, wire::Message* resp) {
   wire::PutU64BE(&resp->extras, meta.seqno);
 }
 
+bool IsMutationOpcode(uint8_t op) {
+  switch (static_cast<wire::Opcode>(op)) {
+    case wire::Opcode::kSet:
+    case wire::Opcode::kAdd:
+    case wire::Opcode::kReplace:
+    case wire::Opcode::kDelete:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// Nanosecond interval -> saturated u32 microseconds (the framed-extra field
+// width; 71 minutes saturates, which is far beyond any served op).
+uint32_t NanosToU32Micros(uint64_t nanos) {
+  const uint64_t us = nanos / 1000;
+  return us > UINT32_MAX ? UINT32_MAX : static_cast<uint32_t>(us);
+}
+
 }  // namespace
 
 WireService::WireService(Cluster* cluster, NodeId node_id, std::string bucket)
-    : cluster_(cluster), node_id_(node_id), bucket_(std::move(bucket)) {}
+    : cluster_(cluster), node_id_(node_id), bucket_(std::move(bucket)) {
+  // The node's scope exists for the node's whole lifetime; holding the
+  // shared_ptr keeps the metric storage valid even across a crash (the
+  // registry drops the scope from exposition only at ~Node).
+  node_scope_ = stats::Registry::Global().GetScope(
+      "node." + std::to_string(node_id_));
+  stat_ops_ = node_scope_->GetCounter("wire.ops");
+  h_server_ = node_scope_->GetHistogram("wire.server_ns");
+  h_dispatch_ = node_scope_->GetHistogram("wire.dispatch_ns");
+  h_engine_ = node_scope_->GetHistogram("wire.engine_ns");
+  h_replicate_ = node_scope_->GetHistogram("wire.replicate_ns");
+  h_persist_ = node_scope_->GetHistogram("wire.persist_ns");
+}
 
-wire::Message WireService::Handle(const wire::Message& req) {
+wire::Message WireService::Handle(const wire::Message& req,
+                                  const net::RequestContext& ctx) {
+  Node* n = cluster_->node(node_id_);
+  Clock* clock = n != nullptr ? n->clock() : Clock::Real();
+  const uint64_t t_recv =
+      ctx.received_nanos != 0 ? ctx.received_nanos : clock->NowNanos();
+
+  // Adopt the caller's trace context (if any) as this thread's ambient
+  // trace: nested engine spans and outbound transport hops tag themselves
+  // with it, which is what makes a cross-node op one trace instead of two.
+  wire::TraceFrame tf;
+  const bool traced = wire::GetTraceFrame(req.framing, &tf);
+  trace::TraceContext tc;
+  if (traced) {
+    tc.trace_id = tf.trace_id;
+    tc.parent_span_id = tf.parent_span_id;
+    tc.flags = tf.flags;
+  }
+  trace::ScopedTrace scoped(tc);
+
+  stats::FlightRecorder* rec = n != nullptr ? n->flight_recorder() : nullptr;
+  const uint64_t token =
+      rec != nullptr
+          ? rec->BeginOp(req.opcode, req.vbucket, tc.trace_id, t_recv)
+          : 0;
+
+  // Dispatch phase: everything between the socket read and the engine call
+  // (frame decode plus in-order queueing behind earlier pipelined frames).
+  const uint64_t t_dispatch_end = clock->NowNanos();
+  wire::Message resp = DispatchOpcode(req);
+  const uint64_t t_engine_end = clock->NowNanos();
+  uint64_t t_replicate_end = t_engine_end;
+  uint64_t t_persist_end = t_engine_end;
+
+  // Durability: a mutation carrying a durability framed extra blocks here
+  // until the requirement holds. The replicate and persist waits run (and
+  // are timed) separately against one shared deadline, so the response's
+  // phase breakdown attributes the stall to the right machinery.
+  wire::DurabilityFrame dur;
+  if (resp.status == wire::kSuccess && IsMutationOpcode(req.opcode) &&
+      wire::GetDurabilityFrame(req.framing, &dur) &&
+      (dur.replicate_to > 0 || dur.persist_to > 0)) {
+    uint64_t seqno = 0;
+    if (!wire::GetU64BE(resp.extras, 0, &seqno)) {
+      resp = ErrorResp(req, Status::Internal(
+                                "durable mutation response carries no seqno"));
+    } else {
+      const uint64_t timeout_ms =
+          dur.timeout_ms != 0 ? dur.timeout_ms : Durability{}.timeout_ms;
+      Status st = Status::OK();
+      if (dur.replicate_to > 0) {
+        Durability replicate_only;
+        replicate_only.replicate_to = dur.replicate_to;
+        replicate_only.persist_to = 0;
+        replicate_only.timeout_ms = timeout_ms;
+        st = cluster_->WaitForDurability(bucket_, req.vbucket, seqno,
+                                         replicate_only);
+      }
+      t_replicate_end = clock->NowNanos();
+      t_persist_end = t_replicate_end;
+      if (st.ok() && dur.persist_to > 0) {
+        const uint64_t spent_ms = (t_replicate_end - t_recv) / 1'000'000;
+        Durability persist_only;
+        persist_only.replicate_to = 0;
+        persist_only.persist_to = dur.persist_to;
+        persist_only.timeout_ms =
+            timeout_ms > spent_ms ? timeout_ms - spent_ms : 1;
+        st = cluster_->WaitForDurability(bucket_, req.vbucket, seqno,
+                                         persist_only);
+        t_persist_end = clock->NowNanos();
+      }
+      // The mutation itself succeeded; a failed durability wait reports the
+      // ambiguous outcome (typically Timeout) — the write may exist, its
+      // durability requirement was not met in time.
+      if (!st.ok()) resp = ErrorResp(req, st);
+    }
+  }
+
+  const uint64_t t_done = clock->NowNanos();
+  wire::ServerDuration sd;
+  sd.total_us = NanosToU32Micros(t_done - t_recv);
+  sd.dispatch_us = NanosToU32Micros(t_dispatch_end - t_recv);
+  sd.engine_us = NanosToU32Micros(t_engine_end - t_dispatch_end);
+  sd.replicate_us = NanosToU32Micros(t_replicate_end - t_engine_end);
+  sd.persist_us = NanosToU32Micros(t_persist_end - t_replicate_end);
+  // Only flex requesters understand flex responses; a classic client gets
+  // the exact frames it always got.
+  if (req.is_flex()) wire::PutServerDurationFrame(&resp.framing, sd);
+
+  stat_ops_->Add();
+  h_server_->Record(t_done - t_recv);
+  h_dispatch_->Record(t_dispatch_end - t_recv);
+  h_engine_->Record(t_engine_end - t_dispatch_end);
+  h_replicate_->Record(t_replicate_end - t_engine_end);
+  h_persist_->Record(t_persist_end - t_replicate_end);
+
+  if (rec != nullptr) {
+    stats::OpRecord r;
+    r.trace_id = tc.trace_id;
+    r.start_nanos = t_recv;
+    r.key_hash = Crc32(req.key);
+    r.total_us = sd.total_us;
+    r.dispatch_us = sd.dispatch_us;
+    r.engine_us = sd.engine_us;
+    r.replicate_us = sd.replicate_us;
+    r.persist_us = sd.persist_us;
+    r.vbucket = req.vbucket;
+    r.status = resp.status;
+    r.opcode = req.opcode;
+    rec->Record(r);
+    rec->EndOp(token);
+  }
+
+  const uint64_t threshold_us = trace::SlowOpThresholdUs();
+  if (threshold_us != 0 && sd.total_us >= threshold_us &&
+      COUCHKV_LOG_ENABLED(kWarn)) {
+    std::ostringstream msg;
+    msg << "slow wire op " << wire::OpcodeName(req.opcode) << " on node "
+        << node_id_ << " took " << sd.total_us << "us (dispatch="
+        << sd.dispatch_us << "us engine=" << sd.engine_us << "us replicate="
+        << sd.replicate_us << "us persist=" << sd.persist_us << "us)";
+    if (tc.trace_id != 0) {
+      msg << " trace=" << tc.trace_id;
+    }
+    if (rec != nullptr) {
+      msg << " flight-recorder tail: " << rec->ToJson(t_done, 4);
+    }
+    LOG_WARN << msg.str();
+  }
+  return resp;
+}
+
+wire::Message WireService::DispatchOpcode(const wire::Message& req) {
   switch (static_cast<wire::Opcode>(req.opcode)) {
     case wire::Opcode::kNoop: {
       // The SocketTransport heartbeat: an unhealthy-but-listening node must
@@ -59,6 +228,8 @@ wire::Message WireService::Handle(const wire::Message& req) {
       return HandleStat(req);
     case wire::Opcode::kGetClusterMap:
       return HandleClusterMap(req);
+    case wire::Opcode::kObserveTrace:
+      return HandleObserveTrace(req);
   }
   wire::Message resp = wire::Message::Resp(req, wire::kUnknownCommand);
   resp.value = "unknown opcode";
@@ -208,6 +379,31 @@ wire::Message WireService::HandleClusterMap(const wire::Message& req) {
   doc["active"] = json::Value::MakeArray(std::move(active));
   wire::Message resp = wire::Message::Resp(req, wire::kSuccess);
   resp.value = json::Value::MakeObject(std::move(doc)).ToJson();
+  return resp;
+}
+
+wire::Message WireService::HandleObserveTrace(const wire::Message& req) {
+  Node* n = cluster_->node(node_id_);
+  if (n == nullptr || !n->healthy()) {
+    return ErrorResp(req, Status::TempFail("node is down"));
+  }
+  // Key: empty = whole recorder; otherwise a decimal trace id to filter by.
+  uint64_t filter = 0;
+  if (!req.key.empty()) {
+    char* end = nullptr;
+    filter = std::strtoull(req.key.c_str(), &end, 10);
+    if (end == req.key.c_str() || *end != '\0' || filter == 0) {
+      return ErrorResp(req, Status::InvalidArgument(
+                                "OBSERVE_TRACE key must be a decimal "
+                                "trace id (or empty for all)"));
+    }
+  }
+  const std::string dump = n->flight_recorder()->ToJson(
+      n->clock()->NowNanos(), /*max_records=*/0, filter);
+  wire::Message resp = wire::Message::Resp(req, wire::kSuccess);
+  // Splice the node id into the recorder's {"completed":... object.
+  resp.value =
+      "{\"node\":" + std::to_string(node_id_) + "," + dump.substr(1);
   return resp;
 }
 

@@ -1,8 +1,9 @@
 // The per-node wire front-end: maps each decoded binary-protocol request to
 // the node's KV API and packs the result back into a response frame. One
 // WireService instance backs one node's TcpServer; it is stateless beyond
-// the cluster/node pointers, so handler threads need no synchronization of
-// their own (the Node API is already thread-safe).
+// the cluster/node pointers and pre-resolved metric handles, so handler
+// threads need no synchronization of their own (the Node API is already
+// thread-safe).
 //
 // Extras layouts (all big-endian, mirroring the memcached binary protocol):
 //   SET/ADD/REPLACE request ... 8 bytes: flags u32, expiry u32
@@ -13,13 +14,28 @@
 // STAT carries the group filter in the key and returns the snapshot as a
 // JSON object in the value. GET_CLUSTER_MAP carries the bucket name in the
 // key and returns the routing document described in DESIGN.md.
+// OBSERVE_TRACE carries an optional decimal trace-id filter in the key and
+// returns this node's flight-recorder dump as JSON.
+//
+// Tracing: every request is timed against the node's Clock into a
+// dispatch / engine / replicate / persist phase breakdown, recorded in the
+// node's flight recorder, and — when the request was a flex frame — shipped
+// back in a server-duration framed extra. A trace-context framed extra on
+// the request tags the recorder entry and becomes the thread's ambient
+// trace for the duration of the op (nested spans and outbound transport
+// hops join it). A durability framed extra on a mutation blocks the
+// response until the requirement holds, with the replicate and persist
+// waits timed separately.
 #ifndef COUCHKV_CLUSTER_WIRE_SERVICE_H_
 #define COUCHKV_CLUSTER_WIRE_SERVICE_H_
 
+#include <memory>
 #include <string>
 
 #include "cluster/cluster.h"
+#include "net/tcp_server.h"
 #include "net/wire/wire.h"
+#include "stats/registry.h"
 
 namespace couchkv::cluster {
 
@@ -35,9 +51,14 @@ class WireService {
   // The TcpServer handler: one request frame in, one response frame out.
   // Never throws and never blocks indefinitely; unknown opcodes come back
   // as kUnknownCommand rather than dropping the connection.
-  net::wire::Message Handle(const net::wire::Message& req);
+  net::wire::Message Handle(const net::wire::Message& req,
+                            const net::RequestContext& ctx);
 
  private:
+  // The opcode switch (the engine phase). Pure dispatch: no timing, no
+  // durability — Handle wraps it with both.
+  net::wire::Message DispatchOpcode(const net::wire::Message& req);
+
   net::wire::Message HandleGet(const net::wire::Message& req, bool lock);
   net::wire::Message HandleMutation(const net::wire::Message& req);
   net::wire::Message HandleDelete(const net::wire::Message& req);
@@ -45,10 +66,22 @@ class WireService {
   net::wire::Message HandleTouch(const net::wire::Message& req);
   net::wire::Message HandleStat(const net::wire::Message& req);
   net::wire::Message HandleClusterMap(const net::wire::Message& req);
+  net::wire::Message HandleObserveTrace(const net::wire::Message& req);
 
   Cluster* cluster_;
   const NodeId node_id_;
   const std::string bucket_;
+
+  // Per-node wire metrics, registered in the node's "node.<id>" scope so a
+  // wire STAT (group "wire") returns them. The shared_ptr pins the scope's
+  // storage even if the node object goes away mid-request.
+  std::shared_ptr<stats::Scope> node_scope_;
+  stats::Counter* stat_ops_ = nullptr;
+  Histogram* h_server_ = nullptr;     // total server-side nanos
+  Histogram* h_dispatch_ = nullptr;   // socket read -> engine call
+  Histogram* h_engine_ = nullptr;     // KV engine
+  Histogram* h_replicate_ = nullptr;  // durable ops: replicate-ack wait
+  Histogram* h_persist_ = nullptr;    // durable ops: persistence wait
 };
 
 }  // namespace couchkv::cluster

@@ -9,6 +9,8 @@
 #include <cerrno>
 #include <cstring>
 
+#include "stats/trace.h"
+
 namespace couchkv::net {
 
 namespace {
@@ -175,6 +177,18 @@ Status SocketTransport::ConnectLocked(Conn* conn, uint16_t port) {
 Status SocketTransport::RoundTrip(Conn* conn, uint32_t node_id) {
   wire::Message req = wire::Message::Req(wire::Opcode::kNoop);
   req.opaque = next_opaque_.fetch_add(1, std::memory_order_relaxed);
+  // When this hop runs under an ambient trace (a server handler working on
+  // a traced op, or a traced client call stack), ship the context so the
+  // peer's flight recorder tags the hop with the same trace id — cross-node
+  // legs join the trace instead of appearing as anonymous NOOPs.
+  trace::TraceContext tc = trace::CurrentTrace();
+  if (tc.valid()) {
+    wire::TraceFrame tf;
+    tf.trace_id = tc.trace_id;
+    tf.parent_span_id = tc.parent_span_id;
+    tf.flags = tc.flags;
+    wire::PutTraceFrame(&req.framing, tf);
+  }
   std::string bytes;
   COUCHKV_RETURN_IF_ERROR(wire::Encode(req, &bytes));
   if (!SendAll(conn->fd, bytes.data(), bytes.size())) {

@@ -36,12 +36,23 @@ bool SendAll(int fd, const char* data, size_t n) {
 
 TcpServer::TcpServer(Handler handler, Options opts)
     : handler_(std::move(handler)), opts_(opts) {
+  if (opts_.clock == nullptr) opts_.clock = Clock::Real();
   scope_ = stats::Registry::Global().GetScope("wire");
   stat_accepted_ = scope_->GetCounter("server.connections");
   stat_frames_ = scope_->GetCounter("server.frames");
   stat_protocol_errors_ = scope_->GetCounter("server.protocol_errors");
   stat_bytes_in_ = scope_->GetCounter("server.bytes_in");
   stat_bytes_out_ = scope_->GetCounter("server.bytes_out");
+  stat_rx_bytes_ = scope_->GetCounter("rx_bytes");
+  stat_tx_bytes_ = scope_->GetCounter("tx_bytes");
+  stats::Counter* unknown = scope_->GetCounter("ops.UNKNOWN");
+  for (int op = 0; op < 256; ++op) {
+    const uint8_t code = static_cast<uint8_t>(op);
+    stat_ops_[op] = wire::IsKnownOpcode(code)
+                        ? scope_->GetCounter(std::string("ops.") +
+                                             wire::OpcodeName(code))
+                        : unknown;
+  }
 }
 
 TcpServer::~TcpServer() { Stop(); }
@@ -163,6 +174,9 @@ void TcpServer::ConnLoop(Conn* conn) {
     if (n < 0 && errno == EINTR) continue;
     if (n <= 0) break;  // EOF or error: peer is gone
     stat_bytes_in_->Add(static_cast<uint64_t>(n));
+    stat_rx_bytes_->Add(static_cast<uint64_t>(n));
+    RequestContext ctx;
+    ctx.received_nanos = opts_.clock->NowNanos();
     decoder.Feed(std::string_view(buf, static_cast<size_t>(n)));
     for (;;) {
       wire::Message req;
@@ -188,7 +202,8 @@ void TcpServer::ConnLoop(Conn* conn) {
         alive = false;
         break;
       }
-      wire::Message resp = handler_(req);
+      stat_ops_[req.opcode]->Add();
+      wire::Message resp = handler_(req, ctx);
       resp.opaque = req.opaque;  // the handler never re-correlates frames
       frames_total_.fetch_add(1, std::memory_order_relaxed);
       stat_frames_->Add();
@@ -204,6 +219,7 @@ void TcpServer::ConnLoop(Conn* conn) {
         break;
       }
       stat_bytes_out_->Add(bytes.size());
+      stat_tx_bytes_->Add(bytes.size());
     }
   }
   ::shutdown(conn->fd, SHUT_RDWR);

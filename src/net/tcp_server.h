@@ -17,6 +17,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/clock.h"
 #include "common/status.h"
 #include "common/synchronization.h"
 #include "net/wire/wire.h"
@@ -31,13 +32,29 @@ struct TcpServerOptions {
   uint16_t port = 0;
   int backlog = 128;
   uint32_t max_frame_body = wire::kMaxBodyLen;
+  // Clock for request receive stamps (null = Clock::Real()). A node passes
+  // its own clock so the handler's phase math and the receive stamp share
+  // one time base (deterministic under ManualClock).
+  Clock* clock = nullptr;
+};
+
+// Per-request server-side context handed to the handler alongside the
+// decoded frame.
+struct RequestContext {
+  // Clock stamp of the recv(2) that completed this frame. For pipelined
+  // bursts every frame in the burst shares the stamp of the read that
+  // delivered it, so a frame's dispatch phase includes its in-order queueing
+  // behind earlier frames on the same connection — real head-of-line time,
+  // not just decode cost.
+  uint64_t received_nanos = 0;
 };
 
 class TcpServer {
  public:
   // Maps one decoded request to its response. Runs on the connection's
   // thread; must be thread-safe across connections.
-  using Handler = std::function<wire::Message(const wire::Message&)>;
+  using Handler =
+      std::function<wire::Message(const wire::Message&, const RequestContext&)>;
   using Options = TcpServerOptions;
 
   explicit TcpServer(Handler handler, Options opts = {});
@@ -109,6 +126,13 @@ class TcpServer {
   stats::Counter* stat_protocol_errors_ = nullptr;
   stats::Counter* stat_bytes_in_ = nullptr;
   stats::Counter* stat_bytes_out_ = nullptr;
+  // Satellite names for the same byte totals (wire.rx_bytes/tx_bytes) plus
+  // one wire.ops.<NAME> counter per opcode, resolved once at construction so
+  // the per-frame increment is a single relaxed add. Unknown opcodes share
+  // the ops.UNKNOWN slot.
+  stats::Counter* stat_rx_bytes_ = nullptr;
+  stats::Counter* stat_tx_bytes_ = nullptr;
+  stats::Counter* stat_ops_[256] = {};
 };
 
 }  // namespace couchkv::net

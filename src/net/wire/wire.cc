@@ -43,6 +43,7 @@ bool IsKnownOpcode(uint8_t op) {
     case Opcode::kGetLocked:
     case Opcode::kUnlockKey:
     case Opcode::kGetClusterMap:
+    case Opcode::kObserveTrace:
       return true;
   }
   return false;
@@ -61,6 +62,7 @@ const char* OpcodeName(uint8_t op) {
     case Opcode::kGetLocked: return "GETL";
     case Opcode::kUnlockKey: return "UNLOCK";
     case Opcode::kGetClusterMap: return "GET_CLUSTER_MAP";
+    case Opcode::kObserveTrace: return "OBSERVE_TRACE";
   }
   return "UNKNOWN";
 }
@@ -112,26 +114,45 @@ Status StatusFromWire(uint16_t status, std::string message) {
 }
 
 Status Encode(const Message& m, std::string* out) {
+  const bool is_response =
+      m.magic == kMagicResponse || m.magic == kMagicFlexResponse;
+  const bool flex = !m.framing.empty() || m.is_flex();
   if (m.key.size() > UINT16_MAX) {
     return Status::InvalidArgument("wire: key exceeds 64KiB");
   }
   if (m.extras.size() > UINT8_MAX) {
     return Status::InvalidArgument("wire: extras exceed 255 bytes");
   }
-  uint64_t body = m.extras.size() + m.key.size() + m.value.size();
+  if (flex && m.key.size() > UINT8_MAX) {
+    return Status::InvalidArgument("wire: flex frame key exceeds 255 bytes");
+  }
+  if (m.framing.size() > UINT8_MAX) {
+    return Status::InvalidArgument("wire: framing extras exceed 255 bytes");
+  }
+  uint64_t body =
+      m.framing.size() + m.extras.size() + m.key.size() + m.value.size();
   if (body > kMaxBodyLen) {
     return Status::InvalidArgument("wire: body exceeds kMaxBodyLen");
   }
   out->reserve(out->size() + kHeaderSize + body);
-  out->push_back(static_cast<char>(m.magic));
-  out->push_back(static_cast<char>(m.opcode));
-  PutU16BE(out, static_cast<uint16_t>(m.key.size()));
+  if (flex) {
+    out->push_back(static_cast<char>(is_response ? kMagicFlexResponse
+                                                 : kMagicFlexRequest));
+    out->push_back(static_cast<char>(m.opcode));
+    out->push_back(static_cast<char>(m.framing.size()));
+    out->push_back(static_cast<char>(m.key.size()));
+  } else {
+    out->push_back(static_cast<char>(m.magic));
+    out->push_back(static_cast<char>(m.opcode));
+    PutU16BE(out, static_cast<uint16_t>(m.key.size()));
+  }
   out->push_back(static_cast<char>(m.extras.size()));
   out->push_back(0);  // data type
-  PutU16BE(out, m.magic == kMagicResponse ? m.status : m.vbucket);
+  PutU16BE(out, is_response ? m.status : m.vbucket);
   PutU32BE(out, static_cast<uint32_t>(body));
   PutU32BE(out, m.opaque);
   PutU64BE(out, m.cas);
+  out->append(m.framing);
   out->append(m.extras);
   out->append(m.key);
   out->append(m.value);
@@ -169,6 +190,90 @@ bool GetMutationExtras(std::string_view extras, uint32_t* flags,
          GetU32BE(extras, 4, expiry);
 }
 
+namespace {
+
+// Scans the TLV stream for `tag`, skipping unknown entries, and points
+// `payload` at its bytes. False when absent or the stream is truncated.
+bool FindFrameTag(std::string_view framing, uint8_t tag,
+                  std::string_view* payload) {
+  size_t pos = 0;
+  while (pos + 2 <= framing.size()) {
+    const uint8_t t = static_cast<uint8_t>(framing[pos]);
+    const uint8_t len = static_cast<uint8_t>(framing[pos + 1]);
+    if (pos + 2 + len > framing.size()) return false;  // truncated entry
+    if (t == tag) {
+      *payload = framing.substr(pos + 2, len);
+      return true;
+    }
+    pos += 2 + len;
+  }
+  return false;
+}
+
+void AppendFrameTag(std::string* framing, uint8_t tag,
+                    std::string_view payload) {
+  framing->push_back(static_cast<char>(tag));
+  framing->push_back(static_cast<char>(payload.size()));
+  framing->append(payload);
+}
+
+}  // namespace
+
+void PutTraceFrame(std::string* framing, const TraceFrame& t) {
+  std::string payload;
+  PutU64BE(&payload, t.trace_id);
+  PutU32BE(&payload, t.parent_span_id);
+  PutU32BE(&payload, t.flags);
+  AppendFrameTag(framing, kFrameTagTraceContext, payload);
+}
+
+bool GetTraceFrame(std::string_view framing, TraceFrame* t) {
+  std::string_view p;
+  if (!FindFrameTag(framing, kFrameTagTraceContext, &p) || p.size() != 16) {
+    return false;
+  }
+  return GetU64BE(p, 0, &t->trace_id) && GetU32BE(p, 8, &t->parent_span_id) &&
+         GetU32BE(p, 12, &t->flags);
+}
+
+void PutDurabilityFrame(std::string* framing, const DurabilityFrame& d) {
+  std::string payload;
+  payload.push_back(static_cast<char>(d.replicate_to));
+  payload.push_back(static_cast<char>(d.persist_to));
+  PutU32BE(&payload, d.timeout_ms);
+  AppendFrameTag(framing, kFrameTagDurability, payload);
+}
+
+bool GetDurabilityFrame(std::string_view framing, DurabilityFrame* d) {
+  std::string_view p;
+  if (!FindFrameTag(framing, kFrameTagDurability, &p) || p.size() != 6) {
+    return false;
+  }
+  d->replicate_to = static_cast<uint8_t>(p[0]);
+  d->persist_to = static_cast<uint8_t>(p[1]);
+  return GetU32BE(p, 2, &d->timeout_ms);
+}
+
+void PutServerDurationFrame(std::string* framing, const ServerDuration& d) {
+  std::string payload;
+  PutU32BE(&payload, d.total_us);
+  PutU32BE(&payload, d.dispatch_us);
+  PutU32BE(&payload, d.engine_us);
+  PutU32BE(&payload, d.replicate_us);
+  PutU32BE(&payload, d.persist_us);
+  AppendFrameTag(framing, kFrameTagServerDuration, payload);
+}
+
+bool GetServerDurationFrame(std::string_view framing, ServerDuration* d) {
+  std::string_view p;
+  if (!FindFrameTag(framing, kFrameTagServerDuration, &p) || p.size() != 20) {
+    return false;
+  }
+  return GetU32BE(p, 0, &d->total_us) && GetU32BE(p, 4, &d->dispatch_us) &&
+         GetU32BE(p, 8, &d->engine_us) && GetU32BE(p, 12, &d->replicate_us) &&
+         GetU32BE(p, 16, &d->persist_us);
+}
+
 FrameDecoder::Result FrameDecoder::Next(Message* out, Status* error) {
   if (poisoned_) {
     *error = Status::ParseError("wire: decoder poisoned by earlier error");
@@ -185,7 +290,15 @@ FrameDecoder::Result FrameDecoder::Next(Message* out, Status* error) {
   const char* h = buf_.data() + pos_;
   const uint8_t magic = static_cast<uint8_t>(h[0]);
   const uint8_t opcode = static_cast<uint8_t>(h[1]);
-  const uint16_t key_len = GetU16BE(h + 2);
+  // The flex twin of the expected classic magic is equally welcome; it only
+  // changes how bytes 2-3 split into framing/key lengths.
+  const uint8_t flex_magic = expected_magic_ == kMagicRequest
+                                 ? kMagicFlexRequest
+                                 : kMagicFlexResponse;
+  const bool flex = magic == flex_magic;
+  const uint16_t key_len =
+      flex ? static_cast<uint8_t>(h[3]) : GetU16BE(h + 2);
+  const uint8_t framing_len = flex ? static_cast<uint8_t>(h[2]) : 0;
   const uint8_t ext_len = static_cast<uint8_t>(h[4]);
   const uint8_t data_type = static_cast<uint8_t>(h[5]);
   const uint16_t vb_or_status = GetU16BE(h + 6);
@@ -196,7 +309,7 @@ FrameDecoder::Result FrameDecoder::Next(Message* out, Status* error) {
   // Validate everything derivable from the header before waiting for the
   // body: a corrupt length field must not stall the connection (or balloon
   // the buffer) waiting for bytes that will never come.
-  if (magic != expected_magic_) {
+  if (magic != expected_magic_ && !flex) {
     poisoned_ = true;
     *error = Status::ParseError("wire: bad magic byte");
     return Result::kError;
@@ -211,7 +324,7 @@ FrameDecoder::Result FrameDecoder::Next(Message* out, Status* error) {
     *error = Status::InvalidArgument("wire: body length exceeds limit");
     return Result::kError;
   }
-  if (static_cast<uint32_t>(key_len) + ext_len > body_len) {
+  if (static_cast<uint32_t>(key_len) + ext_len + framing_len > body_len) {
     poisoned_ = true;
     *error = Status::InvalidArgument("wire: extras+key exceed body length");
     return Result::kError;
@@ -221,7 +334,7 @@ FrameDecoder::Result FrameDecoder::Next(Message* out, Status* error) {
   const char* body = h + kHeaderSize;
   out->magic = magic;
   out->opcode = opcode;
-  if (magic == kMagicResponse) {
+  if (expected_magic_ == kMagicResponse) {
     out->status = vb_or_status;
     out->vbucket = 0;
   } else {
@@ -230,9 +343,11 @@ FrameDecoder::Result FrameDecoder::Next(Message* out, Status* error) {
   }
   out->opaque = opaque;
   out->cas = cas;
-  out->extras.assign(body, ext_len);
-  out->key.assign(body + ext_len, key_len);
-  out->value.assign(body + ext_len + key_len, body_len - ext_len - key_len);
+  out->framing.assign(body, framing_len);
+  out->extras.assign(body + framing_len, ext_len);
+  out->key.assign(body + framing_len + ext_len, key_len);
+  out->value.assign(body + framing_len + ext_len + key_len,
+                    body_len - framing_len - ext_len - key_len);
   pos_ += kHeaderSize + body_len;
   return Result::kFrame;
 }

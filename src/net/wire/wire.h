@@ -24,6 +24,20 @@
 // total body length = extras length + key length + value length. A decoder
 // rejects (never crashes on) any violation: wrong magic, nonzero data type,
 // body longer than kMaxBodyLen, or extras+key exceeding the body.
+//
+// Framed extras (memcached "flexible framing"): the alternative magics 0x08
+// (request) / 0x18 (response) re-purpose the header's key-length field:
+//
+//   offset  size  flex request       flex response
+//   2       1     framing extras len framing extras len
+//   3       1     key length         key length
+//
+// and the body becomes framing-extras + extras + key + value. The framing
+// area is a sequence of TLV entries (1-byte tag, 1-byte length, payload);
+// unknown tags are skipped, so either side may add entries without breaking
+// the other — that is the whole point. Classic-magic frames remain valid
+// forever: a server answers classic with classic and flex with flex, so an
+// old client never sees a magic it does not know.
 #ifndef COUCHKV_NET_WIRE_WIRE_H_
 #define COUCHKV_NET_WIRE_WIRE_H_
 
@@ -37,6 +51,11 @@ namespace couchkv::net::wire {
 
 constexpr uint8_t kMagicRequest = 0x80;
 constexpr uint8_t kMagicResponse = 0x81;
+// Flexible-framing twins of the classic magics (memcached alt-magic
+// numbering). A flex frame carries a framed-extras area before the regular
+// extras; everything else is unchanged.
+constexpr uint8_t kMagicFlexRequest = 0x08;
+constexpr uint8_t kMagicFlexResponse = 0x18;
 constexpr size_t kHeaderSize = 24;
 
 // Upper bound on total body length (extras + key + value). Couchbase caps
@@ -61,6 +80,7 @@ enum class Opcode : uint8_t {
   kGetLocked = 0x94,   // GETL: pessimistic lock (paper §3.1.1)
   kUnlockKey = 0x95,
   kGetClusterMap = 0xb5,  // vBucket map + node wire ports, JSON body
+  kObserveTrace = 0xb6,   // flight-recorder dump, JSON body (key = trace id)
 };
 
 bool IsKnownOpcode(uint8_t op);
@@ -106,11 +126,20 @@ struct Message {
   uint16_t status = 0;   // responses only
   uint32_t opaque = 0;
   uint64_t cas = 0;
+  // Framed-extras TLV area (see the frame helpers below). Non-empty framing
+  // makes Encode emit the flex magic; a decoded classic frame leaves it
+  // empty.
+  std::string framing;
   std::string extras;
   std::string key;
   std::string value;
 
-  bool is_request() const { return magic == kMagicRequest; }
+  bool is_request() const {
+    return magic == kMagicRequest || magic == kMagicFlexRequest;
+  }
+  bool is_flex() const {
+    return magic == kMagicFlexRequest || magic == kMagicFlexResponse;
+  }
 
   static Message Req(Opcode op) {
     Message m;
@@ -130,7 +159,59 @@ struct Message {
 
 // Appends the framed message to `out`. InvalidArgument when a field exceeds
 // the protocol's limits (key > 64 KiB, extras > 255 B, body > kMaxBodyLen).
+// Messages with a non-empty `framing` area are emitted with the flex magic
+// (framing > 255 B or key > 255 B is InvalidArgument there — both length
+// fields shrink to one byte).
 Status Encode(const Message& m, std::string* out);
+
+// --- Framed-extras entries -----------------------------------------------
+// Each entry is tag (1 B), payload length (1 B), payload. Readers scan for
+// the tag they want and skip everything else, so new tags never break old
+// peers.
+constexpr uint8_t kFrameTagTraceContext = 0x01;
+constexpr uint8_t kFrameTagDurability = 0x02;
+constexpr uint8_t kFrameTagServerDuration = 0x03;
+
+// Trace context, 16-byte payload: trace id u64, parent span id u32,
+// flags u32. Rides requests; the serving side tags its flight-recorder
+// entry (and any onward hops) with the same trace id.
+struct TraceFrame {
+  uint64_t trace_id = 0;
+  uint32_t parent_span_id = 0;
+  uint32_t flags = 0;
+};
+
+// Durability requirement, 6-byte payload: replicate_to u8, persist_to u8,
+// timeout_ms u32. Rides mutation requests; the server blocks the response
+// until the requirement holds (or times out), the way Couchbase carries
+// sync-writes in a framing entry.
+struct DurabilityFrame {
+  uint8_t replicate_to = 0;
+  uint8_t persist_to = 0;
+  uint32_t timeout_ms = 0;
+};
+
+// Server-reported duration, 20-byte payload: five u32 microsecond fields.
+// Rides responses to flex requests. Phases sum to <= total (the remainder
+// is response packing); a phase that did not run reports 0.
+struct ServerDuration {
+  uint32_t total_us = 0;
+  uint32_t dispatch_us = 0;   // socket read -> engine call
+  uint32_t engine_us = 0;     // KV engine (hash table + front-end)
+  uint32_t replicate_us = 0;  // DCP replicate-ack wait (durable ops)
+  uint32_t persist_us = 0;    // flusher persistence wait (durable ops)
+};
+
+// Appends one TLV entry. Put* never fails (payloads are fixed-size and tiny);
+// Get* scans the framing area for its tag, skipping unknown entries, and
+// returns false when the tag is absent, its payload has the wrong size, or
+// the TLV stream is truncated.
+void PutTraceFrame(std::string* framing, const TraceFrame& t);
+bool GetTraceFrame(std::string_view framing, TraceFrame* t);
+void PutDurabilityFrame(std::string* framing, const DurabilityFrame& d);
+bool GetDurabilityFrame(std::string_view framing, DurabilityFrame* d);
+void PutServerDurationFrame(std::string* framing, const ServerDuration& d);
+bool GetServerDurationFrame(std::string_view framing, ServerDuration* d);
 
 // --- Big-endian field helpers (for extras payloads) ---
 void PutU32BE(std::string* out, uint32_t v);
@@ -159,7 +240,8 @@ class FrameDecoder {
   enum class Result { kNeedMore, kFrame, kError };
 
   // `expected_magic`: kMagicRequest on the server side, kMagicResponse on
-  // the client side. A frame with the other magic is a protocol error.
+  // the client side. The matching flex magic is accepted too (0x08 for
+  // 0x80, 0x18 for 0x81); any other magic is a protocol error.
   explicit FrameDecoder(uint8_t expected_magic,
                         uint32_t max_body = kMaxBodyLen)
       : expected_magic_(expected_magic), max_body_(max_body) {}

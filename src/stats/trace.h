@@ -21,6 +21,40 @@ namespace couchkv::trace {
 uint64_t SlowOpThresholdUs();
 void SetSlowOpThresholdUs(uint64_t us);
 
+// The distributed trace context that rides wire frames (the 16-byte framed
+// extra): which end-to-end operation this work belongs to. trace_id 0 means
+// "no trace" everywhere.
+struct TraceContext {
+  uint64_t trace_id = 0;
+  uint32_t parent_span_id = 0;
+  uint32_t flags = 0;
+
+  bool valid() const { return trace_id != 0; }
+};
+
+// Process-wide span-id source (never returns 0).
+uint32_t NextSpanId();
+
+// The ambient trace for the calling thread: what a server handler installs
+// before diving into the engine so that nested spans and outbound
+// SocketTransport hops can tag themselves without threading a context
+// parameter through every KV signature. Zero-valued when no trace is active.
+TraceContext CurrentTrace();
+
+// RAII installer for the thread-local ambient trace; restores the previous
+// context on destruction, so nested scopes (a server handler that itself
+// issues traced calls) unwind correctly.
+class ScopedTrace {
+ public:
+  explicit ScopedTrace(const TraceContext& ctx);
+  ScopedTrace(const ScopedTrace&) = delete;
+  ScopedTrace& operator=(const ScopedTrace&) = delete;
+  ~ScopedTrace();
+
+ private:
+  TraceContext prev_;
+};
+
 class Span {
  public:
   // `op` must be a string literal (e.g. "kv.set"). `latency` may be null.
@@ -39,11 +73,17 @@ class Span {
 
   uint64_t elapsed_nanos() const;
 
+  // The ambient trace id captured at construction (0 = untraced). Slow-op
+  // WARN lines carry it so a server-side stall can be joined to the wire
+  // trace that suffered it.
+  uint64_t trace_id() const { return trace_id_; }
+
  private:
   static constexpr int kMaxPhases = 8;
 
   const char* op_;
   Histogram* latency_;
+  uint64_t trace_id_;
   uint64_t start_;
   uint64_t finished_ = 0;  // 0 = still open
   int num_phases_ = 0;

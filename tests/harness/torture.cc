@@ -113,8 +113,19 @@ std::unique_ptr<client::SmartClient> TortureDriver::MakeCheckClient() {
 
 std::string TortureDriver::StatsDump() const {
   stats::Snapshot now = stats::Registry::Global().Collect();
-  return "\n--- registry delta since driver construction ---\n" +
-         stats::DebugString(stats::Delta(start_stats_, now));
+  std::string out = "\n--- registry delta since driver construction ---\n" +
+                    stats::DebugString(stats::Delta(start_stats_, now));
+  // Each live node's flight-recorder tail: the last wire ops it actually
+  // served, with phase timings and trace ids — usually the fastest way to
+  // see what the cluster was doing when an invariant broke.
+  for (cluster::NodeId id : cluster_->node_ids()) {
+    cluster::Node* n = cluster_->node(id);
+    if (n == nullptr) continue;
+    out += "\n--- node " + std::to_string(id) + " flight recorder ---\n";
+    out += n->flight_recorder()->ToJson(n->clock()->NowNanos(),
+                                        /*max_records=*/8);
+  }
+  return out;
 }
 
 int TortureDriver::AnchorIndex(const std::vector<WriteRecord>& h) const {

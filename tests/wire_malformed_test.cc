@@ -179,9 +179,10 @@ TEST(WireMalformed, SeededByteMutationFuzzOverDecoder) {
 class WireSocketAbuseTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    server_ = std::make_unique<net::TcpServer>([](const wire::Message& req) {
-      return wire::Message::Resp(req, wire::kSuccess);
-    });
+    server_ = std::make_unique<net::TcpServer>(
+        [](const wire::Message& req, const net::RequestContext&) {
+          return wire::Message::Resp(req, wire::kSuccess);
+        });
     ASSERT_TRUE(server_->Start().ok());
     ASSERT_NE(server_->port(), 0);
   }

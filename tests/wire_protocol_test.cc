@@ -105,7 +105,7 @@ TEST(WireCodec, EveryOpcodeRoundTrips) {
       wire::Opcode::kDelete,    wire::Opcode::kNoop,
       wire::Opcode::kStat,      wire::Opcode::kTouch,
       wire::Opcode::kGetLocked, wire::Opcode::kUnlockKey,
-      wire::Opcode::kGetClusterMap,
+      wire::Opcode::kGetClusterMap, wire::Opcode::kObserveTrace,
   };
   uint32_t opaque = 100;
   for (wire::Opcode op : kOps) {
@@ -455,7 +455,7 @@ TEST_F(WireConformanceTest, DoubleBindFailsLoudly) {
   // taken must fail the Start, not silently coexist with the first
   // listener.
   net::TcpServer dup(
-      [](const wire::Message& req) {
+      [](const wire::Message& req, const net::RequestContext&) {
         return wire::Message::Resp(req, wire::kSuccess);
       },
       net::TcpServerOptions{.port = ports_[0]});

@@ -54,6 +54,11 @@ struct Config {
   bool zipfian = true;
   bool preload = true;
   uint64_t seed = 42;
+  // Durability attached to every write: "R,P" = replicate_to R, persist_to
+  // P (0,0 = memory-ack only). Writes then stall in the server's
+  // replicate/persist phases, which the server-side percentiles expose.
+  uint32_t replicate_to = 0;
+  uint32_t persist_to = 0;
   std::string name = "wire_loadgen";
 };
 
@@ -63,7 +68,7 @@ void Usage(const char* argv0) {
       "usage: %s [--connect P1,P2,...] [--nodes N] [--bucket NAME]\n"
       "  [--threads T] [--duration-s S] [--target-ops R] [--keys K]\n"
       "  [--value-size B] [--read-pct P] [--dist zipfian|uniform]\n"
-      "  [--no-preload] [--seed S] [--name NAME]\n",
+      "  [--no-preload] [--seed S] [--durability R,P] [--name NAME]\n",
       argv0);
   std::exit(2);
 }
@@ -117,6 +122,14 @@ Config ParseArgs(int argc, char** argv) {
       cfg.preload = false;
     } else if (std::strcmp(argv[i], "--seed") == 0) {
       cfg.seed = std::strtoull(next("--seed"), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--durability") == 0) {
+      std::string spec = next("--durability");
+      size_t comma = spec.find(',');
+      if (comma == std::string::npos) Usage(argv[0]);
+      cfg.replicate_to =
+          static_cast<uint32_t>(std::atoi(spec.substr(0, comma).c_str()));
+      cfg.persist_to =
+          static_cast<uint32_t>(std::atoi(spec.substr(comma + 1).c_str()));
     } else if (std::strcmp(argv[i], "--name") == 0) {
       cfg.name = next("--name");
     } else {
@@ -180,6 +193,13 @@ int main(int argc, char** argv) {
   auto scope = couchkv::stats::Registry::Global().GetScope("loadgen");
   couchkv::Histogram* read_ns = scope->GetHistogram("read_ns");
   couchkv::Histogram* write_ns = scope->GetHistogram("write_ns");
+  // Server-reported duration (from the response's framed extra) and the
+  // derived client-minus-server remainder: what the network + client-side
+  // queueing cost on top of the server's own work.
+  couchkv::Histogram* read_server_ns = scope->GetHistogram("read_server_ns");
+  couchkv::Histogram* write_server_ns = scope->GetHistogram("write_server_ns");
+  couchkv::Histogram* read_net_ns = scope->GetHistogram("read_net_ns");
+  couchkv::Histogram* write_net_ns = scope->GetHistogram("write_net_ns");
   couchkv::stats::Counter* errors = scope->GetCounter("errors");
 
   couchkv::bench::BenchReporter reporter(cfg.name);
@@ -222,20 +242,29 @@ int main(int argc, char** argv) {
         std::string key = KeyFor(k);
         bool is_read = rng.Uniform(100) < static_cast<uint64_t>(cfg.read_pct);
         Status st = Status::OK();
+        uint64_t server_ns = 0;
         if (is_read) {
           auto r = client.Get(key);
           // A read of a never-written key under --no-preload is load, not
           // an error.
           st = r.ok() || r.status().IsNotFound() ? Status::OK() : r.status();
+          if (r.ok()) server_ns = uint64_t{r->server.total_us} * 1000;
         } else {
-          auto r = client.Upsert(key, value);
+          couchkv::client::WriteOptions wopts;
+          wopts.durability.replicate_to = cfg.replicate_to;
+          wopts.durability.persist_to = cfg.persist_to;
+          auto r = client.Upsert(key, value, wopts);
           st = r.ok() ? Status::OK() : r.status();
+          if (r.ok()) server_ns = uint64_t{r->server.total_us} * 1000;
         }
         uint64_t latency = clock->NowNanos() - op_start;
         if (!st.ok()) {
           errors->Add();
         } else {
           (is_read ? read_ns : write_ns)->Record(latency);
+          (is_read ? read_server_ns : write_server_ns)->Record(server_ns);
+          (is_read ? read_net_ns : write_net_ns)
+              ->Record(latency > server_ns ? latency - server_ns : 0);
           total_ops.fetch_add(1, std::memory_order_relaxed);
         }
         ++issued;
@@ -264,12 +293,28 @@ int main(int argc, char** argv) {
   row["duration_s"] = couchkv::json::Value::Number(elapsed_s);
   row["errors"] =
       couchkv::json::Value::Int(static_cast<int64_t>(errors->Value()));
+  row["durability"] = couchkv::json::Value::Str(
+      std::to_string(cfg.replicate_to) + "," + std::to_string(cfg.persist_to));
   row["read"] =
       couchkv::bench::BenchReporter::LatencySummary(
           reporter.HistDelta("loadgen.read_ns"));
   row["write"] =
       couchkv::bench::BenchReporter::LatencySummary(
           reporter.HistDelta("loadgen.write_ns"));
+  // Three views of the same ops: end-to-end from the client, the server's
+  // own accounting, and the difference (network + queue).
+  row["read_server"] =
+      couchkv::bench::BenchReporter::LatencySummary(
+          reporter.HistDelta("loadgen.read_server_ns"));
+  row["write_server"] =
+      couchkv::bench::BenchReporter::LatencySummary(
+          reporter.HistDelta("loadgen.write_server_ns"));
+  row["read_net"] =
+      couchkv::bench::BenchReporter::LatencySummary(
+          reporter.HistDelta("loadgen.read_net_ns"));
+  row["write_net"] =
+      couchkv::bench::BenchReporter::LatencySummary(
+          reporter.HistDelta("loadgen.write_net_ns"));
   reporter.AddRow(couchkv::json::Value::MakeObject(std::move(row)));
   if (!reporter.Write()) return 1;
   std::printf("loadgen: %.0f ops/s over %.2fs (%llu ops, %llu errors)\n",
