@@ -1,0 +1,30 @@
+// Seeded fixture: a consistent, acyclic lock hierarchy that MUST pass —
+// declarations, an ACQUIRED_AFTER attribute, and a derived nested-guard
+// edge, none of which contradict each other.
+// Exercised by `lock_order.py --self-test`; never compiled.
+#pragma once
+
+#include "common/synchronization.h"
+
+namespace fixture {
+
+class Top {
+ public:
+  void Both();
+
+ private:
+  Mutex outer_{"fix.outer"};
+  Mutex inner_ ACQUIRED_AFTER(outer_){"fix.inner"};
+  Mutex leaf_{"fix.leaf", lockdep::kHotPath};
+};
+
+COUCHKV_LOCK_ORDER("fix.outer", "fix.inner");
+COUCHKV_LOCK_ORDER("fix.inner", "fix.leaf");
+
+inline void Top::Both() {
+  LockGuard g1(outer_);
+  LockGuard g2(inner_);
+  LockGuard g3(leaf_);
+}
+
+}  // namespace fixture

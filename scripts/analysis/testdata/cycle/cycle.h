@@ -1,0 +1,25 @@
+// Seeded fixture: a three-class lock-order CYCLE the analyzer MUST reject.
+// Exercised by `lock_order.py --self-test`; never compiled.
+#pragma once
+
+#include "common/synchronization.h"
+
+namespace fixture {
+
+class A {
+  Mutex mu_{"fix.a"};
+};
+
+class B {
+  Mutex mu_{"fix.b"};
+};
+
+class C {
+  SharedMutex mu_{"fix.c"};
+};
+
+COUCHKV_LOCK_ORDER("fix.a", "fix.b");
+COUCHKV_LOCK_ORDER("fix.b", "fix.c");
+COUCHKV_LOCK_ORDER("fix.c", "fix.a");
+
+}  // namespace fixture

@@ -1,0 +1,23 @@
+// Seeded fixture: an unnamed (unregistered) mutex the analyzer MUST reject.
+// Exercised by `lock_order.py --self-test`; never compiled.
+#pragma once
+
+#include "common/synchronization.h"
+
+namespace fixture {
+
+class Named {
+  Mutex mu_{"fix.named"};
+};
+
+class Unnamed {
+  Mutex mu_;  // no lock class: invisible to lockdep and to the hierarchy
+};
+
+COUCHKV_LOCK_ORDER("fix.named", "fix.named2");
+
+class Named2 {
+  Mutex mu_{"fix.named2"};
+};
+
+}  // namespace fixture

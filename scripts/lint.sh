@@ -21,9 +21,12 @@ banned='std::mutex|std::shared_mutex|std::recursive_mutex|std::timed_mutex'
 banned+='|std::lock_guard|std::unique_lock|std::shared_lock|std::scoped_lock'
 banned+='|std::condition_variable'
 
+# lockdep.cc is also exempt: the detector cannot use the instrumented
+# wrappers for its own internal lock (it would recurse into itself).
 matches=$(grep -rnE "$banned" src/ \
     --include='*.h' --include='*.cc' \
-    | grep -v 'src/common/synchronization.h' || true)
+    | grep -v 'src/common/synchronization.h' \
+    | grep -v 'src/common/lockdep.cc' || true)
 if [[ -n "$matches" ]]; then
   echo "error: naked std synchronization primitives in src/ — use the" >&2
   echo "annotated types from common/synchronization.h instead:" >&2
@@ -103,7 +106,8 @@ if command -v clang-format >/dev/null 2>&1; then
     if ! clang-format --dry-run -Werror "$f" >/dev/null 2>&1; then
       unformatted+=("$f")
     fi
-  done < <(git ls-files 'src/**/*.h' 'src/**/*.cc' 'tests/*.cc' 'tests/*.h')
+  done < <(git ls-files 'src/**/*.h' 'src/**/*.cc' 'tests/*.cc' 'tests/*.h' \
+      'tools/*.cpp' 'tests/harness/*.cc' 'tests/harness/*.h')
   if [[ ${#unformatted[@]} -gt 0 ]]; then
     echo "error: files not clang-format clean:" >&2
     printf '  %s\n' "${unformatted[@]}" >&2
@@ -111,6 +115,46 @@ if command -v clang-format >/dev/null 2>&1; then
   fi
 else
   echo "note: clang-format not installed; skipping format check"
+fi
+
+# --- 6. Determinism: no ambient randomness or wall-clock in src/ ------------
+# Torture tests replay seeded schedules; a stray rand()/random_device makes
+# a failure unreproducible, and system_clock::now() ties behavior to wall
+# time (use common/clock.h's injectable clock). sleep_for couples logic to
+# the scheduler — the sanctioned uses (injected latency, retry backoff)
+# carry a '// justified:' comment on the line or the comment block above.
+nondet='\brand\(\)|std::random_device|system_clock::now'
+nondet+='|this_thread::sleep_for'
+while IFS=: read -r file line _; do
+  first=$((line - 8))
+  [[ $first -lt 1 ]] && first=1
+  context=$(sed -n "${first},${line}p" "$file" | tac \
+      | awk 'NR==1 {print; next} /^[[:space:]]*\/\// {print; next} {exit}')
+  if ! grep -q '// justified:' <<<"$context"; then
+    echo "error: $file:$line uses a nondeterminism source (rand()/" >&2
+    echo "std::random_device/system_clock::now/sleep_for) without a" >&2
+    echo "'// justified:' comment — use common/random.h (seeded) or" >&2
+    echo "common/clock.h (injectable) so torture runs stay replayable" >&2
+    fail=1
+  fi
+done < <(grep -rnE "$nondet" src/ \
+    --include='*.h' --include='*.cc' || true)
+
+# --- 7. Static lock-order analysis ------------------------------------------
+# scripts/analysis/lock_order.py rebuilds the declared lock hierarchy from
+# the lock-class names, COUCHKV_LOCK_ORDER decls, and TSA attributes, and
+# fails on cycles, unnamed mutexes, or a subsystem missing from the
+# hierarchy. --self-test first proves the analyzer still catches its
+# seeded fixtures (a blind analyzer passes everything).
+if command -v python3 >/dev/null 2>&1; then
+  if ! python3 scripts/analysis/lock_order.py --self-test >/dev/null; then
+    echo "error: lock_order.py --self-test failed (analyzer is broken)" >&2
+    fail=1
+  elif ! python3 scripts/analysis/lock_order.py --root src; then
+    fail=1
+  fi
+else
+  echo "note: python3 not installed; skipping lock-order analysis"
 fi
 
 if [[ $fail -eq 0 ]]; then

@@ -56,7 +56,8 @@ class ShadowDataset {
  private:
   static constexpr size_t kShards = 16;
   struct Shard {
-    mutable SharedMutex mu;
+    mutable SharedMutex mu{"analytics.dataset"};
+    COUCHKV_LOCK_ORDER("dcp.stream_delivery", "analytics.dataset");
     std::map<std::string, json::Value> docs GUARDED_BY(mu);
   };
   Shard& ShardFor(const std::string& key) {
@@ -102,7 +103,7 @@ class AnalyticsService : public cluster::ClusterService,
   }
 
   cluster::Cluster* cluster_;
-  mutable Mutex mu_;
+  mutable Mutex mu_{"analytics.service"};
   std::map<std::string, std::shared_ptr<ShadowDataset>> datasets_
       GUARDED_BY(mu_);
 };

@@ -59,6 +59,8 @@ auto SmartClient::WithRouting(std::string_view key, Fn&& op)
     if (attempt > 0) {
       retries_->Add();
       if (backoff_us > 0) {
+        // justified: client retry backoff must really wait — spinning on
+        // the clock would hammer a recovering node.
         std::this_thread::sleep_for(std::chrono::microseconds(backoff_us));
       }
       backoff_us = NextBackoffUs(retry_, backoff_us, backoff_rng_);

@@ -320,6 +320,8 @@ Status WireClient::Dispatch(std::string_view key, wire::Message req,
   for (int attempt = 0; attempt < retry_.max_attempts; ++attempt) {
     if (attempt > 0) {
       backoff_us = NextBackoffUs(retry_, backoff_us, backoff_rng_);
+      // justified: client retry backoff must really wait — spinning on
+      // the clock would hammer a recovering node.
       std::this_thread::sleep_for(std::chrono::microseconds(backoff_us));
     }
     uint32_t node_id = UINT32_MAX;

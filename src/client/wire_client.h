@@ -127,7 +127,7 @@ class WireClient {
   Rng backoff_rng_;
   std::atomic<uint64_t> next_trace_id_;
 
-  mutable Mutex mu_;
+  mutable Mutex mu_{"client.wire_client"};
   Routing routing_ GUARDED_BY(mu_);
   std::map<uint32_t, int> conns_ GUARDED_BY(mu_);  // node id -> fd
 };

@@ -158,14 +158,14 @@ class Bucket {
   // writers on different partitions do not contend on one mutex.
   static constexpr size_t kQueueShards = 16;
   struct QueueShard {
-    Mutex mu;
+    Mutex mu{"cluster.flusher_shard"};
     std::map<std::pair<uint16_t, std::string>, kv::Document> items
         GUARDED_BY(mu);
   };
   std::array<QueueShard, kQueueShards> shards_;
   std::atomic<uint64_t> queued_{0};    // total items across shards
 
-  mutable Mutex queue_mu_;             // guards the flusher's cv + flags
+  mutable Mutex queue_mu_{"cluster.flusher_queue"};  // guards the flusher's cv + flags
   CondVar queue_cv_;
   std::atomic<bool> flushing_{false};  // a batch is being written right now
   uint64_t flush_epoch_ GUARDED_BY(queue_mu_) = 0;  // bumped per flush batch
@@ -177,7 +177,7 @@ class Bucket {
   // TempFail backpressure flag the vBuckets read on the mutation path.
   std::atomic<bool> disk_unhealthy_{false};
   std::atomic<bool> backpressure_{false};
-  Mutex storage_mu_;                   // serializes lazy CouchFile creation
+  Mutex storage_mu_{"cluster.bucket.storage"};  // serializes lazy CouchFile creation
   std::thread flusher_;
 };
 

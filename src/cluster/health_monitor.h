@@ -129,7 +129,7 @@ class HealthMonitor {
   stats::Gauge* pairs_suspect_ = nullptr;
   stats::Gauge* pairs_confirmed_down_ = nullptr;
 
-  mutable Mutex mu_;
+  mutable Mutex mu_{"cluster.health"};
   std::map<PairKey, PeerState> peers_ GUARDED_BY(mu_);
   // Lifetime total (reported by failovers_executed()) and the portion of
   // it charged against opts_.max_auto_failovers since the last budget
@@ -137,7 +137,7 @@ class HealthMonitor {
   int failovers_ GUARDED_BY(mu_) = 0;
   int budget_used_ GUARDED_BY(mu_) = 0;
 
-  Mutex thread_mu_;
+  Mutex thread_mu_{"cluster.health.thread"};
   CondVar thread_cv_;
   bool stop_ GUARDED_BY(thread_mu_) = false;
   bool running_ GUARDED_BY(thread_mu_) = false;

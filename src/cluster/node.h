@@ -144,13 +144,13 @@ class Node {
   stats::Counter* boots_ = nullptr;
   stats::FlightRecorder flight_recorder_;
 
-  mutable Mutex mu_;
+  mutable Mutex mu_{"cluster.node"};
   std::map<std::string, std::shared_ptr<Bucket>> buckets_ GUARDED_BY(mu_);
 
   // Wire listener state. Separate mutex: StopWireServer() joins connection
   // threads, and those threads take mu_ through the KV entry points — a
   // single lock would deadlock Crash().
-  mutable Mutex wire_mu_;
+  mutable Mutex wire_mu_{"cluster.node.wire"};
   std::unique_ptr<net::TcpServer> wire_server_ GUARDED_BY(wire_mu_);
   net::TcpServer::Handler wire_handler_ GUARDED_BY(wire_mu_);
   std::atomic<uint16_t> wire_port_{0};

@@ -145,11 +145,13 @@ class VBucket {
 
   const uint16_t id_;
   OpInstruments inst_;  // null members = reporting disabled
-  mutable Mutex op_mu_;
+  mutable Mutex op_mu_{"cluster.vbucket.op"};
   // Leaf lock under op_mu_: guards only the file pointer, held only for the
   // accessor-sized critical sections above, so file() stays callable from
   // code running inside WithOpLock (DCP backfill during rebalance).
-  mutable Mutex file_mu_ ACQUIRED_AFTER(op_mu_);
+  mutable Mutex file_mu_ ACQUIRED_AFTER(op_mu_){"cluster.vbucket.file"};
+  COUCHKV_LOCK_ORDER("cluster.vbucket.op", "cluster.vbucket.file");
+  COUCHKV_LOCK_ORDER("cluster.node", "cluster.vbucket.op");
   std::atomic<VBucketState> state_;
   // Bucket-owned disk-failure flag (null = no throttle); read-only here.
   const std::atomic<bool>* backpressure_ = nullptr;

@@ -1,0 +1,455 @@
+// Runtime lock-order detector. See lockdep.h for the model. The whole
+// translation unit is empty unless -DCOUCHKV_LOCKDEP is set.
+//
+// Implementation notes:
+//   * The detector's own state is protected by a raw std::mutex — it MUST
+//     NOT use the instrumented couchkv::Mutex (the hooks would recurse).
+//     scripts/lint.sh check 1 exempts this file for that reason.
+//   * Report paths write to stderr with fprintf directly (not
+//     common/logging.h) so a report can never deadlock on, or recurse
+//     into, an instrumented logging mutex.
+//   * Edges are recorded class->class (not instance->instance), so two
+//     code paths that disagree about order are caught even when they touch
+//     different objects of the same classes on different runs.
+#include "common/lockdep.h"
+
+#if defined(COUCHKV_LOCKDEP)
+
+#include <execinfo.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+namespace couchkv::lockdep {
+
+namespace {
+
+constexpr int kMaxFrames = 24;
+
+struct Stack {
+  void* pc[kMaxFrames];
+  int depth = 0;
+
+  void Capture() { depth = ::backtrace(pc, kMaxFrames); }
+};
+
+// Prints a captured backtrace to stderr, one indented frame per line.
+// backtrace_symbols_fd writes straight to the fd, so this works even when
+// the heap is in a bad state mid-abort.
+void PrintStack(const Stack& s) {
+  if (s.depth <= 0) {
+    std::fprintf(stderr, "    <no stack captured>\n");
+    return;
+  }
+  ::backtrace_symbols_fd(const_cast<void* const*>(s.pc),
+                         s.depth, STDERR_FILENO);
+}
+
+struct LockClass {
+  std::string name;
+  unsigned flags = 0;
+};
+
+// One observed acquisition-order edge from -> to, with the stack of the
+// acquisition that first created it (thread held a `from` lock and
+// acquired a `to` lock).
+struct EdgeInfo {
+  Stack stack;
+  uint64_t thread_hash = 0;
+};
+
+struct State {
+  std::mutex mu;
+  std::vector<LockClass> classes;                    // id -> class
+  std::unordered_map<std::string, uint32_t> by_name;
+  // Edge key: from << 32 | to.
+  std::unordered_map<uint64_t, EdgeInfo> edges;
+  std::vector<std::vector<uint32_t>> adj;            // from -> [to]
+  std::atomic<uint64_t> condvar_hold_reports{0};
+  std::atomic<uint64_t> blocking_hot_reports{0};
+  std::string last_report;  // guarded by mu
+};
+
+State& S() {
+  static State* s = new State();  // leaked: outlives all static dtors
+  return *s;
+}
+
+struct Held {
+  const void* instance;
+  uint32_t class_id;
+  bool shared;
+  bool trylock;
+};
+
+thread_local std::vector<Held>* t_held = nullptr;
+
+std::vector<Held>& HeldStack() {
+  if (t_held == nullptr) t_held = new std::vector<Held>();  // leaked per thread
+  return *t_held;
+}
+
+uint64_t ThreadHash() {
+  return std::hash<std::thread::id>()(std::this_thread::get_id());
+}
+
+uint64_t EdgeKey(uint32_t from, uint32_t to) {
+  return (static_cast<uint64_t>(from) << 32) | to;
+}
+
+// DFS reachability from -> to over the edge graph (S().mu held). Fills
+// `path` with the class-id chain from -> ... -> to when reachable.
+bool FindPath(State& s, uint32_t from, uint32_t to,
+              std::vector<uint32_t>* path) {
+  std::vector<uint32_t> stack = {from};
+  std::unordered_map<uint32_t, uint32_t> parent;  // node -> predecessor
+  parent.emplace(from, from);
+  while (!stack.empty()) {
+    uint32_t n = stack.back();
+    stack.pop_back();
+    if (n == to) {
+      std::vector<uint32_t> rev = {to};
+      for (uint32_t p = to; p != from;) {
+        p = parent.at(p);
+        rev.push_back(p);
+      }
+      path->assign(rev.rbegin(), rev.rend());
+      return true;
+    }
+    if (n >= s.adj.size()) continue;
+    for (uint32_t next : s.adj[n]) {
+      if (parent.emplace(next, n).second) stack.push_back(next);
+    }
+  }
+  return false;
+}
+
+[[noreturn]] void FatalCycle(State& s, uint32_t held_cls, uint32_t new_cls,
+                             const std::vector<uint32_t>& path) {
+  // path is new_cls -> ... -> held_cls: the previously-observed order that
+  // the current acquisition (held_cls -> new_cls) contradicts.
+  std::fprintf(stderr,
+               "\n==== couchkv lockdep: POTENTIAL DEADLOCK "
+               "(lock-order inversion) ====\n");
+  std::fprintf(stderr,
+               "thread %#llx acquiring lock class \"%s\" while holding "
+               "\"%s\",\nbut the opposite order was already observed:\n",
+               static_cast<unsigned long long>(ThreadHash()),
+               s.classes[new_cls].name.c_str(),
+               s.classes[held_cls].name.c_str());
+  std::fprintf(stderr, "  existing order: ");
+  for (size_t i = 0; i < path.size(); ++i) {
+    std::fprintf(stderr, "%s\"%s\"", i ? " -> " : "",
+                 s.classes[path[i]].name.c_str());
+  }
+  std::fprintf(stderr, "\n  new edge:       \"%s\" -> \"%s\"\n",
+               s.classes[held_cls].name.c_str(),
+               s.classes[new_cls].name.c_str());
+
+  std::fprintf(stderr, "\n-- this acquisition (\"%s\" -> \"%s\") --\n",
+               s.classes[held_cls].name.c_str(),
+               s.classes[new_cls].name.c_str());
+  Stack here;
+  here.Capture();
+  PrintStack(here);
+
+  for (size_t i = 0; i + 1 < path.size(); ++i) {
+    auto it = s.edges.find(EdgeKey(path[i], path[i + 1]));
+    if (it == s.edges.end()) continue;
+    std::fprintf(stderr,
+                 "\n-- prior acquisition (\"%s\" -> \"%s\", thread %#llx) "
+                 "--\n",
+                 s.classes[path[i]].name.c_str(),
+                 s.classes[path[i + 1]].name.c_str(),
+                 static_cast<unsigned long long>(it->second.thread_hash));
+    PrintStack(it->second.stack);
+  }
+  std::fprintf(stderr,
+               "\n==== end lockdep report; aborting ====\n");
+  std::fflush(stderr);
+  std::abort();
+}
+
+[[noreturn]] void FatalSelf(State& s, uint32_t cls, const char* what) {
+  std::fprintf(stderr,
+               "\n==== couchkv lockdep: %s on lock class \"%s\" ====\n",
+               what, s.classes[cls].name.c_str());
+  Stack here;
+  here.Capture();
+  PrintStack(here);
+  std::fprintf(stderr, "==== end lockdep report; aborting ====\n");
+  std::fflush(stderr);
+  std::abort();
+}
+
+void Warn(State& s, std::atomic<uint64_t>& counter, const std::string& msg) {
+  counter.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    s.last_report = msg;
+  }
+  std::fprintf(stderr, "[WARN] lockdep: %s\n", msg.c_str());
+}
+
+std::string HeldNames(State& s, const std::vector<Held>& held,
+                      const void* skip_instance) {
+  std::string out;
+  std::lock_guard<std::mutex> lock(s.mu);
+  for (const Held& h : held) {
+    if (h.instance == skip_instance) continue;
+    if (!out.empty()) out += ", ";
+    out += "\"" + s.classes[h.class_id].name + "\"";
+  }
+  return out;
+}
+
+// Records the edge from -> to (caller does NOT hold S().mu). Aborts on a
+// cycle. No-op when the edge already exists.
+void AddEdgesFromHeld(State& s, uint32_t new_cls, unsigned new_flags) {
+  const std::vector<Held>& held = HeldStack();
+  for (const Held& h : held) {
+    if (h.class_id == new_cls) {
+      if (!(new_flags & kNestable)) {
+        std::lock_guard<std::mutex> lock(s.mu);
+        FatalSelf(s, new_cls,
+                  "POTENTIAL DEADLOCK (same-class nested acquisition, "
+                  "class not marked kNestable)");
+      }
+      continue;  // nestable: instances of one class carry no order
+    }
+    std::lock_guard<std::mutex> lock(s.mu);
+    uint64_t key = EdgeKey(h.class_id, new_cls);
+    if (s.edges.count(key)) continue;
+    // New edge h.class_id -> new_cls. If new_cls already reaches
+    // h.class_id, this closes a cycle.
+    std::vector<uint32_t> path;
+    if (FindPath(s, new_cls, h.class_id, &path)) {
+      FatalCycle(s, h.class_id, new_cls, path);
+    }
+    EdgeInfo info;
+    info.stack.Capture();
+    info.thread_hash = ThreadHash();
+    s.edges.emplace(key, info);
+    if (s.adj.size() <= h.class_id) s.adj.resize(h.class_id + 1);
+    s.adj[h.class_id].push_back(new_cls);
+  }
+}
+
+void PushHeld(const void* instance, uint32_t class_id, bool shared,
+              bool trylock) {
+  HeldStack().push_back(Held{instance, class_id, shared, trylock});
+}
+
+std::string GraphJsonLocked(State& s) {
+  std::string out = "{\n  \"classes\": [";
+  for (size_t i = 0; i < s.classes.size(); ++i) {
+    if (i) out += ",";
+    out += "\n    {\"name\": \"" + s.classes[i].name +
+           "\", \"flags\": " + std::to_string(s.classes[i].flags) + "}";
+  }
+  out += "\n  ],\n  \"edges\": [";
+  bool first = true;
+  for (const auto& [key, info] : s.edges) {
+    uint32_t from = static_cast<uint32_t>(key >> 32);
+    uint32_t to = static_cast<uint32_t>(key);
+    if (!first) out += ",";
+    first = false;
+    out += "\n    {\"from\": \"" + s.classes[from].name + "\", \"to\": \"" +
+           s.classes[to].name + "\"}";
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+// --- Graph dump at process exit --------------------------------------------
+
+// Dump destination, resolved once: --dump-lock-graph=FILE on the command
+// line (read from /proc/self/cmdline so gtest_main binaries need no flag
+// plumbing), else $COUCHKV_LOCKDEP_DUMP, else
+// $COUCHKV_LOCKDEP_DUMP_DIR/lock_graph.<pid>.json.
+std::string DumpPath() {
+  std::ifstream cmdline("/proc/self/cmdline", std::ios::binary);
+  if (cmdline) {
+    std::string all((std::istreambuf_iterator<char>(cmdline)),
+                    std::istreambuf_iterator<char>());
+    size_t pos = 0;
+    const std::string flag = "--dump-lock-graph=";
+    while (pos < all.size()) {
+      size_t end = all.find('\0', pos);
+      if (end == std::string::npos) end = all.size();
+      std::string arg = all.substr(pos, end - pos);
+      if (arg.rfind(flag, 0) == 0) return arg.substr(flag.size());
+      pos = end + 1;
+    }
+  }
+  if (const char* f = std::getenv("COUCHKV_LOCKDEP_DUMP")) return f;
+  if (const char* d = std::getenv("COUCHKV_LOCKDEP_DUMP_DIR")) {
+    return std::string(d) + "/lock_graph." + std::to_string(::getpid()) +
+           ".json";
+  }
+  return {};
+}
+
+void WriteDumpAtExit() {
+  std::string path = DumpPath();
+  if (path.empty()) return;
+  State& s = S();
+  std::lock_guard<std::mutex> lock(s.mu);
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "[WARN] lockdep: cannot write dump to %s\n",
+                 path.c_str());
+    return;
+  }
+  out << GraphJsonLocked(s);
+}
+
+struct DumpRegistrar {
+  DumpRegistrar() { std::atexit(WriteDumpAtExit); }
+};
+
+}  // namespace
+
+uint32_t RegisterInstance(const char* name, unsigned flags) {
+  static DumpRegistrar dump_registrar;  // first mutex ctor arms the dump
+  State& s = S();
+  std::lock_guard<std::mutex> lock(s.mu);
+  auto [it, inserted] =
+      s.by_name.emplace(name, static_cast<uint32_t>(s.classes.size()));
+  if (inserted) {
+    s.classes.push_back(LockClass{name, flags});
+  } else {
+    s.classes[it->second].flags |= flags;
+  }
+  return it->second;
+}
+
+void OnAcquire(const void* instance, uint32_t class_id, bool shared) {
+  State& s = S();
+  for (const Held& h : HeldStack()) {
+    if (h.instance == instance) {
+      std::lock_guard<std::mutex> lock(s.mu);
+      FatalSelf(s, class_id,
+                "DEADLOCK (recursive acquisition of the same instance)");
+    }
+  }
+  unsigned flags;
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    flags = s.classes[class_id].flags;
+  }
+  AddEdgesFromHeld(s, class_id, flags);
+  PushHeld(instance, class_id, shared, /*trylock=*/false);
+}
+
+void OnTryAcquired(const void* instance, uint32_t class_id, bool shared) {
+  // A successful try-lock can never have blocked, so it contributes no
+  // incoming edge (and no cycle check); it still joins the held stack so
+  // later blocking acquisitions see it as a source.
+  PushHeld(instance, class_id, shared, /*trylock=*/true);
+}
+
+void OnRelease(const void* instance) {
+  std::vector<Held>& held = HeldStack();
+  for (auto it = held.rbegin(); it != held.rend(); ++it) {
+    if (it->instance == instance) {
+      held.erase(std::next(it).base());
+      return;
+    }
+  }
+  // Releasing a lock lockdep never saw acquired: a wrapper bug.
+  std::fprintf(stderr,
+               "[WARN] lockdep: release of untracked lock instance %p\n",
+               instance);
+}
+
+void OnCondVarWait(const void* waited_instance) {
+  State& s = S();
+  const std::vector<Held>& held = HeldStack();
+  size_t others = 0;
+  for (const Held& h : held) {
+    if (h.instance != waited_instance) ++others;
+  }
+  if (others == 0) return;
+  std::string waited_name = "<unknown>";
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    for (const Held& h : held) {
+      if (h.instance == waited_instance) {
+        waited_name = s.classes[h.class_id].name;
+        break;
+      }
+    }
+  }
+  Warn(s, s.condvar_hold_reports,
+       "condvar wait on \"" + waited_name + "\" while holding " +
+           HeldNames(s, held, waited_instance) +
+           " (held across an unbounded wait)");
+}
+
+void OnBlockingCall(const char* what) {
+  State& s = S();
+  const std::vector<Held>& held = HeldStack();
+  for (const Held& h : held) {
+    unsigned flags;
+    std::string name;
+    {
+      std::lock_guard<std::mutex> lock(s.mu);
+      flags = s.classes[h.class_id].flags;
+      name = s.classes[h.class_id].name;
+    }
+    if (flags & kHotPath) {
+      Warn(s, s.blocking_hot_reports,
+           std::string("blocking call (") + what +
+               ") while holding hot-path lock class \"" + name + "\"");
+    }
+  }
+}
+
+uint64_t CondVarHoldReports() {
+  return S().condvar_hold_reports.load(std::memory_order_relaxed);
+}
+
+uint64_t BlockingWhileHotReports() {
+  return S().blocking_hot_reports.load(std::memory_order_relaxed);
+}
+
+std::string LastReport() {
+  State& s = S();
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.last_report;
+}
+
+std::string DumpGraphJson() {
+  State& s = S();
+  std::lock_guard<std::mutex> lock(s.mu);
+  return GraphJsonLocked(s);
+}
+
+uint64_t EdgeCount() {
+  State& s = S();
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.edges.size();
+}
+
+}  // namespace couchkv::lockdep
+
+#else  // !COUCHKV_LOCKDEP
+
+// Keep the translation unit non-empty; everything lives in the header as
+// zero-cost inline no-ops.
+namespace couchkv::lockdep {
+namespace {
+[[maybe_unused]] constexpr bool kCompiledOut = true;
+}  // namespace
+}  // namespace couchkv::lockdep
+
+#endif  // COUCHKV_LOCKDEP

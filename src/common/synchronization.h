@@ -22,6 +22,8 @@
 #include <mutex>
 #include <shared_mutex>
 
+#include "common/lockdep.h"
+
 // --- Attribute macros (the canonical set from the Clang TSA docs) ---
 
 #if defined(__clang__) && defined(__has_attribute)
@@ -70,15 +72,40 @@ namespace couchkv {
 class CondVar;
 
 // Exclusive mutex. Prefer LockGuard/UniqueLock over manual Lock/Unlock.
+//
+// Every mutex in src/ declares its lockdep lock CLASS at the declaration
+// site: `Mutex mu_{"cluster.node"};` (naming rules in DESIGN.md "Lock
+// hierarchy"). Under -DCOUCHKV_LOCKDEP=ON the class feeds the runtime
+// lock-order detector (common/lockdep.h); in normal builds the name
+// argument costs nothing. The nameless constructor exists for tests and
+// scratch code only — scripts/analysis/lock_order.py rejects unnamed
+// mutexes in src/.
 class CAPABILITY("mutex") Mutex {
  public:
+#if defined(COUCHKV_LOCKDEP)
+  Mutex() : class_id_(lockdep::RegisterInstance("unnamed", 0)) {}
+  explicit Mutex(const char* lock_class, unsigned lockdep_flags = 0)
+      : class_id_(lockdep::RegisterInstance(lock_class, lockdep_flags)) {}
+#else
   Mutex() = default;
+  explicit Mutex(const char*, unsigned = 0) {}
+#endif
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
-  void Lock() ACQUIRE() { mu_.lock(); }
-  void Unlock() RELEASE() { mu_.unlock(); }
-  bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  void Lock() ACQUIRE() {
+    lockdep::OnAcquire(this, class_id(), /*shared=*/false);
+    mu_.lock();
+  }
+  void Unlock() RELEASE() {
+    mu_.unlock();
+    lockdep::OnRelease(this);
+  }
+  bool TryLock() TRY_ACQUIRE(true) {
+    bool ok = mu_.try_lock();
+    if (ok) lockdep::OnTryAcquired(this, class_id(), /*shared=*/false);
+    return ok;
+  }
 
   // For code the analysis cannot follow (e.g. a lock handed across a
   // callback boundary): asserts at the annotation level that the calling
@@ -88,25 +115,58 @@ class CAPABILITY("mutex") Mutex {
  private:
   friend class CondVar;
   friend class UniqueLock;
+#if defined(COUCHKV_LOCKDEP)
+  uint32_t class_id() const { return class_id_; }
+  uint32_t class_id_;
+#else
+  static constexpr uint32_t class_id() { return 0; }
+#endif
   std::mutex mu_;
 };
 
-// Reader/writer mutex.
+// Reader/writer mutex. Shared (reader) acquisitions participate in lockdep
+// ordering like exclusive ones: a reader can still deadlock against a
+// queued writer, so reader edges are tracked conservatively.
 class CAPABILITY("shared_mutex") SharedMutex {
  public:
+#if defined(COUCHKV_LOCKDEP)
+  SharedMutex() : class_id_(lockdep::RegisterInstance("unnamed", 0)) {}
+  explicit SharedMutex(const char* lock_class, unsigned lockdep_flags = 0)
+      : class_id_(lockdep::RegisterInstance(lock_class, lockdep_flags)) {}
+#else
   SharedMutex() = default;
+  explicit SharedMutex(const char*, unsigned = 0) {}
+#endif
   SharedMutex(const SharedMutex&) = delete;
   SharedMutex& operator=(const SharedMutex&) = delete;
 
-  void Lock() ACQUIRE() { mu_.lock(); }
-  void Unlock() RELEASE() { mu_.unlock(); }
-  void LockShared() ACQUIRE_SHARED() { mu_.lock_shared(); }
-  void UnlockShared() RELEASE_SHARED() { mu_.unlock_shared(); }
+  void Lock() ACQUIRE() {
+    lockdep::OnAcquire(this, class_id(), /*shared=*/false);
+    mu_.lock();
+  }
+  void Unlock() RELEASE() {
+    mu_.unlock();
+    lockdep::OnRelease(this);
+  }
+  void LockShared() ACQUIRE_SHARED() {
+    lockdep::OnAcquire(this, class_id(), /*shared=*/true);
+    mu_.lock_shared();
+  }
+  void UnlockShared() RELEASE_SHARED() {
+    mu_.unlock_shared();
+    lockdep::OnRelease(this);
+  }
 
   void AssertHeld() ASSERT_CAPABILITY(this) {}
   void AssertSharedHeld() ASSERT_SHARED_CAPABILITY(this) {}
 
  private:
+#if defined(COUCHKV_LOCKDEP)
+  uint32_t class_id() const { return class_id_; }
+  uint32_t class_id_;
+#else
+  static constexpr uint32_t class_id() { return 0; }
+#endif
   std::shared_mutex mu_;
 };
 
@@ -158,18 +218,53 @@ class SCOPED_CAPABILITY ReaderLockGuard {
 // tracks the held/released state across the manual calls.
 class SCOPED_CAPABILITY UniqueLock {
  public:
-  explicit UniqueLock(Mutex& mu) ACQUIRE(mu) : lock_(mu.mu_) {}
-  ~UniqueLock() RELEASE() {}  // releases iff still held (std::unique_lock)
+  explicit UniqueLock(Mutex& mu) ACQUIRE(mu)
+      : lock_(mu.mu_, std::defer_lock)
+#if defined(COUCHKV_LOCKDEP)
+        ,
+        mu_(&mu)
+#endif
+  {
+    lockdep::OnAcquire(&mu, mu.class_id(), /*shared=*/false);
+    lock_.lock();
+  }
+  // Releases iff still held (std::unique_lock semantics).
+  ~UniqueLock() RELEASE() {
+    if (lock_.owns_lock()) {
+      lock_.unlock();
+#if defined(COUCHKV_LOCKDEP)
+      lockdep::OnRelease(mu_);
+#endif
+    }
+  }
 
   UniqueLock(const UniqueLock&) = delete;
   UniqueLock& operator=(const UniqueLock&) = delete;
 
-  void Lock() ACQUIRE() { lock_.lock(); }
-  void Unlock() RELEASE() { lock_.unlock(); }
+  void Lock() ACQUIRE() {
+#if defined(COUCHKV_LOCKDEP)
+    lockdep::OnAcquire(mu_, mu_->class_id(), /*shared=*/false);
+#endif
+    lock_.lock();
+  }
+  void Unlock() RELEASE() {
+    lock_.unlock();
+#if defined(COUCHKV_LOCKDEP)
+    lockdep::OnRelease(mu_);
+#endif
+  }
 
  private:
   friend class CondVar;
   std::unique_lock<std::mutex> lock_;
+#if defined(COUCHKV_LOCKDEP)
+  // The wrapped mutex, for release/condvar-hold hooks; compiled out of
+  // normal builds so the wrapper stays the size of std::unique_lock.
+  Mutex* mu_;
+  const void* lockdep_instance() const { return mu_; }
+#else
+  static constexpr const void* lockdep_instance() { return nullptr; }
+#endif
 };
 
 // Condition variable operating on UniqueLock. The lock is held on entry and
@@ -183,18 +278,23 @@ class CondVar {
   CondVar(const CondVar&) = delete;
   CondVar& operator=(const CondVar&) = delete;
 
-  void Wait(UniqueLock& lock) { cv_.wait(lock.lock_); }
+  void Wait(UniqueLock& lock) {
+    lockdep::OnCondVarWait(lock.lockdep_instance());
+    cv_.wait(lock.lock_);
+  }
 
   // Returns false on timeout, true when notified.
   template <typename Rep, typename Period>
   bool WaitFor(UniqueLock& lock,
                const std::chrono::duration<Rep, Period>& rel_time) {
+    lockdep::OnCondVarWait(lock.lockdep_instance());
     return cv_.wait_for(lock.lock_, rel_time) == std::cv_status::no_timeout;
   }
 
   template <typename ClockT, typename DurationT>
   bool WaitUntil(UniqueLock& lock,
                  const std::chrono::time_point<ClockT, DurationT>& deadline) {
+    lockdep::OnCondVarWait(lock.lockdep_instance());
     return cv_.wait_until(lock.lock_, deadline) == std::cv_status::no_timeout;
   }
 

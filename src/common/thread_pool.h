@@ -33,7 +33,7 @@ class ThreadPool {
   void WorkerLoop() EXCLUDES(mu_);
   bool Idle() const REQUIRES(mu_) { return queue_.empty() && active_ == 0; }
 
-  Mutex mu_;
+  Mutex mu_{"thread_pool.pool"};
   CondVar cv_;       // wakes workers
   CondVar idle_cv_;  // wakes Wait()
   std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);

@@ -76,7 +76,7 @@ class ChangeLog {
     return items_.empty() ? high_seqno_ + 1 : items_.front().meta.seqno;
   }
 
-  mutable Mutex mu_;
+  mutable Mutex mu_{"dcp.changelog"};
   std::deque<kv::Document> items_ GUARDED_BY(mu_);
   uint64_t high_seqno_ GUARDED_BY(mu_) = 0;
   size_t max_items_;
@@ -144,7 +144,7 @@ class Producer {
     std::atomic<uint64_t> next_seqno{1};
     // Serializes delivery: the dispatcher thread and synchronous pumpers
     // (Quiesce, rebalance movers) may call PumpOnce concurrently.
-    Mutex delivery_mu;
+    Mutex delivery_mu{"dcp.stream_delivery"};
     bool backfill_done GUARDED_BY(delivery_mu) = false;
     // Set when the stream is removed; a pumper that snapshotted the stream
     // before removal skips it. This is what makes RemoveStream* a barrier.
@@ -164,7 +164,10 @@ class Producer {
   DcpCounters counters_;  // null members = reporting disabled
   std::vector<std::unique_ptr<ChangeLog>> logs_;
 
-  mutable Mutex mu_;  // guards streams_ map (not delivery)
+  mutable Mutex mu_{"dcp.producer_streams"};  // guards streams_ map (not delivery)
+  COUCHKV_LOCK_ORDER("dcp.producer_streams", "dcp.changelog");
+  COUCHKV_LOCK_ORDER("dcp.stream_delivery", "dcp.changelog");
+  COUCHKV_LOCK_ORDER("cluster.vbucket.op", "dcp.changelog");
   std::map<uint64_t, std::shared_ptr<Stream>> streams_ GUARDED_BY(mu_);
   uint64_t next_stream_id_ GUARDED_BY(mu_) = 1;
 };
@@ -189,7 +192,7 @@ class Dispatcher {
  private:
   void Loop();
 
-  Mutex mu_;
+  Mutex mu_{"dcp.dispatcher"};
   CondVar cv_;
   std::vector<std::shared_ptr<Producer>> producers_ GUARDED_BY(mu_);
   // work_ is atomic so Notify() can elide the mutex+notify when a wakeup is

@@ -80,7 +80,8 @@ class InvertedIndex {
       REQUIRES_SHARED(mu_);
 
   FtsIndexDefinition def_;
-  mutable SharedMutex mu_;
+  mutable SharedMutex mu_{"fts.index"};
+  COUCHKV_LOCK_ORDER("dcp.stream_delivery", "fts.index");
   // term -> doc_id -> posting. std::map for ordered prefix expansion.
   std::map<std::string, std::unordered_map<std::string, Posting>> terms_
       GUARDED_BY(mu_);
@@ -126,7 +127,7 @@ class SearchService : public cluster::ClusterService,
   }
 
   cluster::Cluster* cluster_;
-  mutable Mutex mu_;
+  mutable Mutex mu_{"fts.service"};
   std::map<std::string, std::map<std::string, std::shared_ptr<InvertedIndex>>>
       indexes_ GUARDED_BY(mu_);
 };

@@ -106,7 +106,7 @@ class IndexService : public cluster::ClusterService,
   stats::Counter* scan_retries_ = nullptr;
   Histogram* scan_ns_ = nullptr;
 
-  mutable Mutex mu_;
+  mutable Mutex mu_{"gsi.index_service"};
   // bucket -> index name -> state. Values are shared_ptr so scans can run
   // without holding mu_.
   std::map<std::string, std::map<std::string, std::shared_ptr<IndexState>>>

@@ -149,7 +149,7 @@ StatusOr<std::vector<QueryService::ExecRow>> QueryService::FetchRows(
   } else {
     // Per-call completion latch: the pool is shared across concurrent
     // queries, so waiting for global pool idleness would stall under load.
-    Mutex done_mu;
+    Mutex done_mu{"n1ql.scatter_done"};
     CondVar done_cv;
     size_t outstanding = ids.size();
     for (size_t i = 0; i < ids.size(); ++i) {

@@ -203,6 +203,8 @@ Status FaultyTransport::Request(const Endpoint& src, const Endpoint& dst) {
   uint64_t sleep_us = 0;
   Status st = Admit(src, dst, &sleep_us);
   if (sleep_us > 0) {
+    // justified: injected link latency — the duration comes from the
+    // seeded fault schedule, so the delay itself is deterministic.
     std::this_thread::sleep_for(std::chrono::microseconds(sleep_us));
   }
   return st;

@@ -1,5 +1,7 @@
 #include "net/socket_transport.h"
 
+#include "common/lockdep.h"
+
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
@@ -147,6 +149,7 @@ Status SocketTransport::Hop(const Endpoint& src, uint32_t node_id) {
 }
 
 Status SocketTransport::ConnectLocked(Conn* conn, uint16_t port) {
+  lockdep::ScopedBlockingCall blocking("SocketTransport::ConnectLocked");
   int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
   if (fd < 0) {
     return Status::TempFail(std::string("wire: socket: ") +
@@ -175,6 +178,7 @@ Status SocketTransport::ConnectLocked(Conn* conn, uint16_t port) {
 }
 
 Status SocketTransport::RoundTrip(Conn* conn, uint32_t node_id) {
+  lockdep::ScopedBlockingCall blocking("SocketTransport::RoundTrip");
   wire::Message req = wire::Message::Req(wire::Opcode::kNoop);
   req.opaque = next_opaque_.fetch_add(1, std::memory_order_relaxed);
   // When this hop runs under an ambient trace (a server handler working on

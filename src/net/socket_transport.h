@@ -74,7 +74,8 @@ class SocketTransport : public Transport {
   // logical link owns a socket — concurrent callers on different links
   // never serialize on one fd.
   struct Conn {
-    Mutex mu;
+    Mutex mu{"net.socket_conn"};
+    COUCHKV_LOCK_ORDER("net.socket_conn", "cluster.topology");
     int fd GUARDED_BY(mu) = -1;
     uint16_t port GUARDED_BY(mu) = 0;  // port fd was connected to
   };
@@ -90,7 +91,7 @@ class SocketTransport : public Transport {
   Transport* fault_filter_;  // may be null; not owned
   Options opts_;
 
-  Mutex mu_;
+  Mutex mu_{"net.socket_transport"};
   std::map<std::pair<Endpoint, uint32_t>, std::shared_ptr<Conn>> conns_
       GUARDED_BY(mu_);
 

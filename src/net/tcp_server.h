@@ -111,7 +111,7 @@ class TcpServer {
   std::atomic<int> listen_fd_{-1};
   std::thread accept_thread_;
 
-  Mutex mu_;
+  Mutex mu_{"net.tcp_server"};
   std::vector<std::unique_ptr<Conn>> conns_ GUARDED_BY(mu_);
 
   std::atomic<uint64_t> accepted_total_{0};

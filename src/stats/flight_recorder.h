@@ -89,7 +89,7 @@ class FlightRecorder {
  private:
   const size_t capacity_;
 
-  mutable Mutex mu_;
+  mutable Mutex mu_{"stats.flight_recorder"};
   std::vector<OpRecord> ring_ GUARDED_BY(mu_);  // size capacity_, circular
   size_t next_slot_ GUARDED_BY(mu_) = 0;
   uint64_t completed_total_ GUARDED_BY(mu_) = 0;

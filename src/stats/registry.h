@@ -89,7 +89,7 @@ class Scope {
 
  private:
   const std::string name_;
-  mutable Mutex mu_;
+  mutable Mutex mu_{"stats.scope"};
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
       GUARDED_BY(mu_);
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
@@ -122,7 +122,8 @@ class Registry {
   std::string DebugString(std::string_view group = {}) const;
 
  private:
-  mutable Mutex mu_;
+  mutable Mutex mu_{"stats.registry"};
+  COUCHKV_LOCK_ORDER("cluster.topology", "stats.registry");
   std::map<std::string, std::shared_ptr<Scope>> scopes_ GUARDED_BY(mu_);
 };
 

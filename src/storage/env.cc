@@ -10,6 +10,7 @@
 #include <map>
 #include <thread>
 
+#include "common/lockdep.h"
 #include "common/synchronization.h"
 
 namespace couchkv::storage {
@@ -28,6 +29,7 @@ class PosixFile : public File {
   }
 
   StatusOr<uint64_t> Append(std::string_view data) override {
+    lockdep::ScopedBlockingCall blocking("PosixFile::Append");
     LockGuard lock(mu_);
     uint64_t off = size_;
     const char* p = data.data();
@@ -46,6 +48,7 @@ class PosixFile : public File {
   }
 
   Status Read(uint64_t offset, size_t n, std::string* out) const override {
+    lockdep::ScopedBlockingCall blocking("PosixFile::Read");
     out->resize(n);
     char* p = out->data();
     size_t left = n;
@@ -70,6 +73,7 @@ class PosixFile : public File {
   }
 
   Status Sync() override {
+    lockdep::ScopedBlockingCall blocking("PosixFile::Sync");
     if (::fdatasync(fd_) != 0) {
       return Status::IOError(std::string("fdatasync: ") +
                              std::strerror(errno));
@@ -89,13 +93,14 @@ class PosixFile : public File {
 
  private:
   int fd_;
-  mutable couchkv::Mutex mu_;
+  mutable couchkv::Mutex mu_{"storage.posix_file"};
   uint64_t size_ GUARDED_BY(mu_);
 };
 
 class PosixEnvImpl : public Env {
  public:
   StatusOr<std::unique_ptr<File>> Open(const std::string& path) override {
+    lockdep::ScopedBlockingCall blocking("PosixEnv::Open");
     int fd = ::open(path.c_str(), O_CREAT | O_RDWR, 0644);
     if (fd < 0) {
       return Status::IOError("open " + path + ": " + std::strerror(errno));
@@ -134,7 +139,7 @@ class PosixEnvImpl : public Env {
 // ---------------------------------------------------------------------------
 
 struct MemFileData {
-  couchkv::Mutex mu;
+  couchkv::Mutex mu{"storage.mem_file"};
   std::string contents GUARDED_BY(mu);
   uint64_t sync_delay_us = 0;  // immutable after construction
 };
@@ -166,7 +171,11 @@ class MemFile : public File {
   }
 
   Status Sync() override {
+    // The simulated fsync latency is a blocking call like the real one.
+    lockdep::ScopedBlockingCall blocking("MemFile::Sync");
     if (data_->sync_delay_us > 0) {
+      // justified: simulated fsync latency, configured by the test; the
+      // delay models real-disk blocking and is deterministic per config.
       std::this_thread::sleep_for(
           std::chrono::microseconds(data_->sync_delay_us));
     }
@@ -220,7 +229,7 @@ class MemEnvImpl : public Env {
 
  private:
   uint64_t sync_delay_us_;
-  mutable couchkv::Mutex mu_;
+  mutable couchkv::Mutex mu_{"storage.mem_env"};
   std::map<std::string, std::shared_ptr<MemFileData>> files_ GUARDED_BY(mu_);
 };
 

@@ -12,7 +12,7 @@ struct FaultyEnv::Shared {
 
   FaultyEnvOptions opts;
 
-  mutable Mutex mu;
+  mutable Mutex mu{"storage.faulty_env"};
   Rng rng GUARDED_BY(mu);
   uint64_t fail_appends GUARDED_BY(mu) = 0;  // scheduled clean failures
   bool tear_next GUARDED_BY(mu) = false;     // scheduled torn append

@@ -81,7 +81,7 @@ class ViewIndex {
       REQUIRES_SHARED(mu_);
 
   ViewDefinition def_;
-  mutable SharedMutex mu_;
+  mutable SharedMutex mu_{"views.index"};
   std::map<RowKey, RowValue> rows_ GUARDED_BY(mu_);
   // doc_id -> currently indexed key (to remove stale entries on update).
   std::unordered_map<std::string, json::Value> doc_keys_ GUARDED_BY(mu_);

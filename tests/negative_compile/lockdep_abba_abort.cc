@@ -1,0 +1,28 @@
+// Must-ABORT case for the configure-time lockdep liveness proof (try_run
+// in the top-level CMakeLists.txt): this program seeds an ABBA lock-order
+// inversion on one thread. A live detector reports the inversion and
+// aborts before the second sequence completes; if this program ever exits
+// 0, lockdep has silently stopped detecting and the configure step fails.
+//
+// Single-TU harness: try_run cannot link project libraries at configure
+// time, so the detector is compiled into this program directly.
+#include "common/synchronization.h"
+
+#include "common/lockdep.cc"  // NOLINT
+
+int main() {
+  using namespace couchkv;
+  static_assert(lockdep::kEnabled,
+                "liveness proof must compile with -DCOUCHKV_LOCKDEP");
+  Mutex a{"proof.abba_a"};
+  Mutex b{"proof.abba_b"};
+  {
+    LockGuard la(a);
+    LockGuard lb(b);  // edge abba_a -> abba_b
+  }
+  {
+    LockGuard lb(b);
+    LockGuard la(a);  // inversion: lockdep must abort here
+  }
+  return 0;  // reaching this line means the detector is dead
+}

@@ -1,0 +1,24 @@
+// Positive control for the configure-time lockdep liveness proof
+// (try_run in the top-level CMakeLists.txt): a consistent A-then-B
+// acquisition order MUST run to completion (exit 0) with exactly one
+// class-level edge recorded. If this fails, the proof harness itself is
+// broken — fix it before trusting the must-abort case.
+//
+// Single-TU harness: try_run cannot link project libraries at configure
+// time, so the detector is compiled into this program directly.
+#include "common/synchronization.h"
+
+#include "common/lockdep.cc"  // NOLINT
+
+int main() {
+  using namespace couchkv;
+  static_assert(lockdep::kEnabled,
+                "liveness proof must compile with -DCOUCHKV_LOCKDEP");
+  Mutex a{"proof.order_a"};
+  Mutex b{"proof.order_b"};
+  for (int i = 0; i < 3; ++i) {
+    LockGuard la(a);
+    LockGuard lb(b);
+  }
+  return lockdep::EdgeCount() == 1 ? 0 : 1;
+}
