@@ -1,0 +1,14 @@
+#include "worker.h"
+
+void Worker::Start() {
+  thread_ = std::thread([this] {
+    couchkv::affinity::ScopedDomain domain("thread_pool.worker");
+    Loop();
+  });
+}
+
+void Worker::Loop() {
+  COUCHKV_ASSERT_AFFINE();
+  couchkv::LockGuard lock(mu_);
+  value_++;
+}

@@ -1,0 +1,21 @@
+// Clean fixture: an annotated spawn site plus an AFFINE_TO checker whose
+// runtime dump (dump.affinity.json) matches the declaration. The analyzer
+// MUST pass this tree — if it starts failing, thread_affinity.py has a
+// false-positive bug.
+#include <thread>
+
+#include "common/affinity.h"
+#include "common/synchronization.h"
+
+class Worker {
+ public:
+  void Start();
+
+ private:
+  void Loop();
+
+  COUCHKV_AFFINE_TO("fixture.worker_loop", "thread_pool.worker");
+  couchkv::Mutex mu_{"fixture.state"};
+  int value_ GUARDED_BY(mu_) = 0;
+  std::thread thread_;
+};

@@ -1,0 +1,11 @@
+// Must-FAIL fixture: a std::thread spawn with no ScopedDomain inside the
+// spawn statement. The analyzer MUST report an undeclared-spawn error — if
+// this tree ever passes, the spawn-site discipline check has gone blind.
+#include <thread>
+
+void Run() {
+  std::thread t([] {
+    // no ScopedDomain: this thread's execution domain is undeclared
+  });
+  t.join();
+}

@@ -1,0 +1,555 @@
+#!/usr/bin/env python3
+"""Static execution-domain (thread-affinity) analysis for couchkv
+(stdlib only — no clang tooling).
+
+The runtime half (src/common/affinity.{h,cc}, -DCOUCHKV_AFFINITY=ON)
+observes which execution domain every lock acquisition and every
+COUCHKV_AFFINE_TO access actually runs in. This script is the static half:
+
+  * SPAWN-SITE DISCIPLINE: every thread spawn in src/ and tools/ — direct
+    `std::thread(...)` construction, a ctor-initializer spawn of a
+    `std::thread` member, or emplace/push_back onto a
+    `std::vector<std::thread>` — must construct an
+    `affinity::ScopedDomain("<domain>")` with a string literal lexically
+    inside the spawn statement, so the thread's domain is declared at
+    birth. An unannotated spawn FAILS the analysis. (Tests are exempt:
+    undeclared threads run in the implicit "client" domain.)
+  * AFFINE_TO DECLARATIONS: COUCHKV_AFFINE_TO("what", "domain") and raw
+    `affinity::Affine member{"what", "domain"}` members are collected; a
+    declaration naming a domain no spawn site ever adopts is an error
+    (the checker could never pass).
+  * GUARDED_BY METADATA: lock-class declarations and their GUARDED_BY
+    field counts are recovered (via lock_order.py's parsers) to enrich
+    the inventory — a removable lock with many guarded fields is a bigger
+    prize than a trivial one.
+
+With --runtime-dump (an affinity JSON dump, or a directory of them from
+COUCHKV_AFFINITY_DUMP_DIR; repeat to merge several runs) it cross-checks
+declarations against observation:
+
+  * an AFFINE_TO checker whose dump record shows accesses from any domain
+    other than its declared one, or any recorded violation, FAILS;
+  * a checker declared in source but never exercised at runtime is a
+    COVERAGE GAP (non-fatal — the work list for the behavioral tests);
+  * a domain declared at a spawn site but never seen running is a
+    coverage gap too.
+
+--inventory FILE writes the LOCK-REMOVAL INVENTORY as JSON (and
+--inventory-md FILE as a markdown table, committed in DESIGN.md
+"Execution domains & thread model"): every lock class classified from the
+merged runtime evidence as
+
+  single-domain   all acquisitions from one domain        -> remove the lock
+  single-writer   >1 domains, but <=1 takes it exclusive  -> seqlock/RCU
+  multi-domain    contended across domains                -> shard / message-passing
+  unobserved      never acquired in the dump              -> coverage gap
+
+--self-test runs the analyzer against the seeded fixtures in
+scripts/analysis/testdata/ (an unannotated spawn that MUST fail, a
+violating dump that MUST fail, a clean tree+dump that MUST pass) and
+exits non-zero if the analyzer itself has gone blind.
+"""
+
+import argparse
+import json
+import os
+import re
+import sys
+from collections import defaultdict
+
+import lock_order
+
+# The execution domains the codebase declares today (see the inventory in
+# src/common/affinity.h). "client" is implicit: any thread that never
+# constructs a ScopedDomain. The analyzer does NOT hardcode spawn sites —
+# it discovers them — but a spawn adopting a domain outside this list is
+# an error, so a typo'd domain name cannot silently fork the namespace.
+KNOWN_DOMAINS = {
+    "main",
+    "client",
+    "thread_pool.worker",
+    "net.accept",
+    "net.conn",
+    "storage.flusher",
+    "dcp.producer",
+    "cluster.health",
+}
+
+SCOPED_DOMAIN_RE = re.compile(
+    r'\bScopedDomain\s+\w+\s*[({]\s*"([^"]+)"\s*[)}]')
+
+AFFINE_MACRO_RE = re.compile(
+    r'COUCHKV_AFFINE_TO\(\s*"([^"]+)"\s*,\s*"([^"]+)"\s*\)')
+
+# Raw member form used when one class needs two checkers (the macro owns
+# the fixed affine_checker_ slot): affinity::Affine name{"what", "domain"};
+AFFINE_MEMBER_RE = re.compile(
+    r'\b(?:affinity::)?Affine\s+\w+\s*\{\s*"([^"]+)"\s*,\s*"([^"]+)"\s*\}')
+
+# std::thread member declaration (header side of a ctor-initializer spawn)
+THREAD_MEMBER_RE = re.compile(r'\bstd::thread\s+(\w+)\s*;')
+
+# std::vector<std::thread> variable (spawned into via emplace/push_back)
+THREAD_VEC_RE = re.compile(r'\bstd::vector<\s*std::thread\s*>\s+(\w+)\s*;')
+
+GUARDED_BY_RE = re.compile(r'\bGUARDED_BY\(([^)]*)\)')
+
+
+def capture_statement(text, start):
+    """Returns text[start:] up to the ';' that closes the statement
+    containing the spawn expression — tracking (), {}, and string literals
+    so lambda bodies with semicolons do not end the capture early."""
+    depth = 0
+    i = start
+    in_str = None
+    while i < len(text):
+        c = text[i]
+        if in_str:
+            if c == "\\":
+                i += 2
+                continue
+            if c == in_str:
+                in_str = None
+        elif c in "\"'":
+            in_str = c
+        elif c in "({[":
+            depth += 1
+        elif c in ")}]":
+            depth -= 1
+            # Ctor-initializer spawns (`: thread_([..]{..}) {`) have no ';'
+            # of their own: the capture ends when the spawn's parens close.
+            if depth <= 0:
+                return text[start:i + 1]
+        elif c == ";" and depth <= 0:
+            return text[start:i + 1]
+        i += 1
+    return text[start:]
+
+
+class AffinityAnalysis:
+    def __init__(self):
+        self.spawns = []          # (file, line, kind, statement, domain|None)
+        self.affine = {}          # what -> (domain, file, line)
+        self.errors = []
+        self.notes = []
+        # merged runtime evidence
+        self.dump_domains = {}    # name -> threads
+        self.dump_locks = defaultdict(lambda: defaultdict(lambda: [0, 0]))
+        #   class -> domain -> [exclusive, shared]
+        self.dump_affine = {}     # what -> {declared, asserts, violations,
+        #                                    observed:set}
+
+
+def find_spawn_sites(an, files, root):
+    """Collects every spawn site with its captured statement text and the
+    ScopedDomain literal inside it (None when unannotated)."""
+    # Pass 1: names of std::thread members and vector<std::thread> vars,
+    # per h/cc scope pair (lock_order.scope_key), so pass 2 can recognize
+    # ctor-initializer and emplace_back spawns by variable name.
+    thread_members = defaultdict(set)   # scope_key -> {member names}
+    thread_vectors = defaultdict(set)   # scope_key -> {vector names}
+    texts = {}
+    for path in files:
+        r = lock_order.rel(path, root)
+        text = lock_order.strip_comments(
+            open(path, encoding="utf-8", errors="replace").read())
+        texts[path] = text
+        sk = lock_order.scope_key(r)
+        for m in THREAD_MEMBER_RE.finditer(text):
+            thread_members[sk].add(m.group(1))
+        for m in THREAD_VEC_RE.finditer(text):
+            thread_vectors[sk].add(m.group(1))
+
+    for path in files:
+        r = lock_order.rel(path, root)
+        text = texts[path]
+        sk = lock_order.scope_key(r)
+        sites = []  # (pos, kind)
+        for m in re.finditer(r'\bstd::thread\s*\(', text):
+            sites.append((m.start(), "std::thread(...)"))
+        # Declaration-form spawn: `std::thread t(<callable>...)` /
+        # `std::thread t{...}` (a bare `std::thread t;` declares no thread
+        # of execution and is not a spawn).
+        for m in re.finditer(r'\bstd::thread\s+\w+\s*[({]', text):
+            sites.append((m.start(), "std::thread <var>(...)"))
+        for name in thread_members[sk]:
+            # Ctor-initializer spawn: `name([..] { ... })` where name is a
+            # std::thread member and the argument starts a lambda.
+            for m in re.finditer(r'\b' + re.escape(name) + r'\s*\(\s*\[',
+                                 text):
+                sites.append((m.start(), f"{name}(<lambda>)"))
+        for name in thread_vectors[sk]:
+            for m in re.finditer(
+                    r'\b' + re.escape(name) +
+                    r'\s*\.\s*(?:emplace_back|push_back)\s*\(', text):
+                sites.append((m.start(), f"{name}.emplace_back"))
+        seen = set()
+        for pos, kind in sorted(sites):
+            if pos in seen:
+                continue
+            seen.add(pos)
+            stmt = capture_statement(text, pos)
+            # `std::thread(...)` sites inside a member/vector spawn
+            # statement would double-report; keep the outermost capture.
+            line = text[:pos].count("\n") + 1
+            dm = SCOPED_DOMAIN_RE.search(stmt)
+            domain = dm.group(1) if dm else None
+            an.spawns.append((r, line, kind, stmt, domain))
+
+    # Deduplicate nested captures: a `x = std::thread([..]{..});` statement
+    # matches both the member-name site and the std::thread( site.
+    uniq = {}
+    for (r, line, kind, stmt, domain) in an.spawns:
+        key = (r, line)
+        if key not in uniq or domain is not None:
+            uniq[key] = (r, line, kind, stmt, domain)
+    an.spawns = sorted(uniq.values())
+
+    for (r, line, kind, stmt, domain) in an.spawns:
+        if domain is None:
+            an.errors.append(
+                f"{r}:{line}: thread spawn ({kind}) with no "
+                f'affinity::ScopedDomain("<domain>") inside the spawn '
+                f"statement — every thread must declare its execution "
+                f"domain at birth (see src/common/affinity.h)")
+        elif domain not in KNOWN_DOMAINS:
+            an.errors.append(
+                f'{r}:{line}: spawn adopts unknown domain "{domain}" — '
+                f"add it to the inventory in src/common/affinity.h and to "
+                f"KNOWN_DOMAINS in this script, or fix the typo")
+
+
+def find_affine_decls(an, files, root):
+    for path in files:
+        r = lock_order.rel(path, root)
+        text = lock_order.strip_comments(
+            open(path, encoding="utf-8", errors="replace").read())
+        for regex in (AFFINE_MACRO_RE, AFFINE_MEMBER_RE):
+            for m in regex.finditer(text):
+                what, domain = m.group(1), m.group(2)
+                line = text[:m.start()].count("\n") + 1
+                prev = an.affine.get(what)
+                if prev and prev[0] != domain:
+                    an.errors.append(
+                        f'{r}:{line}: AFFINE_TO "{what}" declared to '
+                        f'"{domain}" but {prev[1]}:{prev[2]} declares it '
+                        f'to "{prev[0]}" — one what, one domain')
+                    continue
+                an.affine.setdefault(what, (domain, r, line))
+                if domain not in KNOWN_DOMAINS:
+                    an.errors.append(
+                        f'{r}:{line}: AFFINE_TO "{what}" names unknown '
+                        f'domain "{domain}"')
+
+
+def count_guarded_fields(files, root):
+    """Returns lock-class name -> number of GUARDED_BY fields, resolved
+    through lock_order's declaration parser (variable -> class)."""
+    lo = lock_order.Analysis()
+    lock_order.parse_declarations(lo, files, root)
+    lo.errors = []  # unnamed-mutex policing is lock_order's job, not ours
+    counts = defaultdict(int)
+    for path in files:
+        r = lock_order.rel(path, root)
+        text = lock_order.strip_comments(
+            open(path, encoding="utf-8", errors="replace").read())
+        for m in GUARDED_BY_RE.finditer(text):
+            cls = lock_order.resolve_var(lo, r, m.group(1).strip())
+            if cls:
+                counts[cls] += 1
+    return lo, counts
+
+
+def load_dumps(an, dump_paths):
+    paths = []
+    for dump_path in dump_paths:
+        if os.path.isdir(dump_path):
+            found = [os.path.join(dump_path, f)
+                     for f in sorted(os.listdir(dump_path))
+                     if f.endswith(".json")]
+            if not found:
+                an.errors.append(
+                    f"--runtime-dump {dump_path}: no JSON files found")
+            paths.extend(found)
+        else:
+            paths.append(dump_path)
+    if not paths:
+        an.errors.append("--runtime-dump: no JSON files found")
+        return
+    for p in paths:
+        try:
+            d = json.load(open(p, encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as e:
+            an.errors.append(f"--runtime-dump {p}: {e}")
+            continue
+        for dom in d.get("domains", []):
+            an.dump_domains[dom["name"]] = (
+                an.dump_domains.get(dom["name"], 0) + dom.get("threads", 0))
+        for lk in d.get("locks", []):
+            for dom in lk.get("domains", []):
+                cell = an.dump_locks[lk["class"]][dom["domain"]]
+                cell[0] += dom.get("exclusive", 0)
+                cell[1] += dom.get("shared", 0)
+        for rec in d.get("affine", []):
+            merged = an.dump_affine.setdefault(
+                rec["what"], {"declared": rec.get("declared"),
+                              "asserts": 0, "violations": 0,
+                              "observed": set()})
+            merged["asserts"] += rec.get("asserts", 0)
+            merged["violations"] += rec.get("violations", 0)
+            merged["observed"].update(rec.get("observed", []))
+
+
+def cross_check(an, out):
+    """Declared vs observed. Violations and undeclared-observed domains are
+    fatal; declared-but-unexercised is the (non-fatal) coverage work list."""
+    gaps = []
+    for what, (domain, r, line) in sorted(an.affine.items()):
+        rec = an.dump_affine.get(what)
+        if rec is None or (rec["asserts"] == 0 and rec["violations"] == 0):
+            gaps.append(f'  AFFINE_TO "{what}" ({r}:{line}) never '
+                        f"exercised at runtime")
+            continue
+        if rec["violations"] > 0:
+            an.errors.append(
+                f'AFFINE_TO "{what}" ({r}:{line}): {rec["violations"]} '
+                f"wrong-domain access(es) recorded in the runtime dump")
+        undeclared = rec["observed"] - {domain}
+        if undeclared:
+            an.errors.append(
+                f'AFFINE_TO "{what}" ({r}:{line}): declared affine to '
+                f'"{domain}" but the dump observed accesses from '
+                f"{sorted(undeclared)}")
+    for what, rec in sorted(an.dump_affine.items()):
+        if what not in an.affine and not what.startswith("test."):
+            an.notes.append(
+                f'runtime dump has checker "{what}" with no source '
+                f"declaration (a test fixture, or stale dump)")
+
+    spawned_domains = {d for (_, _, _, _, d) in an.spawns if d}
+    for domain in sorted(spawned_domains):
+        if domain not in an.dump_domains or an.dump_domains[domain] == 0:
+            gaps.append(f'  domain "{domain}" is adopted at a spawn site '
+                        f"but no dumped run ever ran a thread in it")
+
+    exercised = len(an.affine) - sum(
+        1 for g in gaps if "AFFINE_TO" in g)
+    print(f"cross-check vs runtime dump: {exercised}/{len(an.affine)} "
+          f"AFFINE_TO checkers exercised, "
+          f"{len(an.dump_domains)} domains observed", file=out)
+    if gaps:
+        print(f"COVERAGE GAPS — {len(gaps)} declared but never exercised "
+              f"(add a behavioral test, or drop the declaration):",
+              file=out)
+        for g in gaps:
+            print(g, file=out)
+
+
+def classify(domains_cells):
+    """domains_cells: domain -> [exclusive, shared]. Returns the inventory
+    class for one lock."""
+    active = {d: c for d, c in domains_cells.items() if c[0] or c[1]}
+    if not active:
+        return "unobserved"
+    if len(active) == 1:
+        return "single-domain"
+    writers = [d for d, c in active.items() if c[0] > 0]
+    if len(writers) <= 1:
+        return "single-writer"
+    return "multi-domain"
+
+
+RECOMMENDATION = {
+    "single-domain": "remove the lock (thread-per-core: owned state)",
+    "single-writer": "seqlock/RCU candidate (one writer, shared readers)",
+    "multi-domain": "shard or message-passing to an owning domain",
+    "unobserved": "coverage gap — not exercised by the dumped runs",
+}
+
+
+def build_inventory(an, lo, guarded_counts):
+    """Joins the statically known lock classes with the merged runtime
+    evidence. Classes only the dump knows (test fixtures) are skipped;
+    classes only the source knows classify as unobserved."""
+    inv = []
+    for name, cls in sorted(lo.classes.items()):
+        cells = an.dump_locks.get(name, {})
+        cat = classify(cells)
+        inv.append({
+            "class": name,
+            "subsystem": cls.subsystem,
+            "hot": cls.hot,
+            "guarded_fields": guarded_counts.get(name, 0),
+            "domains": {
+                d: {"exclusive": c[0], "shared": c[1]}
+                for d, c in sorted(cells.items()) if c[0] or c[1]},
+            "classification": cat,
+            "recommendation": RECOMMENDATION[cat],
+        })
+    return inv
+
+
+def write_inventory_md(inv, f):
+    f.write("<!-- Generated by scripts/analysis/thread_affinity.py "
+            "--inventory-md; do not edit by hand. -->\n")
+    f.write("| Lock class | Domains (excl/shared acquisitions) | Guarded "
+            "fields | Classification | Thread-per-core disposition |\n")
+    f.write("|---|---|---:|---|---|\n")
+    for e in inv:
+        doms = ", ".join(
+            f"{d} ({c['exclusive']}/{c['shared']})"
+            for d, c in e["domains"].items()) or "—"
+        name = f"`{e['class']}`" + (" (hot)" if e["hot"] else "")
+        f.write(f"| {name} | {doms} | {e['guarded_fields']} | "
+                f"{e['classification']} | {e['recommendation']} |\n")
+    counts = defaultdict(int)
+    for e in inv:
+        counts[e["classification"]] += 1
+    f.write("\nTotals: " + ", ".join(
+        f"{counts[c]} {c}" for c in ("single-domain", "single-writer",
+                                     "multi-domain", "unobserved")
+        if counts[c]) + f" — {len(inv)} lock classes.\n")
+
+
+def run_analysis(roots, dumps=None, inventory=None, inventory_md=None,
+                 verbose=False, out=sys.stdout):
+    an = AffinityAnalysis()
+    files = []
+    for root in roots:
+        found = lock_order.collect_files(root)
+        # Tool sources are .cpp; lock_order.collect_files only takes
+        # .h/.cc, so sweep those up here.
+        for dirpath, _, names in os.walk(root):
+            for f in sorted(names):
+                if f.endswith(".cpp"):
+                    found.append(os.path.join(dirpath, f))
+        if not found:
+            print(f"error: no source files under {root}", file=out)
+            return 1
+        files.append((root, found))
+
+    for root, fs in files:
+        find_spawn_sites(an, fs, root)
+        find_affine_decls(an, fs, root)
+
+    # Lock metadata comes from the primary (first) root only: tools define
+    # no lock classes, and fixture trees are self-contained.
+    lo, guarded_counts = count_guarded_fields(files[0][1], files[0][0])
+
+    annotated = sum(1 for s in an.spawns if s[4])
+    print(f"thread_affinity: {len(an.spawns)} spawn sites "
+          f"({annotated} annotated), {len(an.affine)} AFFINE_TO checkers, "
+          f"{len(lo.classes)} lock classes", file=out)
+    if verbose:
+        for (r, line, kind, _, domain) in an.spawns:
+            print(f"  spawn {r}:{line} [{kind}] -> "
+                  f"{domain or 'UNDECLARED'}", file=out)
+        for what, (domain, r, line) in sorted(an.affine.items()):
+            print(f"  affine {what} -> {domain}   ({r}:{line})", file=out)
+
+    if dumps:
+        load_dumps(an, dumps)
+        cross_check(an, out)
+
+    if inventory or inventory_md:
+        if not dumps:
+            print("error: --inventory requires --runtime-dump (the "
+                  "classification is runtime evidence)", file=out)
+            return 1
+        inv = build_inventory(an, lo, guarded_counts)
+        if inventory:
+            with open(inventory, "w", encoding="utf-8") as f:
+                json.dump({"locks": inv,
+                           "domains": dict(sorted(an.dump_domains.items()))},
+                          f, indent=2)
+                f.write("\n")
+            print(f"wrote {inventory}", file=out)
+        if inventory_md:
+            with open(inventory_md, "w", encoding="utf-8") as f:
+                write_inventory_md(inv, f)
+            print(f"wrote {inventory_md}", file=out)
+        counts = defaultdict(int)
+        for e in inv:
+            counts[e["classification"]] += 1
+        print("inventory: " + ", ".join(
+            f"{n} {c}" for c, n in sorted(counts.items())), file=out)
+
+    for n in an.notes:
+        if verbose:
+            print(f"note: {n}", file=out)
+
+    if an.errors:
+        for e in an.errors:
+            print(f"error: {e}", file=out)
+        return 1
+    print("thread_affinity OK", file=out)
+    return 0
+
+
+def self_test(script_dir):
+    """The analyzer must catch the seeded fixtures; if it stops doing so,
+    the lint gate is blind and this fails loudly."""
+    import io
+    td = os.path.join(script_dir, "testdata")
+    failures = []
+
+    buf = io.StringIO()
+    rc = run_analysis([os.path.join(td, "affinity_clean")],
+                      dumps=[os.path.join(td, "affinity_clean",
+                                          "dump.affinity.json")], out=buf)
+    if rc != 0:
+        failures.append("clean fixture: expected success, got:\n" +
+                        buf.getvalue())
+
+    buf = io.StringIO()
+    rc = run_analysis([os.path.join(td, "affinity_unannotated")], out=buf)
+    if rc == 0 or "ScopedDomain" not in buf.getvalue():
+        failures.append("unannotated fixture: expected an undeclared-spawn "
+                        "failure, got:\n" + buf.getvalue())
+
+    buf = io.StringIO()
+    rc = run_analysis([os.path.join(td, "affinity_clean")],
+                      dumps=[os.path.join(td, "affinity_violation",
+                                          "dump.affinity.json")], out=buf)
+    if rc == 0 or "wrong-domain" not in buf.getvalue():
+        failures.append("violation-dump fixture: expected a wrong-domain "
+                        "failure, got:\n" + buf.getvalue())
+
+    if failures:
+        for f in failures:
+            print(f"self-test FAILED: {f}", file=sys.stderr)
+        return 1
+    print("thread_affinity self-test OK")
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    ap.add_argument("--root", action="append", metavar="DIR",
+                    help="source tree(s) to analyze (default: src tools)")
+    ap.add_argument("--runtime-dump", metavar="PATH", action="append",
+                    help="affinity JSON dump (--dump-affinity / "
+                         "COUCHKV_AFFINITY_DUMP) or a directory of them "
+                         "(COUCHKV_AFFINITY_DUMP_DIR); repeat to merge")
+    ap.add_argument("--inventory", metavar="FILE",
+                    help="write the lock-removal inventory as JSON "
+                         "(requires --runtime-dump)")
+    ap.add_argument("--inventory-md", metavar="FILE",
+                    help="write the inventory as a markdown table "
+                         "(requires --runtime-dump)")
+    ap.add_argument("--self-test", action="store_true",
+                    help="verify the analyzer against the seeded fixtures")
+    ap.add_argument("-v", "--verbose", action="store_true")
+    args = ap.parse_args()
+
+    if args.self_test:
+        return self_test(os.path.dirname(os.path.abspath(__file__)))
+    return run_analysis(args.root or ["src", "tools"],
+                        dumps=args.runtime_dump,
+                        inventory=args.inventory,
+                        inventory_md=args.inventory_md,
+                        verbose=args.verbose)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "common/affinity.h"
 #include "common/logging.h"
 #include "net/transport.h"
 
@@ -39,7 +40,10 @@ void HealthMonitor::Start() {
   if (running_) return;
   stop_ = false;
   running_ = true;
-  thread_ = std::thread([this] { ThreadMain(); });
+  thread_ = std::thread([this] {
+    affinity::ScopedDomain domain("cluster.health");
+    ThreadMain();
+  });
 }
 
 void HealthMonitor::Stop() {
@@ -55,6 +59,7 @@ void HealthMonitor::Stop() {
 }
 
 void HealthMonitor::ThreadMain() {
+  COUCHKV_ASSERT_AFFINE();
   for (;;) {
     {
       UniqueLock lock(thread_mu_);

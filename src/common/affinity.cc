@@ -1,0 +1,388 @@
+// Runtime execution-domain tracker. See affinity.h for the model. The whole
+// translation unit is empty unless -DCOUCHKV_AFFINITY is set.
+//
+// Implementation notes (mirroring common/lockdep.cc):
+//   * Registration state is protected by a raw std::mutex — it MUST NOT use
+//     the instrumented couchkv::Mutex (the OnLockAcquired hook would recurse
+//     into the tracker). scripts/lint.sh check 1 exempts this file.
+//   * The per-acquisition hot path is lock-free: fixed 2D arrays of atomics
+//     indexed by (lock class id, domain id), so observation mode can stay on
+//     for a whole ctest run without perturbing timings much.
+//   * Report paths write to stderr with fprintf directly (not
+//     common/logging.h) so a report can never deadlock on, or recurse into,
+//     an instrumented logging mutex.
+#include "common/affinity.h"
+
+#if defined(COUCHKV_AFFINITY)
+
+#include <execinfo.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace couchkv::affinity {
+
+namespace {
+
+// Ids feed fixed-width bitmasks and static counter arrays; both caps abort
+// loudly when exceeded (they are diagnostic-build limits, not data limits).
+constexpr uint32_t kMaxDomains = 64;
+constexpr uint32_t kMaxClasses = 256;
+constexpr uint32_t kMaxAffine = 128;
+
+void PrintStackHere() {
+  void* pc[24];
+  int depth = ::backtrace(pc, 24);
+  if (depth <= 0) {
+    std::fprintf(stderr, "    <no stack captured>\n");
+    return;
+  }
+  ::backtrace_symbols_fd(pc, depth, STDERR_FILENO);
+}
+
+struct AffineRec {
+  std::string what;
+  uint32_t declared_domain = 0;
+  std::atomic<uint64_t> asserts{0};
+  std::atomic<uint64_t> violations{0};
+  std::atomic<uint64_t> observed_mask{0};  // bit per domain id
+};
+
+struct DomainRec {
+  std::string name;
+  std::atomic<uint64_t> threads{0};  // distinct threads seen in the domain
+};
+
+struct State {
+  std::mutex mu;  // registration + last_report only; hot path is atomic
+  // Domains and affine records live in fixed arrays of atomically-published
+  // pointers (never a growing vector): the lock-free hot paths
+  // (OnLockAcquired, AssertAffineImpl) index them by id concurrently with
+  // registration, and a vector reallocation would race.
+  std::atomic<DomainRec*> domains[kMaxDomains] = {};
+  std::atomic<uint32_t> num_domains{0};
+  std::unordered_map<std::string, uint32_t> domain_by_name;  // guarded by mu
+  std::vector<std::string> classes;                          // guarded by mu
+  std::unordered_map<std::string, uint32_t> class_by_name;   // guarded by mu
+  std::atomic<AffineRec*> affine[kMaxAffine] = {};
+  std::unordered_map<std::string, uint32_t> affine_by_what;  // guarded by mu
+  std::atomic<uint64_t> violation_reports{0};
+  std::string last_report;  // guarded by mu
+  bool observe = false;     // latched from the env; SetObserveMode overrides
+
+  // (class, domain) acquisition counters. Flat static-size arrays so the
+  // per-acquisition path is two relaxed fetch_adds, no lock.
+  std::atomic<uint64_t> excl[kMaxClasses][kMaxDomains] = {};
+  std::atomic<uint64_t> shared[kMaxClasses][kMaxDomains] = {};
+
+  DomainRec* domain(uint32_t id) const {
+    return domains[id].load(std::memory_order_acquire);
+  }
+};
+
+State& S() {
+  static State* s = [] {
+    State* st = new State();  // leaked: outlives all static dtors
+    // "client" is id 0: the implicit domain of every thread that never
+    // constructs a ScopedDomain (tests, the embedding application).
+    DomainRec* client = new DomainRec();  // leaked
+    client->name = "client";
+    st->domains[0].store(client, std::memory_order_release);
+    st->num_domains.store(1, std::memory_order_release);
+    st->domain_by_name.emplace("client", 0);
+    if (const char* o = std::getenv("COUCHKV_AFFINITY_OBSERVE")) {
+      st->observe = (o[0] == '1');
+    }
+    return st;
+  }();
+  return *s;
+}
+
+thread_local uint32_t t_domain = 0;           // current domain id ("client")
+thread_local uint64_t t_counted_mask = 0;     // domains this thread counted in
+
+void CountThreadInDomain(State& s, uint32_t domain) {
+  uint64_t bit = 1ull << domain;
+  if (t_counted_mask & bit) return;
+  t_counted_mask |= bit;
+  s.domain(domain)->threads.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::string JsonEscape(const std::string& in) {
+  std::string out;
+  for (char c : in) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+std::string DumpJsonLocked(State& s) {
+  uint32_t nd = s.num_domains.load(std::memory_order_acquire);
+  std::string out = "{\n  \"domains\": [";
+  for (uint32_t i = 0; i < nd; ++i) {
+    if (i) out += ",";
+    out += "\n    {\"name\": \"" + JsonEscape(s.domain(i)->name) +
+           "\", \"threads\": " +
+           std::to_string(s.domain(i)->threads.load()) + "}";
+  }
+  out += "\n  ],\n  \"locks\": [";
+  for (size_t c = 0; c < s.classes.size(); ++c) {
+    if (c) out += ",";
+    out += "\n    {\"class\": \"" + JsonEscape(s.classes[c]) +
+           "\", \"domains\": [";
+    bool first = true;
+    for (uint32_t d = 0; d < nd; ++d) {
+      uint64_t e = s.excl[c][d].load(std::memory_order_relaxed);
+      uint64_t sh = s.shared[c][d].load(std::memory_order_relaxed);
+      if (e == 0 && sh == 0) continue;
+      if (!first) out += ", ";
+      first = false;
+      out += "{\"domain\": \"" + JsonEscape(s.domain(d)->name) +
+             "\", \"exclusive\": " + std::to_string(e) +
+             ", \"shared\": " + std::to_string(sh) + "}";
+    }
+    out += "]}";
+  }
+  out += "\n  ],\n  \"affine\": [";
+  bool first_rec = true;
+  for (uint32_t a = 0; a < kMaxAffine; ++a) {
+    AffineRec* rp = s.affine[a].load(std::memory_order_acquire);
+    if (rp == nullptr) break;
+    AffineRec& r = *rp;
+    if (!first_rec) out += ",";
+    first_rec = false;
+    out += "\n    {\"what\": \"" + JsonEscape(r.what) + "\", \"declared\": \"" +
+           JsonEscape(s.domain(r.declared_domain)->name) +
+           "\", \"asserts\": " + std::to_string(r.asserts.load()) +
+           ", \"violations\": " + std::to_string(r.violations.load()) +
+           ", \"observed\": [";
+    uint64_t mask = r.observed_mask.load(std::memory_order_relaxed);
+    bool first = true;
+    for (uint32_t d = 0; d < nd; ++d) {
+      if (!(mask & (1ull << d))) continue;
+      if (!first) out += ", ";
+      first = false;
+      out += "\"" + JsonEscape(s.domain(d)->name) + "\"";
+    }
+    out += "]}";
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+// Dump destination, resolved once: --dump-affinity=FILE on the command line
+// (read from /proc/self/cmdline so gtest_main binaries need no flag
+// plumbing), else $COUCHKV_AFFINITY_DUMP, else
+// $COUCHKV_AFFINITY_DUMP_DIR/affinity.<pid>.json.
+std::string DumpPath() {
+  std::ifstream cmdline("/proc/self/cmdline", std::ios::binary);
+  if (cmdline) {
+    std::string all((std::istreambuf_iterator<char>(cmdline)),
+                    std::istreambuf_iterator<char>());
+    size_t pos = 0;
+    const std::string flag = "--dump-affinity=";
+    while (pos < all.size()) {
+      size_t end = all.find('\0', pos);
+      if (end == std::string::npos) end = all.size();
+      std::string arg = all.substr(pos, end - pos);
+      if (arg.rfind(flag, 0) == 0) return arg.substr(flag.size());
+      pos = end + 1;
+    }
+  }
+  if (const char* f = std::getenv("COUCHKV_AFFINITY_DUMP")) return f;
+  if (const char* d = std::getenv("COUCHKV_AFFINITY_DUMP_DIR")) {
+    return std::string(d) + "/affinity." + std::to_string(::getpid()) +
+           ".json";
+  }
+  return {};
+}
+
+void WriteDumpAtExit() {
+  std::string path = DumpPath();
+  if (path.empty()) return;
+  State& s = S();
+  std::lock_guard<std::mutex> lock(s.mu);
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "[WARN] affinity: cannot write dump to %s\n",
+                 path.c_str());
+    return;
+  }
+  out << DumpJsonLocked(s);
+}
+
+struct DumpRegistrar {
+  DumpRegistrar() { std::atexit(WriteDumpAtExit); }
+};
+
+void ArmDump() { static DumpRegistrar registrar; }
+
+[[noreturn]] void FatalCap(const char* kind, const char* name, uint32_t cap) {
+  std::fprintf(stderr,
+               "==== couchkv affinity: too many %s (\"%s\" would exceed the "
+               "cap of %u) ====\n",
+               kind, name, cap);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace
+
+uint32_t RegisterDomain(const char* name) {
+  ArmDump();
+  State& s = S();
+  std::lock_guard<std::mutex> lock(s.mu);
+  auto it = s.domain_by_name.find(name);
+  if (it != s.domain_by_name.end()) return it->second;
+  uint32_t id = s.num_domains.load(std::memory_order_relaxed);
+  if (id >= kMaxDomains) FatalCap("domains", name, kMaxDomains);
+  DomainRec* rec = new DomainRec();  // leaked: outlives all static dtors
+  rec->name = name;
+  s.domains[id].store(rec, std::memory_order_release);
+  s.num_domains.store(id + 1, std::memory_order_release);
+  s.domain_by_name.emplace(name, id);
+  return id;
+}
+
+uint32_t RegisterLockClass(const char* name) {
+  ArmDump();
+  State& s = S();
+  std::lock_guard<std::mutex> lock(s.mu);
+  auto it = s.class_by_name.find(name);
+  if (it != s.class_by_name.end()) return it->second;
+  if (s.classes.size() >= kMaxClasses) {
+    FatalCap("lock classes", name, kMaxClasses);
+  }
+  uint32_t id = static_cast<uint32_t>(s.classes.size());
+  s.classes.push_back(name);
+  s.class_by_name.emplace(name, id);
+  return id;
+}
+
+void OnLockAcquired(uint32_t lock_class_id, bool shared) {
+  State& s = S();
+  CountThreadInDomain(s, t_domain);
+  auto& cell =
+      shared ? s.shared[lock_class_id][t_domain] : s.excl[lock_class_id][t_domain];
+  cell.fetch_add(1, std::memory_order_relaxed);
+}
+
+uint32_t RegisterAffine(const char* what, const char* domain) {
+  uint32_t domain_id = RegisterDomain(domain);
+  State& s = S();
+  std::lock_guard<std::mutex> lock(s.mu);
+  auto it = s.affine_by_what.find(what);
+  if (it != s.affine_by_what.end()) return it->second;
+  uint32_t id = static_cast<uint32_t>(s.affine_by_what.size());
+  if (id >= kMaxAffine) FatalCap("affine records", what, kMaxAffine);
+  AffineRec* rec = new AffineRec();  // leaked: outlives all static dtors
+  rec->what = what;
+  rec->declared_domain = domain_id;
+  s.affine[id].store(rec, std::memory_order_release);
+  s.affine_by_what.emplace(what, id);
+  return id;
+}
+
+void AssertAffineImpl(uint32_t affine_id) {
+  State& s = S();
+  AffineRec& r = *s.affine[affine_id].load(std::memory_order_acquire);
+  r.observed_mask.fetch_or(1ull << t_domain, std::memory_order_relaxed);
+  if (t_domain == r.declared_domain) {
+    r.asserts.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  r.violations.fetch_add(1, std::memory_order_relaxed);
+  s.violation_reports.fetch_add(1, std::memory_order_relaxed);
+  std::string declared, current;
+  bool observe;
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    declared = s.domain(r.declared_domain)->name;
+    current = s.domain(t_domain)->name;
+    observe = s.observe;
+    s.last_report = "wrong-domain access to \"" + r.what +
+                    "\": declared affine to \"" + declared +
+                    "\" but touched from \"" + current + "\"";
+  }
+  if (observe) {
+    std::fprintf(stderr,
+                 "[WARN] affinity: wrong-domain access to \"%s\" (declared "
+                 "\"%s\", got \"%s\") — recorded (observe mode)\n",
+                 r.what.c_str(), declared.c_str(), current.c_str());
+    return;
+  }
+  std::fprintf(stderr,
+               "\n==== couchkv affinity: WRONG-DOMAIN ACCESS ====\n"
+               "\"%s\" is declared affine to execution domain \"%s\",\n"
+               "but was accessed from a thread in domain \"%s\":\n",
+               r.what.c_str(), declared.c_str(), current.c_str());
+  PrintStackHere();
+  std::fprintf(stderr, "==== end affinity report; aborting ====\n");
+  std::fflush(stderr);
+  std::abort();
+}
+
+const char* CurrentDomainName() {
+  // Domain records are immutable once published, so the name pointer stays
+  // valid for the process lifetime; no lock needed.
+  return S().domain(t_domain)->name.c_str();
+}
+
+void SetObserveMode(bool on) {
+  State& s = S();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.observe = on;
+}
+
+bool ObserveMode() {
+  State& s = S();
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.observe;
+}
+
+uint64_t ViolationReports() {
+  return S().violation_reports.load(std::memory_order_relaxed);
+}
+
+std::string LastReport() {
+  State& s = S();
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.last_report;
+}
+
+std::string DumpJson() {
+  State& s = S();
+  std::lock_guard<std::mutex> lock(s.mu);
+  return DumpJsonLocked(s);
+}
+
+ScopedDomain::ScopedDomain(const char* domain) : prev_(t_domain) {
+  uint32_t id = RegisterDomain(domain);
+  t_domain = id;
+  CountThreadInDomain(S(), id);
+}
+
+ScopedDomain::~ScopedDomain() { t_domain = prev_; }
+
+}  // namespace couchkv::affinity
+
+#else  // !COUCHKV_AFFINITY
+
+// Keep the translation unit non-empty; everything lives in the header as
+// zero-cost inline no-ops.
+namespace couchkv::affinity {
+namespace {
+[[maybe_unused]] constexpr bool kCompiledOut = true;
+}  // namespace
+}  // namespace couchkv::affinity
+
+#endif  // COUCHKV_AFFINITY

@@ -1,0 +1,191 @@
+// Execution-domain discipline ("affinity"), the third leg of the
+// lock-discipline story: TSA (common/synchronization.h) proves WHICH lock
+// guards each field, lockdep (common/lockdep.h) proves the ORDER locks are
+// taken, and affinity proves WHO — which execution domain — is allowed to
+// take them. The thread-per-core rework (ROADMAP item 2) consumes the
+// result: a mutex whose guarded state is only ever touched from one domain
+// can drop its lock outright; one with a single writing domain can become a
+// seqlock/RCU; only genuinely multi-domain state needs message-passing to
+// an owning shard.
+//
+// Model: every spawned thread declares a named EXECUTION DOMAIN at birth by
+// constructing a ScopedDomain at the top of its thread function — lexically
+// inside the spawn statement, so scripts/analysis/thread_affinity.py can
+// verify statically that no std::thread in src/ runs undeclared. Threads
+// that never declare (tests, the embedding application) implicitly run in
+// the "client" domain. The domain inventory:
+//
+//   main               tool entry points (couchkv_server, loadgen)
+//   client             implicit: tests, SmartClient callers, YCSB workers
+//   thread_pool.worker ThreadPool workers (n1ql parallel fetch, views)
+//   net.accept         TcpServer accept loop (one per listening node)
+//   net.conn           TcpServer per-connection loops
+//   storage.flusher    Bucket disk-write flusher (one per bucket)
+//   dcp.producer       dcp::Dispatcher pump thread (one per node)
+//   cluster.health     HealthMonitor heartbeat/failover ticker
+//
+// Two kinds of evidence are collected under -DCOUCHKV_AFFINITY=ON:
+//
+//   1. Chromium-style affinity CHECKS: a class whose state belongs to one
+//      domain declares COUCHKV_AFFINE_TO("what.name", "domain") and calls
+//      AssertAffine() in its accessors / at its loop tops. An access from
+//      any other domain aborts, naming both the declared and the offending
+//      domain plus a stack — unless observe mode is on (see below), in
+//      which case the violation is recorded into the dump instead.
+//   2. Lock-acquisition OBSERVATION, for free via the synchronization.h
+//      wrappers: every Mutex/SharedMutex acquisition records (lock class,
+//      acquiring domain, exclusive|shared). The resulting lock-class ->
+//      {domains} map — dumped as JSON at exit — is the raw material for the
+//      generated lock-removal inventory (thread_affinity.py --inventory,
+//      committed table in DESIGN.md "Execution domains & thread model").
+//
+// Observe mode (COUCHKV_AFFINITY_OBSERVE=1 in the environment, or
+// SetObserveMode(true) in tests) downgrades AssertAffine aborts to recorded
+// violations so a whole test run can map the true access domains before any
+// AFFINE_TO claim is tightened.
+//
+// Dump destinations mirror lockdep: --dump-affinity=FILE on the command
+// line, else $COUCHKV_AFFINITY_DUMP, else
+// $COUCHKV_AFFINITY_DUMP_DIR/affinity.<pid>.json.
+//
+// Everything compiles out to zero-cost no-ops unless the build sets
+// -DCOUCHKV_AFFINITY (CMake: -DCOUCHKV_AFFINITY=ON). Composable with
+// lockdep: both can be ON at once; they share no state.
+#ifndef COUCHKV_COMMON_AFFINITY_H_
+#define COUCHKV_COMMON_AFFINITY_H_
+
+#include <cstdint>
+#include <string>
+
+namespace couchkv::affinity {
+
+#if defined(COUCHKV_AFFINITY)
+inline constexpr bool kEnabled = true;
+#else
+inline constexpr bool kEnabled = false;
+#endif
+
+#if defined(COUCHKV_AFFINITY)
+
+// Registers (or finds) the execution domain `name`. At most 64 distinct
+// domains (ids feed fixed-width bitmasks); exceeding that aborts loudly.
+uint32_t RegisterDomain(const char* name);
+
+// Registers (or finds) the lock class `name` for acquisition observation.
+// Called by the Mutex/SharedMutex constructors in synchronization.h.
+uint32_t RegisterLockClass(const char* name);
+
+// Lock-acquisition hook, called by the synchronization.h wrappers after
+// the underlying lock is held: records (class, current domain, shared).
+void OnLockAcquired(uint32_t lock_class_id, bool shared);
+
+// Registers (or finds) the affinity-checker record `what` declared affine
+// to `domain`. Called by the Affine member constructor; instances sharing
+// one `what` (e.g. per-Bucket flushers) share one record.
+uint32_t RegisterAffine(const char* what, const char* domain);
+
+// The check behind Affine::AssertAffine(). Aborts on a wrong-domain access
+// (naming declared + offending domain, with a stack) unless observe mode
+// is on, in which case the violation is recorded into the dump.
+void AssertAffineImpl(uint32_t affine_id);
+
+// --- Introspection (tests, tools) ---
+
+// Name of the calling thread's current domain ("client" when undeclared).
+const char* CurrentDomainName();
+
+// Downgrade AssertAffine aborts to recorded violations (also settable via
+// COUCHKV_AFFINITY_OBSERVE=1 in the environment, read at first use).
+void SetObserveMode(bool on);
+bool ObserveMode();
+
+// Process-lifetime count of wrong-domain accesses recorded in observe
+// mode, and the last such report line (empty when none).
+uint64_t ViolationReports();
+std::string LastReport();
+
+// Current observation state as JSON:
+//   {"domains":   [{"name":..., "threads":N}],
+//    "locks":     [{"class":..., "domains":[
+//                     {"domain":..., "exclusive":N, "shared":N}]}],
+//    "affine":    [{"what":..., "declared":..., "asserts":N,
+//                   "violations":N, "observed":[...]}]}
+std::string DumpJson();
+
+#else  // !COUCHKV_AFFINITY — every hook is a no-op the optimizer deletes.
+
+inline uint32_t RegisterDomain(const char*) { return 0; }
+inline uint32_t RegisterLockClass(const char*) { return 0; }
+inline void OnLockAcquired(uint32_t, bool) {}
+inline uint32_t RegisterAffine(const char*, const char*) { return 0; }
+inline void AssertAffineImpl(uint32_t) {}
+inline const char* CurrentDomainName() { return "client"; }
+inline void SetObserveMode(bool) {}
+inline bool ObserveMode() { return false; }
+inline uint64_t ViolationReports() { return 0; }
+inline std::string LastReport() { return {}; }
+inline std::string DumpJson() { return "{}"; }
+
+#endif  // COUCHKV_AFFINITY
+
+// Declares the calling thread's execution domain for the lifetime of the
+// scope (the previous domain is restored on destruction, so nested adoption
+// — a tool's main thread temporarily acting as a client — works). Every
+// std::thread spawn site in src/ constructs one as the first statement of
+// its thread function; scripts/analysis/thread_affinity.py enforces this
+// lexically. Zero-cost in non-affinity builds.
+class ScopedDomain {
+ public:
+#if defined(COUCHKV_AFFINITY)
+  explicit ScopedDomain(const char* domain);
+  ~ScopedDomain();
+#else
+  explicit ScopedDomain(const char*) {}
+#endif
+  ScopedDomain(const ScopedDomain&) = delete;
+  ScopedDomain& operator=(const ScopedDomain&) = delete;
+
+#if defined(COUCHKV_AFFINITY)
+ private:
+  uint32_t prev_;
+#endif
+};
+
+// Member object behind COUCHKV_AFFINE_TO. Holds the registered checker
+// record; AssertAffine() is the access-site check.
+class Affine {
+ public:
+#if defined(COUCHKV_AFFINITY)
+  Affine(const char* what, const char* domain)
+      : id_(RegisterAffine(what, domain)) {}
+  void AssertAffine() const { AssertAffineImpl(id_); }
+#else
+  Affine(const char*, const char*) {}
+  void AssertAffine() const {}
+#endif
+  Affine(const Affine&) = delete;
+  Affine& operator=(const Affine&) = delete;
+
+#if defined(COUCHKV_AFFINITY)
+ private:
+  uint32_t id_;
+#endif
+};
+
+// Declares a field/class affine to one execution domain: state named
+// `what` (dotted, lock-class-style) may only be touched from `domain`.
+// Expands to a checker member; accessors call
+// `affine_checker_.AssertAffine();` (or COUCHKV_ASSERT_AFFINE()). The
+// declaration is also consumed by scripts/analysis/thread_affinity.py,
+// which cross-checks it against the runtime dump: a declared-but-never-
+// exercised checker is a coverage gap, an access observed from any other
+// domain is a failure.
+#define COUCHKV_AFFINE_TO(what, domain) \
+  ::couchkv::affinity::Affine affine_checker_ { what, domain }
+
+// Access-site check for the enclosing class's COUCHKV_AFFINE_TO member.
+#define COUCHKV_ASSERT_AFFINE() affine_checker_.AssertAffine()
+
+}  // namespace couchkv::affinity
+
+#endif  // COUCHKV_COMMON_AFFINITY_H_

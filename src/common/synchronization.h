@@ -22,7 +22,15 @@
 #include <mutex>
 #include <shared_mutex>
 
+#include "common/affinity.h"
 #include "common/lockdep.h"
+
+// Either diagnostic layer (lock-order detection, execution-domain
+// observation) needs the wrappers to carry per-instance class ids; both
+// compile out of normal builds.
+#if defined(COUCHKV_LOCKDEP) || defined(COUCHKV_AFFINITY)
+#define COUCHKV_SYNC_INSTRUMENTED 1
+#endif
 
 // --- Attribute macros (the canonical set from the Clang TSA docs) ---
 
@@ -82,20 +90,24 @@ class CondVar;
 // mutexes in src/.
 class CAPABILITY("mutex") Mutex {
  public:
+  Mutex() : Mutex("unnamed") {}
+  explicit Mutex(const char* lock_class, unsigned lockdep_flags = 0) {
 #if defined(COUCHKV_LOCKDEP)
-  Mutex() : class_id_(lockdep::RegisterInstance("unnamed", 0)) {}
-  explicit Mutex(const char* lock_class, unsigned lockdep_flags = 0)
-      : class_id_(lockdep::RegisterInstance(lock_class, lockdep_flags)) {}
-#else
-  Mutex() = default;
-  explicit Mutex(const char*, unsigned = 0) {}
+    class_id_ = lockdep::RegisterInstance(lock_class, lockdep_flags);
 #endif
+#if defined(COUCHKV_AFFINITY)
+    aff_id_ = affinity::RegisterLockClass(lock_class);
+#endif
+    (void)lock_class;
+    (void)lockdep_flags;
+  }
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
   void Lock() ACQUIRE() {
     lockdep::OnAcquire(this, class_id(), /*shared=*/false);
     mu_.lock();
+    affinity::OnLockAcquired(aff_id(), /*shared=*/false);
   }
   void Unlock() RELEASE() {
     mu_.unlock();
@@ -103,7 +115,10 @@ class CAPABILITY("mutex") Mutex {
   }
   bool TryLock() TRY_ACQUIRE(true) {
     bool ok = mu_.try_lock();
-    if (ok) lockdep::OnTryAcquired(this, class_id(), /*shared=*/false);
+    if (ok) {
+      lockdep::OnTryAcquired(this, class_id(), /*shared=*/false);
+      affinity::OnLockAcquired(aff_id(), /*shared=*/false);
+    }
     return ok;
   }
 
@@ -121,6 +136,12 @@ class CAPABILITY("mutex") Mutex {
 #else
   static constexpr uint32_t class_id() { return 0; }
 #endif
+#if defined(COUCHKV_AFFINITY)
+  uint32_t aff_id() const { return aff_id_; }
+  uint32_t aff_id_;
+#else
+  static constexpr uint32_t aff_id() { return 0; }
+#endif
   std::mutex mu_;
 };
 
@@ -129,20 +150,24 @@ class CAPABILITY("mutex") Mutex {
 // queued writer, so reader edges are tracked conservatively.
 class CAPABILITY("shared_mutex") SharedMutex {
  public:
+  SharedMutex() : SharedMutex("unnamed") {}
+  explicit SharedMutex(const char* lock_class, unsigned lockdep_flags = 0) {
 #if defined(COUCHKV_LOCKDEP)
-  SharedMutex() : class_id_(lockdep::RegisterInstance("unnamed", 0)) {}
-  explicit SharedMutex(const char* lock_class, unsigned lockdep_flags = 0)
-      : class_id_(lockdep::RegisterInstance(lock_class, lockdep_flags)) {}
-#else
-  SharedMutex() = default;
-  explicit SharedMutex(const char*, unsigned = 0) {}
+    class_id_ = lockdep::RegisterInstance(lock_class, lockdep_flags);
 #endif
+#if defined(COUCHKV_AFFINITY)
+    aff_id_ = affinity::RegisterLockClass(lock_class);
+#endif
+    (void)lock_class;
+    (void)lockdep_flags;
+  }
   SharedMutex(const SharedMutex&) = delete;
   SharedMutex& operator=(const SharedMutex&) = delete;
 
   void Lock() ACQUIRE() {
     lockdep::OnAcquire(this, class_id(), /*shared=*/false);
     mu_.lock();
+    affinity::OnLockAcquired(aff_id(), /*shared=*/false);
   }
   void Unlock() RELEASE() {
     mu_.unlock();
@@ -151,6 +176,7 @@ class CAPABILITY("shared_mutex") SharedMutex {
   void LockShared() ACQUIRE_SHARED() {
     lockdep::OnAcquire(this, class_id(), /*shared=*/true);
     mu_.lock_shared();
+    affinity::OnLockAcquired(aff_id(), /*shared=*/true);
   }
   void UnlockShared() RELEASE_SHARED() {
     mu_.unlock_shared();
@@ -166,6 +192,12 @@ class CAPABILITY("shared_mutex") SharedMutex {
   uint32_t class_id_;
 #else
   static constexpr uint32_t class_id() { return 0; }
+#endif
+#if defined(COUCHKV_AFFINITY)
+  uint32_t aff_id() const { return aff_id_; }
+  uint32_t aff_id_;
+#else
+  static constexpr uint32_t aff_id() { return 0; }
 #endif
   std::shared_mutex mu_;
 };
@@ -220,13 +252,14 @@ class SCOPED_CAPABILITY UniqueLock {
  public:
   explicit UniqueLock(Mutex& mu) ACQUIRE(mu)
       : lock_(mu.mu_, std::defer_lock)
-#if defined(COUCHKV_LOCKDEP)
+#if defined(COUCHKV_SYNC_INSTRUMENTED)
         ,
         mu_(&mu)
 #endif
   {
     lockdep::OnAcquire(&mu, mu.class_id(), /*shared=*/false);
     lock_.lock();
+    affinity::OnLockAcquired(mu.aff_id(), /*shared=*/false);
   }
   // Releases iff still held (std::unique_lock semantics).
   ~UniqueLock() RELEASE() {
@@ -246,6 +279,9 @@ class SCOPED_CAPABILITY UniqueLock {
     lockdep::OnAcquire(mu_, mu_->class_id(), /*shared=*/false);
 #endif
     lock_.lock();
+#if defined(COUCHKV_AFFINITY)
+    affinity::OnLockAcquired(mu_->aff_id(), /*shared=*/false);
+#endif
   }
   void Unlock() RELEASE() {
     lock_.unlock();
@@ -257,10 +293,12 @@ class SCOPED_CAPABILITY UniqueLock {
  private:
   friend class CondVar;
   std::unique_lock<std::mutex> lock_;
-#if defined(COUCHKV_LOCKDEP)
-  // The wrapped mutex, for release/condvar-hold hooks; compiled out of
-  // normal builds so the wrapper stays the size of std::unique_lock.
+#if defined(COUCHKV_SYNC_INSTRUMENTED)
+  // The wrapped mutex, for release/condvar-hold/affinity hooks; compiled
+  // out of normal builds so the wrapper stays the size of std::unique_lock.
   Mutex* mu_;
+#endif
+#if defined(COUCHKV_LOCKDEP)
   const void* lockdep_instance() const { return mu_; }
 #else
   static constexpr const void* lockdep_instance() { return nullptr; }

@@ -1,12 +1,17 @@
 #include "common/thread_pool.h"
 
+#include "common/affinity.h"
+
 namespace couchkv {
 
 ThreadPool::ThreadPool(size_t num_threads) {
   if (num_threads == 0) num_threads = 1;
   threads_.reserve(num_threads);
   for (size_t i = 0; i < num_threads; ++i) {
-    threads_.emplace_back([this] { WorkerLoop(); });
+    threads_.emplace_back([this] {
+      affinity::ScopedDomain domain("thread_pool.worker");
+      WorkerLoop();
+    });
   }
 }
 
@@ -33,6 +38,7 @@ void ThreadPool::Wait() {
 }
 
 void ThreadPool::WorkerLoop() {
+  COUCHKV_ASSERT_AFFINE();
   for (;;) {
     std::function<void()> task;
     {

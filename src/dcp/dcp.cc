@@ -2,6 +2,7 @@
 
 #include <thread>
 
+#include "common/affinity.h"
 #include "common/logging.h"
 
 namespace couchkv::dcp {
@@ -267,7 +268,11 @@ uint64_t Producer::TotalBacklog() const {
 // Dispatcher
 // ---------------------------------------------------------------------------
 
-Dispatcher::Dispatcher() : thread_([this] { Loop(); }) {}
+Dispatcher::Dispatcher()
+    : thread_([this] {
+        affinity::ScopedDomain domain("dcp.producer");
+        Loop();
+      }) {}
 
 Dispatcher::~Dispatcher() { Stop(); }
 
@@ -321,6 +326,7 @@ void Dispatcher::Stop() {
 }
 
 void Dispatcher::Loop() {
+  COUCHKV_ASSERT_AFFINE();
   for (;;) {
     std::vector<std::shared_ptr<Producer>> snapshot;
     {

@@ -97,7 +97,10 @@ Status TcpServer::Start() {
   port_.store(ntohs(addr.sin_port), std::memory_order_release);
   stopping_.store(false, std::memory_order_release);
   running_.store(true, std::memory_order_release);
-  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  accept_thread_ = std::thread([this] {
+    affinity::ScopedDomain domain("net.accept");
+    AcceptLoop();
+  });
   return Status::OK();
 }
 
@@ -141,6 +144,7 @@ void TcpServer::ReapFinished() {
 }
 
 void TcpServer::AcceptLoop() {
+  COUCHKV_ASSERT_AFFINE();
   while (!stopping_.load(std::memory_order_acquire)) {
     const int lfd = listen_fd_.load(std::memory_order_acquire);
     if (lfd < 0) break;  // Stop() retired the listener
@@ -161,11 +165,15 @@ void TcpServer::AcceptLoop() {
       LockGuard lock(mu_);
       conns_.push_back(std::move(conn));
     }
-    raw->thread = std::thread([this, raw] { ConnLoop(raw); });
+    raw->thread = std::thread([this, raw] {
+      affinity::ScopedDomain domain("net.conn");
+      ConnLoop(raw);
+    });
   }
 }
 
 void TcpServer::ConnLoop(Conn* conn) {
+  conn_affine_.AssertAffine();
   wire::FrameDecoder decoder(wire::kMagicRequest, opts_.max_frame_body);
   char buf[64 << 10];
   bool alive = true;

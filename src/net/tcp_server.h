@@ -19,6 +19,7 @@
 
 #include "common/clock.h"
 #include "common/status.h"
+#include "common/affinity.h"
 #include "common/synchronization.h"
 #include "net/wire/wire.h"
 #include "stats/registry.h"
@@ -100,6 +101,12 @@ class TcpServer {
   // Joins and drops finished connections (called from the accept loop so a
   // long-lived server does not accumulate dead thread objects).
   void ReapFinished() EXCLUDES(mu_);
+
+  // The accept loop runs only on the listener thread; each ConnLoop runs
+  // only on its connection's thread (one checker per loop — the macro form
+  // owns the class's affine_checker_ slot, the second is a named member).
+  COUCHKV_AFFINE_TO("net.tcp_server.accept_loop", "net.accept");
+  affinity::Affine conn_affine_{"net.tcp_server.conn_loop", "net.conn"};
 
   Handler handler_;
   Options opts_;

@@ -1,0 +1,223 @@
+// Affinity (common/affinity.h) behavioral suite. Meaningful only under
+// -DCOUCHKV_AFFINITY=ON — in normal builds every case GTEST_SKIPs, and the
+// inert-hooks case (which runs ONLY when affinity is off) proves the hooks
+// really compile out rather than silently half-working.
+//
+// The tracker is process-global state, so each case uses uniquely named
+// domains/checkers, and the fatal case runs inside EXPECT_DEATH: the child
+// inherits the parent's registry but its new records die with it.
+#include "common/affinity.h"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.h"
+#include "common/synchronization.h"
+#include "common/thread_pool.h"
+#include "dcp/dcp.h"
+#include "net/tcp_server.h"
+
+namespace couchkv {
+namespace {
+
+#define SKIP_UNLESS_AFFINITY()                                        \
+  do {                                                                \
+    if (!affinity::kEnabled) {                                        \
+      GTEST_SKIP() << "built without COUCHKV_AFFINITY; hooks are "    \
+                      "no-ops";                                       \
+    }                                                                 \
+  } while (0)
+
+// In a non-affinity build the whole API must be inert: every thread reads
+// as "client", nothing is recorded, and the checkers never fire. This case
+// runs ONLY when affinity is off.
+TEST(AffinityTest, DisabledBuildHooksAreInert) {
+  if (affinity::kEnabled) {
+    GTEST_SKIP() << "built with COUCHKV_AFFINITY; inertness n/a";
+  }
+  EXPECT_STREQ(affinity::CurrentDomainName(), "client");
+  affinity::ScopedDomain domain("affinity_test.never_registered");
+  EXPECT_STREQ(affinity::CurrentDomainName(), "client");
+  affinity::Affine checker{"affinity_test.inert", "affinity_test.other"};
+  checker.AssertAffine();  // wrong domain, but a no-op build never aborts
+  EXPECT_EQ(affinity::ViolationReports(), 0u);
+  EXPECT_EQ(affinity::DumpJson(), "{}");
+}
+
+// A thread that never constructs a ScopedDomain runs in the implicit
+// "client" domain; adoption is scoped and restores the previous domain.
+TEST(AffinityTest, ScopedAdoptionNestsAndRestores) {
+  SKIP_UNLESS_AFFINITY();
+  EXPECT_STREQ(affinity::CurrentDomainName(), "client");
+  {
+    affinity::ScopedDomain outer("affinity_test.outer");
+    EXPECT_STREQ(affinity::CurrentDomainName(), "affinity_test.outer");
+    {
+      affinity::ScopedDomain inner("affinity_test.inner");
+      EXPECT_STREQ(affinity::CurrentDomainName(), "affinity_test.inner");
+    }
+    EXPECT_STREQ(affinity::CurrentDomainName(), "affinity_test.outer");
+  }
+  EXPECT_STREQ(affinity::CurrentDomainName(), "client");
+}
+
+// Silent negative control: accessing AFFINE_TO state from its declared
+// domain must record nothing — the suite reaching the end of this test
+// with zero violation reports is the assertion.
+TEST(AffinityTest, DeclaredDomainAccessIsSilent) {
+  SKIP_UNLESS_AFFINITY();
+  const uint64_t before = affinity::ViolationReports();
+  affinity::Affine checker{"affinity_test.silent", "affinity_test.owner_s"};
+  affinity::ScopedDomain domain("affinity_test.owner_s");
+  for (int i = 0; i < 100; ++i) checker.AssertAffine();
+  EXPECT_EQ(affinity::ViolationReports(), before);
+}
+
+// Accessing AFFINE_TO state from the wrong domain aborts, and the report
+// names BOTH the declared and the offending domain.
+TEST(AffinityDeathTest, WrongDomainAccessAbortsNamingBothDomains) {
+  SKIP_UNLESS_AFFINITY();
+  // A lambda keeps the braced declarations (and their commas) out of the
+  // EXPECT_DEATH macro argument list.
+  auto access_from_wrong_domain = [] {
+    affinity::Affine checker("affinity_test.dstate", "affinity_test.downer");
+    affinity::ScopedDomain domain("affinity_test.dintruder");
+    checker.AssertAffine();
+  };
+  EXPECT_DEATH(
+      access_from_wrong_domain(),
+      "\"affinity_test\\.dstate\" is declared affine to execution domain "
+      "\"affinity_test\\.downer\"(.|\n)*\"affinity_test\\.dintruder\"");
+}
+
+// Observe mode downgrades the abort to a recorded violation with a
+// readable last-report line, so a whole run can map true access domains.
+TEST(AffinityTest, ObserveModeRecordsInsteadOfAborting) {
+  SKIP_UNLESS_AFFINITY();
+  const uint64_t before = affinity::ViolationReports();
+  affinity::SetObserveMode(true);
+  {
+    affinity::Affine checker{"affinity_test.observed",
+                             "affinity_test.owner_o"};
+    affinity::ScopedDomain domain("affinity_test.intruder_o");
+    checker.AssertAffine();  // would abort outside observe mode
+  }
+  affinity::SetObserveMode(false);
+  EXPECT_EQ(affinity::ViolationReports(), before + 1);
+  const std::string report = affinity::LastReport();
+  EXPECT_NE(report.find("affinity_test.observed"), std::string::npos);
+  EXPECT_NE(report.find("affinity_test.owner_o"), std::string::npos);
+  EXPECT_NE(report.find("affinity_test.intruder_o"), std::string::npos);
+}
+
+// Every lock acquisition is attributed to the acquiring domain, exclusive
+// and shared separately — the raw material for the lock-removal inventory.
+TEST(AffinityTest, LockAcquisitionsMapToDomains) {
+  SKIP_UNLESS_AFFINITY();
+  Mutex m{"affinity_test.map_lock"};
+  SharedMutex sm{"affinity_test.map_shared"};
+  {
+    affinity::ScopedDomain domain("affinity_test.map_domain");
+    LockGuard lock(m);
+    ReaderLockGuard rlock(sm);
+  }
+  const std::string dump = affinity::DumpJson();
+  const size_t cls = dump.find("\"affinity_test.map_lock\"");
+  ASSERT_NE(cls, std::string::npos);
+  // The class's domain list must attribute the exclusive acquisition to
+  // the adopted domain (the entry follows the class name in the JSON).
+  const size_t dom = dump.find("\"affinity_test.map_domain\"", cls);
+  ASSERT_NE(dom, std::string::npos);
+  const size_t shared_cls = dump.find("\"affinity_test.map_shared\"");
+  ASSERT_NE(shared_cls, std::string::npos);
+  EXPECT_NE(dump.find("\"shared\": 1", shared_cls), std::string::npos);
+}
+
+// --- Spawn-site domain registration ---------------------------------------
+// Each subsystem's spawn site must adopt its documented domain (the
+// ScopedDomain at the top of the thread function). The dump's domain list
+// is the observable: a domain appears with threads > 0 only after a thread
+// actually adopted it.
+
+bool DumpHasDomain(const std::string& name) {
+  const std::string dump = affinity::DumpJson();
+  const size_t pos = dump.find("\"" + name + "\"");
+  if (pos == std::string::npos) return false;
+  // {"name": "<domain>", "threads": N} — reject N == 0.
+  const size_t threads = dump.find("\"threads\": ", pos);
+  if (threads == std::string::npos) return false;
+  return dump[threads + std::string("\"threads\": ").size()] != '0';
+}
+
+TEST(AffinitySpawnTest, ThreadPoolWorkersAdoptWorkerDomain) {
+  SKIP_UNLESS_AFFINITY();
+  ThreadPool pool(2);
+  std::string seen;
+  Mutex mu{"affinity_test.spawn_pool"};
+  pool.Submit([&] {
+    LockGuard lock(mu);
+    seen = affinity::CurrentDomainName();
+  });
+  pool.Wait();
+  EXPECT_EQ(seen, "thread_pool.worker");
+  EXPECT_TRUE(DumpHasDomain("thread_pool.worker"));
+}
+
+TEST(AffinitySpawnTest, DcpDispatcherAdoptsProducerDomain) {
+  SKIP_UNLESS_AFFINITY();
+  {
+    dcp::Dispatcher dispatcher;
+    dispatcher.Stop();  // joins the pump thread: it ran and adopted
+  }
+  EXPECT_TRUE(DumpHasDomain("dcp.producer"));
+}
+
+TEST(AffinitySpawnTest, TcpServerLoopsAdoptNetDomains) {
+  SKIP_UNLESS_AFFINITY();
+  net::TcpServer server(
+      [](const net::wire::Message& req, const net::RequestContext&) {
+        net::wire::Message resp;
+        resp.magic = net::wire::kMagicResponse;
+        resp.opaque = req.opaque;
+        return resp;
+      });
+  ASSERT_TRUE(server.Start().ok());
+  // One real connection, closed immediately: its ConnLoop thread spawns,
+  // sees EOF, and exits — enough to adopt (and count in) "net.conn".
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(server.port());
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  ::close(fd);
+  while (server.connections_accepted() == 0) std::this_thread::yield();
+  server.Stop();  // joins accept + conn threads
+  EXPECT_TRUE(DumpHasDomain("net.accept"));
+  EXPECT_TRUE(DumpHasDomain("net.conn"));
+}
+
+TEST(AffinitySpawnTest, BucketFlusherAdoptsStorageFlusherDomain) {
+  SKIP_UNLESS_AFFINITY();
+  {
+    cluster::Cluster cluster;
+    cluster.AddNode(cluster::kAllServices);
+    cluster::BucketConfig config;
+    config.name = "affinity-spawn";
+    config.num_replicas = 0;
+    ASSERT_TRUE(cluster.CreateBucket(config).ok());
+  }  // teardown joins every flusher: they ran and adopted
+  EXPECT_TRUE(DumpHasDomain("storage.flusher"));
+}
+
+}  // namespace
+}  // namespace couchkv

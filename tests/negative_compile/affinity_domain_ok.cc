@@ -1,0 +1,35 @@
+// Must-SUCCEED control for the configure-time affinity liveness proof
+// (try_run in the top-level CMakeLists.txt): a thread that adopts the
+// domain an Affine checker declares must pass AssertAffine silently, and
+// nested ScopedDomain adoption must restore the previous domain. If this
+// program aborts, the liveness-proof harness itself is broken.
+//
+// Single-TU harness: try_run cannot link project libraries at configure
+// time, so the runtime is compiled into this program directly.
+#include <cstring>
+
+#include "common/affinity.h"
+
+#include "common/affinity.cc"  // NOLINT
+
+int main() {
+  using namespace couchkv::affinity;
+  static_assert(kEnabled,
+                "liveness proof must compile with -DCOUCHKV_AFFINITY");
+  if (std::strcmp(CurrentDomainName(), "client") != 0) return 1;
+  Affine checker{"proof.state", "proof.domain"};
+  {
+    ScopedDomain domain("proof.domain");
+    if (std::strcmp(CurrentDomainName(), "proof.domain") != 0) return 2;
+    checker.AssertAffine();  // declared domain: must pass silently
+    {
+      ScopedDomain nested("proof.nested");
+      if (std::strcmp(CurrentDomainName(), "proof.nested") != 0) return 3;
+    }
+    if (std::strcmp(CurrentDomainName(), "proof.domain") != 0) return 4;
+    checker.AssertAffine();
+  }
+  if (std::strcmp(CurrentDomainName(), "client") != 0) return 5;
+  if (ViolationReports() != 0) return 6;
+  return 0;
+}

@@ -1,0 +1,22 @@
+// Must-ABORT case for the configure-time affinity liveness proof (try_run
+// in the top-level CMakeLists.txt): this program touches state declared
+// affine to one domain from a thread running in another. A live checker
+// aborts on the AssertAffine, naming both domains; if this program ever
+// exits 0, the affinity runtime has silently stopped checking and the
+// configure step fails.
+//
+// Single-TU harness: try_run cannot link project libraries at configure
+// time, so the runtime is compiled into this program directly.
+#include "common/affinity.h"
+
+#include "common/affinity.cc"  // NOLINT
+
+int main() {
+  using namespace couchkv::affinity;
+  static_assert(kEnabled,
+                "liveness proof must compile with -DCOUCHKV_AFFINITY");
+  Affine checker{"proof.state", "proof.owner"};
+  ScopedDomain domain("proof.intruder");
+  checker.AssertAffine();  // wrong domain: the checker must abort here
+  return 0;  // reaching this line means the checker is dead
+}
